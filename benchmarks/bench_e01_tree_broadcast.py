@@ -1,0 +1,23 @@
+"""E1 — Theorem 3.1: grounded-tree broadcast, total cost vs |E| log |E|.
+
+Paper claim: total communication O(|E| log |E|) + |E|·|m|, bandwidth
+O(log |E|) + |m|.  Expected shape: measured_bits / (|E|·log₂|E|) flat within
+a small constant band as the family grows; max message bits ≤ c·log |E|.
+"""
+
+import math
+
+from repro.analysis.experiments import experiment_e01_tree_broadcast
+from repro.analysis.scaling import is_flat
+
+from conftest import run_experiment
+
+
+def test_bench_e01_tree_broadcast(benchmark):
+    rows = run_experiment(
+        benchmark, "E1 tree broadcast (Thm 3.1)", experiment_e01_tree_broadcast
+    )
+    ratios = [row["ratio"] for row in rows]
+    assert is_flat(ratios, tolerance=3.0), ratios
+    for row in rows:
+        assert row["max_msg_bits"] <= 8 * math.log2(row["E"])

@@ -1,0 +1,23 @@
+"""E2 — Theorem 3.2 / Figure 5: the Gₙ alphabet lower bound.
+
+Paper claim: any correct broadcasting protocol needs Ω(n) distinct symbols
+on Gₙ, hence Ω(|E| log |E|) total bits.  Expected shape: measured distinct
+symbols ≥ n on every Gₙ; the Huffman floor (best any encoding could do for
+the observed stream) normalised by |E|·log₂|E| approaches a constant.
+"""
+
+from repro.analysis.experiments import experiment_e02_tree_lowerbound
+
+from conftest import run_experiment
+
+
+def test_bench_e02_tree_lowerbound(benchmark):
+    rows = run_experiment(
+        benchmark, "E2 Gₙ alphabet lower bound (Thm 3.2)", experiment_e02_tree_lowerbound
+    )
+    for row in rows:
+        assert row["at_least_n"]
+        assert row["measured_bits"] >= row["huffman_floor_bits"]
+    norm = [row["floor/(E·logE)"] for row in rows]
+    assert norm == sorted(norm), "normalised floor should approach its constant from below"
+    assert norm[-1] > 0.5

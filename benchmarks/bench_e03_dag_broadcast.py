@@ -1,0 +1,21 @@
+"""E3 — Section 3.3: DAG broadcast via aggregated scalar commodity.
+
+Paper claim: bandwidth O(|E|) + |m|, total communication O(|E|²) + |E|·|m|,
+one message per edge under the waiting rule.  Expected shape: exactly |E|
+messages; total bits well under the |E|² bound with the ratio shrinking
+(random DAGs are far from the skeleton-tree worst case, which E4 covers).
+"""
+
+from repro.analysis.experiments import experiment_e03_dag_broadcast
+
+from conftest import run_experiment
+
+
+def test_bench_e03_dag_broadcast(benchmark):
+    rows = run_experiment(
+        benchmark, "E3 DAG broadcast (§3.3)", experiment_e03_dag_broadcast
+    )
+    for row in rows:
+        assert row["one_msg_per_edge"]
+        assert row["ratio"] < 1.0
+        assert row["max_msg_bits"] <= row["E"]

@@ -1,0 +1,23 @@
+"""E4 — Theorem 3.8 / Figure 4: skeleton-tree Ω(|E|) bandwidth bound.
+
+Paper claim: any commodity-preserving protocol admits 2ⁿ distinct subset
+sums at the collector w, forcing Ω(n)-bit symbols on an O(n)-edge graph.
+Expected shape: all subset sums pairwise distinct; the decay chain (1)
+holds; max message bits grow linearly (log-log slope ≈ 1) in n.
+"""
+
+from repro.analysis.experiments import experiment_e04_commodity_lowerbound
+from repro.analysis.scaling import loglog_slope
+
+from conftest import run_experiment
+
+
+def test_bench_e04_commodity_lowerbound(benchmark):
+    rows = run_experiment(
+        benchmark, "E4 skeleton-tree bandwidth (Thm 3.8)", experiment_e04_commodity_lowerbound
+    )
+    marked = [row for row in rows if row["distinct_sums"] != ""]
+    assert marked and marked[0]["distinct_sums"] == marked[0]["subset_count"]
+    assert marked[0]["chain_(1)_holds"]
+    slope = loglog_slope([row["n"] for row in rows], [row["max_msg_bits"] for row in rows])
+    assert 0.5 <= slope <= 1.3, slope

@@ -1,0 +1,27 @@
+"""E5 — Theorems 4.2/4.3: interval broadcast on general (cyclic) digraphs.
+
+Paper claim: total communication O(|E|²·|V|·log d_out) + |E|·|m|; per-symbol
+and per-edge bits O(|E|·|V|·log d_out) + |m|.  Expected shape: measured
+totals stay under the bound (ratio < 1, not growing); per-edge cumulative
+bits under the symbol bound.
+"""
+
+from repro.analysis.experiments import experiment_e05_general_broadcast
+
+from conftest import run_experiment
+
+
+def test_bench_e05_general_broadcast(benchmark):
+    rows = run_experiment(
+        benchmark, "E5 general broadcast (Thm 4.2/4.3)", experiment_e05_general_broadcast
+    )
+    for row in rows:
+        assert row["ratio"] < 1.0
+        import math
+
+        symbol_bound = row["E"] * row["V"] * max(1.0, math.log2(4))
+        assert row["max_edge_bits"] <= symbol_bound
+    # The bound dominates harder as the family grows (its exponent is loose
+    # for random graphs) — the ratio must not grow.
+    ratios = [row["ratio"] for row in rows]
+    assert ratios[-1] <= ratios[0] * 1.5

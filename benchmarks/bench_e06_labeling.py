@@ -1,0 +1,19 @@
+"""E6 — Theorem 5.1: unique label assignment.
+
+Paper claim: on termination every vertex holds a unique label of
+O(|V|·log d_out) bits; total communication O(|E|²·|V|·log d_out).
+Expected shape: every internal vertex labeled, labels pairwise disjoint
+(hence unique), max label bits within a constant of |V|·log₂ d_out.
+"""
+
+from repro.analysis.experiments import experiment_e06_labeling
+
+from conftest import run_experiment
+
+
+def test_bench_e06_labeling(benchmark):
+    rows = run_experiment(benchmark, "E6 label assignment (Thm 5.1)", experiment_e06_labeling)
+    for row in rows:
+        assert row["all_labeled"]
+        assert row["labels_disjoint"]
+        assert row["max_label_bits"] <= 4 * row["bound_VlogD"] + 32

@@ -1,0 +1,25 @@
+"""E7 — Theorem 5.2 / Figure 6: the Ω(|V| log d_out) label lower bound.
+
+Paper claim: pruning a full (d, h) tree to one root-to-leaf path (off-path
+edges re-aimed at t, ports preserved) leaves the deep leaf's label
+*identical*, so an Ω(h·log d)-bit label lives on an (h+3)-vertex graph.
+Expected shape: full-vs-pruned label equality; leaf label bits growing
+linearly in h and in log d.
+"""
+
+from repro.analysis.experiments import experiment_e07_label_lowerbound
+from repro.analysis.scaling import loglog_slope
+
+from conftest import run_experiment
+
+
+def test_bench_e07_label_lowerbound(benchmark):
+    rows = run_experiment(
+        benchmark, "E7 label lower bound (Thm 5.2)", experiment_e07_label_lowerbound
+    )
+    checked = [row for row in rows if row["pruning_identical"] != ""]
+    assert checked and all(row["pruning_identical"] for row in checked)
+    # Linear growth in h for fixed d=2.
+    d2 = [row for row in rows if row["degree"] == 2]
+    slope = loglog_slope([row["height"] for row in d2], [row["leaf_label_bits"] for row in d2])
+    assert 0.5 <= slope <= 1.2, slope

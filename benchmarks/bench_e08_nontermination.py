@@ -1,0 +1,20 @@
+"""E8 — the "iff" direction of Theorems 3.1/4.2/5.1.
+
+Paper claim: the protocols do *not* terminate when some vertex reachable
+from s cannot reach t.  Expected shape: zero false terminations across all
+protocols × bad graphs (dead ends and stranded cycles) × schedulers.
+"""
+
+from repro.analysis.experiments import experiment_e08_nontermination
+
+from conftest import run_experiment
+
+
+def test_bench_e08_nontermination(benchmark):
+    rows = run_experiment(
+        benchmark, "E8 non-termination sweep (the iff)", experiment_e08_nontermination
+    )
+    assert rows
+    for row in rows:
+        assert row["bad_graph_runs"] > 0
+        assert row["false_terminations"] == 0

@@ -1,0 +1,23 @@
+"""E9 — Section 3.1 ablation: naive x/d split vs the power-of-two rule.
+
+Paper claim: the naive rule costs O(|E|^{3/2}) total vs O(|E| log |E|) with
+power-of-two values.  Expected shape: naive total bits exceed pow2 and the
+gap widens with |E|; naive max message bits grow polynomially while pow2
+stays logarithmic.
+"""
+
+from repro.analysis.experiments import experiment_e09_split_ablation
+
+from conftest import run_experiment
+
+
+def test_bench_e09_split_ablation(benchmark):
+    rows = run_experiment(benchmark, "E9 split-rule ablation (§3.1)", experiment_e09_split_ablation)
+    ratios = [row["bits_ratio"] for row in rows]
+    assert all(r > 1.5 for r in ratios)
+    assert ratios[-1] >= ratios[0]
+    import math
+
+    for row in rows:
+        assert row["pow2_max_msg"] <= 8 * math.log2(row["E"])
+        assert row["naive_max_msg"] > row["pow2_max_msg"]

@@ -1,0 +1,20 @@
+"""E10 — Section 3.3 ablation: eager per-message vs aggregated commodity.
+
+Paper context (§2): there is an explicit trade-off between message count
+and message size.  Expected shape: on layered diamond DAGs the eager
+variant's message count grows exponentially with depth (2^depth paths)
+while the waiting variant sends exactly |E| messages.
+"""
+
+from repro.analysis.experiments import experiment_e10_eager_ablation
+from repro.analysis.scaling import semilog_slope
+
+from conftest import run_experiment
+
+
+def test_bench_e10_eager_ablation(benchmark):
+    rows = run_experiment(benchmark, "E10 eager-vs-waiting ablation", experiment_e10_eager_ablation)
+    assert all(row["waiting_is_E"] for row in rows)
+    depths = [row["depth"] for row in rows]
+    eager = [row["eager_messages"] for row in rows]
+    assert semilog_slope(depths, eager) > 0.8  # exponential in depth

@@ -1,0 +1,17 @@
+"""E11 — Section 6: full topology extraction.
+
+Paper claim (programme): labels + flooding of local information map the
+whole topology.  Expected shape: 100% of runs reconstruct a topology
+exactly matching the ground truth (vertices, out-degrees, port-level edge
+wiring) under the label correspondence.
+"""
+
+from repro.analysis.experiments import experiment_e11_mapping
+
+from conftest import run_experiment
+
+
+def test_bench_e11_mapping(benchmark):
+    rows = run_experiment(benchmark, "E11 topology mapping (§6)", experiment_e11_mapping)
+    for row in rows:
+        assert row["exact_reconstructions"] == row["runs"]

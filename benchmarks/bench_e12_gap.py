@@ -1,0 +1,27 @@
+"""E12 — Section 6: the exponential directed/undirected label gap.
+
+Paper claim: directed anonymous networks force Ω(|V| log d_out)-bit labels
+where undirected anonymous networks manage O(log |V|).  Expected shape: on
+the same pruned-tree topologies, directed label bits grow ~linearly in |V|
+while the undirected DFS baseline grows ~logarithmically — a gap factor
+that increases with |V|.
+"""
+
+from repro.analysis.experiments import experiment_e12_gap
+from repro.analysis.scaling import loglog_slope
+
+from conftest import run_experiment
+
+
+def test_bench_e12_gap(benchmark):
+    rows = run_experiment(benchmark, "E12 exponential label gap (§6)", experiment_e12_gap)
+    gaps = [row["gap_factor"] for row in rows]
+    assert gaps == sorted(gaps), "gap must widen with |V|"
+    directed_slope = loglog_slope(
+        [row["V"] for row in rows], [row["directed_label_bits"] for row in rows]
+    )
+    undirected_slope = loglog_slope(
+        [row["V"] for row in rows], [row["undirected_label_bits"] for row in rows]
+    )
+    assert directed_slope > 0.6
+    assert undirected_slope < 0.5

@@ -1,0 +1,22 @@
+"""E13 — §2 synchronous extension: rounds-to-termination.
+
+Paper context: "In a synchronous model one may also consider the time it
+takes for the protocol to terminate."  Expected shape: tree/DAG commodity
+protocols terminate in exactly longest-path rounds (the wait chain); the
+general interval protocol stays well under a small multiple of |V| on
+random cyclic digraphs.
+"""
+
+from repro.analysis.experiments import experiment_e13_round_complexity
+
+from conftest import run_experiment
+
+
+def test_bench_e13_round_complexity(benchmark):
+    rows = run_experiment(
+        benchmark, "E13 synchronous rounds (§2)", experiment_e13_round_complexity
+    )
+    for row in rows:
+        assert row["tree_rounds"] == row["tree_longest_path"]
+        assert row["dag_rounds"] == row["dag_longest_path"]
+        assert row["general_rounds"] <= row["general_V"]

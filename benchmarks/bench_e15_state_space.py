@@ -1,0 +1,22 @@
+"""E15 — §2 quality measure: per-vertex memory (state-space size).
+
+Paper context: "The size of the state space is related to the amount of
+memory needed at each vertex of the network."  Expected shape: scalar
+commodity protocols keep tiny states; the interval protocols pay a growing
+memory premium for identifiable commodity, larger still for labeling (the
+retained label plus the d+1 partition).
+"""
+
+from repro.analysis.experiments import experiment_e15_state_space
+
+from conftest import run_experiment
+
+
+def test_bench_e15_state_space(benchmark):
+    rows = run_experiment(benchmark, "E15 state-space measure (§2)", experiment_e15_state_space)
+    for row in rows:
+        assert row["general_state_bits"] > row["dag_state_bits"]
+        assert row["labeling_state_bits"] >= row["general_state_bits"]
+    # The interval/scalar ratio grows with size — the memory cost of cycles.
+    ratios = [row["general/dag_ratio"] for row in rows]
+    assert ratios[-1] > ratios[0]

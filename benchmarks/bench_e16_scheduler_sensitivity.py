@@ -1,0 +1,21 @@
+"""E16 — ablation: the asynchronous adversary's effect on cost.
+
+Same graph, same protocol, all schedulers.  Expected shape: termination and
+delivery identical everywhere (the ∀-schedule theorems); message/bit totals
+vary within a modest band (depth-first and terminal-starving orders inflate
+cycle churn and message widths); no adversary breaks the upper bounds.
+"""
+
+from repro.analysis.experiments import experiment_e16_scheduler_sensitivity
+
+from conftest import run_experiment
+
+
+def test_bench_e16_scheduler_sensitivity(benchmark):
+    rows = run_experiment(
+        benchmark, "E16 scheduler sensitivity (ablation)",
+        experiment_e16_scheduler_sensitivity,
+    )
+    assert all(row["terminated"] for row in rows)
+    spreads = [row["vs_best"] for row in rows]
+    assert max(spreads) < 3.0, "cost spread across adversaries stays bounded"

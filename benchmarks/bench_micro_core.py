@@ -1,0 +1,74 @@
+"""Micro-benchmarks for the hot paths under every experiment.
+
+Unlike the E-benches (one measured run of a whole experiment), these use
+pytest-benchmark's repeated timing to track the throughput of the exact
+arithmetic and the simulator — the costs that bound how large the paper's
+graph families can be pushed.
+"""
+
+from repro.core.dyadic import Dyadic
+from repro.core.general_broadcast import GeneralBroadcastProtocol
+from repro.core.intervals import Interval, IntervalUnion, canonical_partition
+from repro.core.labeling import LabelAssignmentProtocol
+from repro.core.tree_broadcast import TreeBroadcastProtocol
+from repro.graphs.generators import random_digraph, random_grounded_tree
+from repro.network.simulator import run_protocol
+
+
+def _fragmented_union(pieces: int) -> IntervalUnion:
+    intervals = []
+    for i in range(pieces):
+        lo = Dyadic(4 * i, 10)
+        hi = Dyadic(4 * i + 2, 10)
+        intervals.append(Interval(lo, hi))
+    return IntervalUnion(intervals)
+
+
+def test_micro_union_algebra(benchmark):
+    a = _fragmented_union(64)
+    b = _fragmented_union(64)
+    shifted = IntervalUnion(
+        [Interval(iv.lo + Dyadic(1, 10), iv.hi + Dyadic(1, 10)) for iv in b]
+    )
+
+    def ops():
+        a.union(shifted)
+        a.intersection(shifted)
+        a.difference(shifted)
+
+    benchmark(ops)
+
+
+def test_micro_canonical_partition(benchmark):
+    alpha = _fragmented_union(32)
+    benchmark(lambda: canonical_partition(alpha, 8))
+
+
+def test_micro_tree_broadcast_500(benchmark):
+    net = random_grounded_tree(500, seed=0)
+
+    def run():
+        result = run_protocol(net, TreeBroadcastProtocol())
+        assert result.terminated
+
+    benchmark(run)
+
+
+def test_micro_general_broadcast_30(benchmark):
+    net = random_digraph(30, seed=0)
+
+    def run():
+        result = run_protocol(net, GeneralBroadcastProtocol())
+        assert result.terminated
+
+    benchmark(run)
+
+
+def test_micro_labeling_30(benchmark):
+    net = random_digraph(30, seed=0)
+
+    def run():
+        result = run_protocol(net, LabelAssignmentProtocol())
+        assert result.terminated
+
+    benchmark(run)

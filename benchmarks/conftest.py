@@ -1,0 +1,25 @@
+"""Shared helper for the experiment benches.
+
+Each bench runs one experiment driver exactly once under pytest-benchmark
+(the drivers are deterministic; re-running them only repeats identical
+work), prints the full result table so the bench log reproduces every
+number recorded in EXPERIMENTS.md, and returns the rows for shape
+assertions.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Dict, List
+
+from repro.analysis.report import render_table
+
+
+def run_experiment(benchmark, name: str, driver: Callable[[], List[Dict]]) -> List[Dict]:
+    """Run ``driver`` once under the benchmark fixture and print its table."""
+    rows = benchmark.pedantic(driver, rounds=1, iterations=1)
+    table = render_table(rows, title=f"== {name} ==")
+    print(file=sys.stderr)
+    print(table, file=sys.stderr)
+    benchmark.extra_info["rows"] = len(rows)
+    return rows

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Round-by-round: time complexity and the anatomy of a labeling run.
+
+The paper's Section 2 notes that in a synchronous model one may also ask
+how much *time* a protocol takes.  This example runs the protocols in
+lockstep rounds (every in-flight message delivered per round) and shows:
+
+1. broadcast time on trees and DAGs equals the longest root→terminal path
+   (the chain of waits), measured against the graph's true longest path;
+2. the label map a labeling run produces, drawn as ASCII slices of
+   ``[0, 1)`` — Theorem 5.1's disjointness, visible;
+3. how the heterogeneous-latency scheduler changes delivery order but not
+   any correctness property.
+
+Run:  python examples/synchronous_rounds.py
+"""
+
+from repro import LabelAssignmentProtocol, TreeBroadcastProtocol, extract_labels, run_protocol
+from repro.analysis.visualize import render_label_map
+from repro.core.dag_broadcast import DagBroadcastProtocol
+from repro.graphs import random_dag, random_digraph, random_grounded_tree
+from repro.graphs.properties import longest_path_length
+from repro.network import LatencyScheduler, run_protocol_synchronous
+
+
+def time_complexity() -> None:
+    print("--- synchronous time = longest wait chain ---")
+    for name, net, protocol in (
+        ("grounded tree", random_grounded_tree(60, seed=2), TreeBroadcastProtocol()),
+        ("random DAG   ", random_dag(60, seed=2), DagBroadcastProtocol()),
+    ):
+        result = run_protocol_synchronous(net, protocol)
+        assert result.terminated
+        depth = longest_path_length(net)
+        print(
+            f"{name}: |V|={net.num_vertices:3d}  longest s→…→t path = {depth:2d}  "
+            f"terminated after {result.termination_round:2d} rounds"
+        )
+    print()
+
+
+def label_anatomy() -> None:
+    print("--- the label map of a cyclic digraph (Theorem 5.1) ---")
+    net = random_digraph(10, seed=11)
+    result = run_protocol_synchronous(net, LabelAssignmentProtocol())
+    assert result.terminated
+    labels = extract_labels(result.states)
+    print(f"{len(labels)} anonymous vertices each retained a disjoint slice of [0, 1):\n")
+    print(render_label_map(labels, width=56))
+    print(f"\n(labeling finished after {result.termination_round} synchronous rounds)")
+    print()
+
+
+def heterogeneous_links() -> None:
+    print("--- heterogeneous link latencies (asynchronous adversary) ---")
+    net = random_digraph(15, seed=3)
+    for seed in (0, 1, 2):
+        scheduler = LatencyScheduler(seed=seed, min_latency=1.0, max_latency=50.0)
+        result = run_protocol(net, LabelAssignmentProtocol(), scheduler)
+        assert result.terminated
+        labels = extract_labels(result.states)
+        print(
+            f"latency seed {seed}: terminated at virtual time "
+            f"{scheduler.virtual_time:8.1f}, {len(labels)} labels, "
+            f"{result.metrics.total_messages} messages"
+        )
+    print("\nDelivery order varies wildly with link speeds; every correctness")
+    print("property holds regardless — the ∀-schedule guarantees of the paper.")
+
+
+def main() -> None:
+    time_complexity()
+    label_anatomy()
+    heterogeneous_links()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+"""repro — reproduction of Langberg, Schwartz & Bruck (PODC 2007),
+*Distributed Broadcasting and Mapping Protocols in Directed Anonymous
+Networks*.
+
+The package implements, from scratch:
+
+* the paper's formal model of anonymous protocols on directed networks
+  (:mod:`repro.core.model`) over an asynchronous discrete-event substrate
+  (:mod:`repro.network`),
+* the four protocols — grounded-tree broadcast, DAG broadcast,
+  general-graph interval broadcast, and unique label assignment — plus the
+  Section 6 topology-mapping extension (:mod:`repro.core`),
+* the lower-bound witness constructions and their measurement harnesses
+  (:mod:`repro.graphs`, :mod:`repro.lowerbounds`),
+* classical undirected/strongly-connected baselines for the Section 6
+  comparison (:mod:`repro.baselines`), and
+* the experiment drivers behind every row of EXPERIMENTS.md
+  (:mod:`repro.analysis`).
+
+Quickstart::
+
+    from repro import (
+        GeneralBroadcastProtocol, run_protocol, random_digraph,
+    )
+
+    net = random_digraph(num_internal=40, seed=1)
+    result = run_protocol(net, GeneralBroadcastProtocol("hello"))
+    assert result.terminated
+    print(result.metrics.total_bits, "bits,", result.metrics.total_messages, "messages")
+"""
+
+from .core import (
+    AnonymousProtocol,
+    DagBroadcastProtocol,
+    Dyadic,
+    FunctionalProtocol,
+    GeneralBroadcastProtocol,
+    Interval,
+    IntervalUnion,
+    LabelAssignmentProtocol,
+    TreeBroadcastProtocol,
+    VertexView,
+    canonical_partition,
+    extract_labels,
+    labels_pairwise_disjoint,
+    split_interval,
+)
+from .core.mapping import MappingProtocol, NetworkMap
+from .graphs import (
+    caterpillar_gn,
+    full_tree_with_terminal,
+    path_network,
+    pruned_tree,
+    random_dag,
+    random_digraph,
+    random_grounded_tree,
+    skeleton_tree,
+)
+from .network import (
+    DirectedNetwork,
+    Outcome,
+    RunResult,
+    run_protocol,
+    make_standard_schedulers,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # model + protocols
+    "AnonymousProtocol",
+    "FunctionalProtocol",
+    "VertexView",
+    "TreeBroadcastProtocol",
+    "DagBroadcastProtocol",
+    "GeneralBroadcastProtocol",
+    "LabelAssignmentProtocol",
+    "extract_labels",
+    "labels_pairwise_disjoint",
+    "MappingProtocol",
+    "NetworkMap",
+    # arithmetic
+    "Dyadic",
+    "Interval",
+    "IntervalUnion",
+    "split_interval",
+    "canonical_partition",
+    # substrate
+    "DirectedNetwork",
+    "run_protocol",
+    "RunResult",
+    "Outcome",
+    "make_standard_schedulers",
+    # graphs
+    "random_grounded_tree",
+    "random_dag",
+    "random_digraph",
+    "path_network",
+    "caterpillar_gn",
+    "skeleton_tree",
+    "full_tree_with_terminal",
+    "pruned_tree",
+]

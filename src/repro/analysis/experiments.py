@@ -1,0 +1,603 @@
+"""Experiment drivers E1–E12 — one per paper object (DESIGN.md §6).
+
+Each ``experiment_eNN`` function runs the full workload for its experiment
+and returns a list of dict rows; the matching bench in ``benchmarks/``
+prints the rows and asserts the expected shape, and EXPERIMENTS.md records a
+snapshot.  Sizes default to values that keep a full sweep comfortably inside
+a laptop run; every driver takes explicit parameters so larger sweeps are a
+call away.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+from ..baselines.eager_dag import EagerDagBroadcastProtocol
+from ..baselines.naive_tree import NaiveTreeBroadcastProtocol
+from ..baselines.undirected import (
+    DfsLabelingProtocol,
+    UndirectedNetwork,
+    run_undirected_protocol,
+)
+from ..core.complexity import (
+    dag_broadcast_total_bits_bound,
+    general_broadcast_total_bits_bound,
+    label_length_bits_bound,
+    tree_broadcast_total_bits_bound,
+)
+from ..core.dag_broadcast import DagBroadcastProtocol
+from ..core.general_broadcast import GeneralBroadcastProtocol
+from ..core.intervals import union_cost
+from ..core.labeling import (
+    LabelAssignmentProtocol,
+    extract_labels,
+    labels_pairwise_disjoint,
+)
+from ..core.mapping import ROOT_MARKER, TERMINAL_MARKER, MappingProtocol
+from ..core.tree_broadcast import TreeBroadcastProtocol
+from ..graphs.constructions import pruned_tree
+from ..graphs.generators import (
+    layered_diamond_dag,
+    random_dag,
+    random_digraph,
+    random_grounded_tree,
+    with_dead_end_vertex,
+    with_stranded_cycle,
+)
+from ..lowerbounds.alphabet import alphabet_on_gn
+from ..lowerbounds.commodity import (
+    bandwidth_growth,
+    collect_subset_sums,
+    hair_quantities,
+    verify_inequality_chain,
+)
+from ..lowerbounds.labels import label_growth_on_pruned, pruning_preserves_label
+from ..lowerbounds.schedules import explore_all_schedules
+from ..graphs.enumerate_graphs import all_grounded_trees, all_internal_wirings
+from ..graphs.properties import longest_path_length
+from ..network.scheduler import make_standard_schedulers
+from ..network.simulator import run_protocol
+from ..network.synchronous import run_protocol_synchronous
+
+__all__ = [
+    "experiment_e01_tree_broadcast",
+    "experiment_e02_tree_lowerbound",
+    "experiment_e03_dag_broadcast",
+    "experiment_e04_commodity_lowerbound",
+    "experiment_e05_general_broadcast",
+    "experiment_e06_labeling",
+    "experiment_e07_label_lowerbound",
+    "experiment_e08_nontermination",
+    "experiment_e09_split_ablation",
+    "experiment_e10_eager_ablation",
+    "experiment_e11_mapping",
+    "experiment_e12_gap",
+    "experiment_e13_round_complexity",
+    "experiment_e14_exhaustive_verification",
+    "experiment_e15_state_space",
+    "experiment_e16_scheduler_sensitivity",
+    "ALL_EXPERIMENTS",
+]
+
+
+def experiment_e01_tree_broadcast(
+    sizes: Sequence[int] = (50, 100, 200, 400, 800), seeds: Sequence[int] = (0, 1, 2)
+) -> List[Dict]:
+    """E1 / Theorem 3.1: grounded-tree broadcast cost vs ``|E| log |E|``."""
+    rows: List[Dict] = []
+    for n in sizes:
+        bits = []
+        msgs = []
+        maxmsg = []
+        edges = 0
+        for seed in seeds:
+            net = random_grounded_tree(n, seed=seed)
+            edges = net.num_edges
+            result = run_protocol(net, TreeBroadcastProtocol())
+            assert result.terminated
+            bits.append(result.metrics.total_bits)
+            msgs.append(result.metrics.total_messages)
+            maxmsg.append(result.metrics.max_message_bits)
+        bound = tree_broadcast_total_bits_bound(net)
+        rows.append(
+            {
+                "n_internal": n,
+                "E": edges,
+                "messages": max(msgs),
+                "total_bits": max(bits),
+                "max_msg_bits": max(maxmsg),
+                "bound_E_logE": round(bound),
+                "ratio": max(bits) / bound,
+            }
+        )
+    return rows
+
+
+def experiment_e02_tree_lowerbound(ns: Sequence[int] = (4, 8, 16, 32, 64, 128, 256)) -> List[Dict]:
+    """E2 / Theorem 3.2, Figure 5: alphabet growth and bit floor on ``Gₙ``."""
+    rows: List[Dict] = []
+    for row in alphabet_on_gn(TreeBroadcastProtocol, ns):
+        rows.append(
+            {
+                "n": row.n,
+                "E": row.num_edges,
+                "distinct_symbols": row.distinct_symbols,
+                "at_least_n": row.distinct_symbols >= row.n,
+                "huffman_floor_bits": row.floor_bits,
+                "measured_bits": row.measured_bits,
+                "floor/(E·logE)": row.floor_per_edge_log_e,
+            }
+        )
+    return rows
+
+
+def experiment_e03_dag_broadcast(
+    sizes: Sequence[int] = (25, 50, 100, 200), seeds: Sequence[int] = (0, 1, 2)
+) -> List[Dict]:
+    """E3 / Section 3.3: DAG broadcast; one message per edge, dyadic widths."""
+    rows: List[Dict] = []
+    for n in sizes:
+        for seed in seeds[:1]:
+            net = random_dag(n, seed=seed)
+            result = run_protocol(net, DagBroadcastProtocol())
+            assert result.terminated
+            bound = dag_broadcast_total_bits_bound(net)
+            rows.append(
+                {
+                    "n_internal": n,
+                    "E": net.num_edges,
+                    "messages": result.metrics.total_messages,
+                    "one_msg_per_edge": result.metrics.total_messages == net.num_edges,
+                    "total_bits": result.metrics.total_bits,
+                    "max_msg_bits": result.metrics.max_message_bits,
+                    "bound_E2": round(bound),
+                    "ratio": result.metrics.total_bits / bound,
+                }
+            )
+    return rows
+
+
+def experiment_e04_commodity_lowerbound(
+    ns: Sequence[int] = (2, 4, 6, 8, 12, 16), subset_n: int = 6
+) -> List[Dict]:
+    """E4 / Theorem 3.8, Figure 4: skeleton-tree subset sums and bandwidth."""
+    sums = collect_subset_sums(subset_n, DagBroadcastProtocol)
+    distinct = len(set(sums.values()))
+    chain_ok = verify_inequality_chain(hair_quantities(subset_n, DagBroadcastProtocol), subset_n)
+    rows: List[Dict] = []
+    for row in bandwidth_growth(ns, DagBroadcastProtocol):
+        rows.append(
+            {
+                "n": row.n,
+                "E": row.num_edges,
+                "max_msg_bits": row.max_message_bits,
+                "bits_per_E": row.max_message_bits / row.num_edges,
+                "subset_count": len(sums) if row.n == subset_n else "",
+                "distinct_sums": distinct if row.n == subset_n else "",
+                "chain_(1)_holds": chain_ok if row.n == subset_n else "",
+            }
+        )
+    return rows
+
+
+def experiment_e05_general_broadcast(
+    sizes: Sequence[int] = (10, 20, 40, 80), seeds: Sequence[int] = (0, 1)
+) -> List[Dict]:
+    """E5 / Theorems 4.2–4.3: interval broadcast on cyclic digraphs."""
+    rows: List[Dict] = []
+    for n in sizes:
+        for seed in seeds[:1]:
+            net = random_digraph(n, seed=seed)
+            result = run_protocol(net, GeneralBroadcastProtocol())
+            assert result.terminated
+            bound = general_broadcast_total_bits_bound(net)
+            rows.append(
+                {
+                    "n_internal": n,
+                    "V": net.num_vertices,
+                    "E": net.num_edges,
+                    "messages": result.metrics.total_messages,
+                    "total_bits": result.metrics.total_bits,
+                    "max_msg_bits": result.metrics.max_message_bits,
+                    "max_edge_bits": result.metrics.max_edge_bits,
+                    "bound_E2VlogD": round(bound),
+                    "ratio": result.metrics.total_bits / bound,
+                }
+            )
+    return rows
+
+
+def experiment_e06_labeling(
+    sizes: Sequence[int] = (10, 20, 40, 80), seeds: Sequence[int] = (0, 1)
+) -> List[Dict]:
+    """E6 / Theorem 5.1: label uniqueness and size vs ``|V| log d_out``."""
+    rows: List[Dict] = []
+    for n in sizes:
+        for seed in seeds[:1]:
+            net = random_digraph(n, seed=seed)
+            result = run_protocol(net, LabelAssignmentProtocol())
+            assert result.terminated
+            labels = extract_labels(result.states)
+            label_list = list(labels.values())
+            disjoint = labels_pairwise_disjoint(label_list)
+            max_bits = max(union_cost(l) for l in label_list)
+            bound = label_length_bits_bound(net)
+            rows.append(
+                {
+                    "n_internal": n,
+                    "V": net.num_vertices,
+                    "all_labeled": set(labels) == set(net.internal_vertices()),
+                    "labels_disjoint": disjoint,
+                    "max_label_bits": max_bits,
+                    "bound_VlogD": round(bound),
+                    "ratio": max_bits / bound,
+                }
+            )
+    return rows
+
+
+def experiment_e07_label_lowerbound(
+    cases: Sequence[tuple] = ((2, 4), (2, 8), (2, 16), (2, 32), (3, 8), (4, 8))
+) -> List[Dict]:
+    """E7 / Theorem 5.2, Figure 6: pruning preserves labels; size grows
+    ``Θ(h log d)`` on an ``(h+3)``-vertex graph."""
+    rows: List[Dict] = []
+    preserved = {
+        (d, h): pruning_preserves_label(d, h)
+        for d, h in cases
+        if d ** h <= 4096  # full-tree runs stay tractable
+    }
+    for row in label_growth_on_pruned(cases):
+        key = (row.degree, row.height)
+        rows.append(
+            {
+                "degree": row.degree,
+                "height": row.height,
+                "V_pruned": row.num_vertices_pruned,
+                "leaf_label_bits": row.leaf_label_bits,
+                "bits/(h·logd)": row.bits_per_h_log_d,
+                "pruning_identical": preserved.get(key, ""),
+            }
+        )
+    return rows
+
+
+def experiment_e08_nontermination(
+    sizes: Sequence[int] = (8, 14), seeds: Sequence[int] = (0, 1)
+) -> List[Dict]:
+    """E8: the "iff" direction — zero false terminations on bad graphs."""
+    protocols = {
+        "tree(general-graph-input)": None,  # tree protocol is only sound on grounded trees
+        "general-broadcast": GeneralBroadcastProtocol,
+        "label-assignment": LabelAssignmentProtocol,
+        "mapping": MappingProtocol,
+    }
+    rows: List[Dict] = []
+    for name, factory in protocols.items():
+        if factory is None:
+            continue
+        runs = 0
+        false_terminations = 0
+        for n in sizes:
+            for seed in seeds:
+                base = random_digraph(n, seed=seed)
+                for bad in (with_dead_end_vertex(base), with_stranded_cycle(base)):
+                    for scheduler in make_standard_schedulers(random_seeds=1):
+                        result = run_protocol(bad, factory(), scheduler)
+                        runs += 1
+                        if result.terminated:
+                            false_terminations += 1
+        rows.append(
+            {
+                "protocol": name,
+                "bad_graph_runs": runs,
+                "false_terminations": false_terminations,
+            }
+        )
+    return rows
+
+
+def experiment_e09_split_ablation(
+    sizes: Sequence[int] = (50, 100, 200, 400), seed: int = 0
+) -> List[Dict]:
+    """E9 / Section 3.1 ablation: naive ``x/d`` split vs power-of-two split."""
+    rows: List[Dict] = []
+    for n in sizes:
+        net = random_grounded_tree(n, seed=seed)
+        naive = run_protocol(net, NaiveTreeBroadcastProtocol())
+        pow2 = run_protocol(net, TreeBroadcastProtocol())
+        assert naive.terminated and pow2.terminated
+        rows.append(
+            {
+                "n_internal": n,
+                "E": net.num_edges,
+                "naive_bits": naive.metrics.total_bits,
+                "pow2_bits": pow2.metrics.total_bits,
+                "naive_max_msg": naive.metrics.max_message_bits,
+                "pow2_max_msg": pow2.metrics.max_message_bits,
+                "bits_ratio": naive.metrics.total_bits / pow2.metrics.total_bits,
+            }
+        )
+    return rows
+
+
+def experiment_e10_eager_ablation(depths: Sequence[int] = (2, 4, 6, 8, 10, 12)) -> List[Dict]:
+    """E10 / Section 3.3 ablation: eager vs aggregating DAG commodity."""
+    rows: List[Dict] = []
+    for depth in depths:
+        net = layered_diamond_dag(depth)
+        eager = run_protocol(net, EagerDagBroadcastProtocol())
+        waiting = run_protocol(net, DagBroadcastProtocol())
+        assert eager.terminated and waiting.terminated
+        rows.append(
+            {
+                "depth": depth,
+                "E": net.num_edges,
+                "eager_messages": eager.metrics.total_messages,
+                "waiting_messages": waiting.metrics.total_messages,
+                "waiting_is_E": waiting.metrics.total_messages == net.num_edges,
+                "eager_max_msg_bits": eager.metrics.max_message_bits,
+                "waiting_max_msg_bits": waiting.metrics.max_message_bits,
+            }
+        )
+    return rows
+
+
+def experiment_e11_mapping(
+    sizes: Sequence[int] = (10, 20, 40), seeds: Sequence[int] = (0, 1, 2)
+) -> List[Dict]:
+    """E11 / Section 6: topology reconstruction success and cost."""
+    rows: List[Dict] = []
+    for n in sizes:
+        successes = 0
+        runs = 0
+        messages = 0
+        bits = 0
+        for seed in seeds:
+            net = random_digraph(n, seed=seed)
+            result = run_protocol(net, MappingProtocol())
+            runs += 1
+            if result.terminated and result.output is not None:
+                ident = {net.root: ROOT_MARKER, net.terminal: TERMINAL_MARKER}
+                for v in net.internal_vertices():
+                    ident[v] = result.states[v].base.label
+                if result.output.matches_network(net, ident):
+                    successes += 1
+            messages = max(messages, result.metrics.total_messages)
+            bits = max(bits, result.metrics.total_bits)
+        rows.append(
+            {
+                "n_internal": n,
+                "runs": runs,
+                "exact_reconstructions": successes,
+                "messages_max": messages,
+                "total_bits_max": bits,
+            }
+        )
+    return rows
+
+
+def experiment_e12_gap(heights: Sequence[int] = (4, 8, 16, 32, 64)) -> List[Dict]:
+    """E12 / Section 6: the exponential gap, directed vs undirected labels.
+
+    Both protocols label the *same* topology: the Figure-6 pruned tree (the
+    directed lower-bound witness) and its undirected shadow.  Directed
+    labels must grow ``Θ(|V|)``; undirected DFS labels ``Θ(log |V|)``.
+    """
+    degree = 2
+    rows: List[Dict] = []
+    for h in heights:
+        net = pruned_tree(degree, h)
+        directed = run_protocol(net, LabelAssignmentProtocol())
+        assert directed.terminated
+        label = directed.states[2 + h].label
+        assert label is not None
+        directed_bits = union_cost(label)
+
+        undirected = UndirectedNetwork.from_directed(net)
+        dfs = run_undirected_protocol(undirected, DfsLabelingProtocol(), seed=0)
+        assert dfs.finished
+        max_label = max(s["label"] for s in dfs.states.values())
+        undirected_bits = max(1, math.ceil(math.log2(max_label + 1)))
+        rows.append(
+            {
+                "V": net.num_vertices,
+                "directed_label_bits": directed_bits,
+                "undirected_label_bits": undirected_bits,
+                "gap_factor": directed_bits / undirected_bits,
+            }
+        )
+    return rows
+
+
+def experiment_e13_round_complexity(
+    sizes: Sequence[int] = (25, 50, 100, 200), seeds: Sequence[int] = (0, 1)
+) -> List[Dict]:
+    """E13 / §2 synchronous extension: rounds-to-termination vs path depth.
+
+    In lockstep rounds the commodity protocols terminate after exactly the
+    longest root-to-terminal chain of waits: on trees and DAGs that is the
+    longest directed path; on cyclic digraphs the interval protocol adds
+    cycle-detection and β-flood traversals on top (reported as a multiple
+    of |V| for scale).
+    """
+    rows: List[Dict] = []
+    for n in sizes:
+        for seed in seeds[:1]:
+            tree = random_grounded_tree(n, seed=seed)
+            tree_run = run_protocol_synchronous(tree, TreeBroadcastProtocol())
+            assert tree_run.terminated
+            dag = random_dag(n, seed=seed)
+            dag_run = run_protocol_synchronous(dag, DagBroadcastProtocol())
+            assert dag_run.terminated
+            dig = random_digraph(min(n, 60), seed=seed)
+            dig_run = run_protocol_synchronous(dig, GeneralBroadcastProtocol())
+            assert dig_run.terminated
+            rows.append(
+                {
+                    "n_internal": n,
+                    "tree_rounds": tree_run.termination_round,
+                    "tree_longest_path": longest_path_length(tree),
+                    "dag_rounds": dag_run.termination_round,
+                    "dag_longest_path": longest_path_length(dag),
+                    "general_rounds": dig_run.termination_round,
+                    "general_V": dig.num_vertices,
+                    "general_rounds/V": dig_run.termination_round / dig.num_vertices,
+                }
+            )
+    return rows
+
+
+def experiment_e14_exhaustive_verification(
+    max_wiring_edges: int = 5, tree_internal: int = 3
+) -> List[Dict]:
+    """E14 (beyond the paper): exhaustive ∀-schedule, ∀-topology checking.
+
+    Model-checks the termination "iff" over *every* delivery schedule on
+    *every* small topology: all grounded trees with ``tree_internal``
+    internal vertices under the tree protocol, and all 2-internal-vertex
+    wirings (cycles and self-loops included) with at most
+    ``max_wiring_edges`` edges under the general interval protocol.  The
+    state spaces are exhausted (no truncation permitted), so on these
+    instances the theorem holds with certainty rather than confidence.
+    """
+    rows: List[Dict] = []
+
+    tree_count = 0
+    tree_steps = 0
+    for net in all_grounded_trees(tree_internal):
+        result = explore_all_schedules(net, TreeBroadcastProtocol)
+        assert not result.truncated
+        assert result.always_terminates
+        tree_count += 1
+        tree_steps += result.steps
+    rows.append(
+        {
+            "family": f"all grounded trees (k={tree_internal})",
+            "protocol": "tree-broadcast",
+            "topologies": tree_count,
+            "delivered_msgs_explored": tree_steps,
+            "iff_violations": 0,
+        }
+    )
+
+    wiring_count = 0
+    wiring_steps = 0
+    violations = 0
+    for net in all_internal_wirings(2):
+        if net.num_edges > max_wiring_edges:
+            continue
+        result = explore_all_schedules(net, GeneralBroadcastProtocol, max_steps_total=400_000)
+        assert not result.truncated
+        expected = net.all_connected_to_terminal()
+        ok = result.always_terminates if expected else result.never_terminates
+        if not ok:
+            violations += 1
+        wiring_count += 1
+        wiring_steps += result.steps
+    rows.append(
+        {
+            "family": f"all 2-internal wirings (|E|<={max_wiring_edges})",
+            "protocol": "general-broadcast",
+            "topologies": wiring_count,
+            "delivered_msgs_explored": wiring_steps,
+            "iff_violations": violations,
+        }
+    )
+    return rows
+
+
+def experiment_e15_state_space(
+    sizes: Sequence[int] = (10, 20, 40), seed: int = 0
+) -> List[Dict]:
+    """E15 / §2: the state-space quality measure, measured.
+
+    Section 2 lists "the size of the state space … related to the amount of
+    memory needed at each vertex" among the quality parameters but proves
+    nothing about it.  We measure the per-vertex state high-water mark (in
+    encoded bits) for each protocol on a common graph family: the scalar
+    protocols need O(|E|)-bit states at most, while the interval protocols'
+    states grow with the commodity fragmentation — the memory price of
+    cycle detection.
+    """
+    rows: List[Dict] = []
+    for n in sizes:
+        digraph = random_digraph(n, seed=seed)
+        tree = random_grounded_tree(n, seed=seed)
+        dag = random_dag(n, seed=seed)
+        measurements = {}
+        for name, net, protocol in (
+            ("tree", tree, TreeBroadcastProtocol()),
+            ("dag", dag, DagBroadcastProtocol()),
+            ("general", digraph, GeneralBroadcastProtocol()),
+            ("labeling", digraph, LabelAssignmentProtocol()),
+        ):
+            result = run_protocol(net, protocol, track_state_bits=True)
+            assert result.terminated
+            measurements[name] = result.metrics.max_state_bits
+        rows.append(
+            {
+                "n_internal": n,
+                "tree_state_bits": measurements["tree"],
+                "dag_state_bits": measurements["dag"],
+                "general_state_bits": measurements["general"],
+                "labeling_state_bits": measurements["labeling"],
+                "general/dag_ratio": round(measurements["general"] / max(1, measurements["dag"]), 1),
+            }
+        )
+    return rows
+
+
+def experiment_e16_scheduler_sensitivity(
+    n_internal: int = 30, seed: int = 0
+) -> List[Dict]:
+    """E16 (ablation): how much the asynchronous adversary costs.
+
+    Same graph, same protocol, every scheduler: correctness (termination,
+    delivery) is identical by the ∀-schedule theorems, but the *cost* of the
+    interval protocol varies — adversaries that starve the terminal or
+    deliver depth-first maximise cycle churn (β re-floods) before the
+    accounting can close.  This quantifies the spread the upper bounds must
+    absorb.
+    """
+    net = random_digraph(n_internal, seed=seed)
+    rows: List[Dict] = []
+    for scheduler in make_standard_schedulers(random_seeds=2):
+        result = run_protocol(net, GeneralBroadcastProtocol(), scheduler)
+        assert result.terminated, scheduler.name
+        rows.append(
+            {
+                "scheduler": scheduler.name,
+                "terminated": result.terminated,
+                "messages": result.metrics.total_messages,
+                "total_bits": result.metrics.total_bits,
+                "msgs_at_termination": result.metrics.messages_at_termination,
+                "max_msg_bits": result.metrics.max_message_bits,
+            }
+        )
+    baseline = min(row["messages"] for row in rows)
+    for row in rows:
+        row["vs_best"] = round(row["messages"] / baseline, 2)
+    return rows
+
+
+#: Name → driver, used by the report CLI and the EXPERIMENTS.md generator.
+ALL_EXPERIMENTS = {
+    "E1": experiment_e01_tree_broadcast,
+    "E2": experiment_e02_tree_lowerbound,
+    "E3": experiment_e03_dag_broadcast,
+    "E4": experiment_e04_commodity_lowerbound,
+    "E5": experiment_e05_general_broadcast,
+    "E6": experiment_e06_labeling,
+    "E7": experiment_e07_label_lowerbound,
+    "E8": experiment_e08_nontermination,
+    "E9": experiment_e09_split_ablation,
+    "E10": experiment_e10_eager_ablation,
+    "E11": experiment_e11_mapping,
+    "E12": experiment_e12_gap,
+    "E13": experiment_e13_round_complexity,
+    "E14": experiment_e14_exhaustive_verification,
+    "E15": experiment_e15_state_space,
+    "E16": experiment_e16_scheduler_sensitivity,
+}

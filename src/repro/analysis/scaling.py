@@ -1,0 +1,90 @@
+"""Scaling-shape analysis.
+
+The paper's claims are asymptotic; the reproduction checks *shapes*:
+
+* an upper bound ``f(G)`` has the right shape for measured costs ``c(G)``
+  when the ratio ``c/f`` stays within a constant band as the family grows
+  (:func:`bound_ratios`, :func:`ratio_band`);
+* growth exponents are estimated by least-squares in log-log space
+  (:func:`loglog_slope`) — e.g. total bits vs ``|E|`` on grounded trees
+  should fit a slope just above 1 (the ``E log E`` shape), and the eager
+  ablation's message count vs diamond depth should fit slope ≈ ``log 2`` in
+  semi-log space (:func:`semilog_slope`).
+
+Pure Python on purpose: a handful of regressions does not justify a numpy
+dependency in the core analysis path (numpy remains an optional extra for
+notebook-style exploration).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+__all__ = [
+    "loglog_slope",
+    "semilog_slope",
+    "bound_ratios",
+    "ratio_band",
+    "is_flat",
+]
+
+
+def _least_squares_slope(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, float]:
+    """Slope and intercept of the least-squares line through (xs, ys)."""
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need at least two points")
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    denom = sum((x - mean_x) ** 2 for x in xs)
+    if denom == 0:
+        raise ValueError("degenerate x values")
+    slope = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)) / denom
+    return slope, mean_y - slope * mean_x
+
+
+def loglog_slope(sizes: Sequence[float], costs: Sequence[float]) -> float:
+    """Growth exponent: the slope of ``log cost`` against ``log size``.
+
+    A cost of ``Θ(size^k)`` fits slope ``k``; ``Θ(size log size)`` fits a
+    slope slightly above 1 that decreases toward 1 as sizes grow.
+    """
+    return _least_squares_slope(
+        [math.log(s) for s in sizes], [math.log(max(c, 1e-12)) for c in costs]
+    )[0]
+
+
+def semilog_slope(sizes: Sequence[float], costs: Sequence[float]) -> float:
+    """Exponential-growth rate: slope of ``log₂ cost`` against ``size``.
+
+    A cost of ``Θ(2^size)`` fits slope ≈ 1; polynomial costs fit slopes that
+    shrink toward 0 as sizes grow.
+    """
+    return _least_squares_slope(list(sizes), [math.log2(max(c, 1e-12)) for c in costs])[0]
+
+
+def bound_ratios(costs: Sequence[float], bounds: Sequence[float]) -> List[float]:
+    """Pointwise ``cost / bound`` (the bound-shape diagnostic)."""
+    if len(costs) != len(bounds):
+        raise ValueError("length mismatch")
+    return [c / b for c, b in zip(costs, bounds)]
+
+
+def ratio_band(ratios: Sequence[float]) -> Tuple[float, float]:
+    """The (min, max) of the ratios — the constant band."""
+    return min(ratios), max(ratios)
+
+
+def is_flat(ratios: Sequence[float], *, tolerance: float = 4.0) -> bool:
+    """True iff max/min ratio stays within ``tolerance``.
+
+    ``tolerance=4`` is deliberately generous: small-size boundary effects
+    (encoding overheads, the ``log`` clamps) wash out slowly.  The tests
+    that assert shape use growing families where a genuinely wrong shape
+    (e.g. an extra ``|E|`` factor) blows past any constant band quickly.
+    """
+    lo, hi = ratio_band(ratios)
+    if lo <= 0:
+        return False
+    return hi / lo <= tolerance

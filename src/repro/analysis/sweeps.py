@@ -1,0 +1,99 @@
+"""Multi-seed sweep statistics.
+
+The experiment drivers report worst-seed numbers (bounds are worst-case
+claims); for exploration and for EXPERIMENTS.md's narrative it is also
+useful to see spread.  :func:`sweep_metrics` runs a (graph, protocol)
+workload across seeds and aggregates every numeric metric into
+(min, mean, max); :func:`summarize` renders the aggregate for reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from ..core.model import AnonymousProtocol
+from ..network.graph import DirectedNetwork
+from ..network.simulator import run_protocol
+
+__all__ = ["MetricSummary", "sweep_metrics", "summarize"]
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Aggregate of one metric over a sweep."""
+
+    name: str
+    minimum: float
+    mean: float
+    maximum: float
+    samples: int
+
+    @property
+    def spread(self) -> float:
+        """``max / min`` (∞-safe: 0 when the minimum is 0)."""
+        if self.minimum == 0:
+            return 0.0
+        return self.maximum / self.minimum
+
+
+def sweep_metrics(
+    network_factory: Callable[[int], DirectedNetwork],
+    protocol_factory: Callable[[], AnonymousProtocol],
+    seeds: Sequence[int],
+    *,
+    require_termination: bool = True,
+) -> Dict[str, MetricSummary]:
+    """Run the workload across ``seeds`` and aggregate the run metrics.
+
+    ``network_factory(seed)`` builds the per-seed input.  Metrics collected:
+    ``total_messages``, ``total_bits``, ``max_message_bits``,
+    ``max_edge_bits`` and ``termination_step``.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    samples: Dict[str, List[float]] = {
+        "total_messages": [],
+        "total_bits": [],
+        "max_message_bits": [],
+        "max_edge_bits": [],
+        "termination_step": [],
+    }
+    for seed in seeds:
+        network = network_factory(seed)
+        result = run_protocol(network, protocol_factory())
+        if require_termination and not result.terminated:
+            raise AssertionError(f"run for seed {seed} did not terminate")
+        metrics = result.metrics
+        samples["total_messages"].append(metrics.total_messages)
+        samples["total_bits"].append(metrics.total_bits)
+        samples["max_message_bits"].append(metrics.max_message_bits)
+        samples["max_edge_bits"].append(metrics.max_edge_bits)
+        samples["termination_step"].append(
+            metrics.termination_step if metrics.termination_step is not None else 0
+        )
+    return {
+        name: MetricSummary(
+            name=name,
+            minimum=min(values),
+            mean=sum(values) / len(values),
+            maximum=max(values),
+            samples=len(values),
+        )
+        for name, values in samples.items()
+    }
+
+
+def summarize(summaries: Dict[str, MetricSummary]) -> List[Dict]:
+    """Rows (for :func:`repro.analysis.report.render_table`) from a sweep."""
+    return [
+        {
+            "metric": s.name,
+            "min": s.minimum,
+            "mean": round(s.mean, 2),
+            "max": s.maximum,
+            "spread": round(s.spread, 3),
+            "n": s.samples,
+        }
+        for s in summaries.values()
+    ]

@@ -1,0 +1,68 @@
+"""ASCII visualisation of interval commodities and label maps.
+
+The Section 4/5 protocols are easiest to understand by *looking* at how
+``[0, 1)`` gets carved up.  :func:`render_union` draws one interval-union as
+a fixed-width bar; :func:`render_label_map` stacks the labels of a finished
+labeling run so the disjoint-slices structure of Theorem 5.1 is visible at a
+glance::
+
+    vertex  2 |████████                        | [0, 1/2^2)
+    vertex  3 |        ████                    | [1/2^2, 3/2^3)
+    ...
+
+Used by the examples and handy in a REPL; rendering is resolution-limited
+(cells are rounded to the bar width) and clearly marked as approximate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.intervals import IntervalUnion
+
+__all__ = ["render_union", "render_label_map"]
+
+
+def render_union(union: IntervalUnion, *, width: int = 48, fill: str = "█") -> str:
+    """Draw an interval-union of ``[0, 1)`` as a ``width``-cell ASCII bar.
+
+    Each cell covers ``1/width`` of the unit interval and is filled when its
+    midpoint lies in the union (midpoint sampling keeps thin slivers from
+    vanishing entirely at the left edge of a cell).
+    """
+    if width < 1:
+        raise ValueError("width must be positive")
+    from fractions import Fraction
+
+    cells: List[str] = []
+    for i in range(width):
+        # Midpoint of cell i is (2i+1)/(2·width); width need not be a power
+        # of two, so the comparison goes through exact fractions.
+        mid = Fraction(2 * i + 1, 2 * width)
+        inside = any(
+            ival.lo.as_fraction() <= mid < ival.hi.as_fraction() for ival in union
+        )
+        cells.append(fill if inside else " ")
+    return "|" + "".join(cells) + "|"
+
+
+def render_label_map(
+    labels: Dict[int, IntervalUnion],
+    *,
+    width: int = 48,
+    names: Optional[Dict[int, str]] = None,
+) -> str:
+    """Stack one bar per labeled vertex, sorted by label position.
+
+    ``names`` optionally overrides the per-vertex row headers.
+    """
+    def sort_key(item):
+        vertex, label = item
+        first = label.intervals[0] if label.intervals else None
+        return (first.lo.as_fraction() if first else 2, vertex)
+
+    lines: List[str] = []
+    for vertex, label in sorted(labels.items(), key=sort_key):
+        name = names.get(vertex, f"vertex {vertex:3d}") if names else f"vertex {vertex:3d}"
+        lines.append(f"{name} {render_union(label, width=width)} {label}")
+    return "\n".join(lines)

@@ -1,0 +1,27 @@
+"""Baselines: the protocols the paper improves on or compares against."""
+
+from .eager_dag import EagerDagBroadcastProtocol
+from .flooding import FloodingProtocol, FloodToken
+from .naive_tree import NaiveTreeBroadcastProtocol, RationalToken
+from .undirected import (
+    DfsLabelingProtocol,
+    EchoBroadcastProtocol,
+    UndirectedNetwork,
+    UndirectedProtocol,
+    UndirectedRunResult,
+    run_undirected_protocol,
+)
+
+__all__ = [
+    "NaiveTreeBroadcastProtocol",
+    "RationalToken",
+    "EagerDagBroadcastProtocol",
+    "FloodingProtocol",
+    "FloodToken",
+    "UndirectedNetwork",
+    "UndirectedProtocol",
+    "UndirectedRunResult",
+    "run_undirected_protocol",
+    "EchoBroadcastProtocol",
+    "DfsLabelingProtocol",
+]

@@ -1,0 +1,35 @@
+"""The eager per-message DAG splitting variant (ablation E10).
+
+The grounded-tree protocol splits *every* incoming commodity token
+independently, without waiting for the vertex's other in-edges.  On a
+grounded tree (in-degree 1 everywhere) that is the only behaviour; applied
+to a DAG it remains *correct* — the terminal's sum still reaches exactly 1
+iff every vertex is connected to ``t``, because splitting is commodity
+preserving per token — but the number of messages on an edge equals the
+number of distinct ``s → edge`` paths, which is exponential in depth on
+layered DAGs (:func:`repro.graphs.generators.layered_diamond_dag` doubles
+the path count every layer).
+
+Section 3.3's protocol avoids this by aggregating all in-edges before
+splitting (one message per edge), at the price of ``Θ(|E|)``-bit values.
+Ablation E10 runs both on the same diamond DAGs and reports the
+message-count blow-up against the bit-width growth — the trade-off the
+paper's Section 2 calls out between message count and message size.
+"""
+
+from __future__ import annotations
+
+from ..core.tree_broadcast import TreeBroadcastProtocol
+
+__all__ = ["EagerDagBroadcastProtocol"]
+
+
+class EagerDagBroadcastProtocol(TreeBroadcastProtocol):
+    """Per-message splitting on DAGs: correct but exponentially chatty.
+
+    Identical transition rules to the grounded-tree protocol (the split is
+    applied to each received token separately); exists as a named class so
+    experiment reports distinguish the two roles.
+    """
+
+    name = "eager-dag-broadcast"

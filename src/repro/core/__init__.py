@@ -1,0 +1,50 @@
+"""Core layer: exact arithmetic, the formal model, and the paper's protocols."""
+
+from .dyadic import DYADIC_ONE, DYADIC_ZERO, Dyadic
+from .intervals import (
+    EMPTY_UNION,
+    UNIT_INTERVAL,
+    UNIT_UNION,
+    Interval,
+    IntervalUnion,
+    canonical_partition,
+    split_interval,
+)
+from .messages import IntervalMessage, ScalarToken, TreeToken
+from .model import AnonymousProtocol, FunctionalProtocol, VertexView
+from .tree_broadcast import TreeBroadcastProtocol, TreeState, pow2_split_exponents
+from .dag_broadcast import DagBroadcastProtocol, DagState
+from .general_broadcast import GeneralBroadcastProtocol, GeneralState
+from .labeling import LabelAssignmentProtocol, extract_labels, labels_pairwise_disjoint
+from .mapping import MappingProtocol, NetworkMap
+
+__all__ = [
+    "Dyadic",
+    "DYADIC_ZERO",
+    "DYADIC_ONE",
+    "Interval",
+    "IntervalUnion",
+    "EMPTY_UNION",
+    "UNIT_INTERVAL",
+    "UNIT_UNION",
+    "canonical_partition",
+    "split_interval",
+    "TreeToken",
+    "ScalarToken",
+    "IntervalMessage",
+    "AnonymousProtocol",
+    "FunctionalProtocol",
+    "VertexView",
+    "TreeBroadcastProtocol",
+    "TreeState",
+    "pow2_split_exponents",
+    "DagBroadcastProtocol",
+    "DagState",
+    "GeneralBroadcastProtocol",
+    "GeneralState",
+    "LabelAssignmentProtocol",
+    "extract_labels",
+    "labels_pairwise_disjoint",
+    "MappingProtocol",
+    "NetworkMap",
+]

@@ -1,0 +1,123 @@
+"""Runtime invariant checkers for the interval protocols.
+
+The Section 4/5 correctness proofs lean on a handful of structural
+invariants.  This module states each one as an executable predicate over
+the simulator's vertex-state map, so they can be (a) asserted after runs in
+unit tests, (b) passed as the ``invariant`` hook of
+:func:`repro.lowerbounds.schedules.explore_all_schedules` to be checked
+after *every delivery on every schedule branch*, and (c) reused by
+downstream protocol authors extending the commodity machinery.
+
+Invariants:
+
+* :func:`alphas_pairwise_disjoint` — within each vertex, the per-port
+  ``α_j`` (plus the retained label) never overlap; this is what makes
+  α-travel single-path, the backbone of the ``G_T(a)`` argument.
+* :func:`coverage_within_unit` — no vertex ever manufactures commodity
+  outside ``[0, 1)``.
+* :func:`commodity_conserved` — globally, the union of everything any
+  vertex has routed, retained, β-recorded or received equals everything
+  that has been injected: points are never lost, only parked.
+* :func:`labels_disjoint_globally` — retained labels are pairwise disjoint
+  across vertices (Theorem 5.1's uniqueness).
+
+All predicates accept the ``states`` dict as produced by the simulator
+(vertex id → state) and are safe on mixed populations (vertices that have
+not yet received anything).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from .general_broadcast import GeneralState
+from .intervals import EMPTY_UNION, UNIT_UNION, IntervalUnion
+
+__all__ = [
+    "alphas_pairwise_disjoint",
+    "coverage_within_unit",
+    "commodity_conserved",
+    "labels_disjoint_globally",
+    "all_interval_invariants",
+]
+
+
+def _general_states(states: Dict[int, Any]):
+    for state in states.values():
+        if isinstance(state, GeneralState):
+            yield state
+        else:
+            base = getattr(state, "base", None)
+            if isinstance(base, GeneralState):
+                yield base
+
+
+def alphas_pairwise_disjoint(states: Dict[int, Any]) -> bool:
+    """Per-vertex: label and all ``α_j`` are pairwise disjoint."""
+    for state in _general_states(states):
+        parts = list(state.alphas)
+        if state.label is not None:
+            parts.append(state.label)
+        for i in range(len(parts)):
+            for j in range(i + 1, len(parts)):
+                if not parts[i].intersection(parts[j]).is_empty():
+                    return False
+    return True
+
+
+def coverage_within_unit(states: Dict[int, Any]) -> bool:
+    """No vertex holds points outside ``[0, 1)``."""
+    for state in _general_states(states):
+        combined = state.coverage.union(state.beta).union(state.alpha_acc)
+        if state.label is not None:
+            combined = combined.union(state.label)
+        if not UNIT_UNION.contains_union(combined):
+            return False
+    return True
+
+
+def commodity_conserved(states: Dict[int, Any]) -> bool:
+    """Globally: injected commodity is fully accounted for *at quiescence*.
+
+    During a run, points can legitimately be in flight (inside messages) and
+    visible nowhere, so this predicate is meaningful only when no messages
+    are pending — assert it on final states, not per delivery.
+    The conservation law: the union over all vertices of
+    ``coverage ∪ β ∪ alpha_acc ∪ label`` equals ``[0, 1)`` once the root has
+    injected (the root's emission enters some vertex's accounting on first
+    delivery; before any delivery the union is empty).
+    """
+    union: IntervalUnion = EMPTY_UNION
+    any_activity = False
+    for state in _general_states(states):
+        combined = state.coverage.union(state.beta).union(state.alpha_acc)
+        if state.label is not None:
+            combined = combined.union(state.label)
+        if not combined.is_empty():
+            any_activity = True
+        union = union.union(combined)
+    if not any_activity:
+        return True
+    return union == UNIT_UNION
+
+
+def labels_disjoint_globally(states: Dict[int, Any]) -> bool:
+    """Across vertices: retained labels never overlap (label uniqueness)."""
+    seen: IntervalUnion = EMPTY_UNION
+    for state in _general_states(states):
+        if state.label is None or state.label.is_empty():
+            continue
+        if not seen.intersection(state.label).is_empty():
+            return False
+        seen = seen.union(state.label)
+    return True
+
+
+def all_interval_invariants(states: Dict[int, Any]) -> bool:
+    """The per-delivery-safe invariants combined (conservation excluded —
+    it only holds at quiescence; see :func:`commodity_conserved`)."""
+    return (
+        alphas_pairwise_disjoint(states)
+        and coverage_within_unit(states)
+        and labels_disjoint_globally(states)
+    )

@@ -1,0 +1,113 @@
+"""Typed message payloads for the paper's protocols.
+
+Every protocol message conceptually contains the broadcast payload ``m`` plus
+*termination information* (Section 3: "the messages leaving u are of the form
+``(m, x/2^⌈log d⌉)``…").  The classes here model the termination information
+exactly and carry the broadcast payload as an opaque ``payload`` field; bit
+accounting charges the structural part via the exact encoders of
+:mod:`repro.core.encoding` and the payload via a per-protocol ``|m|``
+parameter (the paper, likewise, accounts ``|m|`` separately as the inevitable
+``|E|·|m|`` term).
+
+All messages are frozen and hashable so that traces can count distinct
+symbols (the ``Σ_G`` sets of Theorem 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from .dyadic import Dyadic
+from .encoding import dyadic_cost, unsigned_cost
+from .intervals import IntervalUnion, union_cost
+
+__all__ = [
+    "TreeToken",
+    "ScalarToken",
+    "IntervalMessage",
+    "payload_repr",
+]
+
+
+def payload_repr(payload: Any) -> str:
+    """Short display form of a broadcast payload."""
+    text = repr(payload)
+    return text if len(text) <= 24 else text[:21] + "..."
+
+
+@dataclass(frozen=True)
+class TreeToken:
+    """Grounded-tree termination information: the commodity ``x = 2^-exponent``.
+
+    Section 3.1 arranges for every transmitted value ``x`` to be a power of
+    two, so a token is fully described by the non-negative integer
+    ``exponent``; this is what makes the ``O(log |E|)`` per-message size (and
+    hence the ``O(|E| log |E|)`` total) possible.
+    """
+
+    exponent: int
+    #: The broadcast payload ``m`` (opaque; same object on every message).
+    payload: Any = None
+
+    def __post_init__(self) -> None:
+        if self.exponent < 0:
+            raise ValueError("TreeToken exponent must be non-negative")
+
+    @property
+    def value(self) -> Dyadic:
+        """The commodity value ``2^-exponent`` as an exact dyadic."""
+        return Dyadic.pow2(-self.exponent)
+
+    def structure_bits(self) -> int:
+        """Encoded size of the termination information (excludes ``|m|``)."""
+        return unsigned_cost(self.exponent)
+
+    def __repr__(self) -> str:
+        return f"TreeToken(2^-{self.exponent})"
+
+
+@dataclass(frozen=True)
+class ScalarToken:
+    """DAG termination information: an arbitrary dyadic commodity value.
+
+    Section 3.3's protocol aggregates the commodity arriving on all in-edges
+    of a vertex before splitting, so values are sums of powers of two —
+    general dyadics needing up to ``Θ(|E|)`` bits on worst-case inputs
+    (Theorem 3.8 shows this is inherent for commodity-preserving protocols).
+    """
+
+    value: Dyadic
+    payload: Any = None
+
+    def structure_bits(self) -> int:
+        """Encoded size of the termination value (excludes ``|m|``)."""
+        return dyadic_cost(self.value)
+
+    def __repr__(self) -> str:
+        return f"ScalarToken({self.value})"
+
+
+@dataclass(frozen=True)
+class IntervalMessage:
+    """General-graph message ``σ = (α', β')`` of Section 4.
+
+    ``alpha`` is freshly forwarded commodity (new points for the recipient's
+    α-side); ``beta`` is cycle-detection information flooded toward the
+    terminal.  The labeling protocol of Section 5 uses the same message type.
+    """
+
+    alpha: IntervalUnion
+    beta: IntervalUnion
+    payload: Any = None
+
+    def structure_bits(self) -> int:
+        """Encoded size of both interval-unions (excludes ``|m|``)."""
+        return union_cost(self.alpha) + union_cost(self.beta)
+
+    def is_vacuous(self) -> bool:
+        """True iff the message carries no commodity at all."""
+        return self.alpha.is_empty() and self.beta.is_empty()
+
+    def __repr__(self) -> str:
+        return f"IntervalMessage(α={self.alpha}, β={self.beta})"

@@ -1,0 +1,60 @@
+"""Graph families: random generators and the paper's witness constructions."""
+
+from .constructions import (
+    caterpillar_gn,
+    full_tree_with_terminal,
+    pruned_tree,
+    skeleton_tree,
+    skeleton_tree_hairs,
+    truncate_at_cut,
+)
+from .enumerate_graphs import all_grounded_trees, all_internal_wirings
+from .transforms import merge_roots, merge_terminals, relax_root_degree
+from .generators import (
+    geometric_sensor_field,
+    layered_diamond_dag,
+    path_network,
+    random_dag,
+    random_digraph,
+    random_grounded_tree,
+    with_dead_end_vertex,
+    with_stranded_cycle,
+)
+from .properties import (
+    classify,
+    longest_path_length,
+    cut_edges,
+    is_dag,
+    is_grounded_tree,
+    is_linear_cut,
+    linear_cuts,
+)
+
+__all__ = [
+    "caterpillar_gn",
+    "skeleton_tree",
+    "skeleton_tree_hairs",
+    "full_tree_with_terminal",
+    "pruned_tree",
+    "truncate_at_cut",
+    "random_grounded_tree",
+    "random_dag",
+    "random_digraph",
+    "geometric_sensor_field",
+    "layered_diamond_dag",
+    "path_network",
+    "with_dead_end_vertex",
+    "with_stranded_cycle",
+    "merge_roots",
+    "merge_terminals",
+    "relax_root_degree",
+    "all_grounded_trees",
+    "all_internal_wirings",
+    "is_grounded_tree",
+    "is_dag",
+    "is_linear_cut",
+    "linear_cuts",
+    "cut_edges",
+    "classify",
+    "longest_path_length",
+]

@@ -1,0 +1,234 @@
+"""The paper's explicit graph constructions.
+
+Every lower bound in the paper is proved on an explicit graph family; this
+module builds each of them exactly, so the lower-bound harnesses run the
+protocols on the *same* witnesses the proofs use.
+
+* :func:`caterpillar_gn` — Figure 5 / Theorem 3.2: the grounded tree ``Gₙ``
+  with ``V = {s, t, v₁ … v_n}``, edges ``(s,v₁)``, ``(v_i, v_{i+1})`` and
+  ``(v_i, t)`` for all ``i`` — ``n + 2`` vertices, ``2n`` edges.  Lemma 3.7
+  forces ``n + 1`` distinct symbols on it.
+* :func:`skeleton_tree` — Figure 4 / Theorem 3.8: the spine
+  ``v₀ → v₁ → … → v_{2n-1}`` with hairs ``u_i``, the auxiliary collector
+  ``w``, and a chosen subset ``S ⊆ {u₀, u₂, …, u_{2n-2}}`` wired into ``w``;
+  the ``2ⁿ`` distinct subset sums arriving at ``w`` force ``Ω(n)``-bit
+  symbols out of any commodity-preserving protocol.
+* :func:`full_tree_with_terminal` / :func:`pruned_tree` — Figure 6 /
+  Theorem 5.2: the full ``d``-ary tree of height ``h`` (all leaves into
+  ``t``) and its pruning along one root-to-leaf path, where every off-path
+  edge is redirected to ``t`` *preserving port positions*, so the protocol's
+  execution along the path is bitwise identical while ``|V|`` collapses from
+  ``Θ(d^h)`` to ``h + 3``.
+* :func:`truncate_at_cut` — the ``G*`` surgery of Figures 1–2 (Lemma 3.5 /
+  Theorem 3.6): cut the graph at a linear cut and re-aim the crossing edges
+  at the terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..network.graph import DirectedNetwork
+
+__all__ = [
+    "caterpillar_gn",
+    "skeleton_tree",
+    "skeleton_tree_hairs",
+    "full_tree_with_terminal",
+    "pruned_tree",
+    "truncate_at_cut",
+]
+
+Edge = Tuple[int, int]
+
+
+def caterpillar_gn(n: int) -> DirectedNetwork:
+    """The Theorem 3.2 witness ``Gₙ`` (Figure 5).
+
+    Vertices: ``0 = s``, ``1 = t``, spine ``v_i ↦ 1 + i`` for ``i = 1 … n``.
+    Edges: ``(s, v₁)``; ``(v_i, v_{i+1})`` for ``i < n``; ``(v_i, t)`` for
+    every ``i``.  Each spine vertex except the last has out-degree 2, so by
+    Lemma 3.7 the ``n`` spine edges plus the last terminal edge must all
+    carry pairwise distinct symbols.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    root, terminal = 0, 1
+    v = lambda i: 1 + i  # v_1 .. v_n are vertices 2 .. n+1
+    edges: List[Edge] = [(root, v(1))]
+    for i in range(1, n + 1):
+        # Port order at v_i: spine continuation first, then the t edge —
+        # matching the figure's drawing; the protocol is port-oblivious.
+        if i < n:
+            edges.append((v(i), v(i + 1)))
+        edges.append((v(i), terminal))
+    return DirectedNetwork(n + 2, edges, root=root, terminal=terminal, strict_root=True)
+
+
+def skeleton_tree(n: int, subset: Iterable[int] = ()) -> DirectedNetwork:
+    """The Theorem 3.8 skeleton tree (Figure 4) for a given subset wiring.
+
+    Parameters
+    ----------
+    n:
+        The construction parameter; the spine is ``v₀ … v_{2n-1}``.
+    subset:
+        Indices ``i`` (each even, ``0 <= i <= 2n-2``) of the hairs ``u_i``
+        routed into the auxiliary collector ``w``; all other hairs (and all
+        odd-index hairs) go straight to ``t``.
+
+    Vertex layout: ``0 = s``, ``1 = t``, ``2 = w``, spine ``v_i ↦ 3 + i``,
+    hairs ``u_i ↦ 3 + 2n + i``.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    chosen: Set[int] = set(subset)
+    for i in chosen:
+        if i % 2 or not (0 <= i <= 2 * n - 2):
+            raise ValueError(f"subset members must be even indices in [0, {2*n-2}], got {i}")
+    root, terminal, w = 0, 1, 2
+    v = lambda i: 3 + i
+    u = lambda i: 3 + 2 * n + i
+    edges: List[Edge] = [(root, v(0))]
+    for i in range(2 * n - 1):
+        # Port order at v_i: left (spine) then right (hair), as in the figure.
+        edges.append((v(i), v(i + 1)))
+        edges.append((v(i), u(i)))
+    edges.append((v(2 * n - 1), terminal))
+    for i in range(2 * n - 1):
+        target = w if i in chosen else terminal
+        edges.append((u(i), target))
+    edges.append((w, terminal))
+    return DirectedNetwork(3 + 4 * n - 1, edges, root=root, terminal=terminal, strict_root=True)
+
+
+def skeleton_tree_hairs(n: int) -> List[int]:
+    """The even hair indices ``{0, 2, …, 2n-2}`` eligible for the subset."""
+    return list(range(0, 2 * n - 1, 2))
+
+
+def full_tree_with_terminal(degree: int, height: int) -> DirectedNetwork:
+    """The Theorem 5.2 upper graph (Figure 6a): a full directed tree.
+
+    ``0 = s`` feeds the tree root ``r``; ``r`` starts a full ``degree``-ary
+    tree of height ``height`` with all edges directed away from the root; all
+    ``degree^height`` leaves are wired to ``t``.  (The paper makes ``s``
+    itself the tree root; we interpose the strict-model root with its single
+    out-edge — the executions coincide from ``r`` down.)
+    """
+    if degree < 2:
+        raise ValueError("degree must be >= 2")
+    if height < 1:
+        raise ValueError("height must be >= 1")
+    root, terminal = 0, 1
+    edges: List[Edge] = []
+    next_id = 2
+    tree_root = next_id
+    next_id += 1
+    edges.append((root, tree_root))
+    level = [tree_root]
+    for _ in range(height):
+        next_level: List[int] = []
+        for parent in level:
+            for _ in range(degree):
+                child = next_id
+                next_id += 1
+                edges.append((parent, child))
+                next_level.append(child)
+        level = next_level
+    for leaf in level:
+        edges.append((leaf, terminal))
+    return DirectedNetwork(next_id, edges, root=root, terminal=terminal, strict_root=True)
+
+
+def full_tree_path_vertices(degree: int, height: int, child_choices: Sequence[int]) -> List[int]:
+    """Vertex ids of the root-to-leaf path selected by ``child_choices``
+    inside :func:`full_tree_with_terminal` (length ``height + 1``, starting
+    at the tree root)."""
+    if len(child_choices) != height:
+        raise ValueError("need one child choice per level")
+    # Reconstruct the BFS numbering used by full_tree_with_terminal.
+    path = []
+    # Tree root is vertex 2; level k starts at id 3 + (d^1 + ... + d^(k-1)) ... easier to re-walk.
+    current = 2
+    path.append(current)
+    level_start = 3
+    level_size = degree
+    index_in_level = 0
+    for k, choice in enumerate(child_choices):
+        if not (0 <= choice < degree):
+            raise ValueError("child choice out of range")
+        index_in_level = index_in_level * degree + choice
+        current = level_start + index_in_level
+        path.append(current)
+        level_start += level_size
+        level_size *= degree
+    return path
+
+
+def pruned_tree(
+    degree: int, height: int, child_choices: Optional[Sequence[int]] = None
+) -> DirectedNetwork:
+    """The Theorem 5.2 pruned graph (Figure 6b).
+
+    Keeps one root-to-leaf path ``w₀ → w₁ → … → w_h`` of the full tree; at
+    every path vertex the ``degree - 1`` off-path child edges are re-aimed at
+    ``t`` **in their original port positions** (the chosen child stays at its
+    original port), so an anonymous protocol's execution along the path is
+    identical to its execution in the full tree — that is the whole point of
+    the pruning argument.  The leaf keeps its single edge to ``t``.
+
+    ``child_choices[k]`` is the port of the on-path child at level ``k``
+    (default: all zeros).  Result: ``h + 3`` vertices, ``h·degree + 2``
+    edges, max out-degree ``degree``.
+    """
+    if degree < 2:
+        raise ValueError("degree must be >= 2")
+    if height < 1:
+        raise ValueError("height must be >= 1")
+    if child_choices is None:
+        child_choices = [0] * height
+    if len(child_choices) != height:
+        raise ValueError("need one child choice per level")
+    root, terminal = 0, 1
+    w = lambda k: 2 + k  # w_0 .. w_height
+    edges: List[Edge] = [(root, w(0))]
+    for k in range(height):
+        choice = child_choices[k]
+        if not (0 <= choice < degree):
+            raise ValueError("child choice out of range")
+        for port in range(degree):
+            edges.append((w(k), w(k + 1) if port == choice else terminal))
+    edges.append((w(height), terminal))
+    return DirectedNetwork(height + 3, edges, root=root, terminal=terminal, strict_root=True)
+
+
+def truncate_at_cut(network: DirectedNetwork, v1: Set[int]) -> DirectedNetwork:
+    """The ``G*`` surgery of Lemma 3.5 (Figure 1).
+
+    Given a linear cut ``(V₁, V₂)`` of ``network`` (``s ∈ V₁``, ``t ∈ V₂``;
+    validated by :func:`repro.graphs.properties.is_linear_cut`), build the
+    graph on ``V₁ ∪ {t}`` keeping all internal ``V₁`` edges and re-aiming
+    every cut-crossing edge at ``t`` — preserving each tail's port order.
+    Any protocol run on ``G*`` reproduces, on the ``V₁`` side, a prefix of a
+    run on ``G``; the multiset of symbols entering ``t`` in ``G*`` equals the
+    multiset crossing the cut in ``G``.
+    """
+    if network.root not in v1:
+        raise ValueError("V1 must contain the root")
+    if network.terminal in v1:
+        raise ValueError("V1 must not contain the terminal")
+    keep = sorted(v1)
+    relabel = {old: new for new, old in enumerate(keep)}
+    terminal_new = len(keep)
+    edges: List[Edge] = []
+    for eid, (tail, head) in enumerate(network.edges):
+        if tail in v1:
+            edges.append((relabel[tail], relabel[head] if head in v1 else terminal_new))
+    return DirectedNetwork(
+        len(keep) + 1,
+        edges,
+        root=relabel[network.root],
+        terminal=terminal_new,
+        strict_root=False,
+    )

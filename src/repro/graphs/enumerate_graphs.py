@@ -1,0 +1,108 @@
+"""Exhaustive enumeration of small networks.
+
+The theorems quantify over *all* graphs; random generators sample that
+space, and this module complements them by enumerating it completely at
+small sizes, so the test suite can check the termination "iff", delivery,
+and label uniqueness on **every** network up to a size bound rather than on
+samples.
+
+* :func:`all_grounded_trees` — every grounded tree with a given number of
+  internal vertices, up to the tree isomorphism induced by the construction
+  (parent choice per vertex × terminal-edge pattern).  Each internal vertex
+  may or may not also feed ``t``; vertices with no children must (otherwise
+  they are dead ends — those cases are covered separately by the bad-graph
+  mutators).
+* :func:`all_internal_wirings` — every network on ``k`` internal vertices
+  where the internal adjacency runs over *all* subsets of ordered pairs
+  (cycles, self-loops and all) and each vertex may feed ``t``.  This space
+  contains both good graphs (all connected to ``t``) and bad ones, which is
+  exactly what the iff tests need.  Sizes: ``k=2`` gives 1 024 networks,
+  ``k=3`` gives 2^12·8 = 32 768 — callers pick ``k`` and optionally cap.
+
+Every yielded network satisfies the structural model assumptions (root
+in-degree 0 / out-degree 1, terminal out-degree 0, all vertices reachable
+from the root); reachability is guaranteed by construction rather than
+patching, so enumeration order is stable.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, List, Optional, Tuple
+
+from ..network.graph import DirectedNetwork
+
+__all__ = ["all_grounded_trees", "all_internal_wirings"]
+
+Edge = Tuple[int, int]
+
+
+def all_grounded_trees(num_internal: int) -> Iterator[DirectedNetwork]:
+    """Yield every grounded tree with ``num_internal`` internal vertices.
+
+    Vertex 0 is ``s``, vertex 1 is ``t``, internal vertices are ``2 ..``.
+    Vertex 2 is the root's unique child; each later internal vertex picks
+    any earlier internal vertex as its parent (in-degree 1 everywhere);
+    every subset of internal vertices additionally feeds ``t``, as long as
+    all childless vertices do (otherwise the graph has a dead end and is
+    not a grounded tree in the paper's sense — every vertex must connect to
+    ``t`` for the positive theorems, and those that don't are exercised by
+    the mutator-based tests instead).
+    """
+    if num_internal < 1:
+        raise ValueError("need at least one internal vertex")
+    n = num_internal + 2
+    internal = list(range(2, n))
+    parent_choices = [range(2, 2 + i) for i in range(1, num_internal)]
+    for parents in itertools.product(*parent_choices) if parent_choices else [()]:
+        base_edges: List[Edge] = [(0, 2)]
+        children = {v: [] for v in internal}
+        for child_index, parent in enumerate(parents):
+            child = 3 + child_index
+            base_edges.append((parent, child))
+            children[parent].append(child)
+        childless = [v for v in internal if not children[v]]
+        optional = [v for v in internal if children[v]]
+        for mask in range(1 << len(optional)):
+            edges = list(base_edges)
+            edges.extend((v, 1) for v in childless)
+            edges.extend(
+                (optional[i], 1) for i in range(len(optional)) if (mask >> i) & 1
+            )
+            yield DirectedNetwork(n, edges, root=0, terminal=1, strict_root=True)
+
+
+def all_internal_wirings(
+    num_internal: int, *, limit: Optional[int] = None
+) -> Iterator[DirectedNetwork]:
+    """Yield every network over ``num_internal`` internal vertices.
+
+    The internal adjacency ranges over all subsets of ordered pairs
+    (including self-loops); independently, every non-empty subset of
+    internal vertices feeds ``t``.  Only networks where all internal
+    vertices are reachable from the root survive the built-in filter.
+    ``limit`` caps the yield count for use in time-boxed tests.
+    """
+    if num_internal < 1:
+        raise ValueError("need at least one internal vertex")
+    n = num_internal + 2
+    internal = list(range(2, n))
+    pairs = [(a, b) for a in internal for b in internal]
+    count = 0
+    for adj_mask in range(1 << len(pairs)):
+        internal_edges = [pairs[i] for i in range(len(pairs)) if (adj_mask >> i) & 1]
+        for sink_mask in range(1, 1 << num_internal):
+            edges: List[Edge] = [(0, 2)]
+            edges.extend(internal_edges)
+            edges.extend(
+                (internal[i], 1) for i in range(num_internal) if (sink_mask >> i) & 1
+            )
+            network = DirectedNetwork(n, edges, root=0, terminal=1, strict_root=True)
+            reachable = network.reachable_from(0)
+            if any(v not in reachable for v in internal):
+                # A standing model assumption: every vertex reachable from s.
+                continue
+            yield network
+            count += 1
+            if limit is not None and count >= limit:
+                return

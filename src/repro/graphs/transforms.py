@@ -1,0 +1,123 @@
+"""Model-extension transforms — the paper's §2 generalisations, made real.
+
+Section 2: *"Our results can be easily extended to the case in which there
+are multiple root/terminal vertices, the root has multiple outgoing edges,
+[and] the case in which there are vertices in G that are not reachable from
+s."*  The protocols in :mod:`repro.core` already handle a multi-out-degree
+root (their ``initial_emissions`` partition the injected commodity across
+all root ports); this module supplies the graph surgeries for the other
+extensions:
+
+* :func:`merge_roots` — several sources collapse behind one virtual root
+  whose single port fans out to all of them through zero-cost relay ports
+  (each original source keeps its port structure).
+* :func:`merge_terminals` — several sinks forward into one virtual
+  terminal; the stopping predicate then speaks for the whole sink set.
+* :func:`relax_root_degree` — drop the strict out-degree-1 root assumption
+  by re-validating an existing network non-strictly (a no-op surgery kept
+  for symmetry and discoverability).
+
+Both merges preserve the standing assumptions (virtual root has no
+in-edges, virtual terminal no out-edges) and, crucially, *termination
+semantics*: every vertex of the original graph can reach the virtual
+terminal iff it could reach some original sink.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..network.graph import DirectedNetwork
+
+__all__ = ["merge_roots", "merge_terminals", "relax_root_degree"]
+
+Edge = Tuple[int, int]
+
+
+def merge_roots(
+    num_vertices: int,
+    edges: Sequence[Edge],
+    roots: Sequence[int],
+    terminal: int,
+) -> DirectedNetwork:
+    """Build a single-root network from a multi-source edge list.
+
+    A virtual root ``r*`` (the new vertex ``num_vertices``) is added with
+    one out-edge per original source.  ``r*`` satisfies the base model's
+    assumptions except strict out-degree 1 (the paper's explicitly allowed
+    relaxation); the original sources become ordinary internal vertices
+    that happen to have in-degree 1.
+
+    Raises
+    ------
+    ValueError
+        If ``roots`` is empty, contains the terminal, or a listed root has
+        incoming edges in ``edges`` (a source must be a source).
+    """
+    if not roots:
+        raise ValueError("need at least one root")
+    root_set = set(roots)
+    if terminal in root_set:
+        raise ValueError("terminal cannot be a root")
+    for tail, head in edges:
+        if head in root_set:
+            raise ValueError(f"root {head} has an incoming edge")
+    virtual = num_vertices
+    new_edges: List[Edge] = [(virtual, r) for r in roots]
+    new_edges.extend(edges)
+    return DirectedNetwork(
+        num_vertices + 1, new_edges, root=virtual, terminal=terminal, strict_root=False
+    )
+
+
+def merge_terminals(
+    num_vertices: int,
+    edges: Sequence[Edge],
+    root: int,
+    terminals: Sequence[int],
+) -> DirectedNetwork:
+    """Build a single-terminal network from a multi-sink edge list.
+
+    A virtual terminal ``t*`` (the new vertex ``num_vertices``) is added
+    with one in-edge per original sink; the original sinks become internal
+    relays of out-degree 1.  A commodity protocol's stopping predicate at
+    ``t*`` then certifies the union of what the original sinks would see —
+    exactly the multi-terminal semantics the paper sketches.
+
+    Raises
+    ------
+    ValueError
+        If ``terminals`` is empty, contains the root, or a listed terminal
+        has outgoing edges in ``edges``.
+    """
+    if not terminals:
+        raise ValueError("need at least one terminal")
+    sink_set = set(terminals)
+    if root in sink_set:
+        raise ValueError("root cannot be a terminal")
+    for tail, head in edges:
+        if tail in sink_set:
+            raise ValueError(f"terminal {tail} has an outgoing edge")
+    virtual = num_vertices
+    new_edges: List[Edge] = list(edges)
+    new_edges.extend((t, virtual) for t in terminals)
+    return DirectedNetwork(
+        num_vertices + 1, new_edges, root=root, terminal=virtual, strict_root=False
+    )
+
+
+def relax_root_degree(network: DirectedNetwork) -> DirectedNetwork:
+    """Re-validate a network without the strict out-degree-1 root rule.
+
+    The protocols support multi-out-degree roots natively (they partition
+    the injected commodity across all root ports); this helper exists so
+    call sites can state the relaxation explicitly instead of passing
+    ``strict_root=False`` at construction.
+    """
+    return DirectedNetwork(
+        network.num_vertices,
+        network.edges,
+        root=network.root,
+        terminal=network.terminal,
+        strict_root=False,
+    )

@@ -1,0 +1,50 @@
+"""Lower-bound harnesses: the paper's proofs, made executable."""
+
+from .alphabet import (
+    AlphabetRow,
+    alphabet_on_gn,
+    huffman_floor_bits,
+    run_traced,
+    verify_cut_incomparability,
+    verify_cut_incomparability_cross,
+    verify_lemma_3_7,
+    verify_single_message_per_edge,
+)
+from .commodity import (
+    BandwidthRow,
+    bandwidth_growth,
+    collect_subset_sums,
+    hair_quantities,
+    quantity_of,
+    verify_inequality_chain,
+)
+from .schedules import ScheduleExploration, explore_all_schedules
+from .labels import (
+    PrunedLabelRow,
+    label_growth_on_pruned,
+    leaf_labels,
+    pruning_preserves_label,
+)
+
+__all__ = [
+    "AlphabetRow",
+    "alphabet_on_gn",
+    "huffman_floor_bits",
+    "run_traced",
+    "verify_cut_incomparability",
+    "verify_cut_incomparability_cross",
+    "verify_lemma_3_7",
+    "verify_single_message_per_edge",
+    "BandwidthRow",
+    "bandwidth_growth",
+    "collect_subset_sums",
+    "hair_quantities",
+    "quantity_of",
+    "verify_inequality_chain",
+    "PrunedLabelRow",
+    "label_growth_on_pruned",
+    "leaf_labels",
+    "pruning_preserves_label",
+    "ScheduleExploration",
+    "explore_all_schedules",
+]

@@ -1,0 +1,182 @@
+"""Theorem 3.8 machinery: the skeleton-tree bandwidth lower bound.
+
+Appendix B proves that any *commodity-preserving* protocol needs ``Ω(|E|)``
+bits of bandwidth on DAGs: on the skeleton tree of Figure 4 the quantities
+``q(u₀), q(u₂), …`` decay along the inequality chain
+
+    q(u_{2i+2}) < q(v_{2i+2}) ≤ ½·q(v_{2i+1}) ≤ ½·q(u_{2i})        (1)
+
+so the ``2ⁿ`` possible subsets ``S ⊆ {u₀, u₂, …}`` wired into the collector
+``w`` produce ``2ⁿ`` pairwise distinct sums flowing from ``w`` to ``t`` —
+``2ⁿ`` distinct symbols, hence ``Ω(n)`` bits for some symbol on a graph with
+only ``O(n)`` edges.
+
+This harness makes the argument executable against any
+commodity-preserving :class:`~repro.core.model.AnonymousProtocol` whose
+messages expose a scalar quantity:
+
+* :func:`hair_quantities` extracts the ``q(u_i)`` from a traced run,
+* :func:`verify_inequality_chain` checks chain (1),
+* :func:`collect_subset_sums` runs the protocol on every (or a sampled set
+  of) subset wiring and checks all ``w → t`` quantities are distinct,
+* :func:`bandwidth_growth` measures how the maximal message size grows with
+  ``n`` when all even hairs feed ``w`` (the fattest-sum instance).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..core.dyadic import Dyadic
+from ..core.model import AnonymousProtocol
+from ..graphs.constructions import skeleton_tree, skeleton_tree_hairs
+from ..network.simulator import run_protocol
+
+__all__ = [
+    "quantity_of",
+    "hair_quantities",
+    "verify_inequality_chain",
+    "collect_subset_sums",
+    "bandwidth_growth",
+    "BandwidthRow",
+]
+
+
+def quantity_of(message) -> Fraction:
+    """The commodity ``q(σ)`` of a message, as an exact fraction.
+
+    Works for the scalar-token protocols of this repository
+    (:class:`~repro.core.messages.ScalarToken`,
+    :class:`~repro.baselines.naive_tree.RationalToken` and tree tokens).
+    """
+    value = getattr(message, "value", None)
+    if isinstance(value, Dyadic):
+        return value.as_fraction()
+    if isinstance(value, Fraction):
+        return value
+    raise TypeError(f"message {message!r} does not expose a scalar commodity")
+
+
+def _traced_run(network, protocol):
+    result = run_protocol(network, protocol, record_trace=True)
+    if not result.terminated:
+        raise AssertionError(f"{protocol.name} failed to terminate on skeleton tree")
+    assert result.trace is not None
+    return result
+
+
+def hair_quantities(
+    n: int, protocol_factory: Callable[[], AnonymousProtocol]
+) -> Dict[int, Fraction]:
+    """``q(u_i)`` for every hair of the ``n``-skeleton (all hairs to ``t``).
+
+    Measured on the subset-free wiring so all hairs exist identically; the
+    quantity entering ``u_i`` is the symbol on the unique edge ``v_i → u_i``.
+    """
+    network = skeleton_tree(n, subset=())
+    result = _traced_run(network, protocol_factory())
+    trace = result.trace
+    quantities: Dict[int, Fraction] = {}
+    # Hair u_i is vertex 3 + 2n + i with a single in-edge from v_i.
+    for i in range(2 * n - 1):
+        hair = 3 + 2 * n + i
+        in_edges = network.in_edge_ids(hair)
+        assert len(in_edges) == 1
+        symbols = trace.symbols_on_edge(in_edges[0])
+        assert len(symbols) == 1, "skeleton tree hairs receive exactly one message"
+        quantities[i] = quantity_of(symbols[0])
+    return quantities
+
+
+def verify_inequality_chain(quantities: Dict[int, Fraction], n: int) -> bool:
+    """Check the strict-decay consequence of chain (1):
+    ``q(u_{2i+2}) ≤ ½·q(u_{2i})`` for all valid ``i`` — which is what makes
+    the subset sums distinct (binary representation argument)."""
+    for i in range(0, 2 * n - 4, 2):
+        if not quantities[i + 2] <= quantities[i] / 2:
+            return False
+    return True
+
+
+def collect_subset_sums(
+    n: int,
+    protocol_factory: Callable[[], AnonymousProtocol],
+    *,
+    max_subsets: Optional[int] = None,
+    seed: int = 0,
+) -> Dict[frozenset, Fraction]:
+    """Run the protocol over subset wirings; return each ``w → t`` quantity.
+
+    Enumerates all ``2ⁿ`` subsets of the even hairs when feasible, otherwise
+    samples ``max_subsets`` of them (always including ∅ and the full set).
+    The caller asserts distinctness — Theorem 3.8's core step.
+    """
+    hairs = skeleton_tree_hairs(n)
+    all_subsets: Iterable[Tuple[int, ...]]
+    total = 1 << len(hairs)
+    if max_subsets is None or total <= max_subsets:
+        all_subsets = itertools.chain.from_iterable(
+            itertools.combinations(hairs, k) for k in range(len(hairs) + 1)
+        )
+    else:
+        rng = random.Random(seed)
+        sampled: Set[Tuple[int, ...]] = {(), tuple(hairs)}
+        while len(sampled) < max_subsets:
+            sampled.add(tuple(sorted(h for h in hairs if rng.random() < 0.5)))
+        all_subsets = sorted(sampled)
+
+    sums: Dict[frozenset, Fraction] = {}
+    for subset in all_subsets:
+        network = skeleton_tree(n, subset=subset)
+        w = 2
+        if not subset:
+            # w has in-degree 0: it never fires and contributes quantity 0.
+            sums[frozenset()] = Fraction(0)
+            continue
+        result = _traced_run(network, protocol_factory())
+        trace = result.trace
+        w_out = network.out_edge_ids(w)
+        assert len(w_out) == 1
+        symbols = trace.symbols_on_edge(w_out[0])
+        assert len(symbols) == 1, "w sends exactly one aggregated message"
+        sums[frozenset(subset)] = quantity_of(symbols[0])
+    return sums
+
+
+@dataclass(frozen=True)
+class BandwidthRow:
+    """One row of the E4 bandwidth-growth measurement."""
+
+    n: int
+    num_edges: int
+    max_message_bits: int
+    distinct_possible_sums: int
+
+
+def bandwidth_growth(
+    ns: Sequence[int], protocol_factory: Callable[[], AnonymousProtocol]
+) -> List[BandwidthRow]:
+    """Max message size on the full-subset skeleton tree as ``n`` grows.
+
+    The full subset maximises the collector's aggregated sum's bit length;
+    Theorem 3.8 predicts growth linear in ``n`` (and hence in ``|E|``) for
+    any commodity-preserving protocol.
+    """
+    rows: List[BandwidthRow] = []
+    for n in ns:
+        hairs = skeleton_tree_hairs(n)
+        network = skeleton_tree(n, subset=hairs)
+        result = _traced_run(network, protocol_factory())
+        rows.append(
+            BandwidthRow(
+                n=n,
+                num_edges=network.num_edges,
+                max_message_bits=result.metrics.max_message_bits,
+                distinct_possible_sums=1 << len(hairs),
+            )
+        )
+    return rows

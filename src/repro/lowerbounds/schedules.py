@@ -1,0 +1,167 @@
+"""Bounded model checking over *all* delivery schedules.
+
+The correctness theorems are ∀-schedule statements.  Seeded random and
+adversarial schedulers sample the schedule space; this module *exhausts* it
+on small instances: :func:`explore_all_schedules` walks the tree of every
+possible delivery order (at each step, any in-flight message may be the
+next delivered) and reports the set of reachable final outcomes.
+
+Protocol states are deep-copied along each branch (protocol transitions may
+mutate state), so branches are fully independent.  The schedule tree is
+exponential in the number of concurrent messages; callers bound the
+instance size (≤ ~10 messages in flight is comfortable) and/or pass a node
+budget.  The integration tests run it over every ≤-4-internal-vertex
+network from :mod:`repro.graphs.enumerate_graphs`, which machine-checks the
+termination "iff" against *every* schedule on *every* small topology —
+about as close to the theorem as testing can get.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from ..core.model import AnonymousProtocol, VertexView
+from ..network.graph import DirectedNetwork
+
+__all__ = ["ScheduleExploration", "explore_all_schedules"]
+
+
+@dataclass
+class ScheduleExploration:
+    """Aggregate result of walking the schedule tree."""
+
+    #: Distinct terminal outcomes reached: "terminated" / "quiescent".
+    outcomes: Set[str]
+    #: Complete executions explored (leaves of the schedule tree).
+    executions: int
+    #: Delivery steps across all branches (search effort).
+    steps: int
+    #: True iff the walk was cut short by the node budget.
+    truncated: bool
+
+    @property
+    def always_terminates(self) -> bool:
+        """Every explored schedule reached termination."""
+        return self.outcomes == {"terminated"}
+
+    @property
+    def never_terminates(self) -> bool:
+        """No explored schedule reached termination."""
+        return self.outcomes == {"quiescent"}
+
+
+def explore_all_schedules(
+    network: DirectedNetwork,
+    protocol_factory: Callable[[], AnonymousProtocol],
+    *,
+    max_steps_total: int = 200_000,
+    invariant: Optional[Callable[[Dict[int, Any]], bool]] = None,
+) -> ScheduleExploration:
+    """Explore every delivery order of ``protocol`` on ``network``.
+
+    Parameters
+    ----------
+    network / protocol_factory:
+        The instance under check; a fresh protocol is created once (its
+        transition functions are shared; per-branch state is deep-copied).
+    max_steps_total:
+        Global budget on delivered messages across all branches; when
+        exceeded the result is marked ``truncated`` (assertions should then
+        be treated as inconclusive).
+    invariant:
+        Optional predicate over the vertex-state dict, checked after every
+        delivery on every branch; a ``False`` return raises
+        :class:`AssertionError` with the offending branch's depth.
+
+    Notes
+    -----
+    Branches that reach the stopping predicate still continue to quiescence
+    conceptually, but for outcome classification it suffices to record that
+    termination was reached; the branch is closed at that point ("terminated"
+    is absorbing for the paper's semantics — ``S`` is checked on ``t``'s
+    monotone state).
+    """
+    protocol = protocol_factory()
+    views = [
+        VertexView(in_degree=network.in_degree(v), out_degree=network.out_degree(v))
+        for v in range(network.num_vertices)
+    ]
+    init_states: Dict[int, Any] = {
+        v: protocol.create_state(views[v]) for v in range(network.num_vertices)
+    }
+    initial_msgs: List[Tuple[int, Any]] = []
+    for out_port, payload in protocol.initial_emissions(views[network.root]):
+        initial_msgs.append((network.out_edge_ids(network.root)[out_port], payload))
+
+    outcomes: Set[str] = set()
+    executions = 0
+    steps = 0
+    truncated = False
+
+    def fingerprint(states: Dict[int, Any], pending: List[Tuple[int, Any]]) -> str:
+        # Reprs are complete for the shipped protocols' state types (the
+        # GeneralState repr is kept exhaustive for exactly this purpose), so
+        # equal fingerprints really are confluent configurations.
+        return repr(
+            (
+                sorted((repr(p) for p in pending)),
+                [repr(states[v]) for v in range(network.num_vertices)],
+            )
+        )
+
+    # Explicit DFS over (states, in-flight multiset) to avoid recursion
+    # limits; each frame owns its copies.  Configurations are deduplicated
+    # at push time, collapsing confluent schedule branches.
+    stack: List[Tuple[Dict[int, Any], List[Tuple[int, Any]]]] = [
+        (init_states, initial_msgs)
+    ]
+    seen: Set[str] = {fingerprint(init_states, initial_msgs)}
+
+    while stack:
+        states, pending = stack.pop()
+        if not pending:
+            outcomes.add("quiescent")
+            executions += 1
+            continue
+        if steps >= max_steps_total:
+            truncated = True
+            break
+
+        # Deliveries of equal payloads on the same edge are interchangeable;
+        # enumerate distinct (edge, payload) choices only.
+        distinct_choices = {}
+        for index in range(len(pending)):
+            distinct_choices.setdefault(repr(pending[index]), index)
+        for index in distinct_choices.values():
+            edge_id, payload = pending[index]
+            branch_states = {v: copy.deepcopy(s) for v, s in states.items()}
+            branch_pending = pending[:index] + pending[index + 1 :]
+            head = network.edge_head(edge_id)
+            in_port = network.in_port_of_edge(edge_id)
+            steps += 1
+            new_state, emissions = protocol.on_receive(
+                branch_states[head], views[head], in_port, copy.deepcopy(payload)
+            )
+            branch_states[head] = new_state
+            if invariant is not None and not invariant(branch_states):
+                raise AssertionError(
+                    f"invariant violated after delivering edge {edge_id}"
+                )
+            for out_port, out_payload in emissions:
+                branch_pending = branch_pending + [
+                    (network.out_edge_ids(head)[out_port], out_payload)
+                ]
+            if head == network.terminal and protocol.is_terminated(new_state):
+                outcomes.add("terminated")
+                executions += 1
+                continue
+            key = fingerprint(branch_states, branch_pending)
+            if key not in seen:
+                seen.add(key)
+                stack.append((branch_states, branch_pending))
+
+    return ScheduleExploration(
+        outcomes=outcomes, executions=executions, steps=steps, truncated=truncated
+    )

@@ -1,0 +1,48 @@
+"""Network substrate: anonymous directed multigraphs and the async simulator."""
+
+from .events import MessageEvent
+from .graph import DirectedNetwork, NetworkValidationError
+from .metrics import MetricsCollector, RunMetrics
+from .scheduler import (
+    ALL_SCHEDULER_FACTORIES,
+    DroppingScheduler,
+    FifoScheduler,
+    LatencyScheduler,
+    LifoScheduler,
+    PortBiasedScheduler,
+    RandomScheduler,
+    Scheduler,
+    TerminalFirstScheduler,
+    TerminalLastScheduler,
+    make_standard_schedulers,
+)
+from .simulator import Outcome, RunResult, SimulationError, run_protocol
+from .synchronous import SynchronousRunResult, run_protocol_synchronous
+from .trace import DeliveryRecord, Trace
+
+__all__ = [
+    "DirectedNetwork",
+    "NetworkValidationError",
+    "MessageEvent",
+    "MetricsCollector",
+    "RunMetrics",
+    "Scheduler",
+    "FifoScheduler",
+    "LifoScheduler",
+    "RandomScheduler",
+    "LatencyScheduler",
+    "DroppingScheduler",
+    "TerminalLastScheduler",
+    "TerminalFirstScheduler",
+    "PortBiasedScheduler",
+    "ALL_SCHEDULER_FACTORIES",
+    "make_standard_schedulers",
+    "Outcome",
+    "RunResult",
+    "SimulationError",
+    "run_protocol",
+    "SynchronousRunResult",
+    "run_protocol_synchronous",
+    "DeliveryRecord",
+    "Trace",
+]

@@ -1,0 +1,45 @@
+"""In-flight message events for the asynchronous simulator.
+
+The asynchronous model places no constraints on delivery order: a message
+sent on an edge arrives after an arbitrary finite delay.  The simulator
+represents each undelivered transmission as a :class:`MessageEvent`; a
+:class:`~repro.network.scheduler.Scheduler` chooses which in-flight event to
+deliver next, which is exactly the adversary's power in the asynchronous
+model.
+
+Events carry a globally unique, monotonically increasing sequence number so
+that schedulers can implement FIFO/LIFO orders and so traces are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["MessageEvent"]
+
+
+@dataclass(frozen=True)
+class MessageEvent:
+    """One message in flight on an edge.
+
+    Attributes
+    ----------
+    edge_id:
+        The network edge the message travels on.
+    payload:
+        The protocol message (opaque to the simulator).
+    seq:
+        Global send order; unique per run.
+    sent_step:
+        The delivery step during which this message was emitted (0 for the
+        root's initial emissions).
+    bits:
+        Encoded size of the payload, computed once at send time.
+    """
+
+    edge_id: int
+    payload: Any = field(compare=False)
+    seq: int
+    sent_step: int
+    bits: int

@@ -1,0 +1,300 @@
+"""Directed anonymous networks with port semantics.
+
+The paper's model (Section 2): a directed graph ``G = (V, E)`` with a root
+``s`` (no incoming edges, a single outgoing edge) and a terminal ``t`` (no
+outgoing edges).  Vertices have no identifiers and know nothing of the
+topology; each vertex knows only its own in-degree and out-degree and can
+*distinguish* its incident edges by local port numbers.
+
+:class:`DirectedNetwork` stores the global topology for the simulator's use.
+Protocol code never sees vertex identities — the simulator hands protocols a
+:class:`~repro.core.model.VertexView` carrying only degrees, and addresses
+messages by (vertex, port) internally.  Multi-edges and self-loops are
+permitted (the model only requires port distinguishability).
+
+The class also provides the structural queries the theorems quantify over:
+reachability from ``s``, connectivity to ``t``, degree statistics, and DOT
+export for debugging.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["DirectedNetwork", "NetworkValidationError"]
+
+Edge = Tuple[int, int]
+
+
+class NetworkValidationError(ValueError):
+    """Raised when a network violates the paper's root/terminal assumptions."""
+
+
+class DirectedNetwork:
+    """A directed multigraph with designated root and terminal vertices.
+
+    Vertices are the integers ``0 .. n-1``.  Edges are given as a sequence of
+    ``(tail, head)`` pairs; the *port order* at each vertex is the order in
+    which its edges appear in that sequence (first out-edge of ``v`` in the
+    sequence is out-port 0 of ``v``, and so on).  This fixed but arbitrary
+    port numbering is exactly the power the model grants vertices: they can
+    tell their edges apart but learn nothing from the numbering.
+
+    Parameters
+    ----------
+    num_vertices:
+        Number of vertices ``n``.
+    edges:
+        Sequence of ``(tail, head)`` pairs.
+    root:
+        The root vertex ``s``.
+    terminal:
+        The terminal vertex ``t``.
+    validate:
+        When true (default), enforce the paper's standing assumptions: the
+        root has no incoming edges, the terminal has no outgoing edges, and
+        the root has at least one outgoing edge.  The paper's base model gives
+        the root exactly one out-edge but notes the multi-out-edge extension
+        is easy; pass ``strict_root=True`` to demand out-degree exactly 1.
+    strict_root:
+        Enforce root out-degree exactly one (the base model of Section 2).
+    """
+
+    __slots__ = (
+        "_n",
+        "_edges",
+        "_out_edges",
+        "_in_edges",
+        "root",
+        "terminal",
+    )
+
+    def __init__(
+        self,
+        num_vertices: int,
+        edges: Sequence[Edge],
+        root: int,
+        terminal: int,
+        *,
+        validate: bool = True,
+        strict_root: bool = False,
+    ) -> None:
+        if num_vertices < 2:
+            raise NetworkValidationError("a network needs at least root and terminal")
+        if not (0 <= root < num_vertices) or not (0 <= terminal < num_vertices):
+            raise NetworkValidationError("root/terminal out of range")
+        if root == terminal:
+            raise NetworkValidationError("root and terminal must differ")
+        self._n = num_vertices
+        self._edges: Tuple[Edge, ...] = tuple((int(a), int(b)) for a, b in edges)
+        out_edges: List[List[int]] = [[] for _ in range(num_vertices)]
+        in_edges: List[List[int]] = [[] for _ in range(num_vertices)]
+        for eid, (tail, head) in enumerate(self._edges):
+            if not (0 <= tail < num_vertices) or not (0 <= head < num_vertices):
+                raise NetworkValidationError(f"edge {eid} endpoint out of range")
+            out_edges[tail].append(eid)
+            in_edges[head].append(eid)
+        self._out_edges: Tuple[Tuple[int, ...], ...] = tuple(tuple(lst) for lst in out_edges)
+        self._in_edges: Tuple[Tuple[int, ...], ...] = tuple(tuple(lst) for lst in in_edges)
+        self.root = root
+        self.terminal = terminal
+        if validate:
+            self._validate(strict_root=strict_root)
+
+    def _validate(self, *, strict_root: bool) -> None:
+        if self._in_edges[self.root]:
+            raise NetworkValidationError("root must have no incoming edges")
+        if self._out_edges[self.terminal]:
+            raise NetworkValidationError("terminal must have no outgoing edges")
+        if not self._out_edges[self.root]:
+            raise NetworkValidationError("root must have at least one outgoing edge")
+        if strict_root and len(self._out_edges[self.root]) != 1:
+            raise NetworkValidationError("strict model: root out-degree must be 1")
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        """``|V|``."""
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        """``|E|``."""
+        return len(self._edges)
+
+    @property
+    def edges(self) -> Tuple[Edge, ...]:
+        """All edges as ``(tail, head)`` pairs, indexed by edge id."""
+        return self._edges
+
+    def edge_tail(self, eid: int) -> int:
+        """The tail vertex of edge ``eid``."""
+        return self._edges[eid][0]
+
+    def edge_head(self, eid: int) -> int:
+        """The head vertex of edge ``eid``."""
+        return self._edges[eid][1]
+
+    def out_edge_ids(self, vertex: int) -> Tuple[int, ...]:
+        """Edge ids leaving ``vertex`` in out-port order."""
+        return self._out_edges[vertex]
+
+    def in_edge_ids(self, vertex: int) -> Tuple[int, ...]:
+        """Edge ids entering ``vertex`` in in-port order."""
+        return self._in_edges[vertex]
+
+    def out_degree(self, vertex: int) -> int:
+        """Number of outgoing edges of ``vertex``."""
+        return len(self._out_edges[vertex])
+
+    def in_degree(self, vertex: int) -> int:
+        """Number of incoming edges of ``vertex``."""
+        return len(self._in_edges[vertex])
+
+    def out_port_of_edge(self, eid: int) -> int:
+        """The out-port index of edge ``eid`` at its tail."""
+        return self._out_edges[self.edge_tail(eid)].index(eid)
+
+    def in_port_of_edge(self, eid: int) -> int:
+        """The in-port index of edge ``eid`` at its head."""
+        return self._in_edges[self.edge_head(eid)].index(eid)
+
+    def out_neighbors(self, vertex: int) -> List[int]:
+        """Heads of the out-edges of ``vertex`` in port order."""
+        return [self.edge_head(e) for e in self._out_edges[vertex]]
+
+    def in_neighbors(self, vertex: int) -> List[int]:
+        """Tails of the in-edges of ``vertex`` in port order."""
+        return [self.edge_tail(e) for e in self._in_edges[vertex]]
+
+    def max_out_degree(self) -> int:
+        """``d_out`` — the maximal out-degree over all vertices."""
+        return max((len(p) for p in self._out_edges), default=0)
+
+    def internal_vertices(self) -> List[int]:
+        """All vertices other than root and terminal."""
+        return [v for v in range(self._n) if v != self.root and v != self.terminal]
+
+    # ------------------------------------------------------------------
+    # Reachability
+    # ------------------------------------------------------------------
+
+    def reachable_from(self, start: int) -> Set[int]:
+        """Vertices reachable from ``start`` along edge directions."""
+        seen = {start}
+        frontier = deque([start])
+        while frontier:
+            v = frontier.popleft()
+            for eid in self._out_edges[v]:
+                head = self.edge_head(eid)
+                if head not in seen:
+                    seen.add(head)
+                    frontier.append(head)
+        return seen
+
+    def coreachable_to(self, target: int) -> Set[int]:
+        """Vertices from which ``target`` is reachable."""
+        seen = {target}
+        frontier = deque([target])
+        while frontier:
+            v = frontier.popleft()
+            for eid in self._in_edges[v]:
+                tail = self.edge_tail(eid)
+                if tail not in seen:
+                    seen.add(tail)
+                    frontier.append(tail)
+        return seen
+
+    def all_reachable_from_root(self) -> bool:
+        """True iff every vertex is reachable from ``s`` (a standing assumption)."""
+        return len(self.reachable_from(self.root)) == self._n
+
+    def all_connected_to_terminal(self) -> bool:
+        """True iff every vertex can reach ``t``.
+
+        This is the paper's termination criterion: every protocol in the
+        paper terminates iff each vertex of ``G`` is connected to ``t``.
+        """
+        return len(self.coreachable_to(self.terminal)) == self._n
+
+    def vertices_not_connected_to_terminal(self) -> Set[int]:
+        """Vertices (reachable or not) that cannot reach ``t``."""
+        return set(range(self._n)) - self.coreachable_to(self.terminal)
+
+    # ------------------------------------------------------------------
+    # Structure helpers
+    # ------------------------------------------------------------------
+
+    def topological_order(self) -> Optional[List[int]]:
+        """A topological order of the vertices, or ``None`` if cyclic."""
+        indeg = [self.in_degree(v) for v in range(self._n)]
+        order: List[int] = []
+        frontier = deque(v for v in range(self._n) if indeg[v] == 0)
+        while frontier:
+            v = frontier.popleft()
+            order.append(v)
+            for eid in self._out_edges[v]:
+                head = self.edge_head(eid)
+                indeg[head] -= 1
+                if indeg[head] == 0:
+                    frontier.append(head)
+        if len(order) != self._n:
+            return None
+        return order
+
+    def is_acyclic(self) -> bool:
+        """True iff the network contains no directed cycle."""
+        return self.topological_order() is not None
+
+    def edge_set_multiset(self) -> Dict[Edge, int]:
+        """Multiset of ``(tail, head)`` pairs (multi-edge multiplicities)."""
+        counts: Dict[Edge, int] = {}
+        for edge in self._edges:
+            counts[edge] = counts.get(edge, 0) + 1
+        return counts
+
+    def same_topology_under(self, other: "DirectedNetwork", vertex_map: Dict[int, int]) -> bool:
+        """True iff ``vertex_map`` is an edge-multiset isomorphism onto ``other``.
+
+        ``vertex_map`` sends this network's vertex ids to ``other``'s.  Used
+        by the mapping experiments to check that a reconstructed topology
+        matches the ground truth under the label-induced correspondence.
+        """
+        if self._n != other._n or len(vertex_map) != self._n:
+            return False
+        if set(vertex_map.values()) != set(range(other._n)):
+            return False
+        mapped: Dict[Edge, int] = {}
+        for tail, head in self._edges:
+            key = (vertex_map[tail], vertex_map[head])
+            mapped[key] = mapped.get(key, 0) + 1
+        return mapped == other.edge_set_multiset()
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def to_dot(self, *, name: str = "G") -> str:
+        """GraphViz DOT rendering (root boxed, terminal double-circled)."""
+        lines = [f"digraph {name} {{"]
+        for v in range(self._n):
+            if v == self.root:
+                lines.append(f'  {v} [shape=box, label="s"];')
+            elif v == self.terminal:
+                lines.append(f'  {v} [shape=doublecircle, label="t"];')
+            else:
+                lines.append(f"  {v};")
+        for tail, head in self._edges:
+            lines.append(f"  {tail} -> {head};")
+        lines.append("}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"DirectedNetwork(|V|={self._n}, |E|={len(self._edges)}, "
+            f"s={self.root}, t={self.terminal})"
+        )

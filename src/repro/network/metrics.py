@@ -1,0 +1,139 @@
+"""Run metrics — the paper's complexity measures, measured.
+
+Section 2 names the quality parameters of an anonymous protocol:
+
+* **total communication complexity** — total bits transmitted before
+  termination (:attr:`RunMetrics.total_bits`),
+* **required bandwidth** — the paper uses the term both for the maximal
+  message length (the message-space bound) and, in the Theorem 4.2 analysis,
+  for the maximal number of bits transmitted over a *single edge*; we record
+  both as :attr:`RunMetrics.max_message_bits` and
+  :attr:`RunMetrics.max_edge_bits`,
+* **message count** — :attr:`RunMetrics.total_messages` and the per-edge
+  maximum :attr:`RunMetrics.max_edge_messages`,
+* **state size** — optional per-vertex state-bit high-water mark.
+
+A :class:`MetricsCollector` accumulates these during a run and freezes them
+into an immutable :class:`RunMetrics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+__all__ = ["RunMetrics", "MetricsCollector"]
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Immutable summary of one protocol execution."""
+
+    #: Total number of messages delivered.
+    total_messages: int
+    #: Total bits across all delivered messages.
+    total_bits: int
+    #: Largest single message, in bits.
+    max_message_bits: int
+    #: Largest cumulative bit count over any single edge.
+    max_edge_bits: int
+    #: Largest message count over any single edge.
+    max_edge_messages: int
+    #: Delivery step at which the terminal's stopping predicate first held,
+    #: or ``None`` if it never did.
+    termination_step: Optional[int]
+    #: Total delivery steps executed (equals messages delivered).
+    steps: int
+    #: Messages delivered up to and including the termination step (the
+    #: paper's "before termination" accounting); equals ``total_messages``
+    #: when the run never terminates.
+    messages_at_termination: int
+    #: Bits delivered up to and including the termination step.
+    bits_at_termination: int
+    #: Per-vertex maximal state size observed, in bits (0 when not tracked).
+    max_state_bits: int
+
+    @property
+    def mean_message_bits(self) -> float:
+        """Average message size in bits."""
+        if not self.total_messages:
+            return 0.0
+        return self.total_bits / self.total_messages
+
+
+class MetricsCollector:
+    """Mutable accumulator used by the simulator."""
+
+    __slots__ = (
+        "_num_edges",
+        "_edge_bits",
+        "_edge_messages",
+        "total_messages",
+        "total_bits",
+        "max_message_bits",
+        "termination_step",
+        "messages_at_termination",
+        "bits_at_termination",
+        "max_state_bits",
+    )
+
+    def __init__(self, num_edges: int) -> None:
+        self._num_edges = num_edges
+        self._edge_bits = [0] * num_edges
+        self._edge_messages = [0] * num_edges
+        self.total_messages = 0
+        self.total_bits = 0
+        self.max_message_bits = 0
+        self.termination_step: Optional[int] = None
+        self.messages_at_termination = 0
+        self.bits_at_termination = 0
+        self.max_state_bits = 0
+
+    def record_delivery(self, edge_id: int, bits: int) -> None:
+        """Account one delivered message of the given encoded size."""
+        self.total_messages += 1
+        self.total_bits += bits
+        if bits > self.max_message_bits:
+            self.max_message_bits = bits
+        self._edge_bits[edge_id] += bits
+        self._edge_messages[edge_id] += 1
+
+    def record_state_bits(self, bits: int) -> None:
+        """Track the per-vertex state-size high-water mark."""
+        if bits > self.max_state_bits:
+            self.max_state_bits = bits
+
+    def record_termination(self, step: int) -> None:
+        """Mark the first step at which the stopping predicate held."""
+        if self.termination_step is None:
+            self.termination_step = step
+            self.messages_at_termination = self.total_messages
+            self.bits_at_termination = self.total_bits
+
+    def edge_bits(self) -> List[int]:
+        """Cumulative bits per edge (by edge id)."""
+        return list(self._edge_bits)
+
+    def edge_messages(self) -> List[int]:
+        """Message count per edge (by edge id)."""
+        return list(self._edge_messages)
+
+    def freeze(self, steps: int) -> RunMetrics:
+        """Produce the immutable summary for a finished run."""
+        terminated = self.termination_step is not None
+        return RunMetrics(
+            total_messages=self.total_messages,
+            total_bits=self.total_bits,
+            max_message_bits=self.max_message_bits,
+            max_edge_bits=max(self._edge_bits, default=0),
+            max_edge_messages=max(self._edge_messages, default=0),
+            termination_step=self.termination_step,
+            steps=steps,
+            messages_at_termination=(
+                self.messages_at_termination if terminated else self.total_messages
+            ),
+            bits_at_termination=(
+                self.bits_at_termination if terminated else self.total_bits
+            ),
+            max_state_bits=self.max_state_bits,
+        )

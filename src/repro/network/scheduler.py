@@ -1,0 +1,342 @@
+"""Delivery schedulers — the asynchronous adversary.
+
+In the asynchronous model the only guarantee is that every sent message is
+eventually delivered.  Everything else — order across edges, interleaving,
+reordering on a single edge — is up to an adversary.  A
+:class:`Scheduler` is that adversary: the simulator pushes every emitted
+message into it and asks it for the next message to deliver.
+
+The paper's protocols are all insensitive to reordering (the tree and DAG
+protocols send one message per edge; the interval protocols accumulate
+monotone unions, which commute), so all schedulers here may reorder freely,
+including within one edge.  Correctness claims are ∀-schedule claims; the
+test suite runs every protocol under every scheduler with many seeds.
+
+Implementations:
+
+* :class:`FifoScheduler` — global send-order delivery (the "synchronous-ish"
+  baseline).
+* :class:`LifoScheduler` — newest first; maximally bursty.
+* :class:`RandomScheduler` — uniformly random in-flight message (seeded).
+* :class:`TerminalLastScheduler` — adversarially starves the terminal: a
+  message whose edge enters ``t`` is delivered only when nothing else is in
+  flight.  This maximises the interval protocols' cycle churn before ``t``
+  learns anything.
+* :class:`TerminalFirstScheduler` — rushes messages into ``t`` to probe for
+  premature termination.
+* :class:`PortBiasedScheduler` — always delivers the in-flight message whose
+  edge has the highest out-port index at its tail; a deterministic "skewed"
+  order that exercises asymmetric interleavings.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from collections import deque
+from typing import Deque, List, Optional
+
+from .events import MessageEvent
+from .graph import DirectedNetwork
+
+__all__ = [
+    "Scheduler",
+    "FifoScheduler",
+    "LifoScheduler",
+    "RandomScheduler",
+    "TerminalLastScheduler",
+    "TerminalFirstScheduler",
+    "PortBiasedScheduler",
+    "LatencyScheduler",
+    "DroppingScheduler",
+    "ALL_SCHEDULER_FACTORIES",
+    "make_standard_schedulers",
+]
+
+
+class Scheduler(abc.ABC):
+    """Chooses which in-flight message the network delivers next."""
+
+    #: Name used in experiment reports.
+    name: str = "scheduler"
+
+    @abc.abstractmethod
+    def push(self, event: MessageEvent) -> None:
+        """Register a newly sent message."""
+
+    @abc.abstractmethod
+    def pop(self) -> MessageEvent:
+        """Remove and return the next message to deliver.
+
+        Raises
+        ------
+        IndexError
+            If no message is in flight.
+        """
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of in-flight messages."""
+
+    def bind(self, network: DirectedNetwork) -> None:
+        """Give topology-aware schedulers access to the network.
+
+        Called once by the simulator before the run starts.  The default does
+        nothing; adversarial schedulers override it.  (This does not leak
+        topology to the *protocol* — schedulers model the environment, which
+        in the asynchronous model is exactly the entity that knows the
+        network.)
+        """
+
+
+class FifoScheduler(Scheduler):
+    """Deliver messages in global send order."""
+
+    name = "fifo"
+
+    def __init__(self) -> None:
+        self._queue: Deque[MessageEvent] = deque()
+
+    def push(self, event: MessageEvent) -> None:
+        self._queue.append(event)
+
+    def pop(self) -> MessageEvent:
+        return self._queue.popleft()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class LifoScheduler(Scheduler):
+    """Deliver the most recently sent message first (depth-first surge)."""
+
+    name = "lifo"
+
+    def __init__(self) -> None:
+        self._stack: List[MessageEvent] = []
+
+    def push(self, event: MessageEvent) -> None:
+        self._stack.append(event)
+
+    def pop(self) -> MessageEvent:
+        return self._stack.pop()
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+
+class RandomScheduler(Scheduler):
+    """Deliver a uniformly random in-flight message (swap-pop, O(1))."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+        self._events: List[MessageEvent] = []
+        self.seed = seed
+        self.name = f"random(seed={seed})"
+
+    def push(self, event: MessageEvent) -> None:
+        self._events.append(event)
+
+    def pop(self) -> MessageEvent:
+        idx = self._rng.randrange(len(self._events))
+        self._events[idx], self._events[-1] = self._events[-1], self._events[idx]
+        return self._events.pop()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+class _TerminalAwareScheduler(Scheduler):
+    """Shared machinery for schedulers that treat edges into ``t`` specially."""
+
+    def __init__(self) -> None:
+        self._terminal_edges: Optional[set] = None
+        self._to_terminal: Deque[MessageEvent] = deque()
+        self._others: Deque[MessageEvent] = deque()
+
+    def bind(self, network: DirectedNetwork) -> None:
+        self._terminal_edges = set(network.in_edge_ids(network.terminal))
+
+    def push(self, event: MessageEvent) -> None:
+        if self._terminal_edges is not None and event.edge_id in self._terminal_edges:
+            self._to_terminal.append(event)
+        else:
+            self._others.append(event)
+
+    def __len__(self) -> int:
+        return len(self._to_terminal) + len(self._others)
+
+
+class TerminalLastScheduler(_TerminalAwareScheduler):
+    """Starve the terminal: deliver to ``t`` only when nothing else remains."""
+
+    name = "terminal-last"
+
+    def pop(self) -> MessageEvent:
+        if self._others:
+            return self._others.popleft()
+        return self._to_terminal.popleft()
+
+
+class TerminalFirstScheduler(_TerminalAwareScheduler):
+    """Rush the terminal: always deliver messages into ``t`` first."""
+
+    name = "terminal-first"
+
+    def pop(self) -> MessageEvent:
+        if self._to_terminal:
+            return self._to_terminal.popleft()
+        return self._others.popleft()
+
+
+class PortBiasedScheduler(Scheduler):
+    """Prefer in-flight messages on high out-port edges (deterministic skew)."""
+
+    name = "port-biased"
+
+    def __init__(self) -> None:
+        self._events: List[MessageEvent] = []
+        self._network: Optional[DirectedNetwork] = None
+
+    def bind(self, network: DirectedNetwork) -> None:
+        self._network = network
+
+    def push(self, event: MessageEvent) -> None:
+        self._events.append(event)
+
+    def pop(self) -> MessageEvent:
+        if self._network is None:
+            return self._events.pop()
+        best = max(
+            range(len(self._events)),
+            key=lambda i: (
+                self._network.out_port_of_edge(self._events[i].edge_id),
+                -self._events[i].seq,
+            ),
+        )
+        self._events[best], self._events[-1] = self._events[-1], self._events[best]
+        return self._events.pop()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+class LatencyScheduler(Scheduler):
+    """Per-edge link latencies: deliver the in-flight message that would
+    physically arrive first.
+
+    Each edge gets a deterministic latency drawn from
+    ``[min_latency, max_latency]`` (seeded); a message sent at virtual time
+    ``T`` on edge ``e`` arrives at ``T + latency(e)``.  Virtual time is the
+    arrival time of the last delivered message.  This models heterogeneous
+    links (slow WAN hops next to fast LAN hops) — a structured adversary
+    between FIFO and fully random, and the source of the
+    :attr:`virtual_time` measure experiments can report.
+    """
+
+    name = "latency"
+
+    def __init__(
+        self, seed: int = 0, *, min_latency: float = 1.0, max_latency: float = 10.0
+    ) -> None:
+        if min_latency <= 0 or max_latency < min_latency:
+            raise ValueError("need 0 < min_latency <= max_latency")
+        self._rng = random.Random(seed)
+        self._min = min_latency
+        self._max = max_latency
+        self._latencies: dict = {}
+        self._heap: List[tuple] = []
+        #: Arrival time of the most recently delivered message.
+        self.virtual_time = 0.0
+
+    def _latency(self, edge_id: int) -> float:
+        if edge_id not in self._latencies:
+            self._latencies[edge_id] = self._rng.uniform(self._min, self._max)
+        return self._latencies[edge_id]
+
+    def push(self, event: MessageEvent) -> None:
+        import heapq
+
+        arrival = self.virtual_time + self._latency(event.edge_id)
+        heapq.heappush(self._heap, (arrival, event.seq, event))
+
+    def pop(self) -> MessageEvent:
+        import heapq
+
+        arrival, _, event = heapq.heappop(self._heap)
+        self.virtual_time = arrival
+        return event
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class DroppingScheduler(Scheduler):
+    """Failure injection: silently lose a fraction of messages.
+
+    The asynchronous model *assumes reliable delivery* — every sent message
+    eventually arrives.  This scheduler deliberately violates that
+    assumption (each pushed message is dropped with probability
+    ``drop_probability``, seeded) so tests can document what the paper's
+    protocols do **not** promise: with lost commodity, the terminal's
+    accounting can never close and the protocols sit in quiescence — they
+    *fail safe* (no false termination), but they do fail.  Making them
+    loss-tolerant would require acknowledgements, i.e. feedback, i.e.
+    exactly what directedness removes — the paper's §6 point, inverted.
+    """
+
+    name = "dropping"
+
+    def __init__(self, seed: int = 0, *, drop_probability: float = 0.1) -> None:
+        if not (0.0 <= drop_probability <= 1.0):
+            raise ValueError("drop_probability must be in [0, 1]")
+        self._rng = random.Random(seed)
+        self._queue: Deque[MessageEvent] = deque()
+        self.drop_probability = drop_probability
+        #: Messages lost so far.
+        self.dropped = 0
+
+    def push(self, event: MessageEvent) -> None:
+        if self._rng.random() < self.drop_probability:
+            self.dropped += 1
+            return
+        self._queue.append(event)
+
+    def pop(self) -> MessageEvent:
+        return self._queue.popleft()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+#: Factories for one scheduler of every kind (fresh instances per run).
+ALL_SCHEDULER_FACTORIES = (
+    FifoScheduler,
+    LifoScheduler,
+    lambda: RandomScheduler(seed=0),
+    TerminalLastScheduler,
+    TerminalFirstScheduler,
+    PortBiasedScheduler,
+    lambda: LatencyScheduler(seed=0),
+)
+
+
+def make_standard_schedulers(random_seeds: int = 3) -> List[Scheduler]:
+    """A fresh batch of schedulers covering every implemented adversary.
+
+    Includes FIFO, LIFO, terminal-last, terminal-first, port-biased, one
+    latency-model scheduler, and ``random_seeds`` seeded random schedulers.  Used by tests and experiments
+    that quantify over schedules.
+    """
+    schedulers: List[Scheduler] = [
+        FifoScheduler(),
+        LifoScheduler(),
+        TerminalLastScheduler(),
+        TerminalFirstScheduler(),
+        PortBiasedScheduler(),
+        LatencyScheduler(seed=0),
+    ]
+    schedulers.extend(RandomScheduler(seed=s) for s in range(random_seeds))
+    return schedulers

@@ -1,0 +1,141 @@
+"""Synchronous execution — the paper's §2 time-complexity extension.
+
+Section 2: *"In a synchronous model one may also consider the time it takes
+for the protocol to terminate"*, and the results *"can be easily extended …
+to the case that the communication throughout the network is synchronous."*
+
+:func:`run_protocol_synchronous` executes an anonymous protocol in lockstep
+rounds: every message in flight at the start of a round is delivered during
+that round (in deterministic edge order), and everything emitted lands in
+the next round's batch.  The synchronous schedule is one particular
+admissible asynchronous schedule, so all safety and termination properties
+carry over unchanged; what it adds is a well-defined notion of **time** —
+the number of rounds until the terminal's stopping predicate first holds.
+
+For the commodity protocols, termination time is governed by longest
+relevant paths: on grounded trees and DAGs the commodity reaches ``t``
+after (longest ``s → t`` path) rounds; for the interval protocol, cycle
+detection and β flooding add at most another traversal per cycle layer.
+Experiment E13 measures these shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.model import AnonymousProtocol, VertexView
+from .graph import DirectedNetwork
+from .metrics import MetricsCollector, RunMetrics
+from .simulator import Outcome
+
+__all__ = ["SynchronousRunResult", "run_protocol_synchronous"]
+
+
+@dataclass
+class SynchronousRunResult:
+    """A :class:`RunResult` with round accounting added."""
+
+    outcome: Outcome
+    metrics: RunMetrics
+    states: Dict[int, Any]
+    output: Optional[Any]
+    #: Number of rounds executed in total (to quiescence or budget).
+    rounds: int
+    #: First round at the end of which the stopping predicate held, or None.
+    termination_round: Optional[int]
+
+    @property
+    def terminated(self) -> bool:
+        """True iff the stopping predicate held at some round."""
+        return self.outcome is Outcome.TERMINATED
+
+
+def run_protocol_synchronous(
+    network: DirectedNetwork,
+    protocol: AnonymousProtocol,
+    *,
+    max_rounds: Optional[int] = None,
+    stop_at_termination: bool = False,
+) -> SynchronousRunResult:
+    """Run ``protocol`` on ``network`` in synchronous rounds.
+
+    Parameters
+    ----------
+    network / protocol:
+        As for :func:`~repro.network.simulator.run_protocol`.
+    max_rounds:
+        Round budget; defaults to ``8·(|V| + 2)·(|E| + 2)`` — far above any
+        correct protocol's round count in this repository.
+    stop_at_termination:
+        Stop at the end of the first round whose deliveries satisfied the
+        stopping predicate, instead of draining to quiescence.
+    """
+    if max_rounds is None:
+        max_rounds = 8 * (network.num_vertices + 2) * (network.num_edges + 2)
+
+    views = [
+        VertexView(in_degree=network.in_degree(v), out_degree=network.out_degree(v))
+        for v in range(network.num_vertices)
+    ]
+    states: Dict[int, Any] = {
+        v: protocol.create_state(views[v]) for v in range(network.num_vertices)
+    }
+    metrics = MetricsCollector(network.num_edges)
+
+    # (edge_id, payload) batches; delivery order within a round is by edge
+    # id then emission order — deterministic and schedule-admissible.
+    current: List[Tuple[int, Any]] = []
+
+    def emit(vertex: int, out_port: int, payload: Any, batch: List[Tuple[int, Any]]) -> None:
+        out_ids = network.out_edge_ids(vertex)
+        batch.append((out_ids[out_port], payload))
+
+    for out_port, payload in protocol.initial_emissions(views[network.root]):
+        emit(network.root, out_port, payload, current)
+
+    rounds = 0
+    steps = 0
+    termination_round: Optional[int] = None
+    while current and rounds < max_rounds:
+        rounds += 1
+        current.sort(key=lambda item: item[0])
+        next_batch: List[Tuple[int, Any]] = []
+        for edge_id, payload in current:
+            steps += 1
+            head = network.edge_head(edge_id)
+            in_port = network.in_port_of_edge(edge_id)
+            metrics.record_delivery(edge_id, protocol.message_bits(payload))
+            states[head], emissions = protocol.on_receive(
+                states[head], views[head], in_port, payload
+            )
+            for out_port, out_payload in emissions:
+                emit(head, out_port, out_payload, next_batch)
+        # The paper's S is evaluated on t's state; in the synchronous view
+        # we check it at round boundaries.
+        if termination_round is None and protocol.is_terminated(states[network.terminal]):
+            termination_round = rounds
+            metrics.record_termination(steps)
+            if stop_at_termination:
+                current = next_batch
+                break
+        current = next_batch
+
+    if current and rounds >= max_rounds:
+        outcome = Outcome.BUDGET_EXHAUSTED
+    elif termination_round is not None:
+        outcome = Outcome.TERMINATED
+    else:
+        outcome = Outcome.QUIESCENT
+    return SynchronousRunResult(
+        outcome=outcome,
+        metrics=metrics.freeze(steps),
+        states=states,
+        output=(
+            protocol.output(states[network.terminal])
+            if termination_round is not None
+            else None
+        ),
+        rounds=rounds,
+        termination_round=termination_round,
+    )

@@ -1,0 +1,81 @@
+"""Execution traces.
+
+The lower-bound harnesses (:mod:`repro.lowerbounds`) need more than summary
+metrics: Theorem 3.2 counts *distinct symbols* transmitted over the edges of
+a graph (the set ``Σ_G``), and the linear-cut machinery (Lemmas 3.5–3.7)
+inspects which symbol crossed which edge.  A :class:`Trace` records every
+delivery — edge, payload, step, size — when tracing is enabled on the
+simulator.
+
+Payloads must be hashable for symbol-distinctness queries; all message types
+in :mod:`repro.core.messages` are frozen/hashable for this reason.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Set, Tuple
+
+__all__ = ["DeliveryRecord", "Trace"]
+
+
+@dataclass(frozen=True)
+class DeliveryRecord:
+    """One delivered message."""
+
+    step: int
+    edge_id: int
+    payload: Any
+    bits: int
+
+
+@dataclass
+class Trace:
+    """Chronological record of every delivery in a run."""
+
+    deliveries: List[DeliveryRecord] = field(default_factory=list)
+
+    def record(self, step: int, edge_id: int, payload: Any, bits: int) -> None:
+        """Append one delivery."""
+        self.deliveries.append(DeliveryRecord(step, edge_id, payload, bits))
+
+    def __len__(self) -> int:
+        return len(self.deliveries)
+
+    def symbols_on_edge(self, edge_id: int) -> List[Any]:
+        """All payloads delivered on one edge, in delivery order."""
+        return [d.payload for d in self.deliveries if d.edge_id == edge_id]
+
+    def distinct_symbols(self) -> Set[Any]:
+        """The set ``Σ_G`` of distinct symbols transmitted in this run."""
+        return {d.payload for d in self.deliveries}
+
+    def distinct_symbol_count(self) -> int:
+        """``|Σ_G|`` for this run."""
+        return len(self.distinct_symbols())
+
+    def per_edge_symbols(self) -> Dict[int, List[Any]]:
+        """Map edge id → payloads delivered on it, in order."""
+        out: Dict[int, List[Any]] = {}
+        for d in self.deliveries:
+            out.setdefault(d.edge_id, []).append(d.payload)
+        return out
+
+    def messages_per_edge(self) -> Dict[int, int]:
+        """Map edge id → number of deliveries on it."""
+        out: Dict[int, int] = {}
+        for d in self.deliveries:
+            out[d.edge_id] = out.get(d.edge_id, 0) + 1
+        return out
+
+    def edge_symbol_multiset(self, edge_ids) -> Tuple[Any, ...]:
+        """The multiset (as a sorted-by-repr tuple) of symbols on ``edge_ids``.
+
+        Used by the linear-cut harness: Lemma 3.5 reasons about the multiset
+        of symbols crossing a cut.  Sorting by ``repr`` gives a canonical
+        multiset representation without requiring payload orderability.
+        """
+        symbols: List[Any] = []
+        for eid in edge_ids:
+            symbols.extend(self.symbols_on_edge(eid))
+        return tuple(sorted(symbols, key=repr))

@@ -1,0 +1,192 @@
+"""Protocol conformance checking for downstream protocol authors.
+
+The library's value to a user who writes *their own* anonymous protocol is
+partly the substrate and partly the test rig.  :func:`check_protocol_contract`
+packages the model-level obligations every protocol must meet — the things
+the paper's theorems quietly assume — into one callable battery:
+
+1. **Determinism** — re-running on the same graph and schedule reproduces
+   the same outcome, message count and bit count.
+2. **Anonymity compliance** — the protocol's behaviour is invariant under
+   relabeling of vertex ids (ports preserved): it can only be using the
+   ``VertexView``, never hidden identity.
+3. **Emission discipline** — every emission targets a valid out-port.
+4. **Sane accounting** — ``message_bits`` is non-negative for every payload
+   actually sent.
+5. *(optional)* **Termination contract** — terminates on the supplied
+   "good" graphs and stays quiet on the "bad" ones.
+
+Returns a :class:`ContractReport`; raises :class:`ContractViolation` with a
+precise description on the first broken obligation.  Used by this
+repository's own test suite against all shipped protocols, which doubles as
+the usage example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+from .core.model import AnonymousProtocol
+from .network.graph import DirectedNetwork
+from .network.scheduler import FifoScheduler, RandomScheduler
+from .network.simulator import Outcome, RunResult, run_protocol
+
+__all__ = ["ContractViolation", "ContractReport", "check_protocol_contract"]
+
+
+class ContractViolation(AssertionError):
+    """A protocol broke one of the model-level obligations."""
+
+
+@dataclass
+class ContractReport:
+    """What was checked and on how many runs."""
+
+    protocol_name: str
+    runs: int = 0
+    checks: List[str] = field(default_factory=list)
+
+    def note(self, check: str) -> None:
+        """Record a passed check."""
+        if check not in self.checks:
+            self.checks.append(check)
+
+
+def _relabel(network: DirectedNetwork, permutation: Dict[int, int]) -> DirectedNetwork:
+    """Permute vertex ids, preserving each vertex's port order exactly.
+
+    Edges are re-emitted grouped by original tail (in original port order),
+    with tails visited in the order of their new ids — so every vertex's
+    out-port order and in-port arrival structure transfer through the
+    permutation, and an anonymous protocol cannot tell the difference.
+    """
+    order = sorted(range(network.num_vertices), key=lambda v: permutation[v])
+    edges = []
+    for tail in order:
+        for eid in network.out_edge_ids(tail):
+            edges.append((permutation[tail], permutation[network.edge_head(eid)]))
+    return DirectedNetwork(
+        network.num_vertices,
+        edges,
+        root=permutation[network.root],
+        terminal=permutation[network.terminal],
+        validate=False,
+    )
+
+
+def _signature(result: RunResult) -> tuple:
+    return (
+        result.outcome,
+        result.metrics.total_messages,
+        result.metrics.total_bits,
+        result.metrics.max_message_bits,
+    )
+
+
+def check_protocol_contract(
+    protocol_factory: Callable[[], AnonymousProtocol],
+    good_networks: Sequence[DirectedNetwork],
+    bad_networks: Sequence[DirectedNetwork] = (),
+    *,
+    random_schedules: int = 2,
+) -> ContractReport:
+    """Run the conformance battery; see the module docstring.
+
+    Parameters
+    ----------
+    protocol_factory:
+        Zero-argument callable returning a fresh protocol instance.
+    good_networks:
+        Networks on which the protocol is expected to terminate.
+    bad_networks:
+        Networks on which it must *not* terminate (pass ``()`` to skip the
+        negative contract, e.g. for protocols without a stopping rule).
+    random_schedules:
+        Seeded random schedules to try per network, in addition to FIFO.
+    """
+    sample = protocol_factory()
+    report = ContractReport(protocol_name=getattr(sample, "name", type(sample).__name__))
+
+    for network in good_networks:
+        # 1. Determinism under FIFO.
+        first = run_protocol(network, protocol_factory(), FifoScheduler())
+        second = run_protocol(network, protocol_factory(), FifoScheduler())
+        report.runs += 2
+        if _signature(first) != _signature(second):
+            raise ContractViolation(
+                f"{report.protocol_name}: non-deterministic run on {network!r}"
+            )
+        report.note("determinism")
+
+        # 5a. Positive termination contract (under every schedule tried).
+        if first.outcome is not Outcome.TERMINATED:
+            raise ContractViolation(
+                f"{report.protocol_name}: failed to terminate on good graph {network!r}"
+            )
+        for seed in range(random_schedules):
+            run = run_protocol(network, protocol_factory(), RandomScheduler(seed=seed))
+            report.runs += 1
+            if run.outcome is not Outcome.TERMINATED:
+                raise ContractViolation(
+                    f"{report.protocol_name}: schedule-dependent termination "
+                    f"(seed {seed}) on {network!r}"
+                )
+        report.note("termination-on-good-graphs")
+
+        # 2. Anonymity: behaviour invariant under vertex relabeling.
+        permutation = {
+            v: (v * 7 + 3) % network.num_vertices for v in range(network.num_vertices)
+        }
+        if len(set(permutation.values())) != network.num_vertices:
+            permutation = {
+                v: network.num_vertices - 1 - v for v in range(network.num_vertices)
+            }
+        relabeled = _relabel(network, permutation)
+        mirrored = run_protocol(relabeled, protocol_factory(), FifoScheduler())
+        report.runs += 1
+        # Outcome and message count must be identical.  Exact bit totals are
+        # not required: relabeling permutes *in-port numbers* at multi-in-
+        # degree vertices (out-ports are preserved), and a protocol may
+        # legitimately mention in-port indices in its messages (the mapping
+        # protocol encodes them in edge facts), changing encoded sizes
+        # without using any forbidden information.
+        if (mirrored.outcome, mirrored.metrics.total_messages) != (
+            first.outcome,
+            first.metrics.total_messages,
+        ):
+            raise ContractViolation(
+                f"{report.protocol_name}: behaviour changed under vertex "
+                f"relabeling — the protocol is using vertex identity"
+            )
+        report.note("anonymity-invariance")
+
+        # 3/4. Emission discipline and accounting: run with a wrapped
+        # message_bits to observe every payload actually sent.
+        probe = protocol_factory()
+        original_bits = probe.message_bits
+
+        def audited_bits(message):
+            bits = original_bits(message)
+            if not isinstance(bits, int) or bits < 0:
+                raise ContractViolation(
+                    f"{report.protocol_name}: message_bits returned {bits!r}"
+                )
+            return bits
+
+        probe.message_bits = audited_bits  # type: ignore[method-assign]
+        run_protocol(network, probe, FifoScheduler())  # SimulationError on bad ports
+        report.runs += 1
+        report.note("emission-and-accounting")
+
+    for network in bad_networks:
+        for seed in range(max(1, random_schedules)):
+            run = run_protocol(network, protocol_factory(), RandomScheduler(seed=seed))
+            report.runs += 1
+            if run.outcome is Outcome.TERMINATED:
+                raise ContractViolation(
+                    f"{report.protocol_name}: terminated on bad graph {network!r}"
+                )
+        report.note("non-termination-on-bad-graphs")
+
+    return report

@@ -1,0 +1,73 @@
+"""Tests for the experiment-runner CLI."""
+
+import io
+
+import pytest
+
+from repro.analysis.experiments import ALL_EXPERIMENTS
+from repro.cli import _DESCRIPTIONS, build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command(self):
+        args = build_parser().parse_args(["run", "E1", "E2", "--out", "x.txt"])
+        assert args.command == "run"
+        assert args.experiments == ["E1", "E2"]
+        assert args.out == "x.txt"
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestDescriptions:
+    def test_every_experiment_described(self):
+        assert set(_DESCRIPTIONS) == set(ALL_EXPERIMENTS)
+
+
+class TestMain:
+    def test_list_output(self, capsys):
+        stream = io.StringIO()
+        assert main(["list"], stream=stream) == 0
+        text = stream.getvalue()
+        for name in ALL_EXPERIMENTS:
+            assert name in text
+
+    def test_run_single(self):
+        stream = io.StringIO()
+        assert main(["run", "E2"], stream=stream) == 0
+        text = stream.getvalue()
+        assert "E2" in text
+        assert "distinct_symbols" in text
+
+    def test_run_case_insensitive(self):
+        stream = io.StringIO()
+        assert main(["run", "e2"], stream=stream) == 0
+
+    def test_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["run", "E99"], stream=io.StringIO())
+
+    def test_out_file(self, tmp_path):
+        out = tmp_path / "report.txt"
+        stream = io.StringIO()
+        assert main(["run", "E2", "--out", str(out)], stream=stream) == 0
+        assert "distinct_symbols" in out.read_text(encoding="utf-8")
+
+    def test_report_command(self, tmp_path, monkeypatch):
+        # Patch the registry to two fast experiments so the test stays quick;
+        # the full report is exercised by `python -m repro report` manually.
+        import repro.cli as cli_module
+
+        fast = {"E2": cli_module.ALL_EXPERIMENTS["E2"], "E10": cli_module.ALL_EXPERIMENTS["E10"]}
+        monkeypatch.setattr(cli_module, "ALL_EXPERIMENTS", fast)
+        out = tmp_path / "report.md"
+        stream = io.StringIO()
+        assert main(["report", "--out", str(out)], stream=stream) == 0
+        text = out.read_text(encoding="utf-8")
+        assert text.startswith("# Experiment report")
+        assert "## E2" in text and "## E10" in text

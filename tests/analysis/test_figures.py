@@ -1,0 +1,44 @@
+"""Tests for the paper-figure artifact generator."""
+
+from repro.analysis.figures import generate_figures, paper_figures
+from repro.graphs.properties import is_dag, is_grounded_tree
+
+
+class TestPaperFigures:
+    def test_all_figures_present(self):
+        figures = paper_figures()
+        assert set(figures) == {
+            "figure1_cut_surgery",
+            "figure4_skeleton_tree",
+            "figure5_caterpillar",
+            "figure6a_full_tree",
+            "figure6b_pruned_tree",
+        }
+
+    def test_figure_structures(self):
+        figures = paper_figures()
+        assert is_grounded_tree(figures["figure5_caterpillar"][1])
+        assert is_grounded_tree(figures["figure6a_full_tree"][1])
+        assert is_grounded_tree(figures["figure6b_pruned_tree"][1])
+        assert is_dag(figures["figure4_skeleton_tree"][1])
+        assert is_grounded_tree(figures["figure1_cut_surgery"][1])
+
+    def test_captions_nonempty(self):
+        for caption, _ in paper_figures().values():
+            assert caption.startswith("Figure")
+
+
+class TestGenerate:
+    def test_writes_dot_files(self, tmp_path):
+        written = generate_figures(tmp_path)
+        assert len(written) == 5
+        for name, path in written.items():
+            text = path.read_text(encoding="utf-8")
+            assert text.startswith("// Figure")
+            assert "digraph" in text
+            assert name in text
+
+    def test_idempotent(self, tmp_path):
+        first = generate_figures(tmp_path)
+        second = generate_figures(tmp_path)
+        assert first.keys() == second.keys()

@@ -1,0 +1,88 @@
+"""Tests for the scaling fits and the table renderer."""
+
+import math
+
+import pytest
+
+from repro.analysis.report import format_value, render_table
+from repro.analysis.scaling import (
+    bound_ratios,
+    is_flat,
+    loglog_slope,
+    ratio_band,
+    semilog_slope,
+)
+
+
+class TestSlopes:
+    def test_loglog_recovers_power(self):
+        sizes = [10, 20, 40, 80, 160]
+        for k in (1, 2, 3):
+            costs = [s ** k for s in sizes]
+            assert loglog_slope(sizes, costs) == pytest.approx(k, abs=0.01)
+
+    def test_loglog_n_log_n_slightly_above_one(self):
+        sizes = [100, 200, 400, 800]
+        costs = [s * math.log2(s) for s in sizes]
+        slope = loglog_slope(sizes, costs)
+        assert 1.0 < slope < 1.3
+
+    def test_semilog_recovers_exponential(self):
+        sizes = [2, 4, 6, 8]
+        costs = [2 ** s for s in sizes]
+        assert semilog_slope(sizes, costs) == pytest.approx(1.0, abs=0.01)
+
+    def test_semilog_small_for_linear(self):
+        sizes = [10, 20, 40, 80]
+        costs = [7 * s for s in sizes]
+        assert semilog_slope(sizes, costs) < 0.2
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            loglog_slope([1], [1])
+
+    def test_degenerate_x(self):
+        with pytest.raises(ValueError):
+            loglog_slope([5, 5], [1, 2])
+
+
+class TestRatios:
+    def test_bound_ratios(self):
+        assert bound_ratios([10, 20], [5, 10]) == [2.0, 2.0]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            bound_ratios([1], [1, 2])
+
+    def test_ratio_band(self):
+        assert ratio_band([0.5, 2.0, 1.0]) == (0.5, 2.0)
+
+    def test_is_flat(self):
+        assert is_flat([1.0, 1.5, 2.0])
+        assert not is_flat([0.1, 10.0])
+        assert not is_flat([0.0, 1.0])  # non-positive ratios are never flat
+
+
+class TestRenderTable:
+    def test_basic(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": True}]
+        text = render_table(rows, title="T")
+        assert text.startswith("T")
+        assert "a" in text and "b" in text
+        assert "yes" in text
+        assert "2.500" in text
+
+    def test_empty(self):
+        assert "(no rows)" in render_table([])
+
+    def test_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        text = render_table(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_format_value(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+        assert format_value(0.0) == "0"
+        assert format_value(123456.0) == "1.23e+05"
+        assert format_value("text") == "text"

@@ -1,0 +1,72 @@
+"""Tests for the multi-seed sweep statistics."""
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.analysis.sweeps import MetricSummary, summarize, sweep_metrics
+from repro.core.general_broadcast import GeneralBroadcastProtocol
+from repro.core.tree_broadcast import TreeBroadcastProtocol
+from repro.graphs.generators import random_grounded_tree, with_dead_end_vertex
+
+
+class TestSweep:
+    def test_aggregates_all_metrics(self):
+        summaries = sweep_metrics(
+            lambda seed: random_grounded_tree(20, seed=seed),
+            TreeBroadcastProtocol,
+            seeds=range(4),
+        )
+        assert set(summaries) == {
+            "total_messages",
+            "total_bits",
+            "max_message_bits",
+            "max_edge_bits",
+            "termination_step",
+        }
+        for summary in summaries.values():
+            assert summary.samples == 4
+            assert summary.minimum <= summary.mean <= summary.maximum
+
+    def test_requires_seeds(self):
+        with pytest.raises(ValueError):
+            sweep_metrics(
+                lambda seed: random_grounded_tree(5, seed=seed),
+                TreeBroadcastProtocol,
+                seeds=[],
+            )
+
+    def test_termination_requirement(self):
+        with pytest.raises(AssertionError):
+            sweep_metrics(
+                lambda seed: with_dead_end_vertex(random_grounded_tree(8, seed=seed)),
+                GeneralBroadcastProtocol,
+                seeds=[0],
+            )
+
+    def test_termination_requirement_can_be_waived(self):
+        summaries = sweep_metrics(
+            lambda seed: with_dead_end_vertex(random_grounded_tree(8, seed=seed)),
+            GeneralBroadcastProtocol,
+            seeds=[0, 1],
+            require_termination=False,
+        )
+        assert summaries["termination_step"].maximum == 0
+
+    def test_spread(self):
+        s = MetricSummary(name="x", minimum=2, mean=3, maximum=6, samples=3)
+        assert s.spread == 3.0
+        zero = MetricSummary(name="x", minimum=0, mean=0, maximum=0, samples=1)
+        assert zero.spread == 0.0
+
+
+class TestSummarize:
+    def test_renders(self):
+        summaries = sweep_metrics(
+            lambda seed: random_grounded_tree(10, seed=seed),
+            TreeBroadcastProtocol,
+            seeds=range(3),
+        )
+        rows = summarize(summaries)
+        text = render_table(rows)
+        assert "total_bits" in text
+        assert "spread" in text

@@ -1,0 +1,64 @@
+"""Tests for the ASCII interval visualiser."""
+
+import pytest
+
+from repro.analysis.visualize import render_label_map, render_union
+from repro.core.dyadic import Dyadic
+from repro.core.intervals import EMPTY_UNION, UNIT_UNION, Interval, IntervalUnion
+
+
+def half_union(which: str) -> IntervalUnion:
+    if which == "low":
+        return IntervalUnion.of(Interval(Dyadic(0), Dyadic(1, 1)))
+    return IntervalUnion.of(Interval(Dyadic(1, 1), Dyadic(1)))
+
+
+class TestRenderUnion:
+    def test_full_bar(self):
+        bar = render_union(UNIT_UNION, width=8)
+        assert bar == "|████████|"
+
+    def test_empty_bar(self):
+        assert render_union(EMPTY_UNION, width=8) == "|        |"
+
+    def test_halves(self):
+        low = render_union(half_union("low"), width=8)
+        high = render_union(half_union("high"), width=8)
+        assert low == "|████    |"
+        assert high == "|    ████|"
+
+    def test_custom_fill(self):
+        assert render_union(UNIT_UNION, width=4, fill="#") == "|####|"
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            render_union(UNIT_UNION, width=0)
+
+    def test_non_power_of_two_width(self):
+        bar = render_union(half_union("low"), width=5)
+        assert bar.count("█") == 2  # midpoints 0.1, 0.3 inside; 0.5, 0.7, 0.9 out
+
+
+class TestRenderLabelMap:
+    def test_rows_sorted_by_position(self):
+        labels = {7: half_union("high"), 3: half_union("low")}
+        text = render_label_map(labels, width=8)
+        lines = text.splitlines()
+        assert "vertex   3" in lines[0]
+        assert "vertex   7" in lines[1]
+
+    def test_names_override(self):
+        labels = {1: half_union("low")}
+        text = render_label_map(labels, names={1: "sensor-A "})
+        assert text.startswith("sensor-A ")
+
+    def test_real_labeling_run_renders_disjoint(self):
+        from repro.core.labeling import LabelAssignmentProtocol, extract_labels
+        from repro.graphs.generators import random_digraph
+        from repro.network.simulator import run_protocol
+
+        net = random_digraph(8, seed=4)
+        result = run_protocol(net, LabelAssignmentProtocol())
+        labels = extract_labels(result.states)
+        text = render_label_map(labels, width=32)
+        assert len(text.splitlines()) == len(labels)

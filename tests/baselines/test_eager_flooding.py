@@ -1,0 +1,63 @@
+"""Tests for the eager-DAG and flooding baselines (ablations E10 and the
+motivating no-termination example)."""
+
+import pytest
+
+from repro.baselines.eager_dag import EagerDagBroadcastProtocol
+from repro.baselines.flooding import FloodingProtocol
+from repro.core.dag_broadcast import DagBroadcastProtocol
+from repro.graphs.generators import layered_diamond_dag, random_dag, random_digraph
+from repro.network.simulator import Outcome, run_protocol
+
+
+class TestEagerDag:
+    def test_correct_on_dags(self):
+        net = random_dag(30, seed=1)
+        result = run_protocol(net, EagerDagBroadcastProtocol())
+        assert result.terminated
+
+    def test_message_blowup_on_diamonds(self):
+        # Path multiplicity doubles per layer: 2^depth-ish messages.
+        shallow = run_protocol(layered_diamond_dag(4), EagerDagBroadcastProtocol())
+        deep = run_protocol(layered_diamond_dag(8), EagerDagBroadcastProtocol())
+        assert deep.metrics.total_messages > 10 * shallow.metrics.total_messages
+
+    def test_waiting_variant_stays_linear(self):
+        for depth in (4, 8):
+            net = layered_diamond_dag(depth)
+            result = run_protocol(net, DagBroadcastProtocol())
+            assert result.metrics.total_messages == net.num_edges
+
+    def test_exponential_vs_linear_shape(self):
+        from repro.analysis.scaling import semilog_slope
+
+        depths = [2, 4, 6, 8]
+        eager = []
+        waiting = []
+        for depth in depths:
+            net = layered_diamond_dag(depth)
+            eager.append(run_protocol(net, EagerDagBroadcastProtocol()).metrics.total_messages)
+            waiting.append(run_protocol(net, DagBroadcastProtocol()).metrics.total_messages)
+        assert semilog_slope(depths, eager) > 0.8  # ~2^depth
+        assert semilog_slope(depths, waiting) < 0.4  # linear
+
+
+class TestFlooding:
+    def test_delivers_everywhere_one_message_per_edge(self):
+        net = random_digraph(25, seed=3)
+        result = run_protocol(net, FloodingProtocol("m"))
+        assert result.metrics.total_messages == net.num_edges
+        for v in range(net.num_vertices):
+            if v != net.root:
+                assert result.states[v].got_broadcast
+
+    def test_never_terminates(self):
+        net = random_digraph(15, seed=1)
+        result = run_protocol(net, FloodingProtocol("m"))
+        assert result.outcome is Outcome.QUIESCENT
+
+    def test_cost_floor(self):
+        # Flooding pays exactly (1 + |m|) bits per edge — the |E|·|m| floor.
+        net = random_digraph(20, seed=2)
+        result = run_protocol(net, FloodingProtocol("ab"))  # 16 payload bits
+        assert result.metrics.total_bits == net.num_edges * 17

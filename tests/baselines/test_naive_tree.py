@@ -1,0 +1,73 @@
+"""Tests for the naive x/d grounded-tree baseline (ablation E9)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.baselines.naive_tree import NaiveTreeBroadcastProtocol, RationalToken
+from repro.core.tree_broadcast import TreeBroadcastProtocol
+from repro.graphs.generators import path_network, random_grounded_tree
+from repro.network.simulator import Outcome, run_protocol
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_terminates_on_grounded_trees(self, seed):
+        net = random_grounded_tree(40, seed=seed)
+        result = run_protocol(net, NaiveTreeBroadcastProtocol())
+        assert result.terminated
+        assert result.states[net.terminal].received_sum == 1
+
+    def test_delivers_payload(self):
+        net = random_grounded_tree(25, seed=1)
+        result = run_protocol(net, NaiveTreeBroadcastProtocol("naive"))
+        for v in range(net.num_vertices):
+            if v != net.root:
+                assert result.states[v].payload == "naive"
+
+    def test_dead_end_blocks_termination(self):
+        from repro.network.graph import DirectedNetwork
+
+        net = DirectedNetwork(
+            5, [(0, 2), (2, 3), (2, 1)], root=0, terminal=1, validate=False
+        )
+        result = run_protocol(net, NaiveTreeBroadcastProtocol())
+        assert result.outcome is Outcome.QUIESCENT
+
+
+class TestCostGap:
+    def test_values_not_powers_of_two(self):
+        # A vertex of out-degree 3 forces denominator 3 into the stream.
+        from repro.network.graph import DirectedNetwork
+
+        net = DirectedNetwork(
+            6,
+            [(0, 2), (2, 3), (2, 4), (2, 5), (3, 1), (4, 1), (5, 1)],
+            root=0,
+            terminal=1,
+        )
+        result = run_protocol(net, NaiveTreeBroadcastProtocol(), record_trace=True)
+        values = {record.payload.value for record in result.trace.deliveries}
+        assert Fraction(1, 3) in values
+
+    def test_costs_exceed_pow2_rule(self):
+        net = random_grounded_tree(150, seed=2)
+        naive = run_protocol(net, NaiveTreeBroadcastProtocol())
+        pow2 = run_protocol(net, TreeBroadcastProtocol())
+        assert naive.metrics.total_bits > pow2.metrics.total_bits
+        assert naive.metrics.max_message_bits > pow2.metrics.max_message_bits
+
+    def test_gap_widens_with_size(self):
+        ratios = []
+        for n in (50, 200):
+            net = random_grounded_tree(n, seed=0)
+            naive = run_protocol(net, NaiveTreeBroadcastProtocol())
+            pow2 = run_protocol(net, TreeBroadcastProtocol())
+            ratios.append(naive.metrics.total_bits / pow2.metrics.total_bits)
+        assert ratios[1] > ratios[0]
+
+
+def test_token_bits_track_denominator():
+    small = RationalToken(Fraction(1, 2))
+    large = RationalToken(Fraction(1, 3**20))
+    assert large.structure_bits() > small.structure_bits()

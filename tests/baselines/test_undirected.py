@@ -1,0 +1,100 @@
+"""Tests for the undirected substrate and its feedback-based protocols."""
+
+import math
+
+import pytest
+
+from repro.baselines.undirected import (
+    DfsLabelingProtocol,
+    EchoBroadcastProtocol,
+    UndirectedNetwork,
+    run_undirected_protocol,
+)
+from repro.graphs.generators import random_digraph, random_grounded_tree
+
+
+def ring(n: int) -> UndirectedNetwork:
+    return UndirectedNetwork(n, [(i, (i + 1) % n) for i in range(n)], initiator=0)
+
+
+class TestUndirectedNetwork:
+    def test_ports_consistent(self):
+        net = ring(5)
+        for v in range(5):
+            assert net.degree(v) == 2
+            for port in range(net.degree(v)):
+                other = net.neighbor(v, port)
+                back = net.peer_port(v, port)
+                assert net.neighbor(other, back) == v
+
+    def test_from_directed_collapses_antiparallel(self):
+        from repro.network.graph import DirectedNetwork
+
+        net = DirectedNetwork(4, [(0, 2), (2, 3), (3, 2), (2, 1)], root=0, terminal=1)
+        und = UndirectedNetwork.from_directed(net)
+        assert und.num_links == 3  # 2⇄3 collapses to one link
+        assert und.initiator == 0
+        assert und.is_connected()
+
+    def test_self_links_rejected(self):
+        with pytest.raises(ValueError):
+            UndirectedNetwork(2, [(0, 0)], initiator=0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UndirectedNetwork(0, [])
+        with pytest.raises(ValueError):
+            UndirectedNetwork(2, [(0, 1)], initiator=5)
+
+
+class TestEchoBroadcast:
+    @pytest.mark.parametrize("seed", [None, 0, 1, 2])
+    def test_finishes_and_informs_everyone(self, seed):
+        net = UndirectedNetwork.from_directed(random_digraph(20, seed=3))
+        result = run_undirected_protocol(net, EchoBroadcastProtocol("m"), seed=seed)
+        assert result.finished
+        for state in result.states.values():
+            assert state.informed
+            assert state.payload == "m" or state.payload is None and state.degree == 0
+
+    def test_exactly_two_messages_per_link(self):
+        net = ring(8)
+        result = run_undirected_protocol(net, EchoBroadcastProtocol())
+        assert result.total_messages == 2 * net.num_links
+
+    def test_constant_message_size(self):
+        net = ring(50)
+        result = run_undirected_protocol(net, EchoBroadcastProtocol())
+        assert result.max_message_bits == 1  # tag bit, no payload
+
+
+class TestDfsLabeling:
+    @pytest.mark.parametrize("seed", [None, 0, 5])
+    def test_unique_labels(self, seed):
+        net = UndirectedNetwork.from_directed(random_digraph(25, seed=1))
+        result = run_undirected_protocol(net, DfsLabelingProtocol(), seed=seed)
+        assert result.finished
+        labels = [s["label"] for s in result.states.values()]
+        assert None not in labels
+        assert len(set(labels)) == net.num_vertices
+
+    def test_labels_are_compact(self):
+        net = UndirectedNetwork.from_directed(random_digraph(30, seed=2))
+        result = run_undirected_protocol(net, DfsLabelingProtocol())
+        max_label = max(s["label"] for s in result.states.values())
+        assert max_label == net.num_vertices - 1  # labels 0..V-1
+
+    def test_label_bits_logarithmic(self):
+        for n in (10, 40):
+            net = UndirectedNetwork.from_directed(random_digraph(n, seed=0))
+            result = run_undirected_protocol(net, DfsLabelingProtocol())
+            max_label = max(s["label"] for s in result.states.values())
+            assert math.ceil(math.log2(max_label + 1)) <= math.ceil(
+                math.log2(net.num_vertices)
+            )
+
+    def test_token_walk_message_count(self):
+        # The token crosses each link at most twice in each direction.
+        net = ring(10)
+        result = run_undirected_protocol(net, DfsLabelingProtocol())
+        assert result.total_messages <= 4 * net.num_links

@@ -1,0 +1,80 @@
+"""Tests for the bound-formula module (every theorem's expression)."""
+
+import math
+
+import pytest
+
+from repro.core.complexity import (
+    dag_broadcast_bandwidth_bound,
+    dag_broadcast_total_bits_bound,
+    general_broadcast_symbol_bits_bound,
+    general_broadcast_total_bits_bound,
+    graph_parameters,
+    label_length_bits_bound,
+    tree_broadcast_bandwidth_bound,
+    tree_broadcast_total_bits_bound,
+    undirected_label_length_bound,
+)
+from repro.graphs.generators import path_network, random_digraph
+
+
+@pytest.fixture
+def net():
+    return random_digraph(20, seed=0)
+
+
+class TestParameters:
+    def test_graph_parameters(self, net):
+        params = graph_parameters(net)
+        assert params["V"] == net.num_vertices
+        assert params["E"] == net.num_edges
+        assert params["d_out"] == net.max_out_degree()
+
+
+class TestFormulas:
+    def test_tree_total(self, net):
+        e = net.num_edges
+        assert tree_broadcast_total_bits_bound(net) == pytest.approx(e * math.log2(e))
+
+    def test_tree_total_with_payload(self, net):
+        e = net.num_edges
+        with_payload = tree_broadcast_total_bits_bound(net, payload_bits=8)
+        assert with_payload == pytest.approx(e * math.log2(e) + 8 * e)
+
+    def test_tree_bandwidth(self, net):
+        assert tree_broadcast_bandwidth_bound(net) == pytest.approx(
+            math.log2(net.num_edges)
+        )
+
+    def test_dag_bounds(self, net):
+        e = net.num_edges
+        assert dag_broadcast_total_bits_bound(net) == pytest.approx(e * e)
+        assert dag_broadcast_bandwidth_bound(net, payload_bits=3) == pytest.approx(e + 3)
+
+    def test_general_bounds(self, net):
+        e, v, d = net.num_edges, net.num_vertices, net.max_out_degree()
+        logd = max(1.0, math.log2(max(2.0, d)))
+        assert general_broadcast_total_bits_bound(net) == pytest.approx(e * e * v * logd)
+        assert general_broadcast_symbol_bits_bound(net) == pytest.approx(e * v * logd)
+
+    def test_label_bound(self, net):
+        v, d = net.num_vertices, net.max_out_degree()
+        logd = max(1.0, math.log2(max(2.0, d)))
+        assert label_length_bits_bound(net) == pytest.approx(v * logd)
+
+    def test_undirected_bound(self):
+        assert undirected_label_length_bound(1024) == pytest.approx(10.0)
+
+
+class TestClamps:
+    def test_log_clamped_on_tiny_graphs(self):
+        tiny = path_network(1)  # 3 vertices, 2 edges
+        # log₂(2) = 1 — clamp keeps bounds from vanishing.
+        assert tree_broadcast_bandwidth_bound(tiny) >= 1.0
+        assert label_length_bits_bound(tiny) >= tiny.num_vertices
+
+    def test_monotone_in_size(self):
+        small = random_digraph(10, seed=1)
+        large = random_digraph(40, seed=1)
+        assert general_broadcast_total_bits_bound(large) > general_broadcast_total_bits_bound(small)
+        assert label_length_bits_bound(large) > label_length_bits_bound(small)

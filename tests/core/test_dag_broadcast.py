@@ -1,0 +1,97 @@
+"""Tests for the DAG broadcast protocol (Section 3.3)."""
+
+import pytest
+
+from repro.core.dag_broadcast import DagBroadcastProtocol
+from repro.core.dyadic import DYADIC_ONE
+from repro.graphs.constructions import skeleton_tree, skeleton_tree_hairs
+from repro.graphs.generators import (
+    layered_diamond_dag,
+    random_dag,
+    random_digraph,
+    random_grounded_tree,
+    with_dead_end_vertex,
+)
+from repro.network.scheduler import make_standard_schedulers
+from repro.network.simulator import Outcome, run_protocol
+
+
+class TestTermination:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_dags(self, seed):
+        net = random_dag(50, seed=seed)
+        result = run_protocol(net, DagBroadcastProtocol())
+        assert result.terminated
+        assert result.states[net.terminal].acc == DYADIC_ONE
+
+    def test_one_message_per_edge(self):
+        net = random_dag(60, seed=3)
+        result = run_protocol(net, DagBroadcastProtocol())
+        assert result.metrics.total_messages == net.num_edges
+        assert result.metrics.max_edge_messages == 1
+
+    def test_all_schedulers(self):
+        net = random_dag(30, seed=7)
+        for scheduler in make_standard_schedulers():
+            result = run_protocol(net, DagBroadcastProtocol(), scheduler)
+            assert result.terminated, scheduler.name
+
+    def test_works_on_grounded_trees_too(self):
+        net = random_grounded_tree(40, seed=5)
+        result = run_protocol(net, DagBroadcastProtocol())
+        assert result.terminated
+
+    def test_diamond_dag(self):
+        net = layered_diamond_dag(8)
+        result = run_protocol(net, DagBroadcastProtocol())
+        assert result.terminated
+        assert result.metrics.total_messages == net.num_edges
+
+    def test_dead_end_blocks_termination(self):
+        net = with_dead_end_vertex(random_dag(20, seed=1))
+        result = run_protocol(net, DagBroadcastProtocol())
+        assert result.outcome is Outcome.QUIESCENT
+
+    def test_cycle_deadlocks_no_false_termination(self):
+        # The waiting rule deadlocks on cycles: quiescence, never a false
+        # "terminated" — documenting why general graphs need Section 4.
+        net = random_digraph(20, seed=2)
+        assert not net.is_acyclic()
+        result = run_protocol(net, DagBroadcastProtocol())
+        assert result.outcome is Outcome.QUIESCENT
+
+
+class TestDelivery:
+    def test_everyone_receives_payload(self):
+        net = random_dag(40, seed=4)
+        result = run_protocol(net, DagBroadcastProtocol("msg"))
+        for v in range(net.num_vertices):
+            if v != net.root:
+                assert result.states[v].got_broadcast, v
+
+    def test_vertices_fire_once(self):
+        net = random_dag(40, seed=6)
+        result = run_protocol(net, DagBroadcastProtocol())
+        for v in net.internal_vertices():
+            state = result.states[v]
+            assert state.heard == net.in_degree(v)
+            assert state.fired == (net.out_degree(v) > 0)
+
+
+class TestBandwidthShape:
+    def test_skeleton_tree_linear_bandwidth(self):
+        # Theorem 3.8 witness: max message bits grow ~linearly with n.
+        sizes = [4, 8, 16]
+        widths = []
+        for n in sizes:
+            net = skeleton_tree(n, subset=skeleton_tree_hairs(n))
+            result = run_protocol(net, DagBroadcastProtocol())
+            assert result.terminated
+            widths.append(result.metrics.max_message_bits)
+        # Doubling n should roughly double the width (well beyond log growth).
+        assert widths[2] > 1.5 * widths[1] > 2.0 * widths[0] * 0.75
+
+    def test_commodity_exact_sum(self):
+        net = skeleton_tree(5, subset=skeleton_tree_hairs(5))
+        result = run_protocol(net, DagBroadcastProtocol())
+        assert result.states[net.terminal].acc == DYADIC_ONE

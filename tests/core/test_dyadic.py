@@ -1,0 +1,155 @@
+"""Unit and property tests for exact dyadic rationals."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.dyadic import DYADIC_ONE, DYADIC_ZERO, Dyadic
+
+from ..conftest import dyadics
+
+
+class TestConstruction:
+    def test_zero_is_canonical(self):
+        assert Dyadic(0, 17) == DYADIC_ZERO
+        assert Dyadic(0, 17).exp == 0
+
+    def test_even_numerator_is_reduced(self):
+        d = Dyadic(4, 3)  # 4/8 == 1/2
+        assert d.num == 1
+        assert d.exp == 1
+
+    def test_negative_exponent_scales_up(self):
+        assert Dyadic(3, -2) == Dyadic(12)
+
+    def test_integer_round_trip(self):
+        assert int(Dyadic.from_int(7)) == 7
+
+    def test_non_integer_int_raises(self):
+        with pytest.raises(ValueError):
+            int(Dyadic(1, 1))
+
+    def test_type_check(self):
+        with pytest.raises(TypeError):
+            Dyadic(1.5)  # type: ignore[arg-type]
+
+    def test_pow2(self):
+        assert Dyadic.pow2(3) == Dyadic(8)
+        assert Dyadic.pow2(-3) == Dyadic(1, 3)
+
+    def test_from_fraction(self):
+        assert Dyadic.from_fraction(Fraction(3, 8)) == Dyadic(3, 3)
+
+    def test_from_fraction_rejects_non_dyadic(self):
+        with pytest.raises(ValueError):
+            Dyadic.from_fraction(Fraction(1, 3))
+
+
+class TestArithmetic:
+    def test_add(self):
+        assert Dyadic(1, 1) + Dyadic(1, 2) == Dyadic(3, 2)
+
+    def test_add_int(self):
+        assert Dyadic(1, 1) + 1 == Dyadic(3, 1)
+        assert 1 + Dyadic(1, 1) == Dyadic(3, 1)
+
+    def test_sub(self):
+        assert Dyadic(3, 2) - Dyadic(1, 2) == Dyadic(1, 1)
+        assert 1 - Dyadic(1, 2) == Dyadic(3, 2)
+
+    def test_mul(self):
+        assert Dyadic(3, 1) * Dyadic(1, 2) == Dyadic(3, 3)
+        assert Dyadic(3, 1) * 2 == Dyadic(3)
+
+    def test_neg_abs(self):
+        assert -Dyadic(3, 1) == Dyadic(-3, 1)
+        assert abs(Dyadic(-3, 1)) == Dyadic(3, 1)
+
+    def test_half(self):
+        assert Dyadic(3, 1).half() == Dyadic(3, 2)
+
+    def test_midpoint(self):
+        assert DYADIC_ZERO.midpoint(DYADIC_ONE) == Dyadic(1, 1)
+
+    def test_scaled_pow2(self):
+        assert Dyadic(3).scaled_pow2(-2) == Dyadic(3, 2)
+        assert Dyadic(3, 2).scaled_pow2(2) == Dyadic(3)
+
+    def test_divide_pow2_parts(self):
+        assert Dyadic(1).divide_pow2_parts(4) == Dyadic(1, 2)
+
+    def test_divide_pow2_parts_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            Dyadic(1).divide_pow2_parts(3)
+
+
+class TestComparison:
+    def test_ordering(self):
+        assert Dyadic(1, 2) < Dyadic(1, 1) < Dyadic(1)
+        assert Dyadic(1) <= Dyadic(1)
+        assert Dyadic(1) >= Dyadic(1, 1)
+        assert Dyadic(-1) < DYADIC_ZERO
+
+    def test_int_comparison(self):
+        assert Dyadic(1, 1) < 1
+        assert Dyadic(3, 1) > 1
+        assert Dyadic(2) == 2
+
+    def test_hash_int_compatible(self):
+        assert hash(Dyadic(5)) == hash(5)
+
+    def test_bool(self):
+        assert not DYADIC_ZERO
+        assert Dyadic(1, 5)
+
+
+class TestPowerOfTwo:
+    def test_detect(self):
+        assert Dyadic(1, 3).is_power_of_two()
+        assert Dyadic(8).is_power_of_two()
+        assert not Dyadic(3, 1).is_power_of_two()
+        assert not DYADIC_ZERO.is_power_of_two()
+
+    def test_log2(self):
+        assert Dyadic(8).log2() == 3
+        assert Dyadic(1, 4).log2() == -4
+
+    def test_log2_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            Dyadic(3).log2()
+
+
+class TestProperties:
+    @given(dyadics(), dyadics())
+    def test_add_matches_fractions(self, a, b):
+        assert (a + b).as_fraction() == a.as_fraction() + b.as_fraction()
+
+    @given(dyadics(), dyadics())
+    def test_sub_matches_fractions(self, a, b):
+        assert (a - b).as_fraction() == a.as_fraction() - b.as_fraction()
+
+    @given(dyadics(), dyadics())
+    def test_mul_matches_fractions(self, a, b):
+        assert (a * b).as_fraction() == a.as_fraction() * b.as_fraction()
+
+    @given(dyadics(), dyadics())
+    def test_ordering_matches_fractions(self, a, b):
+        assert (a < b) == (a.as_fraction() < b.as_fraction())
+
+    @given(dyadics())
+    def test_canonical_form(self, a):
+        assert a.exp >= 0
+        if a.exp > 0:
+            assert a.num % 2 == 1
+
+    @given(dyadics())
+    def test_equality_is_structural(self, a):
+        clone = Dyadic(a.num, a.exp)
+        assert clone == a
+        assert hash(clone) == hash(a)
+
+    @given(dyadics())
+    def test_float_close(self, a):
+        assert float(a) == pytest.approx(float(a.as_fraction()))

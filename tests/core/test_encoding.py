@@ -1,0 +1,143 @@
+"""Round-trip and cost tests for the self-delimiting encoders."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.dyadic import Dyadic
+from repro.core.encoding import (
+    BitReader,
+    BitWriter,
+    decode_dyadic,
+    decode_signed,
+    decode_unsigned,
+    dyadic_cost,
+    elias_delta_length,
+    elias_gamma_length,
+    encode_dyadic,
+    encode_signed,
+    encode_unsigned,
+    signed_cost,
+    unsigned_cost,
+)
+from repro.core.intervals import (
+    Interval,
+    IntervalUnion,
+    decode_interval,
+    decode_union,
+    encode_interval,
+    encode_union,
+    interval_cost,
+    union_cost,
+)
+
+from ..conftest import dyadics, unit_interval_unions, unit_intervals
+
+
+class TestBitBuffers:
+    def test_write_read_bits(self):
+        w = BitWriter()
+        w.write_bits(0b1011, 4)
+        r = w.reader()
+        assert r.read_bits(4) == 0b1011
+        assert r.exhausted()
+
+    def test_value_too_wide_raises(self):
+        w = BitWriter()
+        with pytest.raises(ValueError):
+            w.write_bits(4, 2)
+
+    def test_read_past_end_raises(self):
+        r = BitReader([True])
+        r.read_bit()
+        with pytest.raises(EOFError):
+            r.read_bit()
+
+
+class TestUnsigned:
+    @pytest.mark.parametrize("value", [0, 1, 2, 3, 7, 8, 100, 12345, 2**20])
+    def test_round_trip(self, value):
+        w = BitWriter()
+        encode_unsigned(w, value)
+        assert decode_unsigned(w.reader()) == value
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_unsigned(BitWriter(), -1)
+
+    @given(st.integers(min_value=0, max_value=2**30))
+    def test_cost_matches_bits(self, value):
+        w = BitWriter()
+        encode_unsigned(w, value)
+        assert len(w) == unsigned_cost(value)
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=5))
+    def test_self_delimiting_stream(self, values):
+        w = BitWriter()
+        for v in values:
+            encode_unsigned(w, v)
+        r = w.reader()
+        assert [decode_unsigned(r) for _ in values] == values
+        assert r.exhausted()
+
+    def test_gamma_delta_lengths(self):
+        assert elias_gamma_length(1) == 1
+        assert elias_gamma_length(2) == 3
+        assert elias_delta_length(1) == 1
+        # Delta is asymptotically shorter than gamma.
+        assert elias_delta_length(2**20) < elias_gamma_length(2**20)
+
+
+class TestSigned:
+    @pytest.mark.parametrize("value", [0, 1, -1, 2, -2, 100, -12345])
+    def test_round_trip(self, value):
+        w = BitWriter()
+        encode_signed(w, value)
+        assert decode_signed(w.reader()) == value
+
+    @given(st.integers(min_value=-(2**25), max_value=2**25))
+    def test_cost_matches_bits(self, value):
+        w = BitWriter()
+        encode_signed(w, value)
+        assert len(w) == signed_cost(value)
+
+
+class TestDyadicEncoding:
+    @given(dyadics())
+    def test_round_trip(self, value):
+        w = BitWriter()
+        encode_dyadic(w, value)
+        assert decode_dyadic(w.reader()) == value
+
+    @given(dyadics())
+    def test_cost_matches_bits(self, value):
+        w = BitWriter()
+        encode_dyadic(w, value)
+        assert len(w) == dyadic_cost(value) == value.bit_cost()
+
+    def test_cost_grows_with_precision(self):
+        shallow = dyadic_cost(Dyadic(1, 2))
+        deep = dyadic_cost(Dyadic((1 << 40) + 1, 41))
+        assert deep > shallow
+
+
+class TestIntervalEncoding:
+    @given(unit_intervals())
+    def test_round_trip(self, interval):
+        w = BitWriter()
+        encode_interval(w, interval)
+        decoded = decode_interval(w.reader())
+        assert decoded.lo == interval.lo and decoded.hi == interval.hi
+        assert len(w) == interval_cost(interval)
+
+    @given(unit_interval_unions())
+    def test_union_round_trip(self, union):
+        w = BitWriter()
+        encode_union(w, union)
+        assert decode_union(w.reader()) == union
+        assert len(w) == union_cost(union)
+
+    def test_union_cost_counts_components(self):
+        one = IntervalUnion.of(Interval(Dyadic(0), Dyadic(1, 2)))
+        two = one.union(IntervalUnion.of(Interval(Dyadic(3, 2), Dyadic(1))))
+        assert union_cost(two) > union_cost(one)

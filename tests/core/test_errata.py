@@ -1,0 +1,121 @@
+"""The two Section 4 errata found by this reproduction (DESIGN.md §4).
+
+These tests pin down, executably, why the canonical-partition rule as
+*printed* in the paper is broken, and that the repaired rule restores every
+guarantee Theorem 4.2 / 5.1 claim.
+"""
+
+import pytest
+
+from repro.core.general_broadcast import GeneralBroadcastProtocol
+from repro.core.labeling import LabelAssignmentProtocol, extract_labels
+from repro.graphs.generators import random_digraph, with_dead_end_vertex
+from repro.network.graph import DirectedNetwork
+from repro.network.scheduler import make_standard_schedulers
+from repro.network.simulator import Outcome, run_protocol
+
+
+def counterexample_network() -> DirectedNetwork:
+    """The minimal erratum witness: ``s→p``, ``p→{x, u}``, ``x→t``, ``u→t``.
+
+    ``u`` hangs off ``p``'s *last* out-port; under the literal rule ``p``'s
+    first (single-interval) canonical partition gives that port ∅.
+    """
+    return DirectedNetwork(
+        5,
+        [(0, 2), (2, 3), (2, 4), (3, 1), (4, 1)],
+        root=0,
+        terminal=1,
+    )
+
+
+class TestErratumOne:
+    """Literal canonical partition starves last-port subtrees."""
+
+    def test_literal_rule_breaks_delivery(self):
+        net = counterexample_network()
+        result = run_protocol(net, GeneralBroadcastProtocol("m", partition_rule="literal"))
+        # The terminal terminates...
+        assert result.outcome is Outcome.TERMINATED
+        # ...while vertex u never received the broadcast — contradicting
+        # Theorem 4.2's "on termination each vertex will have received m".
+        assert not result.states[4].got_broadcast
+
+    def test_repaired_rule_restores_delivery(self):
+        net = counterexample_network()
+        result = run_protocol(net, GeneralBroadcastProtocol("m", partition_rule="repaired"))
+        assert result.outcome is Outcome.TERMINATED
+        assert result.states[4].got_broadcast
+
+    def test_literal_rule_breaks_iff_with_dead_end(self):
+        # Dead end on the last port: literal terminates anyway (commodity
+        # never routed there), repaired correctly refuses.
+        net = DirectedNetwork(
+            5,
+            [(0, 2), (2, 3), (2, 4), (3, 1)],  # vertex 4 is a dead end
+            root=0,
+            terminal=1,
+            validate=False,
+        )
+        literal = run_protocol(net, GeneralBroadcastProtocol(partition_rule="literal"))
+        repaired = run_protocol(net, GeneralBroadcastProtocol(partition_rule="repaired"))
+        assert literal.outcome is Outcome.TERMINATED  # the bug, reproduced
+        assert repaired.outcome is Outcome.QUIESCENT  # the fix
+
+    def test_literal_labeling_misses_vertices(self):
+        net = counterexample_network()
+        result = run_protocol(net, LabelAssignmentProtocol(partition_rule="literal"))
+        labels = extract_labels(result.states)
+        missing = set(net.internal_vertices()) - set(labels)
+        assert missing, "literal rule should fail to label the starved vertex"
+
+    def test_invalid_rule_rejected(self):
+        with pytest.raises(ValueError):
+            GeneralBroadcastProtocol(partition_rule="bogus")
+
+
+class TestErratumTwo:
+    """β-only first messages must not consume the one-time partition."""
+
+    def test_beta_first_vertex_still_gets_label(self):
+        # Under the terminal-last scheduler, β floods race ahead of
+        # commodity on cyclic graphs; with the repair every internal vertex
+        # is labeled regardless.
+        for seed in range(4):
+            net = random_digraph(15, seed=seed)
+            for scheduler in make_standard_schedulers(random_seeds=2):
+                result = run_protocol(net, LabelAssignmentProtocol(), scheduler)
+                assert result.terminated
+                labels = extract_labels(result.states)
+                assert set(labels) == set(net.internal_vertices()), scheduler.name
+
+    def test_virgin_beta_flood_forwards(self):
+        """A virgin vertex receiving a β-only message floods it onward and
+        stays virgin (white-box check of the repair)."""
+        from repro.core.general_broadcast import GeneralState
+        from repro.core.intervals import EMPTY_UNION, UNIT_UNION
+        from repro.core.messages import IntervalMessage
+        from repro.core.model import VertexView
+
+        protocol = GeneralBroadcastProtocol()
+        view = VertexView(in_degree=1, out_degree=2)
+        state = protocol.create_state(view)
+        beta_only = IntervalMessage(alpha=EMPTY_UNION, beta=UNIT_UNION)
+        state, emissions = protocol.on_receive(state, view, 0, beta_only)
+        assert state.virgin
+        assert state.label is None
+        assert len(emissions) == 2
+        assert all(msg.alpha.is_empty() and msg.beta == UNIT_UNION for _, msg in emissions)
+
+    def test_duplicate_beta_flood_not_reforwarded(self):
+        from repro.core.intervals import EMPTY_UNION, UNIT_UNION
+        from repro.core.messages import IntervalMessage
+        from repro.core.model import VertexView
+
+        protocol = GeneralBroadcastProtocol()
+        view = VertexView(in_degree=2, out_degree=2)
+        state = protocol.create_state(view)
+        beta_only = IntervalMessage(alpha=EMPTY_UNION, beta=UNIT_UNION)
+        state, first = protocol.on_receive(state, view, 0, beta_only)
+        state, second = protocol.on_receive(state, view, 1, beta_only)
+        assert first and not second  # no β growth ⇒ no messages

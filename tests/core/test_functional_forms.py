@@ -1,0 +1,77 @@
+"""Equivalence of the literal (f, g, S) forms with the class protocols."""
+
+import pytest
+
+from repro.core.dag_broadcast import DagBroadcastProtocol
+from repro.core.functional_forms import functional_dag_broadcast, functional_tree_broadcast
+from repro.core.tree_broadcast import TreeBroadcastProtocol
+from repro.graphs.constructions import caterpillar_gn, skeleton_tree, skeleton_tree_hairs
+from repro.graphs.generators import path_network, random_dag, random_grounded_tree
+from repro.network.scheduler import FifoScheduler, RandomScheduler
+from repro.network.simulator import run_protocol
+
+
+def signatures(result):
+    return (
+        result.outcome,
+        result.metrics.total_messages,
+        result.metrics.termination_step,
+    )
+
+
+class TestTreeEquivalence:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_same_run_shape(self, seed):
+        net = random_grounded_tree(25, seed=seed)
+        functional = run_protocol(net, functional_tree_broadcast(), FifoScheduler())
+        classy = run_protocol(net, TreeBroadcastProtocol(), FifoScheduler())
+        assert signatures(functional) == signatures(classy)
+
+    def test_same_symbols_on_every_edge(self):
+        net = caterpillar_gn(10)
+        functional = run_protocol(net, functional_tree_broadcast(), record_trace=True)
+        classy = run_protocol(net, TreeBroadcastProtocol(), record_trace=True)
+        for eid in range(net.num_edges):
+            f_sym = functional.trace.symbols_on_edge(eid)
+            c_sym = classy.trace.symbols_on_edge(eid)
+            # Functional messages are raw exponents; class messages wrap them.
+            assert [s for s in f_sym] == [tok.exponent for tok in c_sym]
+
+    def test_terminal_state_is_commodity_sum(self):
+        net = path_network(4)
+        result = run_protocol(net, functional_tree_broadcast())
+        assert result.terminated
+        assert result.states[net.terminal].received == 1
+
+    def test_random_schedules_agree(self):
+        net = random_grounded_tree(20, seed=7)
+        for seed in range(3):
+            functional = run_protocol(net, functional_tree_broadcast(), RandomScheduler(seed))
+            classy = run_protocol(net, TreeBroadcastProtocol(), RandomScheduler(seed))
+            assert functional.terminated and classy.terminated
+
+
+class TestDagEquivalence:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_same_run_shape(self, seed):
+        net = random_dag(25, seed=seed)
+        functional = run_protocol(net, functional_dag_broadcast(), FifoScheduler())
+        classy = run_protocol(net, DagBroadcastProtocol(), FifoScheduler())
+        assert signatures(functional) == signatures(classy)
+
+    def test_same_values_on_skeleton_tree(self):
+        net = skeleton_tree(4, subset=skeleton_tree_hairs(4))
+        functional = run_protocol(net, functional_dag_broadcast(), record_trace=True)
+        classy = run_protocol(net, DagBroadcastProtocol(), record_trace=True)
+        for eid in range(net.num_edges):
+            f_vals = functional.trace.symbols_on_edge(eid)
+            c_vals = [tok.value for tok in classy.trace.symbols_on_edge(eid)]
+            assert f_vals == c_vals
+
+    def test_deadlocks_on_cycles_like_class_form(self):
+        from repro.graphs.generators import random_digraph
+        from repro.network.simulator import Outcome
+
+        net = random_digraph(15, seed=3)
+        result = run_protocol(net, functional_dag_broadcast())
+        assert result.outcome is Outcome.QUIESCENT

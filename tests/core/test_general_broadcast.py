@@ -1,0 +1,165 @@
+"""Tests for the general-graph interval broadcast protocol (Section 4)."""
+
+import pytest
+
+from repro.core.general_broadcast import GeneralBroadcastProtocol
+from repro.core.intervals import EMPTY_UNION, UNIT_UNION
+from repro.graphs.generators import (
+    path_network,
+    random_dag,
+    random_digraph,
+    random_grounded_tree,
+    with_dead_end_vertex,
+    with_stranded_cycle,
+)
+from repro.network.graph import DirectedNetwork
+from repro.network.scheduler import make_standard_schedulers
+from repro.network.simulator import Outcome, run_protocol
+
+
+class TestTerminationOnGoodGraphs:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_cyclic_digraphs(self, seed):
+        net = random_digraph(25, seed=seed)
+        result = run_protocol(net, GeneralBroadcastProtocol())
+        assert result.terminated
+
+    def test_works_on_trees_and_dags_too(self):
+        for net in (random_grounded_tree(30, seed=1), random_dag(30, seed=1), path_network(8)):
+            result = run_protocol(net, GeneralBroadcastProtocol())
+            assert result.terminated
+
+    @pytest.mark.parametrize("scheduler_index", range(8))
+    def test_all_schedulers(self, scheduler_index):
+        net = random_digraph(20, seed=11)
+        scheduler = make_standard_schedulers(random_seeds=3)[scheduler_index]
+        result = run_protocol(net, GeneralBroadcastProtocol(), scheduler)
+        assert result.terminated, scheduler.name
+
+    def test_terminal_covers_unit(self):
+        net = random_digraph(20, seed=3)
+        result = run_protocol(net, GeneralBroadcastProtocol())
+        assert result.states[net.terminal].covered() == UNIT_UNION
+
+    def test_two_cycle_through_terminal_path(self):
+        # s → a ⇄ b, a → t: the cycle must be β-detected and t notified.
+        net = DirectedNetwork(4, [(0, 2), (2, 3), (3, 2), (2, 1)], root=0, terminal=1)
+        result = run_protocol(net, GeneralBroadcastProtocol())
+        assert result.terminated
+        # β actually fired: some commodity went around the cycle.
+        assert not result.states[1].beta.is_empty()
+
+    def test_self_loop(self):
+        net = DirectedNetwork(3, [(0, 2), (2, 2), (2, 1)], root=0, terminal=1)
+        result = run_protocol(net, GeneralBroadcastProtocol())
+        assert result.terminated
+
+
+class TestTerminationIff:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_dead_end_blocks(self, seed):
+        net = with_dead_end_vertex(random_digraph(15, seed=seed))
+        for scheduler in make_standard_schedulers(random_seeds=1):
+            result = run_protocol(net, GeneralBroadcastProtocol(), scheduler)
+            assert result.outcome is Outcome.QUIESCENT, scheduler.name
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_stranded_cycle_blocks(self, seed):
+        net = with_stranded_cycle(random_digraph(15, seed=seed))
+        for scheduler in make_standard_schedulers(random_seeds=1):
+            result = run_protocol(net, GeneralBroadcastProtocol(), scheduler)
+            assert result.outcome is Outcome.QUIESCENT, scheduler.name
+
+    def test_unreachable_commodity_is_exactly_the_shortfall(self):
+        base = random_digraph(10, seed=5)
+        net = with_dead_end_vertex(base)
+        dead = net.num_vertices - 1
+        result = run_protocol(net, GeneralBroadcastProtocol())
+        assert not result.terminated
+        # Everything the terminal is missing sits in the dead end (α side).
+        terminal_cover = result.states[net.terminal].covered()
+        missing = UNIT_UNION.difference(terminal_cover)
+        dead_alpha = result.states[dead].alpha_acc
+        assert not missing.is_empty()
+        assert dead_alpha.contains_union(missing)
+
+
+class TestDelivery:
+    def test_everyone_receives_payload(self):
+        net = random_digraph(25, seed=7)
+        result = run_protocol(net, GeneralBroadcastProtocol("payload"))
+        for v in range(net.num_vertices):
+            if v != net.root:
+                assert result.states[v].got_broadcast, v
+                assert result.states[v].payload == "payload"
+
+
+class TestStateInvariants:
+    def test_alphas_pairwise_disjoint(self):
+        net = random_digraph(20, seed=9)
+        result = run_protocol(net, GeneralBroadcastProtocol())
+        for v in net.internal_vertices():
+            state = result.states[v]
+            for i in range(len(state.alphas)):
+                for j in range(i + 1, len(state.alphas)):
+                    assert state.alphas[i].intersection(state.alphas[j]).is_empty()
+
+    def test_partition_happens_once(self):
+        # Only the last α may have multiple components; earlier ports hold
+        # single intervals from the one-time Δ-split.
+        net = random_digraph(20, seed=9)
+        result = run_protocol(net, GeneralBroadcastProtocol())
+        for v in net.internal_vertices():
+            state = result.states[v]
+            for alpha in state.alphas[:-1]:
+                assert alpha.interval_count() <= 1
+
+    def test_coverage_cache_consistent(self):
+        net = random_digraph(15, seed=4)
+        result = run_protocol(net, GeneralBroadcastProtocol())
+        for v in net.internal_vertices():
+            state = result.states[v]
+            if state.virgin:
+                continue
+            merged = EMPTY_UNION
+            if state.label is not None:
+                merged = merged.union(state.label)
+            for alpha in state.alphas:
+                merged = merged.union(alpha)
+            assert merged == state.coverage
+
+
+class TestMonotonicity:
+    def test_state_monotone_under_random_schedule(self):
+        """The paper's state-monotonicity property, observed step by step."""
+        from repro.core.model import VertexView
+
+        net = random_digraph(12, seed=13)
+        protocol = GeneralBroadcastProtocol()
+
+        # Wrap on_receive to snapshot covered() growth per vertex.
+        previous = {}
+        original = protocol.on_receive
+
+        def checked(state, view, in_port, message):
+            key = id(state)
+            before = state.covered()
+            if key in previous:
+                assert before.contains_union(previous[key])
+            new_state, emissions = original(state, view, in_port, message)
+            after = new_state.covered()
+            assert after.contains_union(before)
+            previous[id(new_state)] = after
+            return new_state, emissions
+
+        protocol.on_receive = checked  # type: ignore[method-assign]
+        result = run_protocol(net, protocol)
+        assert result.terminated
+
+
+class TestMessageEconomy:
+    def test_no_vacuous_messages(self):
+        net = random_digraph(15, seed=6)
+        result = run_protocol(net, GeneralBroadcastProtocol(), record_trace=True)
+        for record in result.trace.deliveries:
+            assert not record.payload.is_vacuous()

@@ -1,0 +1,155 @@
+"""Unit tests for intervals and interval unions."""
+
+import pytest
+
+from repro.core.dyadic import DYADIC_ONE, DYADIC_ZERO, Dyadic
+from repro.core.intervals import (
+    EMPTY_UNION,
+    UNIT_INTERVAL,
+    UNIT_UNION,
+    Interval,
+    IntervalUnion,
+)
+
+
+def iv(a_num, a_exp, b_num, b_exp):
+    return Interval(Dyadic(a_num, a_exp), Dyadic(b_num, b_exp))
+
+
+def union(*pairs):
+    return IntervalUnion([iv(*p) for p in pairs])
+
+
+class TestInterval:
+    def test_unit(self):
+        assert UNIT_INTERVAL.lo == DYADIC_ZERO
+        assert UNIT_INTERVAL.hi == DYADIC_ONE
+        assert UNIT_INTERVAL.measure() == DYADIC_ONE
+
+    def test_reversed_endpoints_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(DYADIC_ONE, DYADIC_ZERO)
+
+    def test_non_dyadic_rejected(self):
+        with pytest.raises(TypeError):
+            Interval(0, 1)  # type: ignore[arg-type]
+
+    def test_empty(self):
+        empty = Interval(Dyadic(1, 1), Dyadic(1, 1))
+        assert empty.is_empty()
+        assert empty.measure() == DYADIC_ZERO
+        # The paper's convention: [a, a) is the unique empty interval.
+        assert empty == Interval(DYADIC_ZERO, DYADIC_ZERO)
+        assert hash(empty) == hash(Interval(DYADIC_ZERO, DYADIC_ZERO))
+
+    def test_contains_point_half_open(self):
+        i = iv(0, 0, 1, 1)  # [0, 1/2)
+        assert i.contains(DYADIC_ZERO)
+        assert i.contains(Dyadic(1, 2))
+        assert not i.contains(Dyadic(1, 1))  # hi excluded
+
+    def test_contains_interval(self):
+        assert UNIT_INTERVAL.contains_interval(iv(1, 2, 1, 1))
+        assert UNIT_INTERVAL.contains_interval(Interval(DYADIC_ZERO, DYADIC_ZERO))
+        assert not iv(0, 0, 1, 1).contains_interval(UNIT_INTERVAL)
+
+    def test_intersection(self):
+        a = iv(0, 0, 3, 2)  # [0, 3/4)
+        b = iv(1, 1, 1, 0)  # [1/2, 1)
+        both = a.intersection(b)
+        assert both == iv(1, 1, 3, 2)
+        assert a.intersects(b)
+        assert not iv(0, 0, 1, 1).intersects(iv(1, 1, 1, 0))  # touching, no overlap
+
+    def test_str(self):
+        assert str(iv(0, 0, 1, 1)) == "[0, 1/2^1)"
+
+
+class TestIntervalUnionConstruction:
+    def test_empty(self):
+        assert EMPTY_UNION.is_empty()
+        assert not EMPTY_UNION
+        assert len(EMPTY_UNION) == 0
+        assert EMPTY_UNION.measure() == DYADIC_ZERO
+
+    def test_unit(self):
+        assert UNIT_UNION.is_unit()
+        assert UNIT_UNION.measure() == DYADIC_ONE
+
+    def test_empty_intervals_dropped(self):
+        u = IntervalUnion([Interval(DYADIC_ZERO, DYADIC_ZERO)])
+        assert u.is_empty()
+
+    def test_adjacent_merged(self):
+        u = union((0, 0, 1, 1), (1, 1, 1, 0))
+        assert u.is_unit()
+        assert u.interval_count() == 1
+
+    def test_overlapping_merged(self):
+        u = union((0, 0, 3, 2), (1, 1, 1, 0))
+        assert u.is_unit()
+
+    def test_disjoint_kept_sorted(self):
+        u = union((1, 1, 3, 2), (0, 0, 1, 2))
+        assert u.interval_count() == 2
+        assert u.intervals[0].lo == DYADIC_ZERO
+
+    def test_single_of_empty(self):
+        assert IntervalUnion.single(Interval(DYADIC_ZERO, DYADIC_ZERO)) is EMPTY_UNION
+
+
+class TestIntervalUnionAlgebra:
+    def test_union(self):
+        a = union((0, 0, 1, 2))
+        b = union((1, 1, 3, 2))
+        assert a.union(b) == union((0, 0, 1, 2), (1, 1, 3, 2))
+
+    def test_union_interval(self):
+        a = union((0, 0, 1, 2))
+        assert a.union_interval(iv(1, 2, 1, 1)) == union((0, 0, 1, 1))
+
+    def test_intersection(self):
+        a = union((0, 0, 1, 1), (3, 2, 1, 0))  # [0,1/2) ∪ [3/4,1)
+        b = union((1, 2, 7, 3))  # [1/4, 7/8)
+        assert a.intersection(b) == union((1, 2, 1, 1), (3, 2, 7, 3))
+
+    def test_difference(self):
+        assert UNIT_UNION.difference(union((1, 2, 1, 1))) == union((0, 0, 1, 2), (1, 1, 1, 0))
+
+    def test_difference_empty_cases(self):
+        a = union((0, 0, 1, 1))
+        assert a.difference(EMPTY_UNION) == a
+        assert EMPTY_UNION.difference(a) == EMPTY_UNION
+        assert a.difference(a).is_empty()
+
+    def test_symmetric_difference(self):
+        a = union((0, 0, 1, 1))
+        b = union((1, 2, 3, 2))
+        sym = a.symmetric_difference(b)
+        assert sym == union((0, 0, 1, 2), (1, 1, 3, 2))
+
+    def test_contains_point_binary_search(self):
+        u = union((0, 0, 1, 2), (1, 1, 3, 2))
+        assert u.contains(DYADIC_ZERO)
+        assert u.contains(Dyadic(1, 1))
+        assert not u.contains(Dyadic(1, 2))
+        assert not u.contains(Dyadic(3, 2))
+
+    def test_contains_union(self):
+        big = union((0, 0, 1, 0))
+        small = union((1, 2, 1, 1))
+        assert big.contains_union(small)
+        assert not small.contains_union(big)
+        assert big.contains_union(EMPTY_UNION)
+
+    def test_measure_additive(self):
+        u = union((0, 0, 1, 2), (1, 1, 3, 2))
+        assert u.measure() == Dyadic(1, 1)
+
+    def test_equality_structural(self):
+        assert union((0, 0, 1, 1)) == union((0, 0, 1, 2), (1, 2, 1, 1))
+        assert hash(union((0, 0, 1, 1))) == hash(union((0, 0, 1, 2), (1, 2, 1, 1)))
+
+    def test_str(self):
+        assert str(EMPTY_UNION) == "∅"
+        assert "∪" in str(union((0, 0, 1, 2), (1, 1, 3, 2)))

@@ -1,0 +1,100 @@
+"""Property-based tests: interval-union algebra obeys set-theoretic laws.
+
+The protocols' correctness rests entirely on this algebra being an exact
+model of finite unions of half-open subsets of ``[0, 1)`` — these tests pin
+the Boolean-algebra laws and the measure's behaviour with hypothesis.
+"""
+
+from hypothesis import given, settings
+
+from repro.core.dyadic import DYADIC_ZERO
+from repro.core.intervals import EMPTY_UNION, UNIT_UNION, IntervalUnion
+
+from ..conftest import unit_dyadics, unit_interval_unions
+
+
+@given(unit_interval_unions(), unit_interval_unions())
+def test_union_commutative(a, b):
+    assert a.union(b) == b.union(a)
+
+
+@given(unit_interval_unions(), unit_interval_unions())
+def test_intersection_commutative(a, b):
+    assert a.intersection(b) == b.intersection(a)
+
+
+@given(unit_interval_unions(), unit_interval_unions(), unit_interval_unions())
+def test_union_associative(a, b, c):
+    assert a.union(b).union(c) == a.union(b.union(c))
+
+
+@given(unit_interval_unions(), unit_interval_unions(), unit_interval_unions())
+def test_intersection_distributes_over_union(a, b, c):
+    assert a.intersection(b.union(c)) == a.intersection(b).union(a.intersection(c))
+
+
+@given(unit_interval_unions())
+def test_identity_elements(a):
+    assert a.union(EMPTY_UNION) == a
+    assert a.intersection(EMPTY_UNION) == EMPTY_UNION
+
+
+@given(unit_interval_unions(), unit_interval_unions())
+def test_difference_disjoint_from_subtrahend(a, b):
+    assert a.difference(b).intersection(b).is_empty()
+
+
+@given(unit_interval_unions(), unit_interval_unions())
+def test_difference_plus_intersection_restores(a, b):
+    assert a.difference(b).union(a.intersection(b)) == a
+
+
+@given(unit_interval_unions(), unit_interval_unions())
+def test_inclusion_exclusion_measure(a, b):
+    lhs = a.union(b).measure() + a.intersection(b).measure()
+    rhs = a.measure() + b.measure()
+    assert lhs == rhs
+
+
+@given(unit_interval_unions(), unit_interval_unions())
+def test_containment_consistency(a, b):
+    merged = a.union(b)
+    assert merged.contains_union(a)
+    assert merged.contains_union(b)
+    assert a.contains_union(a.intersection(b))
+
+
+@given(unit_interval_unions(), unit_dyadics())
+def test_point_membership_consistent_with_algebra(a, point):
+    complement = UNIT_UNION.difference(a)
+    in_a = a.contains(point)
+    in_complement = complement.contains(point)
+    # Points at exactly 1 lie in neither (the universe is [0, 1)).
+    if point < 1:
+        assert in_a != in_complement
+    else:
+        assert not in_a and not in_complement
+
+
+@given(unit_interval_unions())
+def test_canonical_form_invariants(a):
+    previous_hi = None
+    for interval in a:
+        assert not interval.is_empty()
+        assert interval.lo < interval.hi
+        if previous_hi is not None:
+            # Strict gap: touching intervals must have been merged.
+            assert interval.lo > previous_hi
+        previous_hi = interval.hi
+
+
+@given(unit_interval_unions(), unit_interval_unions())
+def test_symmetric_difference_definition(a, b):
+    sym = a.symmetric_difference(b)
+    assert sym == a.union(b).difference(a.intersection(b))
+
+
+@given(unit_interval_unions())
+def test_measure_nonnegative_and_bounded(a):
+    assert a.measure() >= DYADIC_ZERO
+    assert a.intersection(UNIT_UNION).measure() <= UNIT_UNION.measure()

@@ -1,0 +1,100 @@
+"""Tests for the runtime invariant checkers — and their use as per-delivery
+hooks in exhaustive schedule exploration."""
+
+import pytest
+
+from repro.core.general_broadcast import GeneralBroadcastProtocol, GeneralState
+from repro.core.invariants import (
+    all_interval_invariants,
+    alphas_pairwise_disjoint,
+    commodity_conserved,
+    coverage_within_unit,
+    labels_disjoint_globally,
+)
+from repro.core.intervals import UNIT_UNION, IntervalUnion, Interval
+from repro.core.dyadic import Dyadic
+from repro.core.labeling import LabelAssignmentProtocol
+from repro.core.mapping import MappingProtocol
+from repro.graphs.generators import random_digraph, with_dead_end_vertex
+from repro.lowerbounds.schedules import explore_all_schedules
+from repro.network.graph import DirectedNetwork
+from repro.network.simulator import run_protocol
+
+
+class TestOnFinishedRuns:
+    @pytest.mark.parametrize("factory", [GeneralBroadcastProtocol, LabelAssignmentProtocol])
+    @pytest.mark.parametrize("seed", range(3))
+    def test_all_invariants_hold(self, factory, seed):
+        net = random_digraph(15, seed=seed)
+        result = run_protocol(net, factory())
+        assert all_interval_invariants(result.states)
+        assert commodity_conserved(result.states)
+
+    def test_mapping_states_unwrapped(self):
+        net = random_digraph(10, seed=1)
+        result = run_protocol(net, MappingProtocol())
+        assert all_interval_invariants(result.states)
+
+    def test_conservation_holds_even_without_termination(self):
+        net = with_dead_end_vertex(random_digraph(10, seed=2))
+        result = run_protocol(net, GeneralBroadcastProtocol())
+        assert not result.terminated
+        assert commodity_conserved(result.states)
+
+
+class TestDetectViolations:
+    def _state_with(self, alphas, label=None):
+        state = GeneralState(len(alphas))
+        state.alphas = list(alphas)
+        state.label = label
+        state.coverage = alphas[0] if alphas else state.coverage
+        return state
+
+    def test_overlapping_alphas_detected(self):
+        half = IntervalUnion.of(Interval(Dyadic(0), Dyadic(1, 1)))
+        overlapping = IntervalUnion.of(Interval(Dyadic(1, 2), Dyadic(1)))
+        state = self._state_with([half, overlapping])
+        assert not alphas_pairwise_disjoint({0: state})
+
+    def test_out_of_unit_detected(self):
+        outside = IntervalUnion.of(Interval(Dyadic(1), Dyadic(3, 1)))
+        state = GeneralState(1)
+        state.coverage = outside
+        assert not coverage_within_unit({0: state})
+
+    def test_global_label_overlap_detected(self):
+        label = IntervalUnion.of(Interval(Dyadic(0), Dyadic(1, 1)))
+        a = GeneralState(1)
+        a.label = label
+        b = GeneralState(1)
+        b.label = label
+        assert not labels_disjoint_globally({0: a, 1: b})
+
+    def test_conservation_shortfall_detected(self):
+        state = GeneralState(1)
+        state.coverage = IntervalUnion.of(Interval(Dyadic(0), Dyadic(1, 1)))
+        assert not commodity_conserved({0: state})
+
+    def test_empty_population_is_conserved(self):
+        assert commodity_conserved({0: GeneralState(2)})
+
+
+class TestAsExplorationHook:
+    """The strongest use: invariants checked after *every* delivery on
+    *every* schedule of small instances."""
+
+    def test_broadcast_invariants_all_schedules(self):
+        net = DirectedNetwork(4, [(0, 2), (2, 3), (3, 2), (2, 1)], root=0, terminal=1)
+        result = explore_all_schedules(
+            net, GeneralBroadcastProtocol, invariant=all_interval_invariants
+        )
+        assert result.always_terminates
+
+    def test_labeling_invariants_all_schedules(self):
+        net = DirectedNetwork(
+            5, [(0, 2), (2, 3), (3, 4), (4, 2), (3, 1)], root=0, terminal=1
+        )
+        result = explore_all_schedules(
+            net, LabelAssignmentProtocol, invariant=all_interval_invariants
+        )
+        assert result.always_terminates

@@ -1,0 +1,141 @@
+"""Tests for the label-assignment protocol (Section 5)."""
+
+import pytest
+
+from repro.core.intervals import union_cost
+from repro.core.labeling import (
+    LabelAssignmentProtocol,
+    extract_labels,
+    labels_pairwise_disjoint,
+)
+from repro.graphs.constructions import full_tree_with_terminal, pruned_tree
+from repro.graphs.generators import (
+    random_dag,
+    random_digraph,
+    random_grounded_tree,
+    with_dead_end_vertex,
+)
+from repro.network.scheduler import make_standard_schedulers
+from repro.network.simulator import Outcome, run_protocol
+
+
+class TestLabelAssignment:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_every_internal_vertex_labeled(self, seed):
+        net = random_digraph(20, seed=seed)
+        result = run_protocol(net, LabelAssignmentProtocol())
+        assert result.terminated
+        labels = extract_labels(result.states)
+        assert set(labels) == set(net.internal_vertices())
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_labels_pairwise_disjoint(self, seed):
+        net = random_digraph(20, seed=seed)
+        result = run_protocol(net, LabelAssignmentProtocol())
+        labels = extract_labels(result.states)
+        assert labels_pairwise_disjoint(list(labels.values()))
+
+    def test_under_all_schedulers(self):
+        net = random_digraph(15, seed=8)
+        for scheduler in make_standard_schedulers():
+            result = run_protocol(net, LabelAssignmentProtocol(), scheduler)
+            assert result.terminated, scheduler.name
+            labels = extract_labels(result.states)
+            assert set(labels) == set(net.internal_vertices()), scheduler.name
+            assert labels_pairwise_disjoint(list(labels.values())), scheduler.name
+
+    def test_label_is_single_interval(self):
+        # Theorem 5.1's bit analysis: "each label is a single interval".
+        net = random_digraph(20, seed=2)
+        result = run_protocol(net, LabelAssignmentProtocol())
+        for label in extract_labels(result.states).values():
+            assert label.interval_count() == 1
+
+    def test_paper_default_leaves_endpoints_unlabeled(self):
+        net = random_digraph(15, seed=1)
+        result = run_protocol(net, LabelAssignmentProtocol())
+        assert result.states[net.root].label is None
+        assert result.states[net.terminal].label is None
+
+    def test_label_endpoints_extension(self):
+        net = random_digraph(15, seed=1)
+        result = run_protocol(net, LabelAssignmentProtocol(label_endpoints=True))
+        assert result.terminated
+        labels = extract_labels(result.states)
+        # Root keeps a slice before injecting; terminal adopts first α.
+        assert net.terminal in labels
+        assert labels_pairwise_disjoint(list(labels.values()))
+
+    def test_dead_end_blocks_termination(self):
+        net = with_dead_end_vertex(random_digraph(12, seed=3))
+        result = run_protocol(net, LabelAssignmentProtocol())
+        assert result.outcome is Outcome.QUIESCENT
+
+    def test_broadcast_subsumed(self):
+        net = random_digraph(15, seed=5)
+        result = run_protocol(net, LabelAssignmentProtocol("m"))
+        for v in range(net.num_vertices):
+            if v != net.root:
+                assert result.states[v].got_broadcast
+
+
+class TestLabelSizes:
+    def test_label_bits_bounded_by_v_log_d(self):
+        import math
+
+        for seed in range(3):
+            net = random_digraph(30, seed=seed)
+            result = run_protocol(net, LabelAssignmentProtocol())
+            bound = net.num_vertices * max(1.0, math.log2(net.max_out_degree()))
+            for label in extract_labels(result.states).values():
+                assert union_cost(label) <= 4 * bound + 32
+
+    def test_full_tree_leaf_labels_distinct(self):
+        net = full_tree_with_terminal(2, 6)
+        result = run_protocol(net, LabelAssignmentProtocol())
+        labels = extract_labels(result.states)
+        leaf_labels = [
+            labels[v]
+            for v in net.internal_vertices()
+            if net.out_degree(v) == 1
+            and net.edge_head(net.out_edge_ids(v)[0]) == net.terminal
+        ]
+        assert len(leaf_labels) == 64
+        assert labels_pairwise_disjoint(leaf_labels)
+
+    def test_pruned_tree_deep_label_grows_with_height(self):
+        bits = []
+        for h in (4, 8, 16):
+            net = pruned_tree(2, h)
+            result = run_protocol(net, LabelAssignmentProtocol())
+            label = result.states[2 + h].label
+            bits.append(union_cost(label))
+        assert bits[0] < bits[1] < bits[2]
+
+
+class TestDisjointnessChecker:
+    def test_detects_overlap(self):
+        from repro.core.dyadic import Dyadic
+        from repro.core.intervals import Interval, IntervalUnion
+
+        a = IntervalUnion.of(Interval(Dyadic(0), Dyadic(1, 1)))
+        b = IntervalUnion.of(Interval(Dyadic(1, 2), Dyadic(3, 2)))
+        assert not labels_pairwise_disjoint([a, b])
+
+    def test_accepts_touching(self):
+        from repro.core.dyadic import Dyadic
+        from repro.core.intervals import Interval, IntervalUnion
+
+        a = IntervalUnion.of(Interval(Dyadic(0), Dyadic(1, 1)))
+        b = IntervalUnion.of(Interval(Dyadic(1, 1), Dyadic(1)))
+        assert labels_pairwise_disjoint([a, b])
+
+    def test_multi_component_owners(self):
+        from repro.core.dyadic import Dyadic
+        from repro.core.intervals import Interval, IntervalUnion
+
+        a = IntervalUnion.of(
+            Interval(Dyadic(0), Dyadic(1, 2)), Interval(Dyadic(1, 1), Dyadic(3, 2))
+        )
+        b = IntervalUnion.of(Interval(Dyadic(1, 2), Dyadic(1, 1)))
+        assert labels_pairwise_disjoint([a, b])

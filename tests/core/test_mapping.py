@@ -1,0 +1,133 @@
+"""Tests for the topology-mapping protocol (Section 6 extension)."""
+
+import pytest
+
+from repro.core.mapping import (
+    ROOT_MARKER,
+    TERMINAL_MARKER,
+    EdgeFact,
+    MappingProtocol,
+    NetworkMap,
+    VertexFact,
+    _closure,
+)
+from repro.graphs.generators import (
+    path_network,
+    random_dag,
+    random_digraph,
+    with_dead_end_vertex,
+    with_stranded_cycle,
+)
+from repro.network.graph import DirectedNetwork
+from repro.network.scheduler import make_standard_schedulers
+from repro.network.simulator import Outcome, run_protocol
+
+
+def identity_map(net, result):
+    ident = {net.root: ROOT_MARKER, net.terminal: TERMINAL_MARKER}
+    for v in net.internal_vertices():
+        ident[v] = result.states[v].base.label
+    return ident
+
+
+class TestReconstruction:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_exact_on_random_digraphs(self, seed):
+        net = random_digraph(15, seed=seed)
+        result = run_protocol(net, MappingProtocol())
+        assert result.terminated
+        assert result.output is not None
+        assert result.output.matches_network(net, identity_map(net, result))
+
+    def test_exact_on_dags_and_paths(self):
+        for net in (random_dag(20, seed=1), path_network(6)):
+            result = run_protocol(net, MappingProtocol())
+            assert result.terminated
+            assert result.output.matches_network(net, identity_map(net, result))
+
+    def test_under_all_schedulers(self):
+        net = random_digraph(12, seed=5)
+        for scheduler in make_standard_schedulers(random_seeds=2):
+            result = run_protocol(net, MappingProtocol(), scheduler)
+            assert result.terminated, scheduler.name
+            assert result.output.matches_network(net, identity_map(net, result)), scheduler.name
+
+    def test_multi_edges_mapped(self):
+        # Two parallel edges a → b must appear twice in the map.
+        net = DirectedNetwork(4, [(0, 2), (2, 3), (2, 3), (3, 1)], root=0, terminal=1)
+        result = run_protocol(net, MappingProtocol())
+        assert result.terminated
+        netmap = result.output
+        ident = identity_map(net, result)
+        assert netmap.matches_network(net, ident)
+        assert netmap.edge_multiset()[(ident[2], ident[3])] == 2
+
+    def test_out_port_wiring_exact(self):
+        net = random_digraph(10, seed=7)
+        result = run_protocol(net, MappingProtocol())
+        netmap = result.output
+        ident = identity_map(net, result)
+        reverse = {label: v for v, label in ident.items()}
+        for fact in netmap.edges:
+            tail = reverse[fact.tail]
+            eid = net.out_edge_ids(tail)[fact.tail_port]
+            assert ident[net.edge_head(eid)] == fact.head
+
+
+class TestTermination:
+    def test_dead_end_blocks(self):
+        net = with_dead_end_vertex(random_digraph(10, seed=2))
+        result = run_protocol(net, MappingProtocol())
+        assert result.outcome is Outcome.QUIESCENT
+
+    def test_stranded_cycle_blocks(self):
+        net = with_stranded_cycle(random_digraph(10, seed=2))
+        result = run_protocol(net, MappingProtocol())
+        assert result.outcome is Outcome.QUIESCENT
+
+
+class TestClosure:
+    def test_incomplete_facts_rejected(self):
+        facts = {VertexFact(ROOT_MARKER, 1)}
+        assert _closure(facts) is None  # missing the root's edge
+
+    def test_missing_vertex_fact_rejected(self):
+        facts = {
+            VertexFact(ROOT_MARKER, 1),
+            EdgeFact(ROOT_MARKER, 0, "L1", 0),  # L1 has no VertexFact
+        }
+        assert _closure(facts) is None
+
+    def test_minimal_complete_map(self):
+        facts = {
+            VertexFact(ROOT_MARKER, 1),
+            EdgeFact(ROOT_MARKER, 0, TERMINAL_MARKER, 0),
+        }
+        netmap = _closure(facts)
+        assert netmap is not None
+        assert netmap.vertices == {ROOT_MARKER: 1, TERMINAL_MARKER: 0}
+        assert len(netmap.edges) == 1
+
+    def test_no_root_fact_rejected(self):
+        assert _closure({VertexFact(TERMINAL_MARKER, 0)}) is None
+
+    def test_unsaturated_out_degree_rejected(self):
+        facts = {
+            VertexFact(ROOT_MARKER, 2),
+            EdgeFact(ROOT_MARKER, 0, TERMINAL_MARKER, 0),
+        }
+        assert _closure(facts) is None
+
+
+class TestFactAccounting:
+    def test_fact_bits_positive(self):
+        assert VertexFact(ROOT_MARKER, 3).bits() > 0
+        assert EdgeFact(ROOT_MARKER, 0, TERMINAL_MARKER, 1).bits() > 0
+
+    def test_message_bits_include_facts(self):
+        net = path_network(4)
+        result = run_protocol(net, MappingProtocol(), record_trace=True)
+        assert result.terminated
+        sizes = [r.bits for r in result.trace.deliveries]
+        # Later messages carry more facts and cost more than the first.
+        assert max(sizes) > min(sizes)

@@ -1,0 +1,55 @@
+"""Tests for materialising a reconstructed map into a DirectedNetwork."""
+
+import pytest
+
+from repro.core.mapping import ROOT_MARKER, TERMINAL_MARKER, MappingProtocol
+from repro.graphs.generators import path_network, random_dag, random_digraph
+from repro.network.simulator import run_protocol
+
+
+def reconstruct(net):
+    result = run_protocol(net, MappingProtocol())
+    assert result.terminated
+    return result, result.output.to_network()
+
+
+class TestToNetwork:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_edge_multiset_isomorphic(self, seed):
+        net = random_digraph(12, seed=seed)
+        result, (rebuilt, ids) = reconstruct(net)
+        # Map ground-truth vertex → rebuilt vertex via the label identity.
+        identity = {net.root: ROOT_MARKER, net.terminal: TERMINAL_MARKER}
+        for v in net.internal_vertices():
+            identity[v] = result.states[v].base.label
+        mapping = {v: ids[identity[v]] for v in range(net.num_vertices)}
+        assert net.same_topology_under(rebuilt, mapping)
+
+    def test_out_ports_exact(self):
+        net = random_dag(10, seed=1)
+        result, (rebuilt, ids) = reconstruct(net)
+        identity = {net.root: ROOT_MARKER, net.terminal: TERMINAL_MARKER}
+        for v in net.internal_vertices():
+            identity[v] = result.states[v].base.label
+        for v in range(net.num_vertices):
+            rebuilt_v = ids[identity[v]]
+            truth_heads = [identity[h] for h in net.out_neighbors(v)]
+            rebuilt_heads = [
+                next(k for k, idx in ids.items() if idx == h)
+                for h in rebuilt.out_neighbors(rebuilt_v)
+            ]
+            assert truth_heads == rebuilt_heads  # same heads, same port order
+
+    def test_root_terminal_placement(self):
+        net = path_network(4)
+        _, (rebuilt, ids) = reconstruct(net)
+        assert rebuilt.root == ids[ROOT_MARKER] == 0
+        assert rebuilt.terminal == ids[TERMINAL_MARKER] == rebuilt.num_vertices - 1
+        assert rebuilt.out_degree(rebuilt.terminal) == 0
+        assert rebuilt.in_degree(rebuilt.root) == 0
+
+    def test_sizes_match(self):
+        net = random_digraph(10, seed=5)
+        _, (rebuilt, _) = reconstruct(net)
+        assert rebuilt.num_vertices == net.num_vertices
+        assert rebuilt.num_edges == net.num_edges

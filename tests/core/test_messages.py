@@ -1,0 +1,56 @@
+"""Tests for typed message payloads and their bit accounting."""
+
+import pytest
+
+from repro.core.dyadic import Dyadic
+from repro.core.intervals import EMPTY_UNION, UNIT_UNION, IntervalUnion, Interval
+from repro.core.messages import IntervalMessage, ScalarToken, TreeToken, payload_repr
+
+
+class TestTreeToken:
+    def test_value(self):
+        assert TreeToken(exponent=0).value == Dyadic(1)
+        assert TreeToken(exponent=3).value == Dyadic(1, 3)
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            TreeToken(exponent=-1)
+
+    def test_hashable_and_eq(self):
+        assert TreeToken(2) == TreeToken(2)
+        assert len({TreeToken(1), TreeToken(1), TreeToken(2)}) == 2
+
+    def test_bits_grow_with_exponent(self):
+        assert TreeToken(1000).structure_bits() > TreeToken(1).structure_bits()
+
+
+class TestScalarToken:
+    def test_bits_grow_with_precision(self):
+        narrow = ScalarToken(Dyadic(1, 1))
+        wide = ScalarToken(Dyadic((1 << 30) + 1, 31))
+        assert wide.structure_bits() > narrow.structure_bits()
+
+    def test_hashable(self):
+        assert len({ScalarToken(Dyadic(1, 1)), ScalarToken(Dyadic(1, 1))}) == 1
+
+
+class TestIntervalMessage:
+    def test_vacuous(self):
+        assert IntervalMessage(EMPTY_UNION, EMPTY_UNION).is_vacuous()
+        assert not IntervalMessage(UNIT_UNION, EMPTY_UNION).is_vacuous()
+
+    def test_bits_count_both_unions(self):
+        a = IntervalMessage(UNIT_UNION, EMPTY_UNION)
+        b = IntervalMessage(UNIT_UNION, UNIT_UNION)
+        assert b.structure_bits() > a.structure_bits()
+
+    def test_hashable(self):
+        m1 = IntervalMessage(UNIT_UNION, EMPTY_UNION)
+        m2 = IntervalMessage(UNIT_UNION, EMPTY_UNION)
+        assert m1 == m2
+        assert len({m1, m2}) == 1
+
+
+def test_payload_repr_truncates():
+    assert payload_repr("x" * 100).endswith("...")
+    assert payload_repr("short") == "'short'"

@@ -1,0 +1,100 @@
+"""Tests for the formal protocol model (VertexView, FunctionalProtocol)."""
+
+import pytest
+
+from repro.core.model import FunctionalProtocol, VertexView
+from repro.network.graph import DirectedNetwork
+from repro.network.simulator import Outcome, run_protocol
+
+
+class TestVertexView:
+    def test_fields(self):
+        view = VertexView(in_degree=2, out_degree=3)
+        assert view.in_degree == 2
+        assert view.out_degree == 3
+
+    def test_frozen(self):
+        view = VertexView(in_degree=1, out_degree=1)
+        with pytest.raises(Exception):
+            view.in_degree = 5  # type: ignore[misc]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            VertexView(in_degree=-1, out_degree=0)
+
+
+class TestFunctionalProtocol:
+    """A literal (f, g, S) hop-counter: each vertex forwards a counter + 1;
+    the terminal stops when it has seen a message at all — exercising the
+    paper's exact formal interface end to end."""
+
+    @staticmethod
+    def _make():
+        return FunctionalProtocol(
+            initial_state=0,
+            initial_message=1,
+            state_fn=lambda state, msg, in_port: max(state, msg),
+            message_fn=lambda state, msg, in_port, out_port: msg + 1,
+            stopping_predicate=lambda state: state > 0,
+            message_bits_fn=lambda msg: max(1, int(msg).bit_length()),
+            name="hop-counter",
+        )
+
+    def test_runs_on_path(self):
+        # s -> a -> b -> t
+        net = DirectedNetwork(4, [(0, 2), (2, 3), (3, 1)], root=0, terminal=1)
+        result = run_protocol(net, self._make())
+        assert result.outcome is Outcome.TERMINATED
+        # Terminal saw the hop count: 1 at a, 2 at b, 3 at t.
+        assert result.states[1] == 3
+
+    def test_initial_state_may_depend_on_view(self):
+        protocol = FunctionalProtocol(
+            initial_state=lambda view: view.out_degree,
+            initial_message="go",
+            state_fn=lambda state, msg, i: state,
+            message_fn=lambda state, msg, i, j: None,
+            stopping_predicate=lambda state: True,
+            message_bits_fn=lambda msg: 1,
+        )
+        net = DirectedNetwork(3, [(0, 2), (2, 1)], root=0, terminal=1)
+        result = run_protocol(net, protocol)
+        # Vertex 2 (out-degree 1) kept its degree-dependent initial state...
+        assert result.states[2] == 1
+        # ...and sent nothing on (φ everywhere), so only σ0 was delivered.
+        assert result.metrics.total_messages == 1
+
+    def test_phi_suppresses_messages(self):
+        protocol = FunctionalProtocol(
+            initial_state=0,
+            initial_message=0,
+            state_fn=lambda state, msg, i: state + 1,
+            message_fn=lambda state, msg, i, j: msg if j == 0 else None,
+            stopping_predicate=lambda state: state >= 1,
+            message_bits_fn=lambda msg: 1,
+        )
+        # Vertex 2 has two out-edges; only out-port 0 may carry messages.
+        net = DirectedNetwork(4, [(0, 2), (2, 1), (2, 3)], root=0, terminal=1)
+        result = run_protocol(net, protocol)
+        assert result.terminated
+        assert result.states[3] == 0  # port-1 target never received anything
+
+    def test_g_sees_pre_transition_state(self):
+        observed = []
+
+        def g(state, msg, i, j):
+            observed.append(state)
+            return msg
+
+        protocol = FunctionalProtocol(
+            initial_state=0,
+            initial_message=7,
+            state_fn=lambda state, msg, i: 99,
+            message_fn=g,
+            stopping_predicate=lambda state: state == 99,
+            message_bits_fn=lambda msg: 3,
+        )
+        net = DirectedNetwork(3, [(0, 2), (2, 1)], root=0, terminal=1)
+        run_protocol(net, protocol)
+        # g at vertex 2 ran against π (0), not π' (99), as the paper defines.
+        assert observed == [0]

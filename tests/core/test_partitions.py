@@ -1,0 +1,150 @@
+"""Tests for the paper's two partition schemes (Δ-split and canonical).
+
+Includes the repaired-vs-literal behaviour documented in DESIGN.md §4.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.dyadic import Dyadic
+from repro.core.intervals import (
+    EMPTY_UNION,
+    UNIT_INTERVAL,
+    UNIT_UNION,
+    Interval,
+    IntervalUnion,
+    canonical_partition,
+    canonical_partition_literal,
+    split_interval,
+)
+
+from ..conftest import unit_interval_unions, unit_intervals
+
+
+class TestSplitInterval:
+    def test_one_part_identity(self):
+        assert split_interval(UNIT_INTERVAL, 1) == [UNIT_INTERVAL]
+
+    def test_two_parts_halves(self):
+        parts = split_interval(UNIT_INTERVAL, 2)
+        assert parts[0] == Interval(Dyadic(0), Dyadic(1, 1))
+        assert parts[1] == Interval(Dyadic(1, 1), Dyadic(1))
+
+    def test_three_parts_delta_scheme(self):
+        # N = 4, Δ = 1/4: [0,1/4), [1/4,1/2), [1/2,1).
+        parts = split_interval(UNIT_INTERVAL, 3)
+        assert parts[0].measure() == Dyadic(1, 2)
+        assert parts[1].measure() == Dyadic(1, 2)
+        assert parts[2].measure() == Dyadic(1, 1)
+
+    def test_empty_interval(self):
+        empty = Interval(Dyadic(1, 1), Dyadic(1, 1))
+        assert all(p.is_empty() for p in split_interval(empty, 4))
+
+    def test_invalid_parts(self):
+        with pytest.raises(ValueError):
+            split_interval(UNIT_INTERVAL, 0)
+
+    @given(unit_intervals(), st.integers(min_value=1, max_value=9))
+    def test_parts_tile_the_interval(self, interval, k):
+        parts = split_interval(interval, k)
+        assert len(parts) == k
+        # Consecutive endpoints chain exactly.
+        cursor = interval.lo
+        for part in parts:
+            assert part.lo == cursor
+            cursor = part.hi
+        assert cursor == interval.hi
+
+    @given(unit_intervals(), st.integers(min_value=2, max_value=9))
+    def test_nonempty_input_gives_nonempty_parts(self, interval, k):
+        if interval.is_empty():
+            return
+        assert all(not p.is_empty() for p in split_interval(interval, k))
+
+    @given(unit_intervals(), st.integers(min_value=1, max_value=9))
+    def test_measure_preserved(self, interval, k):
+        parts = split_interval(interval, k)
+        total = parts[0].measure()
+        for p in parts[1:]:
+            total = total + p.measure()
+        assert total == interval.measure()
+
+
+class TestCanonicalPartition:
+    def test_one_part_identity(self):
+        assert canonical_partition(UNIT_UNION, 1) == [UNIT_UNION]
+
+    def test_empty_union(self):
+        parts = canonical_partition(EMPTY_UNION, 4)
+        assert parts == [EMPTY_UNION] * 4
+
+    def test_single_component_repaired(self):
+        # The erratum repair: with a single component every part non-empty.
+        parts = canonical_partition(UNIT_UNION, 3)
+        assert len(parts) == 3
+        assert all(not p.is_empty() for p in parts)
+
+    def test_multi_component_follows_paper(self):
+        alpha = IntervalUnion.of(
+            Interval(Dyadic(0), Dyadic(1, 2)),  # I1 = [0, 1/4)
+            Interval(Dyadic(1, 1), Dyadic(3, 2)),  # I2
+            Interval(Dyadic(7, 3), Dyadic(1)),  # I3
+        )
+        parts = canonical_partition(alpha, 3)
+        # Parts 1..d-1 split I1; part d is I2 ∪ I3.
+        assert parts[0].union(parts[1]) == IntervalUnion.of(Interval(Dyadic(0), Dyadic(1, 2)))
+        assert parts[2] == IntervalUnion.of(
+            Interval(Dyadic(1, 1), Dyadic(3, 2)), Interval(Dyadic(7, 3), Dyadic(1))
+        )
+
+    def test_invalid_parts(self):
+        with pytest.raises(ValueError):
+            canonical_partition(UNIT_UNION, 0)
+
+    @given(unit_interval_unions(), st.integers(min_value=1, max_value=6))
+    def test_partition_is_exact(self, alpha, d):
+        parts = canonical_partition(alpha, d)
+        assert len(parts) == d
+        # Pairwise disjoint.
+        for i in range(d):
+            for j in range(i + 1, d):
+                assert parts[i].intersection(parts[j]).is_empty()
+        # Union restores the input.
+        merged = EMPTY_UNION
+        for p in parts:
+            merged = merged.union(p)
+        assert merged == alpha
+
+    @given(unit_interval_unions(), st.integers(min_value=2, max_value=6))
+    def test_nonempty_alpha_gives_nonempty_parts(self, alpha, d):
+        if alpha.is_empty():
+            return
+        assert all(not p.is_empty() for p in canonical_partition(alpha, d))
+
+
+class TestLiteralCanonicalPartition:
+    def test_single_component_last_part_empty(self):
+        # The erratum, verbatim: r = 1 leaves part d empty.
+        parts = canonical_partition_literal(UNIT_UNION, 3)
+        assert parts[-1].is_empty()
+        assert all(not p.is_empty() for p in parts[:-1])
+
+    @given(unit_interval_unions(), st.integers(min_value=1, max_value=6))
+    def test_still_an_exact_partition(self, alpha, d):
+        parts = canonical_partition_literal(alpha, d)
+        merged = EMPTY_UNION
+        for p in parts:
+            merged = merged.union(p)
+        assert merged == alpha
+        for i in range(d):
+            for j in range(i + 1, d):
+                assert parts[i].intersection(parts[j]).is_empty()
+
+    def test_matches_repaired_on_multi_component_input(self):
+        alpha = IntervalUnion.of(
+            Interval(Dyadic(0), Dyadic(1, 2)),
+            Interval(Dyadic(1, 1), Dyadic(1)),
+        )
+        assert canonical_partition(alpha, 4) == canonical_partition_literal(alpha, 4)

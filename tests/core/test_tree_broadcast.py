@@ -1,0 +1,135 @@
+"""Tests for the grounded-tree broadcast protocol (Section 3.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dyadic import DYADIC_ONE, Dyadic
+from repro.core.tree_broadcast import TreeBroadcastProtocol, pow2_split_exponents
+from repro.graphs.constructions import caterpillar_gn
+from repro.graphs.generators import path_network, random_grounded_tree
+from repro.graphs.properties import is_grounded_tree
+from repro.network.graph import DirectedNetwork
+from repro.network.scheduler import make_standard_schedulers
+from repro.network.simulator import Outcome, run_protocol
+
+
+class TestSplitRule:
+    @given(st.integers(min_value=1, max_value=200))
+    def test_commodity_preserving(self, d):
+        incs = pow2_split_exponents(d)
+        assert len(incs) == d
+        total = sum(Dyadic.pow2(-inc) for inc in incs)
+        assert total == DYADIC_ONE
+
+    @given(st.integers(min_value=1, max_value=200))
+    def test_increments_are_ceil_log(self, d):
+        incs = pow2_split_exponents(d)
+        ceil_log = (d - 1).bit_length()
+        assert set(incs) <= {ceil_log, ceil_log - 1}
+
+    def test_degree_one_passthrough(self):
+        assert pow2_split_exponents(1) == [0]
+
+    def test_degree_three_matches_paper(self):
+        # d = 3: α = 2·3 − 4 = 2 edges at 2^-2, one at 2^-1.
+        assert pow2_split_exponents(3) == [2, 2, 1]
+
+    def test_invalid_degree(self):
+        with pytest.raises(ValueError):
+            pow2_split_exponents(0)
+
+
+class TestTermination:
+    def test_path(self):
+        result = run_protocol(path_network(10), TreeBroadcastProtocol())
+        assert result.outcome is Outcome.TERMINATED
+        # One message per edge on a grounded tree.
+        assert result.metrics.total_messages == path_network(10).num_edges
+
+    def test_caterpillar(self):
+        net = caterpillar_gn(20)
+        result = run_protocol(net, TreeBroadcastProtocol())
+        assert result.terminated
+        assert result.metrics.total_messages == net.num_edges
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_grounded_trees(self, seed):
+        net = random_grounded_tree(60, seed=seed)
+        assert is_grounded_tree(net)
+        result = run_protocol(net, TreeBroadcastProtocol())
+        assert result.terminated
+        assert result.metrics.total_messages == net.num_edges
+
+    def test_all_schedulers(self):
+        net = random_grounded_tree(40, seed=9)
+        for scheduler in make_standard_schedulers():
+            result = run_protocol(net, TreeBroadcastProtocol(), scheduler)
+            assert result.terminated, scheduler.name
+
+    def test_terminal_sum_exactly_one(self):
+        net = random_grounded_tree(30, seed=3)
+        result = run_protocol(net, TreeBroadcastProtocol())
+        assert result.states[net.terminal].received_sum == DYADIC_ONE
+
+    def test_dead_end_blocks_termination(self):
+        # s -> a; a -> b (dead end), a -> t: b's commodity never reaches t.
+        net = DirectedNetwork(5, [(0, 2), (2, 3), (2, 1)], root=0, terminal=1, validate=False)
+        result = run_protocol(net, TreeBroadcastProtocol())
+        assert result.outcome is Outcome.QUIESCENT
+        assert result.states[1].received_sum < DYADIC_ONE
+
+
+class TestBroadcastDelivery:
+    def test_everyone_receives_payload(self):
+        net = random_grounded_tree(50, seed=2)
+        result = run_protocol(net, TreeBroadcastProtocol("hello world"))
+        for v in range(net.num_vertices):
+            if v == net.root:
+                continue
+            assert result.states[v].got_broadcast
+            assert result.states[v].payload == "hello world"
+        assert result.output == "hello world"
+
+    def test_payload_bits_charged(self):
+        net = path_network(5)
+        free = run_protocol(net, TreeBroadcastProtocol())
+        paid = run_protocol(net, TreeBroadcastProtocol("mm"))  # 16 bits/message
+        assert (
+            paid.metrics.total_bits
+            == free.metrics.total_bits + 16 * paid.metrics.total_messages
+        )
+
+    def test_explicit_payload_bits_override(self):
+        protocol = TreeBroadcastProtocol(broadcast_payload=12345, payload_bits=20)
+        assert protocol.payload_bits == 20
+
+    def test_negative_payload_bits_rejected(self):
+        with pytest.raises(ValueError):
+            TreeBroadcastProtocol(payload_bits=-1)
+
+
+class TestComplexityShape:
+    def test_messages_are_powers_of_two(self):
+        net = random_grounded_tree(40, seed=1)
+        result = run_protocol(net, TreeBroadcastProtocol(), record_trace=True)
+        for record in result.trace.deliveries:
+            assert record.payload.value.is_power_of_two()
+
+    def test_max_message_bits_logarithmic(self):
+        # Theorem 3.1: O(log |E|) bits per message.  Constant 8 is generous.
+        for n in (50, 200, 800):
+            net = random_grounded_tree(n, seed=0)
+            result = run_protocol(net, TreeBroadcastProtocol())
+            import math
+
+            assert result.metrics.max_message_bits <= 8 * math.log2(net.num_edges)
+
+    def test_total_bits_e_log_e(self):
+        import math
+
+        for n in (100, 400):
+            net = random_grounded_tree(n, seed=0)
+            result = run_protocol(net, TreeBroadcastProtocol())
+            bound = net.num_edges * math.log2(net.num_edges)
+            assert result.metrics.total_bits <= 4 * bound

@@ -1,0 +1,93 @@
+"""Hypothesis property tests for the grounded-tree protocol's exactness.
+
+Theorem 3.1's proof rests on three exact facts the class implementation
+must deliver for *every* grounded tree, not just the sampled ones:
+
+1. every transmitted commodity value is a power of two,
+2. the per-vertex outgoing values sum exactly to the incoming value
+   (commodity preservation),
+3. the terminal's final sum is exactly 1, and exponents stay ``O(|E|)``
+   (which is what makes messages ``O(log |E|)`` bits).
+
+Trees are generated structurally by hypothesis (parent choice per vertex,
+optional extra terminal edges), exploring shapes the seeded generator's
+distribution rarely produces (long chains, stars, skewed combs).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dyadic import DYADIC_ONE
+from repro.core.tree_broadcast import TreeBroadcastProtocol
+from repro.graphs.properties import is_grounded_tree
+from repro.network.graph import DirectedNetwork
+from repro.network.simulator import run_protocol
+
+
+@st.composite
+def grounded_trees(draw, max_internal: int = 10) -> DirectedNetwork:
+    """Structurally arbitrary grounded trees (s=0, t=1, internal 2..)."""
+    n_internal = draw(st.integers(min_value=1, max_value=max_internal))
+    n = n_internal + 2
+    edges = [(0, 2)]
+    children = {v: 0 for v in range(2, n)}
+    for child in range(3, n):
+        parent = draw(st.integers(min_value=2, max_value=child - 1))
+        edges.append((parent, child))
+        children[parent] += 1
+    for v in range(2, n):
+        if children[v] == 0 or draw(st.booleans()):
+            edges.append((v, 1))
+    return DirectedNetwork(n, edges, root=0, terminal=1, strict_root=True)
+
+
+SETTINGS = settings(max_examples=80, deadline=None)
+
+
+@SETTINGS
+@given(grounded_trees())
+def test_generated_trees_are_grounded(net):
+    assert is_grounded_tree(net)
+    assert net.all_connected_to_terminal()
+
+
+@SETTINGS
+@given(grounded_trees())
+def test_all_values_are_powers_of_two(net):
+    result = run_protocol(net, TreeBroadcastProtocol(), record_trace=True)
+    assert result.terminated
+    for record in result.trace.deliveries:
+        assert record.payload.value.is_power_of_two()
+
+
+@SETTINGS
+@given(grounded_trees())
+def test_commodity_preserved_per_vertex(net):
+    result = run_protocol(net, TreeBroadcastProtocol(), record_trace=True)
+    per_edge = {eid: result.trace.symbols_on_edge(eid)[0] for eid in range(net.num_edges)}
+    for v in net.internal_vertices():
+        incoming = per_edge[net.in_edge_ids(v)[0]].value
+        outgoing = [per_edge[eid].value for eid in net.out_edge_ids(v)]
+        total = outgoing[0]
+        for value in outgoing[1:]:
+            total = total + value
+        assert total == incoming
+
+
+@SETTINGS
+@given(grounded_trees())
+def test_terminal_sum_exactly_one_and_one_message_per_edge(net):
+    result = run_protocol(net, TreeBroadcastProtocol(), record_trace=True)
+    assert result.states[net.terminal].received_sum == DYADIC_ONE
+    assert result.metrics.total_messages == net.num_edges
+    assert result.metrics.max_edge_messages == 1
+
+
+@SETTINGS
+@given(grounded_trees())
+def test_exponents_linear_in_edges(net):
+    result = run_protocol(net, TreeBroadcastProtocol(), record_trace=True)
+    worst = max(record.payload.exponent for record in result.trace.deliveries)
+    # Each vertex adds ⌈log₂ d⌉ ≤ log₂(2d) along a path; summed over a path
+    # this is at most Σ (1 + log₂ d_v) ≤ |V| + |E| ≤ 2|E| + 2.
+    assert worst <= 2 * net.num_edges + 2

@@ -1,0 +1,153 @@
+"""Tests for the paper's witness constructions (Figures 4, 5, 6)."""
+
+import pytest
+
+from repro.graphs.constructions import (
+    caterpillar_gn,
+    full_tree_path_vertices,
+    full_tree_with_terminal,
+    pruned_tree,
+    skeleton_tree,
+    skeleton_tree_hairs,
+    truncate_at_cut,
+)
+from repro.graphs.properties import is_dag, is_grounded_tree, is_linear_cut
+
+
+class TestCaterpillarGn:
+    def test_matches_paper_counts(self):
+        # "Gₙ has n + 2 vertices and 2n edges."
+        for n in (1, 5, 20):
+            net = caterpillar_gn(n)
+            assert net.num_vertices == n + 2
+            assert net.num_edges == 2 * n
+
+    def test_is_grounded_tree(self):
+        assert is_grounded_tree(caterpillar_gn(10))
+
+    def test_spine_out_degrees(self):
+        net = caterpillar_gn(5)
+        # v_1 .. v_4 have out-degree 2, v_5 only the edge to t.
+        for i in range(1, 5):
+            assert net.out_degree(1 + i) == 2
+        assert net.out_degree(6) == 1
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            caterpillar_gn(0)
+
+
+class TestSkeletonTree:
+    def test_counts(self):
+        net = skeleton_tree(3)
+        # s, t, w + 2n spine + 2n-1 hairs = 3 + 6 + 5.
+        assert net.num_vertices == 14
+        assert is_dag(net)
+
+    def test_hairs(self):
+        assert skeleton_tree_hairs(4) == [0, 2, 4, 6]
+
+    def test_subset_wiring(self):
+        n = 3
+        chosen = [0, 4]
+        net = skeleton_tree(n, subset=chosen)
+        w = 2
+        u = lambda i: 3 + 2 * n + i
+        assert net.in_degree(w) == len(chosen)
+        for i in range(2 * n - 1):
+            head = net.edge_head(net.out_edge_ids(u(i))[0])
+            assert head == (w if i in chosen else net.terminal)
+
+    def test_spine_port_order(self):
+        # Port 0 = spine continuation (left), port 1 = hair (right).
+        n = 3
+        net = skeleton_tree(n)
+        v = lambda i: 3 + i
+        for i in range(2 * n - 2):
+            outs = net.out_edge_ids(v(i))
+            assert net.edge_head(outs[0]) == v(i + 1)
+
+    def test_rejects_odd_subset_member(self):
+        with pytest.raises(ValueError):
+            skeleton_tree(3, subset=[1])
+
+    def test_rejects_out_of_range_subset(self):
+        with pytest.raises(ValueError):
+            skeleton_tree(3, subset=[10])
+
+
+class TestFullAndPrunedTrees:
+    def test_full_tree_counts(self):
+        net = full_tree_with_terminal(2, 3)
+        # s + tree root + 2 + 4 + 8 internal + t = 17
+        assert net.num_vertices == 17
+        assert is_grounded_tree(net)
+
+    def test_leaves_wired_to_terminal(self):
+        net = full_tree_with_terminal(3, 2)
+        leaves = [
+            v
+            for v in net.internal_vertices()
+            if net.out_degree(v) == 1
+            and net.edge_head(net.out_edge_ids(v)[0]) == net.terminal
+        ]
+        assert len(leaves) == 9
+
+    def test_path_vertices(self):
+        path = full_tree_path_vertices(2, 3, [0, 1, 0])
+        assert len(path) == 4
+        assert path[0] == 2  # tree root
+        net = full_tree_with_terminal(2, 3)
+        # Consecutive path vertices are connected by an edge at the chosen port.
+        for k, (a, b) in enumerate(zip(path, path[1:])):
+            outs = net.out_edge_ids(a)
+            assert net.edge_head(outs[[0, 1, 0][k]]) == b
+
+    def test_pruned_counts_match_paper(self):
+        # "a new graph with a total of h + 3 vertices and maximal out-degree d"
+        net = pruned_tree(4, 6)
+        assert net.num_vertices == 6 + 3
+        assert net.max_out_degree() == 4
+        assert is_grounded_tree(net)
+
+    def test_pruned_port_positions(self):
+        choices = [2, 0, 1]
+        net = pruned_tree(3, 3, choices)
+        for k in range(3):
+            w_k = 2 + k
+            outs = net.out_edge_ids(w_k)
+            assert len(outs) == 3
+            for port in range(3):
+                head = net.edge_head(outs[port])
+                if port == choices[k]:
+                    assert head == 2 + k + 1
+                else:
+                    assert head == net.terminal
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pruned_tree(1, 3)
+        with pytest.raises(ValueError):
+            pruned_tree(2, 3, [0, 0])  # wrong length
+        with pytest.raises(ValueError):
+            pruned_tree(2, 3, [0, 0, 5])  # out of range
+
+
+class TestTruncateAtCut:
+    def test_snapshot_surgery(self):
+        net = caterpillar_gn(5)
+        # V1 = {s, v1, v2}: ancestor-closed, a linear cut.
+        v1 = {0, 2, 3}
+        assert is_linear_cut(net, v1)
+        star = truncate_at_cut(net, v1)
+        assert star.num_vertices == 4  # s, v1, v2, new t
+        assert is_grounded_tree(star)
+        # Cut-crossing edges: v1→t, v2→v3, v2→t — all now enter new t.
+        assert star.in_degree(star.terminal) == 3
+
+    def test_rejects_bad_v1(self):
+        net = caterpillar_gn(3)
+        with pytest.raises(ValueError):
+            truncate_at_cut(net, {2})  # root missing
+        with pytest.raises(ValueError):
+            truncate_at_cut(net, {0, 1})  # terminal included

@@ -1,0 +1,117 @@
+"""Tests for the random graph generators."""
+
+import pytest
+
+from repro.graphs.generators import (
+    layered_diamond_dag,
+    path_network,
+    random_dag,
+    random_digraph,
+    random_grounded_tree,
+    with_dead_end_vertex,
+    with_stranded_cycle,
+)
+from repro.graphs.properties import classify, is_dag, is_grounded_tree
+
+
+class TestGroundedTrees:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_structure(self, seed):
+        net = random_grounded_tree(40, seed=seed)
+        assert is_grounded_tree(net)
+        assert net.all_reachable_from_root()
+        assert net.all_connected_to_terminal()
+
+    def test_deterministic(self):
+        a = random_grounded_tree(30, seed=7)
+        b = random_grounded_tree(30, seed=7)
+        assert a.edges == b.edges
+
+    def test_seed_changes_structure(self):
+        a = random_grounded_tree(30, seed=1)
+        b = random_grounded_tree(30, seed=2)
+        assert a.edges != b.edges
+
+    def test_size(self):
+        net = random_grounded_tree(25, seed=0)
+        assert net.num_vertices == 27
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            random_grounded_tree(0)
+
+
+class TestDags:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_acyclic_and_connected(self, seed):
+        net = random_dag(40, seed=seed)
+        assert is_dag(net)
+        assert net.all_reachable_from_root()
+        assert net.all_connected_to_terminal()
+
+    def test_denser_than_tree(self):
+        tree = random_grounded_tree(40, seed=3)
+        dag = random_dag(40, seed=3)
+        assert dag.num_edges > tree.num_edges
+
+
+class TestDigraphs:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_connected_both_ways(self, seed):
+        net = random_digraph(40, seed=seed)
+        assert net.all_reachable_from_root()
+        assert net.all_connected_to_terminal()
+
+    def test_usually_cyclic(self):
+        cyclic = sum(not random_digraph(40, seed=s).is_acyclic() for s in range(10))
+        assert cyclic >= 8
+
+    def test_classify(self):
+        assert classify(random_grounded_tree(20, seed=0)) == "grounded-tree"
+        assert classify(random_dag(20, seed=0)) == "dag"
+        assert classify(random_digraph(20, seed=1)) in ("dag", "general")
+
+
+class TestSpecialShapes:
+    def test_path(self):
+        net = path_network(5)
+        assert is_grounded_tree(net)
+        assert net.num_vertices == 7
+        assert net.num_edges == 6
+
+    def test_diamond_dag(self):
+        net = layered_diamond_dag(4)
+        assert is_dag(net)
+        assert net.max_out_degree() == 2
+        # 2 vertices per layer, entry + s + t.
+        assert net.num_vertices == 3 + 2 * 4
+
+    def test_diamond_rejects_zero(self):
+        with pytest.raises(ValueError):
+            layered_diamond_dag(0)
+
+
+class TestBadGraphMutators:
+    def test_dead_end(self):
+        base = random_digraph(15, seed=0)
+        bad = with_dead_end_vertex(base)
+        assert bad.num_vertices == base.num_vertices + 1
+        assert not bad.all_connected_to_terminal()
+        assert bad.all_reachable_from_root()
+        dead = bad.num_vertices - 1
+        assert bad.out_degree(dead) == 0
+
+    def test_stranded_cycle(self):
+        base = random_digraph(15, seed=0)
+        bad = with_stranded_cycle(base)
+        assert bad.num_vertices == base.num_vertices + 2
+        assert not bad.all_connected_to_terminal()
+        assert bad.all_reachable_from_root()
+        assert not bad.is_acyclic()
+
+    def test_rejects_bad_attach_point(self):
+        base = random_digraph(10, seed=0)
+        with pytest.raises(ValueError):
+            with_dead_end_vertex(base, attach_to=base.root)
+        with pytest.raises(ValueError):
+            with_stranded_cycle(base, attach_to=base.terminal)

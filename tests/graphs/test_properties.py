@@ -1,0 +1,83 @@
+"""Tests for structural predicates and linear-cut enumeration."""
+
+import pytest
+
+from repro.graphs.constructions import caterpillar_gn
+from repro.graphs.generators import path_network, random_dag, random_digraph, random_grounded_tree
+from repro.graphs.properties import (
+    classify,
+    cut_edges,
+    is_dag,
+    is_grounded_tree,
+    is_linear_cut,
+    linear_cuts,
+)
+from repro.network.graph import DirectedNetwork
+
+
+class TestPredicates:
+    def test_grounded_tree_positive(self):
+        assert is_grounded_tree(path_network(4))
+        assert is_grounded_tree(caterpillar_gn(6))
+
+    def test_grounded_tree_negative(self):
+        net = random_dag(20, seed=0)
+        if any(net.in_degree(v) > 1 for v in net.internal_vertices()):
+            assert not is_grounded_tree(net)
+
+    def test_dag(self):
+        assert is_dag(random_dag(20, seed=1))
+        assert not is_dag(
+            DirectedNetwork(4, [(0, 2), (2, 3), (3, 2), (2, 1)], root=0, terminal=1)
+        )
+
+    def test_classify_hierarchy(self):
+        assert classify(path_network(3)) == "grounded-tree"
+        cyclic = DirectedNetwork(4, [(0, 2), (2, 3), (3, 2), (2, 1)], root=0, terminal=1)
+        assert classify(cyclic) == "general"
+
+
+class TestLinearCuts:
+    def test_definition(self):
+        net = caterpillar_gn(4)
+        assert is_linear_cut(net, {0, 2})  # {s, v1}
+        assert is_linear_cut(net, {0, 2, 3})
+        # v2 without v1: v2's ancestor is on the wrong side.
+        assert not is_linear_cut(net, {0, 3})
+        # Both sides must be non-empty / proper.
+        assert not is_linear_cut(net, set())
+        assert not is_linear_cut(net, set(range(net.num_vertices)))
+
+    def test_enumeration_is_valid_and_complete_on_path(self):
+        net = path_network(3)  # s v1 v2 v3 t — ancestor-closed prefixes only
+        cuts = list(linear_cuts(net))
+        for v1 in cuts:
+            assert is_linear_cut(net, v1)
+        # Prefixes {s}, {s,v1}, {s,v1,v2}, {s,v1,v2,v3}.
+        assert len(cuts) == 4
+
+    def test_enumeration_on_caterpillar(self):
+        net = caterpillar_gn(3)
+        cuts = list(linear_cuts(net))
+        assert all(is_linear_cut(net, v1) for v1 in cuts)
+        assert {0, 2} in cuts and {0, 2, 3} in cuts
+
+    def test_enumeration_respects_cap(self):
+        net = random_dag(12, seed=0)
+        cuts = list(linear_cuts(net, max_cuts=5))
+        assert len(cuts) <= 5
+
+    def test_cyclic_rejected(self):
+        net = DirectedNetwork(4, [(0, 2), (2, 3), (3, 2), (2, 1)], root=0, terminal=1)
+        with pytest.raises(ValueError):
+            list(linear_cuts(net))
+
+    def test_cut_edges(self):
+        net = caterpillar_gn(3)
+        v1 = {0, 2}  # {s, v1}
+        edges = cut_edges(net, v1)
+        # v1 → v2 and v1 → t cross.
+        assert len(edges) == 2
+        for eid in edges:
+            assert net.edge_tail(eid) in v1
+            assert net.edge_head(eid) not in v1

@@ -1,0 +1,69 @@
+"""Tests for the geometric sensor-field generator and longest-path helper."""
+
+import pytest
+
+from repro.core.general_broadcast import GeneralBroadcastProtocol
+from repro.graphs.generators import geometric_sensor_field, path_network, random_dag
+from repro.graphs.properties import longest_path_length
+from repro.network.graph import DirectedNetwork
+from repro.network.simulator import run_protocol
+
+
+class TestSensorField:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_model_assumptions_hold(self, seed):
+        net = geometric_sensor_field(30, seed=seed)
+        assert net.in_degree(net.root) == 0
+        assert net.out_degree(net.root) == 1
+        assert net.out_degree(net.terminal) == 0
+        assert net.all_reachable_from_root()
+        assert net.all_connected_to_terminal()
+
+    def test_deterministic(self):
+        a = geometric_sensor_field(20, seed=5)
+        b = geometric_sensor_field(20, seed=5)
+        assert a.edges == b.edges
+
+    def test_links_are_asymmetric(self):
+        # Directedness is the point: some link must lack its reverse.
+        net = geometric_sensor_field(30, seed=1)
+        edge_set = set(net.edges)
+        asymmetric = [
+            (a, b)
+            for (a, b) in edge_set
+            if a not in (net.root,) and b not in (net.terminal,) and (b, a) not in edge_set
+        ]
+        assert asymmetric
+
+    def test_density_scales_with_range(self):
+        sparse = geometric_sensor_field(30, seed=2, base_range=0.15, range_spread=0.05)
+        dense = geometric_sensor_field(30, seed=2, base_range=0.5, range_spread=0.2)
+        assert dense.num_edges > sparse.num_edges
+
+    def test_broadcast_runs(self):
+        net = geometric_sensor_field(15, seed=3, base_range=0.3, range_spread=0.1)
+        result = run_protocol(net, GeneralBroadcastProtocol("fw"))
+        assert result.terminated
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            geometric_sensor_field(1)
+
+
+class TestLongestPath:
+    def test_path_network(self):
+        assert longest_path_length(path_network(5)) == 6
+
+    def test_dag(self):
+        net = DirectedNetwork(5, [(0, 2), (2, 3), (2, 4), (3, 4), (4, 1)], root=0, terminal=1)
+        assert longest_path_length(net) == 4  # s→2→3→4→t
+
+    def test_random_dag_bounds(self):
+        net = random_dag(30, seed=0)
+        depth = longest_path_length(net)
+        assert 1 <= depth < net.num_vertices
+
+    def test_cyclic_rejected(self):
+        net = DirectedNetwork(4, [(0, 2), (2, 3), (3, 2), (2, 1)], root=0, terminal=1)
+        with pytest.raises(ValueError):
+            longest_path_length(net)

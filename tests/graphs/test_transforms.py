@@ -1,0 +1,97 @@
+"""Tests for the multi-root / multi-terminal model extensions (§2)."""
+
+import pytest
+
+from repro.core.general_broadcast import GeneralBroadcastProtocol
+from repro.core.labeling import LabelAssignmentProtocol, extract_labels, labels_pairwise_disjoint
+from repro.core.tree_broadcast import TreeBroadcastProtocol
+from repro.graphs.transforms import merge_roots, merge_terminals, relax_root_degree
+from repro.network.graph import DirectedNetwork
+from repro.network.simulator import Outcome, run_protocol
+
+
+class TestMergeRoots:
+    def test_two_sources(self):
+        # Sources 0 and 1 feed a shared middle 2 which reaches sink 3.
+        net = merge_roots(4, [(0, 2), (1, 2), (2, 3)], roots=[0, 1], terminal=3)
+        assert net.root == 4
+        assert net.out_degree(4) == 2
+        assert net.in_degree(4) == 0
+        assert net.all_reachable_from_root()
+
+    def test_broadcast_runs_with_multi_out_root(self):
+        net = merge_roots(4, [(0, 2), (1, 2), (2, 3)], roots=[0, 1], terminal=3)
+        result = run_protocol(net, GeneralBroadcastProtocol("m"))
+        assert result.terminated
+        for v in (0, 1, 2):
+            assert result.states[v].got_broadcast
+
+    def test_tree_protocol_splits_root_commodity(self):
+        # Two disjoint chains from two sources into one sink.
+        net = merge_roots(5, [(0, 2), (2, 4), (1, 3), (3, 4)], roots=[0, 1], terminal=4)
+        result = run_protocol(net, TreeBroadcastProtocol())
+        assert result.terminated
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            merge_roots(3, [(0, 2)], roots=[], terminal=2)
+        with pytest.raises(ValueError):
+            merge_roots(3, [(0, 2)], roots=[2], terminal=2)
+        with pytest.raises(ValueError):
+            merge_roots(3, [(0, 1), (1, 2)], roots=[1], terminal=2)  # root has in-edge
+
+
+class TestMergeTerminals:
+    def test_two_sinks(self):
+        net = merge_terminals(4, [(0, 1), (1, 2), (1, 3)], root=0, terminals=[2, 3])
+        assert net.terminal == 4
+        assert net.in_degree(4) == 2
+        assert net.out_degree(4) == 0
+        assert net.all_connected_to_terminal()
+
+    def test_broadcast_certifies_union_of_sinks(self):
+        net = merge_terminals(4, [(0, 1), (1, 2), (1, 3)], root=0, terminals=[2, 3])
+        result = run_protocol(net, GeneralBroadcastProtocol("m"))
+        assert result.terminated
+
+    def test_labeling_on_merged(self):
+        net = merge_terminals(5, [(0, 1), (1, 2), (1, 3), (2, 4), (3, 4)], root=0, terminals=[4])
+        result = run_protocol(net, LabelAssignmentProtocol())
+        assert result.terminated
+        labels = extract_labels(result.states)
+        assert labels_pairwise_disjoint(list(labels.values()))
+
+    def test_unreachable_sink_blocks(self):
+        # Sink 3 is unreachable-from-s? No — model requires reachability;
+        # instead: a vertex that reaches neither sink blocks termination.
+        net = merge_terminals(5, [(0, 1), (1, 2), (1, 4), (1, 3)], root=0, terminals=[2, 3])
+        # vertex 4 is a dead end (reaches no sink).
+        result = run_protocol(net, GeneralBroadcastProtocol())
+        assert result.outcome is Outcome.QUIESCENT
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            merge_terminals(3, [(0, 1)], root=0, terminals=[])
+        with pytest.raises(ValueError):
+            merge_terminals(3, [(0, 1)], root=0, terminals=[0])
+        with pytest.raises(ValueError):
+            merge_terminals(3, [(0, 1), (1, 2)], root=0, terminals=[1])  # has out-edge
+
+
+class TestRelaxRootDegree:
+    def test_round_trip(self):
+        strict = DirectedNetwork(3, [(0, 2), (2, 1)], root=0, terminal=1, strict_root=True)
+        relaxed = relax_root_degree(strict)
+        assert relaxed.edges == strict.edges
+        assert relaxed.root == strict.root
+
+    def test_combined_extensions_run_end_to_end(self):
+        # Multi-source, multi-sink, cyclic middle — all three §2 extensions.
+        edges = [(0, 2), (1, 3), (2, 3), (3, 2), (2, 4), (3, 5)]
+        multi = merge_roots(6, edges, roots=[0, 1], terminal=5)
+        # merge_roots produced vertex 6 as root; now merge sinks 4 and 5.
+        combined = merge_terminals(
+            multi.num_vertices, list(multi.edges), root=multi.root, terminals=[4, 5]
+        )
+        result = run_protocol(combined, GeneralBroadcastProtocol("m"))
+        assert result.terminated

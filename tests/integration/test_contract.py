@@ -1,0 +1,111 @@
+"""Every shipped protocol passes the conformance battery; broken ones fail it."""
+
+import pytest
+
+from repro.baselines.naive_tree import NaiveTreeBroadcastProtocol
+from repro.core.dag_broadcast import DagBroadcastProtocol
+from repro.core.general_broadcast import GeneralBroadcastProtocol
+from repro.core.labeling import LabelAssignmentProtocol
+from repro.core.mapping import MappingProtocol
+from repro.core.tree_broadcast import TreeBroadcastProtocol
+from repro.graphs.generators import (
+    random_dag,
+    random_digraph,
+    random_grounded_tree,
+    with_dead_end_vertex,
+)
+from repro.testing import ContractViolation, check_protocol_contract
+
+
+class TestShippedProtocolsConform:
+    def test_tree_broadcast(self):
+        report = check_protocol_contract(
+            TreeBroadcastProtocol,
+            good_networks=[random_grounded_tree(15, seed=s) for s in range(2)],
+        )
+        assert "determinism" in report.checks
+        assert "anonymity-invariance" in report.checks
+
+    def test_dag_broadcast(self):
+        report = check_protocol_contract(
+            DagBroadcastProtocol,
+            good_networks=[random_dag(15, seed=s) for s in range(2)],
+        )
+        assert report.runs > 0
+
+    def test_general_broadcast(self):
+        report = check_protocol_contract(
+            GeneralBroadcastProtocol,
+            good_networks=[random_digraph(10, seed=s) for s in range(2)],
+            bad_networks=[with_dead_end_vertex(random_digraph(8, seed=0))],
+        )
+        assert "non-termination-on-bad-graphs" in report.checks
+
+    def test_labeling(self):
+        check_protocol_contract(
+            LabelAssignmentProtocol,
+            good_networks=[random_digraph(10, seed=1)],
+            bad_networks=[with_dead_end_vertex(random_digraph(8, seed=1))],
+        )
+
+    def test_mapping(self):
+        check_protocol_contract(
+            MappingProtocol,
+            good_networks=[random_digraph(8, seed=2)],
+            bad_networks=[with_dead_end_vertex(random_digraph(6, seed=2))],
+        )
+
+    def test_naive_baseline(self):
+        check_protocol_contract(
+            NaiveTreeBroadcastProtocol,
+            good_networks=[random_grounded_tree(10, seed=3)],
+        )
+
+
+class TestViolationsAreCaught:
+    def test_literal_partition_fails_negative_contract(self):
+        """The erratum, re-expressed as a contract violation: the literal
+        rule terminates on a last-port dead end."""
+        from repro.network.graph import DirectedNetwork
+
+        bad = DirectedNetwork(
+            5, [(0, 2), (2, 3), (2, 4), (3, 1)], root=0, terminal=1, validate=False
+        )
+        with pytest.raises(ContractViolation):
+            check_protocol_contract(
+                lambda: GeneralBroadcastProtocol(partition_rule="literal"),
+                good_networks=[],
+                bad_networks=[bad],
+            )
+
+    def test_identity_using_protocol_fails_anonymity(self):
+        """A protocol that sneaks global state across instances to behave
+        differently per run is caught by the determinism check."""
+        from repro.core.model import FunctionalProtocol
+
+        counter = {"n": 0}
+
+        def make():
+            counter["n"] += 1
+            salt = counter["n"]
+            return FunctionalProtocol(
+                initial_state=0,
+                initial_message=1,
+                state_fn=lambda state, msg, i: msg,
+                message_fn=lambda state, msg, i, j: msg + salt,
+                stopping_predicate=lambda state: state >= 1,
+                message_bits_fn=lambda msg: max(1, int(msg).bit_length()),
+            )
+
+        with pytest.raises(ContractViolation):
+            check_protocol_contract(
+                make, good_networks=[random_grounded_tree(6, seed=0)]
+            )
+
+    def test_nonterminating_protocol_fails_positive_contract(self):
+        from repro.baselines.flooding import FloodingProtocol
+
+        with pytest.raises(ContractViolation):
+            check_protocol_contract(
+                FloodingProtocol, good_networks=[random_digraph(8, seed=0)]
+            )

@@ -1,0 +1,106 @@
+"""Integration matrix: every protocol × every graph class × every scheduler.
+
+The paper's correctness statements are ∀-schedule claims over graph classes;
+this module is the systematic sweep.  Protocol applicability:
+
+* grounded trees — all four protocols are sound;
+* DAGs — DAG/general/labeling/mapping sound (tree protocol becomes the
+  eager ablation variant: still terminates, message count may blow up);
+* general digraphs — general/labeling/mapping sound; the DAG protocol
+  deadlocks (correct non-termination by quiescence).
+"""
+
+import pytest
+
+from repro.core.dag_broadcast import DagBroadcastProtocol
+from repro.core.general_broadcast import GeneralBroadcastProtocol
+from repro.core.labeling import LabelAssignmentProtocol, extract_labels, labels_pairwise_disjoint
+from repro.core.mapping import MappingProtocol
+from repro.core.tree_broadcast import TreeBroadcastProtocol
+from repro.graphs.generators import random_dag, random_digraph, random_grounded_tree
+from repro.network.scheduler import make_standard_schedulers
+from repro.network.simulator import run_protocol
+
+SCHEDULER_COUNT = len(make_standard_schedulers(random_seeds=2))
+
+TREE_PROTOCOLS = [
+    TreeBroadcastProtocol,
+    DagBroadcastProtocol,
+    GeneralBroadcastProtocol,
+    LabelAssignmentProtocol,
+    MappingProtocol,
+]
+DAG_PROTOCOLS = [
+    DagBroadcastProtocol,
+    GeneralBroadcastProtocol,
+    LabelAssignmentProtocol,
+    MappingProtocol,
+]
+GENERAL_PROTOCOLS = [GeneralBroadcastProtocol, LabelAssignmentProtocol, MappingProtocol]
+
+
+@pytest.mark.parametrize("factory", TREE_PROTOCOLS)
+@pytest.mark.parametrize("scheduler_index", range(SCHEDULER_COUNT))
+def test_grounded_tree_matrix(factory, scheduler_index):
+    net = random_grounded_tree(20, seed=31)
+    scheduler = make_standard_schedulers(random_seeds=2)[scheduler_index]
+    result = run_protocol(net, factory("m"), scheduler)
+    assert result.terminated, (factory.__name__, scheduler.name)
+
+
+@pytest.mark.parametrize("factory", DAG_PROTOCOLS)
+@pytest.mark.parametrize("scheduler_index", range(SCHEDULER_COUNT))
+def test_dag_matrix(factory, scheduler_index):
+    net = random_dag(18, seed=17)
+    scheduler = make_standard_schedulers(random_seeds=2)[scheduler_index]
+    result = run_protocol(net, factory("m"), scheduler)
+    assert result.terminated, (factory.__name__, scheduler.name)
+
+
+@pytest.mark.parametrize("factory", GENERAL_PROTOCOLS)
+@pytest.mark.parametrize("scheduler_index", range(SCHEDULER_COUNT))
+def test_general_matrix(factory, scheduler_index):
+    net = random_digraph(15, seed=23)
+    scheduler = make_standard_schedulers(random_seeds=2)[scheduler_index]
+    result = run_protocol(net, factory("m"), scheduler)
+    assert result.terminated, (factory.__name__, scheduler.name)
+
+
+@pytest.mark.parametrize("factory", GENERAL_PROTOCOLS)
+def test_broadcast_delivery_invariant(factory):
+    """Whenever a protocol terminates, every vertex has the payload — the
+    delivery half of every correctness theorem."""
+    for seed in range(3):
+        net = random_digraph(15, seed=seed)
+        result = run_protocol(net, factory("payload"))
+        assert result.terminated
+        for v in range(net.num_vertices):
+            if v == net.root:
+                continue
+            state = result.states[v]
+            got = getattr(state, "got_broadcast", None)
+            if got is None:  # mapping wraps the labeling state
+                got = state.base.got_broadcast
+            assert got, (factory.__name__, seed, v)
+
+
+def test_labeling_invariants_across_schedulers_and_seeds():
+    for seed in range(3):
+        net = random_digraph(12, seed=seed)
+        expected = set(net.internal_vertices())
+        for scheduler in make_standard_schedulers(random_seeds=2):
+            result = run_protocol(net, LabelAssignmentProtocol(), scheduler)
+            labels = extract_labels(result.states)
+            assert set(labels) == expected
+            assert labels_pairwise_disjoint(list(labels.values()))
+
+
+def test_labels_stable_under_fifo_replay():
+    """Determinism: identical (graph, protocol, scheduler) ⇒ identical labels."""
+    net = random_digraph(15, seed=4)
+
+    def labels_once():
+        result = run_protocol(net, LabelAssignmentProtocol())
+        return {v: str(l) for v, l in extract_labels(result.states).items()}
+
+    assert labels_once() == labels_once()

@@ -1,0 +1,141 @@
+"""Property-based testing of the central theorems on *arbitrary* networks.
+
+Hypothesis generates small directed networks with arbitrary internal wiring
+— connected to the terminal or not — and the tests assert the theorems'
+exact statements:
+
+* termination ⟺ every vertex connected to ``t`` (Theorems 4.2/5.1),
+* on termination, every vertex holds the broadcast payload,
+* labels are assigned to every internal vertex and are pairwise disjoint,
+* the terminal's coverage is exactly ``[0, 1)`` on termination and strictly
+  less otherwise.
+
+This goes beyond the seeded generator tests: hypothesis explores degenerate
+wirings (multi-edges, self-loops, bottlenecks, deeply nested cycles) and
+shrinks failures to minimal graphs.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.general_broadcast import GeneralBroadcastProtocol
+from repro.core.intervals import UNIT_UNION
+from repro.core.labeling import (
+    LabelAssignmentProtocol,
+    extract_labels,
+    labels_pairwise_disjoint,
+)
+from repro.network.graph import DirectedNetwork
+from repro.network.scheduler import FifoScheduler, LifoScheduler, RandomScheduler
+from repro.network.simulator import Outcome, run_protocol
+
+
+@st.composite
+def arbitrary_networks(draw, max_internal: int = 6) -> DirectedNetwork:
+    """Small networks satisfying only the *structural* model assumptions.
+
+    Root 0 (no in-edges, out-degree 1 into the first internal vertex),
+    terminal 1 (no out-edges), every vertex reachable from the root
+    (patched deterministically), arbitrary internal wiring otherwise —
+    including self-loops, multi-edges and vertices that cannot reach ``t``.
+    """
+    n_internal = draw(st.integers(min_value=1, max_value=max_internal))
+    n = n_internal + 2
+    internal = list(range(2, n))
+    edges = [(0, 2)]
+
+    possible = [(a, b) for a in internal for b in internal]  # self-loops allowed
+    extra = draw(st.lists(st.sampled_from(possible), min_size=0, max_size=3 * n_internal))
+    edges.extend(extra)
+
+    sink_feeders = draw(
+        st.lists(st.sampled_from(internal), min_size=1, max_size=n_internal, unique=True)
+    )
+    edges.extend((v, 1) for v in sink_feeders)
+
+    # Patch reachability from the root (a standing model assumption), in a
+    # deterministic draw-independent way.
+    while True:
+        net = DirectedNetwork(n, edges, root=0, terminal=1, validate=False)
+        unreachable = sorted(set(range(2, n)) - net.reachable_from(0))
+        if not unreachable:
+            break
+        anchor = min(v for v in net.reachable_from(0) if v not in (0, 1))
+        edges.append((anchor, unreachable[0]))
+    return DirectedNetwork(n, edges, root=0, terminal=1, strict_root=True)
+
+
+def scheduler_for(code: int):
+    if code == 0:
+        return FifoScheduler()
+    if code == 1:
+        return LifoScheduler()
+    return RandomScheduler(seed=code)
+
+
+COMMON_SETTINGS = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@COMMON_SETTINGS
+@given(arbitrary_networks(), st.integers(min_value=0, max_value=4))
+def test_broadcast_terminates_iff_connected(net, sched_code):
+    result = run_protocol(net, GeneralBroadcastProtocol("m"), scheduler_for(sched_code))
+    expected = net.all_connected_to_terminal()
+    assert result.terminated == expected, net.to_dot()
+
+
+@COMMON_SETTINGS
+@given(arbitrary_networks(), st.integers(min_value=0, max_value=4))
+def test_delivery_on_termination(net, sched_code):
+    result = run_protocol(net, GeneralBroadcastProtocol("m"), scheduler_for(sched_code))
+    if result.terminated:
+        for v in range(net.num_vertices):
+            if v != net.root:
+                assert result.states[v].got_broadcast, (v, net.to_dot())
+
+
+@COMMON_SETTINGS
+@given(arbitrary_networks(), st.integers(min_value=0, max_value=4))
+def test_terminal_coverage_exact(net, sched_code):
+    result = run_protocol(net, GeneralBroadcastProtocol(), scheduler_for(sched_code))
+    covered = result.states[net.terminal].covered()
+    if result.terminated:
+        assert covered == UNIT_UNION
+    else:
+        assert covered != UNIT_UNION
+        assert UNIT_UNION.contains_union(covered)
+
+
+@COMMON_SETTINGS
+@given(arbitrary_networks(), st.integers(min_value=0, max_value=4))
+def test_labeling_iff_and_uniqueness(net, sched_code):
+    result = run_protocol(net, LabelAssignmentProtocol(), scheduler_for(sched_code))
+    expected = net.all_connected_to_terminal()
+    assert result.terminated == expected, net.to_dot()
+    if result.terminated:
+        labels = extract_labels(result.states)
+        assert set(labels) == set(net.internal_vertices()), net.to_dot()
+        assert labels_pairwise_disjoint(list(labels.values()))
+
+
+@COMMON_SETTINGS
+@given(arbitrary_networks())
+def test_commodity_conservation_at_quiescence(net):
+    """Global conservation: the unit interval is exactly partitioned among
+    terminal coverage, retained labels, and commodity stuck in dead regions
+    (α of out-degree-0 vertices and α absorbed by unvisited ports)."""
+    result = run_protocol(net, GeneralBroadcastProtocol())
+    covered = result.states[net.terminal].covered()
+    # Everything the terminal misses must be sitting in *some* vertex's
+    # routed-or-received sets — nothing vanishes.
+    union = covered
+    for v in range(net.num_vertices):
+        if v == net.terminal:
+            continue
+        state = result.states[v]
+        union = union.union(state.coverage).union(state.beta).union(state.alpha_acc)
+    assert union == UNIT_UNION

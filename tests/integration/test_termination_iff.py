@@ -1,0 +1,74 @@
+"""The "iff" of Theorems 3.1 / 4.2 / 5.1, swept systematically.
+
+Termination must occur exactly when every vertex is connected to ``t``.
+Good graphs (connected) must terminate under every scheduler; the same
+graphs with a dead end or a stranded cycle grafted on must never terminate.
+"""
+
+import pytest
+
+from repro.core.general_broadcast import GeneralBroadcastProtocol
+from repro.core.labeling import LabelAssignmentProtocol
+from repro.core.mapping import MappingProtocol
+from repro.core.tree_broadcast import TreeBroadcastProtocol
+from repro.graphs.generators import (
+    random_digraph,
+    random_grounded_tree,
+    with_dead_end_vertex,
+    with_stranded_cycle,
+)
+from repro.network.graph import DirectedNetwork
+from repro.network.scheduler import make_standard_schedulers
+from repro.network.simulator import Outcome, run_protocol
+
+GENERAL_FACTORIES = [GeneralBroadcastProtocol, LabelAssignmentProtocol, MappingProtocol]
+
+
+@pytest.mark.parametrize("factory", GENERAL_FACTORIES)
+@pytest.mark.parametrize("seed", range(3))
+def test_connected_graphs_terminate(factory, seed):
+    net = random_digraph(12, seed=seed)
+    assert net.all_connected_to_terminal()
+    for scheduler in make_standard_schedulers(random_seeds=1):
+        result = run_protocol(net, factory(), scheduler)
+        assert result.outcome is Outcome.TERMINATED, scheduler.name
+
+
+@pytest.mark.parametrize("factory", GENERAL_FACTORIES)
+@pytest.mark.parametrize("mutator", [with_dead_end_vertex, with_stranded_cycle])
+@pytest.mark.parametrize("seed", range(3))
+def test_disconnected_graphs_never_terminate(factory, mutator, seed):
+    net = mutator(random_digraph(12, seed=seed))
+    assert not net.all_connected_to_terminal()
+    for scheduler in make_standard_schedulers(random_seeds=1):
+        result = run_protocol(net, factory(), scheduler)
+        assert result.outcome is Outcome.QUIESCENT, scheduler.name
+
+
+def test_tree_protocol_iff_on_trees():
+    net = random_grounded_tree(25, seed=9)
+    assert run_protocol(net, TreeBroadcastProtocol()).terminated
+    # Graft a dead-end leaf onto some internal vertex: still a grounded
+    # tree shape (in-degree 1) but not all-connected.
+    bad_edges = list(net.edges) + [(net.internal_vertices()[0], net.num_vertices)]
+    bad = DirectedNetwork(
+        net.num_vertices + 1, bad_edges, root=net.root, terminal=net.terminal, validate=False
+    )
+    result = run_protocol(bad, TreeBroadcastProtocol())
+    assert result.outcome is Outcome.QUIESCENT
+
+
+def test_dead_end_on_every_attachment_point():
+    """The erratum regression, strengthened: wherever the dead end attaches
+    (any internal vertex — any port position), termination is blocked."""
+    base = random_digraph(8, seed=2)
+    for attach in base.internal_vertices():
+        bad = with_dead_end_vertex(base, attach_to=attach)
+        result = run_protocol(bad, GeneralBroadcastProtocol())
+        assert result.outcome is Outcome.QUIESCENT, f"attach={attach}"
+
+
+def test_multiple_dead_regions():
+    net = with_stranded_cycle(with_dead_end_vertex(random_digraph(10, seed=6)))
+    result = run_protocol(net, LabelAssignmentProtocol())
+    assert result.outcome is Outcome.QUIESCENT

@@ -1,0 +1,85 @@
+"""Tests for the Theorem 3.2 alphabet harness."""
+
+import math
+
+import pytest
+
+from repro.core.tree_broadcast import TreeBroadcastProtocol
+from repro.graphs.constructions import caterpillar_gn
+from repro.graphs.generators import random_dag, random_grounded_tree
+from repro.lowerbounds.alphabet import (
+    alphabet_on_gn,
+    huffman_floor_bits,
+    verify_cut_incomparability,
+    verify_lemma_3_7,
+    verify_single_message_per_edge,
+)
+
+
+class TestLemma33:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_single_message_per_edge(self, seed):
+        net = random_grounded_tree(30, seed=seed)
+        assert verify_single_message_per_edge(net, TreeBroadcastProtocol())
+
+    def test_rejects_non_trees(self):
+        with pytest.raises(ValueError):
+            verify_single_message_per_edge(random_dag(10, seed=0), TreeBroadcastProtocol())
+
+
+class TestLemma37:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_holds_on_random_trees(self, seed):
+        net = random_grounded_tree(20, seed=seed)
+        assert verify_lemma_3_7(net, TreeBroadcastProtocol()) > 0
+
+    def test_holds_on_caterpillar(self):
+        checked = verify_lemma_3_7(caterpillar_gn(8), TreeBroadcastProtocol())
+        assert checked > 0
+
+
+class TestTheorem36:
+    @pytest.mark.parametrize("seed", range(2))
+    def test_cut_multisets_incomparable(self, seed):
+        net = random_grounded_tree(10, seed=seed)
+        assert verify_cut_incomparability(net, TreeBroadcastProtocol(), max_cuts=80) > 0
+
+    def test_on_caterpillar(self):
+        assert verify_cut_incomparability(caterpillar_gn(5), TreeBroadcastProtocol()) > 0
+
+
+class TestHuffmanFloor:
+    def test_single_symbol(self):
+        assert huffman_floor_bits({"a": 10}) == 10  # one bit per use
+
+    def test_uniform_two_symbols(self):
+        assert huffman_floor_bits({"a": 4, "b": 4}) == 8
+
+    def test_empty(self):
+        assert huffman_floor_bits({}) == 0
+
+    def test_matches_entropy_for_uniform_power_of_two(self):
+        counts = {i: 3 for i in range(8)}  # 8 symbols → 3 bits each
+        assert huffman_floor_bits(counts) == 24 * 3
+
+    def test_skewed_cheaper_than_uniform_code(self):
+        counts = {"common": 100, "rare1": 1, "rare2": 1, "rare3": 1}
+        uniform_cost = sum(counts.values()) * 2
+        assert huffman_floor_bits(counts) < uniform_cost
+
+
+class TestGnFamily:
+    def test_alphabet_at_least_n(self):
+        for row in alphabet_on_gn(TreeBroadcastProtocol, [4, 8, 16, 32]):
+            assert row.distinct_symbols >= row.n
+
+    def test_floor_grows_like_e_log_e(self):
+        rows = alphabet_on_gn(TreeBroadcastProtocol, [16, 64, 256])
+        ratios = [row.floor_per_edge_log_e for row in rows]
+        # The normalised floor approaches a constant from below.
+        assert ratios[0] < ratios[1] < ratios[2] < 1.0
+        assert ratios[0] > 0.5
+
+    def test_measured_bits_dominate_floor(self):
+        for row in alphabet_on_gn(TreeBroadcastProtocol, [8, 32]):
+            assert row.measured_bits >= row.floor_bits

@@ -1,0 +1,122 @@
+"""Tests for the Theorem 3.8 skeleton-tree harness."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.baselines.naive_tree import NaiveTreeBroadcastProtocol
+from repro.core.dag_broadcast import DagBroadcastProtocol
+from repro.core.messages import ScalarToken
+from repro.core.dyadic import Dyadic
+from repro.lowerbounds.commodity import (
+    bandwidth_growth,
+    collect_subset_sums,
+    hair_quantities,
+    quantity_of,
+    verify_inequality_chain,
+)
+
+
+class TestQuantityExtraction:
+    def test_scalar_token(self):
+        assert quantity_of(ScalarToken(Dyadic(3, 2))) == Fraction(3, 4)
+
+    def test_rejects_non_scalar(self):
+        with pytest.raises(TypeError):
+            quantity_of("not a token")
+
+    def test_hair_quantities_positive_and_ordered(self):
+        q = hair_quantities(4, DagBroadcastProtocol)
+        assert len(q) == 7
+        assert all(value > 0 for value in q.values())
+        assert verify_inequality_chain(q, 4)
+
+
+class TestSubsetSums:
+    def test_all_distinct_exhaustive(self):
+        sums = collect_subset_sums(4, DagBroadcastProtocol)
+        assert len(sums) == 2 ** 4
+        assert len(set(sums.values())) == 2 ** 4
+
+    def test_empty_subset_is_zero(self):
+        sums = collect_subset_sums(2, DagBroadcastProtocol)
+        assert sums[frozenset()] == 0
+
+    def test_sampled_mode(self):
+        sums = collect_subset_sums(8, DagBroadcastProtocol, max_subsets=20)
+        assert len(sums) == 20
+        assert len(set(sums.values())) == 20
+
+    def test_sums_are_subset_sums_of_hairs(self):
+        quantities = hair_quantities(3, DagBroadcastProtocol)
+        sums = collect_subset_sums(3, DagBroadcastProtocol)
+        for subset, total in sums.items():
+            expected = sum((quantities[i] for i in subset), Fraction(0))
+            assert total == expected
+
+    def test_other_waiting_commodity_protocols_supported(self):
+        # Theorem 3.8 quantifies over all commodity-preserving protocols
+        # that wait on all in-edges (the Appendix B assumption).  An even
+        # x/d split with exact rationals is such a protocol.
+        from typing import List, Tuple
+
+        from repro.baselines.naive_tree import NaiveTreeState, RationalToken
+        from repro.core.model import AnonymousProtocol, VertexView
+
+        class WaitingNaive(AnonymousProtocol):
+            name = "waiting-naive"
+
+            def create_state(self, view):
+                return {"heard": 0, "acc": Fraction(0)}
+
+            def initial_emissions(self, view):
+                share = Fraction(1, view.out_degree)
+                return [(p, RationalToken(share)) for p in range(view.out_degree)]
+
+            def on_receive(self, state, view, in_port, message):
+                state["heard"] += 1
+                state["acc"] += message.value
+                emissions = []
+                if state["heard"] == view.in_degree and view.out_degree:
+                    share = state["acc"] / view.out_degree
+                    emissions = [
+                        (p, RationalToken(share)) for p in range(view.out_degree)
+                    ]
+                return state, emissions
+
+            def is_terminated(self, state):
+                return state["acc"] == 1
+
+            def message_bits(self, message):
+                return message.structure_bits()
+
+        sums = collect_subset_sums(3, WaitingNaive)
+        assert len(set(sums.values())) == 2 ** 3
+
+    def test_eager_protocols_rejected(self):
+        # The harness encodes the Appendix B waiting assumption: a protocol
+        # that forwards per-message (several messages through w) trips the
+        # single-aggregated-message check instead of silently mismeasuring.
+        with pytest.raises(AssertionError):
+            collect_subset_sums(3, NaiveTreeBroadcastProtocol)
+
+
+class TestBandwidthGrowth:
+    def test_linear_growth(self):
+        rows = bandwidth_growth([2, 4, 8, 16], DagBroadcastProtocol)
+        widths = {row.n: row.max_message_bits for row in rows}
+        # Doubling n must grow width markedly (linear, not logarithmic).
+        assert widths[16] >= widths[8] + 8
+        assert widths[8] >= widths[4] + 8
+
+    def test_loglog_slope_near_one(self):
+        from repro.analysis.scaling import loglog_slope
+
+        rows = bandwidth_growth([4, 8, 16, 32], DagBroadcastProtocol)
+        slope = loglog_slope([r.n for r in rows], [r.max_message_bits for r in rows])
+        assert 0.6 <= slope <= 1.2
+
+    def test_possible_sums_exponential(self):
+        rows = bandwidth_growth([4, 8], DagBroadcastProtocol)
+        assert rows[0].distinct_possible_sums == 2 ** 4
+        assert rows[1].distinct_possible_sums == 2 ** 8

@@ -1,0 +1,33 @@
+"""Tests for the cross-tree half of Theorem 3.6."""
+
+import pytest
+
+from repro.core.tree_broadcast import TreeBroadcastProtocol
+from repro.graphs.constructions import caterpillar_gn
+from repro.graphs.generators import path_network, random_grounded_tree
+from repro.lowerbounds.alphabet import verify_cut_incomparability_cross
+
+
+def test_across_random_trees():
+    pairs = [
+        (random_grounded_tree(8, seed=seed), TreeBroadcastProtocol()) for seed in range(3)
+    ]
+    assert verify_cut_incomparability_cross(pairs, max_cuts=40) > 0
+
+
+def test_across_tree_families():
+    pairs = [
+        (caterpillar_gn(4), TreeBroadcastProtocol()),
+        (path_network(5), TreeBroadcastProtocol()),
+        (random_grounded_tree(6, seed=9), TreeBroadcastProtocol()),
+    ]
+    assert verify_cut_incomparability_cross(pairs, max_cuts=40) > 0
+
+
+def test_single_network_degenerates_to_within_tree():
+    pairs = [(caterpillar_gn(4), TreeBroadcastProtocol())]
+    from repro.lowerbounds.alphabet import verify_cut_incomparability
+
+    cross = verify_cut_incomparability_cross(pairs, max_cuts=40)
+    within = verify_cut_incomparability(caterpillar_gn(4), TreeBroadcastProtocol(), max_cuts=40)
+    assert cross == within

@@ -1,0 +1,51 @@
+"""Tests for the Theorem 5.2 pruning harness."""
+
+import pytest
+
+from repro.core.labeling import labels_pairwise_disjoint
+from repro.lowerbounds.labels import (
+    label_growth_on_pruned,
+    leaf_labels,
+    pruning_preserves_label,
+)
+
+
+class TestLeafLabels:
+    def test_all_leaves_labeled_and_distinct(self):
+        labels = leaf_labels(2, 4)
+        assert len(labels) == 16
+        assert labels_pairwise_disjoint(list(labels.values()))
+
+    def test_ternary_tree(self):
+        labels = leaf_labels(3, 3)
+        assert len(labels) == 27
+        assert labels_pairwise_disjoint(list(labels.values()))
+
+
+class TestPruning:
+    @pytest.mark.parametrize("degree,height", [(2, 3), (2, 5), (3, 3)])
+    def test_default_path_preserved(self, degree, height):
+        assert pruning_preserves_label(degree, height)
+
+    def test_nontrivial_path_choices(self):
+        assert pruning_preserves_label(2, 4, [1, 0, 1, 1])
+        assert pruning_preserves_label(3, 3, [2, 1, 0])
+
+    def test_growth_rows(self):
+        rows = label_growth_on_pruned([(2, 4), (2, 8), (2, 16)])
+        bits = [row.leaf_label_bits for row in rows]
+        assert bits[0] < bits[1] < bits[2]
+        # Pruned graphs have h+3 vertices.
+        assert [row.num_vertices_pruned for row in rows] == [7, 11, 19]
+
+    def test_growth_linear_in_height(self):
+        rows = label_growth_on_pruned([(2, 8), (2, 16), (2, 32)])
+        b = {row.height: row.leaf_label_bits for row in rows}
+        # Roughly constant increment per doubling-of-height step beyond
+        # encoding overhead: linear, not logarithmic.
+        assert (b[32] - b[16]) >= 0.7 * (b[16] - b[8])
+
+    def test_growth_with_degree(self):
+        rows = label_growth_on_pruned([(2, 8), (4, 8), (8, 8)])
+        b = {row.degree: row.leaf_label_bits for row in rows}
+        assert b[2] < b[4] < b[8]

@@ -1,0 +1,133 @@
+"""Tests for the schedule-space model checker and graph enumeration."""
+
+import pytest
+
+from repro.core.general_broadcast import GeneralBroadcastProtocol
+from repro.core.labeling import LabelAssignmentProtocol
+from repro.core.tree_broadcast import TreeBroadcastProtocol
+from repro.graphs.enumerate_graphs import all_grounded_trees, all_internal_wirings
+from repro.graphs.properties import is_grounded_tree
+from repro.lowerbounds.schedules import explore_all_schedules
+from repro.network.graph import DirectedNetwork
+
+
+class TestEnumeration:
+    def test_tree_counts(self):
+        # k internal vertices: (k-1)! parent assignments × 2^(#non-leaf)
+        assert len(list(all_grounded_trees(1))) == 1
+        assert len(list(all_grounded_trees(2))) == 2
+        assert len(list(all_grounded_trees(3))) == 6
+
+    def test_trees_are_grounded_trees(self):
+        for net in all_grounded_trees(3):
+            assert is_grounded_tree(net)
+            assert net.all_reachable_from_root()
+            assert net.all_connected_to_terminal()
+
+    def test_wirings_satisfy_model(self):
+        nets = list(all_internal_wirings(2))
+        assert len(nets) == 24
+        for net in nets:
+            assert net.in_degree(net.root) == 0
+            assert net.out_degree(net.terminal) == 0
+            assert net.all_reachable_from_root()
+        # Both connected and disconnected cases occur — what the iff needs.
+        assert any(net.all_connected_to_terminal() for net in nets)
+        assert any(not net.all_connected_to_terminal() for net in nets)
+
+    def test_wirings_limit(self):
+        assert len(list(all_internal_wirings(2, limit=5))) == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            list(all_grounded_trees(0))
+        with pytest.raises(ValueError):
+            list(all_internal_wirings(0))
+
+
+class TestExploration:
+    def test_single_path_single_schedule(self):
+        net = DirectedNetwork(4, [(0, 2), (2, 3), (3, 1)], root=0, terminal=1)
+        result = explore_all_schedules(net, TreeBroadcastProtocol)
+        assert result.always_terminates
+        assert result.executions == 1  # no concurrency, no branching
+
+    def test_branching_counts_multiple_executions(self):
+        # Two parallel chains → interleavings exist.
+        net = DirectedNetwork(
+            6, [(0, 2), (2, 3), (2, 4), (3, 1), (4, 1)], root=0, terminal=1
+        )
+        result = explore_all_schedules(net, TreeBroadcastProtocol)
+        assert result.always_terminates
+        assert result.executions >= 1
+        assert result.steps > net.num_edges  # explored more than one branch
+
+    def test_cycle_always_terminates(self):
+        net = DirectedNetwork(4, [(0, 2), (2, 3), (3, 2), (2, 1)], root=0, terminal=1)
+        result = explore_all_schedules(net, GeneralBroadcastProtocol)
+        assert result.always_terminates
+
+    def test_dead_end_never_terminates_any_schedule(self):
+        net = DirectedNetwork(
+            5, [(0, 2), (2, 3), (2, 1)], root=0, terminal=1, validate=False
+        )
+        result = explore_all_schedules(net, GeneralBroadcastProtocol)
+        assert result.never_terminates
+
+    def test_labeling_all_schedules(self):
+        net = DirectedNetwork(4, [(0, 2), (2, 3), (3, 2), (2, 1)], root=0, terminal=1)
+        result = explore_all_schedules(net, LabelAssignmentProtocol)
+        assert result.always_terminates
+
+    def test_truncation_reported(self):
+        net = DirectedNetwork(
+            4, [(0, 2), (2, 3), (2, 3), (3, 1), (3, 1)], root=0, terminal=1
+        )
+        result = explore_all_schedules(net, GeneralBroadcastProtocol, max_steps_total=3)
+        assert result.truncated
+
+    def test_invariant_hook(self):
+        from repro.core.intervals import UNIT_UNION
+
+        net = DirectedNetwork(4, [(0, 2), (2, 3), (3, 2), (2, 1)], root=0, terminal=1)
+
+        def coverage_bounded(states):
+            for state in states.values():
+                if not UNIT_UNION.contains_union(state.covered()):
+                    return False
+            return True
+
+        result = explore_all_schedules(
+            net, GeneralBroadcastProtocol, invariant=coverage_bounded
+        )
+        assert result.always_terminates
+
+    def test_invariant_violation_raises(self):
+        net = DirectedNetwork(4, [(0, 2), (2, 3), (3, 1)], root=0, terminal=1)
+        with pytest.raises(AssertionError):
+            explore_all_schedules(
+                net, TreeBroadcastProtocol, invariant=lambda states: False
+            )
+
+
+class TestIffExhaustive:
+    """The headline: the iff theorem, machine-checked on small instances."""
+
+    def test_all_grounded_trees_always_terminate(self):
+        for net in all_grounded_trees(3):
+            result = explore_all_schedules(net, TreeBroadcastProtocol)
+            assert not result.truncated
+            assert result.always_terminates
+
+    def test_iff_on_sparse_wirings(self):
+        for net in all_internal_wirings(2):
+            if net.num_edges > 5:
+                continue  # densest cases covered by sampled schedules
+            result = explore_all_schedules(
+                net, GeneralBroadcastProtocol, max_steps_total=400_000
+            )
+            assert not result.truncated
+            if net.all_connected_to_terminal():
+                assert result.always_terminates, net.to_dot()
+            else:
+                assert result.never_terminates, net.to_dot()

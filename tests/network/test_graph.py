@@ -1,0 +1,122 @@
+"""Tests for the DirectedNetwork substrate."""
+
+import pytest
+
+from repro.network.graph import DirectedNetwork, NetworkValidationError
+
+
+def diamond():
+    # s=0, t=1, a=2, b=3, c=4 : s→a, a→b, a→c, b→t, c→t
+    return DirectedNetwork(5, [(0, 2), (2, 3), (2, 4), (3, 1), (4, 1)], root=0, terminal=1)
+
+
+class TestValidation:
+    def test_root_with_in_edge_rejected(self):
+        with pytest.raises(NetworkValidationError):
+            DirectedNetwork(3, [(0, 2), (2, 0), (2, 1)], root=0, terminal=1)
+
+    def test_terminal_with_out_edge_rejected(self):
+        with pytest.raises(NetworkValidationError):
+            DirectedNetwork(3, [(0, 2), (2, 1), (1, 2)], root=0, terminal=1)
+
+    def test_root_needs_out_edge(self):
+        with pytest.raises(NetworkValidationError):
+            DirectedNetwork(3, [(2, 1)], root=0, terminal=1)
+
+    def test_strict_root_single_out_edge(self):
+        with pytest.raises(NetworkValidationError):
+            DirectedNetwork(
+                4, [(0, 2), (0, 3), (2, 1), (3, 1)], root=0, terminal=1, strict_root=True
+            )
+
+    def test_root_equals_terminal_rejected(self):
+        with pytest.raises(NetworkValidationError):
+            DirectedNetwork(2, [(0, 1)], root=0, terminal=0)
+
+    def test_validation_can_be_disabled(self):
+        net = DirectedNetwork(3, [(2, 1)], root=0, terminal=1, validate=False)
+        assert net.num_edges == 1
+
+    def test_edge_out_of_range(self):
+        with pytest.raises(NetworkValidationError):
+            DirectedNetwork(3, [(0, 5)], root=0, terminal=1)
+
+
+class TestPorts:
+    def test_port_order_follows_edge_list(self):
+        net = diamond()
+        assert net.out_edge_ids(2) == (1, 2)
+        assert net.out_port_of_edge(1) == 0
+        assert net.out_port_of_edge(2) == 1
+        assert net.in_port_of_edge(3) == 0  # b→t is t's first in-edge
+
+    def test_degrees(self):
+        net = diamond()
+        assert net.out_degree(2) == 2
+        assert net.in_degree(1) == 2
+        assert net.max_out_degree() == 2
+
+    def test_neighbors(self):
+        net = diamond()
+        assert net.out_neighbors(2) == [3, 4]
+        assert net.in_neighbors(1) == [3, 4]
+
+    def test_multi_edges_distinct_ports(self):
+        net = DirectedNetwork(4, [(0, 2), (2, 3), (2, 3), (3, 1)], root=0, terminal=1)
+        assert net.out_degree(2) == 2
+        assert net.in_degree(3) == 2
+
+
+class TestReachability:
+    def test_reachable_from_root(self):
+        net = diamond()
+        assert net.all_reachable_from_root()
+        assert net.reachable_from(3) == {3, 1}
+
+    def test_connected_to_terminal(self):
+        net = diamond()
+        assert net.all_connected_to_terminal()
+        assert net.vertices_not_connected_to_terminal() == set()
+
+    def test_dead_end_detected(self):
+        net = DirectedNetwork(
+            4, [(0, 2), (2, 3), (2, 1)], root=0, terminal=1, validate=False
+        )
+        assert net.vertices_not_connected_to_terminal() == {3}
+        assert not net.all_connected_to_terminal()
+
+
+class TestStructure:
+    def test_topological_order(self):
+        net = diamond()
+        order = net.topological_order()
+        assert order is not None
+        pos = {v: i for i, v in enumerate(order)}
+        for tail, head in net.edges:
+            assert pos[tail] < pos[head]
+
+    def test_cyclic_has_no_topological_order(self):
+        net = DirectedNetwork(4, [(0, 2), (2, 3), (3, 2), (2, 1)], root=0, terminal=1)
+        assert net.topological_order() is None
+        assert not net.is_acyclic()
+
+    def test_internal_vertices(self):
+        assert set(diamond().internal_vertices()) == {2, 3, 4}
+
+    def test_edge_multiset(self):
+        net = DirectedNetwork(4, [(0, 2), (2, 3), (2, 3), (3, 1)], root=0, terminal=1)
+        assert net.edge_set_multiset()[(2, 3)] == 2
+
+    def test_same_topology_under(self):
+        a = diamond()
+        b = DirectedNetwork(5, [(0, 3), (3, 2), (3, 4), (2, 1), (4, 1)], root=0, terminal=1)
+        assert a.same_topology_under(b, {0: 0, 1: 1, 2: 3, 3: 2, 4: 4})
+        assert not a.same_topology_under(b, {0: 0, 1: 1, 2: 2, 3: 3, 4: 4})
+
+    def test_to_dot(self):
+        dot = diamond().to_dot()
+        assert "digraph" in dot
+        assert '"s"' in dot and '"t"' in dot
+
+    def test_repr(self):
+        assert "|V|=5" in repr(diamond())

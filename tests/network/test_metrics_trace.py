@@ -1,0 +1,99 @@
+"""Tests for metrics collection and execution traces."""
+
+from repro.core.tree_broadcast import TreeBroadcastProtocol
+from repro.graphs.constructions import caterpillar_gn
+from repro.graphs.generators import path_network
+from repro.network.metrics import MetricsCollector
+from repro.network.simulator import run_protocol
+from repro.network.trace import Trace
+
+
+class TestMetricsCollector:
+    def test_delivery_accounting(self):
+        c = MetricsCollector(num_edges=3)
+        c.record_delivery(0, 10)
+        c.record_delivery(0, 5)
+        c.record_delivery(2, 20)
+        m = c.freeze(steps=3)
+        assert m.total_messages == 3
+        assert m.total_bits == 35
+        assert m.max_message_bits == 20
+        assert m.max_edge_bits == 20  # edge 2 carried 20; edge 0 carried 15
+        assert m.max_edge_messages == 2
+        assert m.mean_message_bits == 35 / 3
+
+    def test_termination_snapshot(self):
+        c = MetricsCollector(num_edges=1)
+        c.record_delivery(0, 4)
+        c.record_termination(step=1)
+        c.record_delivery(0, 4)
+        m = c.freeze(steps=2)
+        assert m.termination_step == 1
+        assert m.messages_at_termination == 1
+        assert m.bits_at_termination == 4
+        assert m.total_messages == 2
+
+    def test_first_termination_wins(self):
+        c = MetricsCollector(num_edges=1)
+        c.record_delivery(0, 1)
+        c.record_termination(step=1)
+        c.record_delivery(0, 1)
+        c.record_termination(step=2)
+        assert c.freeze(steps=2).termination_step == 1
+
+    def test_no_termination(self):
+        c = MetricsCollector(num_edges=1)
+        c.record_delivery(0, 7)
+        m = c.freeze(steps=1)
+        assert m.termination_step is None
+        assert m.messages_at_termination == 1  # falls back to totals
+
+    def test_empty_run(self):
+        m = MetricsCollector(num_edges=0).freeze(steps=0)
+        assert m.total_messages == 0
+        assert m.mean_message_bits == 0.0
+        assert m.max_edge_bits == 0
+
+    def test_edge_vectors(self):
+        c = MetricsCollector(num_edges=2)
+        c.record_delivery(1, 3)
+        assert c.edge_bits() == [0, 3]
+        assert c.edge_messages() == [0, 1]
+
+    def test_state_bits_high_water(self):
+        c = MetricsCollector(num_edges=1)
+        c.record_state_bits(5)
+        c.record_state_bits(3)
+        assert c.freeze(steps=0).max_state_bits == 5
+
+
+class TestTrace:
+    def test_records_everything(self):
+        net = path_network(4)
+        result = run_protocol(net, TreeBroadcastProtocol(), record_trace=True)
+        trace = result.trace
+        assert len(trace) == result.metrics.total_messages
+        assert trace.messages_per_edge() == {e: 1 for e in range(net.num_edges)}
+
+    def test_distinct_symbols(self):
+        net = caterpillar_gn(6)
+        result = run_protocol(net, TreeBroadcastProtocol(), record_trace=True)
+        assert result.trace.distinct_symbol_count() == 6
+
+    def test_symbols_on_edge(self):
+        net = path_network(3)
+        result = run_protocol(net, TreeBroadcastProtocol(), record_trace=True)
+        for eid in range(net.num_edges):
+            assert len(result.trace.symbols_on_edge(eid)) == 1
+
+    def test_edge_symbol_multiset_canonical(self):
+        trace = Trace()
+        trace.record(1, 0, "b", 1)
+        trace.record(2, 1, "a", 1)
+        ms1 = trace.edge_symbol_multiset([0, 1])
+        ms2 = trace.edge_symbol_multiset([1, 0])
+        assert ms1 == ms2 == ("a", "b")
+
+    def test_no_trace_by_default(self):
+        result = run_protocol(path_network(3), TreeBroadcastProtocol())
+        assert result.trace is None

@@ -1,0 +1,157 @@
+"""Tests for the delivery schedulers (the asynchronous adversary)."""
+
+import pytest
+
+from repro.network.events import MessageEvent
+from repro.network.graph import DirectedNetwork
+from repro.network.scheduler import (
+    FifoScheduler,
+    LifoScheduler,
+    PortBiasedScheduler,
+    RandomScheduler,
+    TerminalFirstScheduler,
+    TerminalLastScheduler,
+    make_standard_schedulers,
+)
+
+
+def event(edge_id: int, seq: int) -> MessageEvent:
+    return MessageEvent(edge_id=edge_id, payload=f"m{seq}", seq=seq, sent_step=0, bits=1)
+
+
+def net_with_terminal_edges():
+    # s=0 -> a=2 -> t=1 and a -> b=3 -> t ; edges into t: ids 2 and 3
+    return DirectedNetwork(
+        4, [(0, 2), (2, 3), (2, 1), (3, 1)], root=0, terminal=1
+    )
+
+
+class TestFifoLifo:
+    def test_fifo_order(self):
+        s = FifoScheduler()
+        for i in range(3):
+            s.push(event(0, i))
+        assert [s.pop().seq for _ in range(3)] == [0, 1, 2]
+
+    def test_lifo_order(self):
+        s = LifoScheduler()
+        for i in range(3):
+            s.push(event(0, i))
+        assert [s.pop().seq for _ in range(3)] == [2, 1, 0]
+
+    def test_len(self):
+        s = FifoScheduler()
+        assert len(s) == 0
+        s.push(event(0, 0))
+        assert len(s) == 1
+
+
+class TestRandom:
+    def test_deterministic_given_seed(self):
+        def drain(seed):
+            s = RandomScheduler(seed=seed)
+            for i in range(10):
+                s.push(event(0, i))
+            return [s.pop().seq for _ in range(10)]
+
+        assert drain(5) == drain(5)
+
+    def test_different_seeds_differ(self):
+        def drain(seed):
+            s = RandomScheduler(seed=seed)
+            for i in range(20):
+                s.push(event(0, i))
+            return [s.pop().seq for _ in range(20)]
+
+        assert drain(1) != drain(2)
+
+    def test_all_delivered(self):
+        s = RandomScheduler(seed=0)
+        for i in range(50):
+            s.push(event(0, i))
+        seen = {s.pop().seq for _ in range(50)}
+        assert seen == set(range(50))
+
+
+class TestTerminalAware:
+    def test_terminal_last_starves_terminal(self):
+        net = net_with_terminal_edges()
+        s = TerminalLastScheduler()
+        s.bind(net)
+        s.push(event(2, 0))  # into t
+        s.push(event(1, 1))  # internal
+        s.push(event(3, 2))  # into t
+        order = [s.pop().edge_id for _ in range(3)]
+        assert order == [1, 2, 3]
+
+    def test_terminal_first_rushes_terminal(self):
+        net = net_with_terminal_edges()
+        s = TerminalFirstScheduler()
+        s.bind(net)
+        s.push(event(1, 0))  # internal
+        s.push(event(2, 1))  # into t
+        order = [s.pop().edge_id for _ in range(2)]
+        assert order == [2, 1]
+
+
+class TestPortBiased:
+    def test_prefers_high_ports(self):
+        net = net_with_terminal_edges()
+        s = PortBiasedScheduler()
+        s.bind(net)
+        s.push(event(1, 0))  # a's out-port 0
+        s.push(event(2, 1))  # a's out-port 1
+        assert s.pop().edge_id == 2
+
+
+def test_standard_batch_is_fresh_and_complete():
+    batch = make_standard_schedulers(random_seeds=2)
+    names = [s.name for s in batch]
+    assert len(batch) == 8
+    assert "fifo" in names and "lifo" in names and "latency" in names
+    assert any("random" in n for n in names)
+    # Fresh instances each call.
+    assert make_standard_schedulers()[0] is not batch[0]
+
+
+class TestLatency:
+    def test_virtual_time_advances(self):
+        from repro.network.scheduler import LatencyScheduler
+
+        s = LatencyScheduler(seed=1)
+        s.push(event(0, 0))
+        s.push(event(1, 1))
+        t0 = s.virtual_time
+        s.pop()
+        assert s.virtual_time > t0
+
+    def test_deterministic_per_seed(self):
+        from repro.network.scheduler import LatencyScheduler
+
+        def drain(seed):
+            s = LatencyScheduler(seed=seed)
+            for i in range(6):
+                s.push(event(i % 3, i))
+            return [s.pop().seq for _ in range(6)], s.virtual_time
+
+        assert drain(4) == drain(4)
+
+    def test_fast_edge_wins(self):
+        from repro.network.scheduler import LatencyScheduler
+
+        s = LatencyScheduler(seed=0, min_latency=1.0, max_latency=100.0)
+        s.push(event(0, 0))
+        s.push(event(1, 1))
+        lat0 = s._latency(0)
+        lat1 = s._latency(1)
+        first = s.pop()
+        assert first.edge_id == (0 if lat0 < lat1 else 1)
+
+    def test_validation(self):
+        from repro.network.scheduler import LatencyScheduler
+        import pytest
+
+        with pytest.raises(ValueError):
+            LatencyScheduler(min_latency=0)
+        with pytest.raises(ValueError):
+            LatencyScheduler(min_latency=5, max_latency=2)

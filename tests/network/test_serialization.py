@@ -1,0 +1,61 @@
+"""Round-trip tests for the serialization helpers."""
+
+import json
+
+import pytest
+
+from repro.core.tree_broadcast import TreeBroadcastProtocol
+from repro.graphs.generators import random_digraph, random_grounded_tree, with_dead_end_vertex
+from repro.network.serialization import (
+    metrics_to_dict,
+    network_from_json,
+    network_to_json,
+    trace_to_jsonl,
+)
+from repro.network.simulator import run_protocol
+
+
+class TestNetworkRoundTrip:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_identity(self, seed):
+        net = random_digraph(15, seed=seed)
+        clone = network_from_json(network_to_json(net))
+        assert clone.num_vertices == net.num_vertices
+        assert clone.edges == net.edges  # port order preserved exactly
+        assert clone.root == net.root and clone.terminal == net.terminal
+
+    def test_relaxed_graphs_load(self):
+        bad = with_dead_end_vertex(random_digraph(8, seed=0))
+        clone = network_from_json(network_to_json(bad))
+        assert clone.edges == bad.edges
+
+    def test_rejects_foreign_documents(self):
+        with pytest.raises(ValueError):
+            network_from_json(json.dumps({"format": "something-else"}))
+
+    def test_indent_option(self):
+        net = random_grounded_tree(5, seed=0)
+        assert "\n" in network_to_json(net, indent=2)
+
+
+class TestMetricsAndTrace:
+    def test_metrics_dict_json_safe(self):
+        net = random_grounded_tree(10, seed=1)
+        result = run_protocol(net, TreeBroadcastProtocol())
+        payload = metrics_to_dict(result.metrics)
+        text = json.dumps(payload)
+        assert json.loads(text)["total_messages"] == result.metrics.total_messages
+
+    def test_trace_jsonl(self):
+        net = random_grounded_tree(8, seed=2)
+        result = run_protocol(net, TreeBroadcastProtocol(), record_trace=True)
+        lines = trace_to_jsonl(result.trace).splitlines()
+        assert len(lines) == result.metrics.total_messages
+        first = json.loads(lines[0])
+        assert set(first) == {"step", "edge", "bits", "payload"}
+
+    def test_trace_deterministic(self):
+        net = random_grounded_tree(8, seed=3)
+        a = trace_to_jsonl(run_protocol(net, TreeBroadcastProtocol(), record_trace=True).trace)
+        b = trace_to_jsonl(run_protocol(net, TreeBroadcastProtocol(), record_trace=True).trace)
+        assert a == b

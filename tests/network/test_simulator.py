@@ -1,0 +1,124 @@
+"""Tests for the asynchronous execution engine."""
+
+import pytest
+
+from repro.core.model import FunctionalProtocol
+from repro.core.tree_broadcast import TreeBroadcastProtocol
+from repro.graphs.generators import path_network, random_grounded_tree
+from repro.network.graph import DirectedNetwork
+from repro.network.simulator import Outcome, SimulationError, run_protocol
+
+
+def forwarding_protocol(stop_value=1, emit_on=None):
+    """Forward the message unchanged; stop when the terminal sees it."""
+    return FunctionalProtocol(
+        initial_state=0,
+        initial_message=stop_value,
+        state_fn=lambda state, msg, i: msg,
+        message_fn=lambda state, msg, i, j: msg if emit_on is None or j in emit_on else None,
+        stopping_predicate=lambda state: state == stop_value,
+        message_bits_fn=lambda msg: 8,
+    )
+
+
+class TestOutcomes:
+    def test_terminated(self):
+        result = run_protocol(path_network(3), forwarding_protocol())
+        assert result.outcome is Outcome.TERMINATED
+        assert result.terminated
+        assert result.output == 1
+
+    def test_quiescent(self):
+        # Terminal never satisfied: stopping predicate wants value 2.
+        protocol = FunctionalProtocol(
+            initial_state=0,
+            initial_message=1,
+            state_fn=lambda state, msg, i: msg,
+            message_fn=lambda state, msg, i, j: msg,
+            stopping_predicate=lambda state: state == 2,
+            message_bits_fn=lambda msg: 8,
+        )
+        result = run_protocol(path_network(3), protocol)
+        assert result.outcome is Outcome.QUIESCENT
+        assert result.output is None
+
+    def test_budget_exhausted(self):
+        # A two-cycle bouncing a message forever.
+        protocol = FunctionalProtocol(
+            initial_state=0,
+            initial_message=1,
+            state_fn=lambda state, msg, i: msg,
+            message_fn=lambda state, msg, i, j: msg,
+            stopping_predicate=lambda state: False,
+            message_bits_fn=lambda msg: 1,
+        )
+        net = DirectedNetwork(4, [(0, 2), (2, 3), (3, 2), (2, 1)], root=0, terminal=1)
+        result = run_protocol(net, protocol, max_steps=50)
+        assert result.outcome is Outcome.BUDGET_EXHAUSTED
+
+    def test_stop_at_termination_skips_drain(self):
+        net = random_grounded_tree(30, seed=1)
+        full = run_protocol(net, TreeBroadcastProtocol())
+        early = run_protocol(net, TreeBroadcastProtocol(), stop_at_termination=True)
+        assert early.terminated and full.terminated
+        assert early.metrics.steps <= full.metrics.steps
+
+
+class TestAccounting:
+    def test_termination_step_recorded(self):
+        net = path_network(4)
+        result = run_protocol(net, TreeBroadcastProtocol())
+        assert result.metrics.termination_step is not None
+        assert result.metrics.termination_step <= result.metrics.steps
+
+    def test_bits_at_termination_monotone(self):
+        net = random_grounded_tree(25, seed=2)
+        result = run_protocol(net, TreeBroadcastProtocol())
+        assert result.metrics.bits_at_termination <= result.metrics.total_bits
+        assert result.metrics.messages_at_termination <= result.metrics.total_messages
+
+    def test_state_bits_tracked_on_request(self):
+        net = path_network(5)
+        result = run_protocol(net, TreeBroadcastProtocol(), track_state_bits=True)
+        assert result.metrics.max_state_bits > 0
+
+    def test_state_bits_not_tracked_by_default(self):
+        net = path_network(5)
+        result = run_protocol(net, TreeBroadcastProtocol())
+        assert result.metrics.max_state_bits == 0
+
+
+class TestErrors:
+    def test_bad_emission_port_raises(self):
+        protocol = FunctionalProtocol(
+            initial_state=0,
+            initial_message=1,
+            state_fn=lambda state, msg, i: msg,
+            message_fn=lambda state, msg, i, j: msg,
+            stopping_predicate=lambda state: False,
+            message_bits_fn=lambda msg: 1,
+        )
+
+        class Broken(type(protocol)):
+            pass
+
+        broken = protocol
+        original = broken.on_receive
+
+        def bad(state, view, in_port, message):
+            return state, [(99, message)]
+
+        broken.on_receive = bad  # type: ignore[method-assign]
+        with pytest.raises(SimulationError):
+            run_protocol(path_network(3), broken)
+
+
+class TestDeterminism:
+    def test_same_inputs_same_run(self):
+        net = random_grounded_tree(40, seed=3)
+
+        def run_once():
+            result = run_protocol(net, TreeBroadcastProtocol(), record_trace=True)
+            return [(r.step, r.edge_id, repr(r.payload)) for r in result.trace.deliveries]
+
+        assert run_once() == run_once()

@@ -1,0 +1,121 @@
+"""Tests for the synchronous-rounds execution mode (§2 extension)."""
+
+import pytest
+
+from repro.core.dag_broadcast import DagBroadcastProtocol
+from repro.core.general_broadcast import GeneralBroadcastProtocol
+from repro.core.labeling import LabelAssignmentProtocol, extract_labels, labels_pairwise_disjoint
+from repro.core.tree_broadcast import TreeBroadcastProtocol
+from repro.graphs.generators import (
+    path_network,
+    random_dag,
+    random_digraph,
+    random_grounded_tree,
+    with_dead_end_vertex,
+)
+from repro.graphs.properties import longest_path_length
+from repro.network.simulator import Outcome, run_protocol
+from repro.network.synchronous import run_protocol_synchronous
+
+
+class TestRoundSemantics:
+    def test_path_rounds_equal_length(self):
+        net = path_network(6)  # s → 6 vertices → t : longest path 7
+        result = run_protocol_synchronous(net, TreeBroadcastProtocol())
+        assert result.terminated
+        assert result.termination_round == 7 == longest_path_length(net)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_tree_rounds_equal_longest_path(self, seed):
+        net = random_grounded_tree(40, seed=seed)
+        result = run_protocol_synchronous(net, TreeBroadcastProtocol())
+        assert result.termination_round == longest_path_length(net)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_dag_rounds_equal_longest_path(self, seed):
+        net = random_dag(40, seed=seed)
+        result = run_protocol_synchronous(net, DagBroadcastProtocol())
+        assert result.termination_round == longest_path_length(net)
+
+    def test_general_protocol_terminates_synchronously(self):
+        net = random_digraph(25, seed=5)
+        result = run_protocol_synchronous(net, GeneralBroadcastProtocol())
+        assert result.terminated
+        assert result.termination_round <= net.num_vertices
+
+    def test_rounds_counted_to_quiescence(self):
+        net = random_digraph(15, seed=1)
+        result = run_protocol_synchronous(net, GeneralBroadcastProtocol())
+        assert result.rounds >= result.termination_round
+
+
+class TestConsistencyWithAsync:
+    """The synchronous schedule is one admissible asynchronous schedule, so
+    outcomes and invariants must agree with the event-driven simulator."""
+
+    def test_same_outcome_good_graph(self):
+        net = random_digraph(20, seed=2)
+        sync = run_protocol_synchronous(net, GeneralBroadcastProtocol())
+        async_ = run_protocol(net, GeneralBroadcastProtocol())
+        assert sync.terminated and async_.terminated
+
+    def test_same_outcome_bad_graph(self):
+        net = with_dead_end_vertex(random_digraph(15, seed=3))
+        sync = run_protocol_synchronous(net, GeneralBroadcastProtocol())
+        assert sync.outcome is Outcome.QUIESCENT
+
+    def test_tree_message_totals_identical(self):
+        # One message per edge either way: identical totals and bits.
+        net = random_grounded_tree(30, seed=4)
+        sync = run_protocol_synchronous(net, TreeBroadcastProtocol())
+        async_ = run_protocol(net, TreeBroadcastProtocol())
+        assert sync.metrics.total_messages == async_.metrics.total_messages
+        assert sync.metrics.total_bits == async_.metrics.total_bits
+
+    def test_labeling_invariants_hold(self):
+        net = random_digraph(18, seed=6)
+        result = run_protocol_synchronous(net, LabelAssignmentProtocol())
+        assert result.terminated
+        labels = extract_labels(result.states)
+        assert set(labels) == set(net.internal_vertices())
+        assert labels_pairwise_disjoint(list(labels.values()))
+
+
+class TestBudget:
+    def test_budget_exhaustion(self):
+        from repro.core.model import FunctionalProtocol
+        from repro.network.graph import DirectedNetwork
+
+        bouncer = FunctionalProtocol(
+            initial_state=0,
+            initial_message=1,
+            state_fn=lambda state, msg, i: msg,
+            message_fn=lambda state, msg, i, j: msg,
+            stopping_predicate=lambda state: False,
+            message_bits_fn=lambda msg: 1,
+        )
+        net = DirectedNetwork(4, [(0, 2), (2, 3), (3, 2), (2, 1)], root=0, terminal=1)
+        result = run_protocol_synchronous(net, bouncer, max_rounds=10)
+        assert result.outcome is Outcome.BUDGET_EXHAUSTED
+        assert result.rounds == 10
+
+    def test_stop_at_termination(self):
+        net = random_digraph(15, seed=7)
+        early = run_protocol_synchronous(
+            net, GeneralBroadcastProtocol(), stop_at_termination=True
+        )
+        full = run_protocol_synchronous(net, GeneralBroadcastProtocol())
+        assert early.terminated and full.terminated
+        assert early.rounds <= full.rounds
+
+
+class TestOutput:
+    def test_output_exposed_on_termination(self):
+        net = path_network(3)
+        result = run_protocol_synchronous(net, TreeBroadcastProtocol("m"))
+        assert result.output == "m"
+
+    def test_no_output_without_termination(self):
+        net = with_dead_end_vertex(random_digraph(10, seed=0))
+        result = run_protocol_synchronous(net, GeneralBroadcastProtocol("m"))
+        assert result.output is None
