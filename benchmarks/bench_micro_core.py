@@ -6,6 +6,7 @@ arithmetic and the simulator — the costs that bound how large the paper's
 graph families can be pushed.
 """
 
+from repro.api import BatchRunner, RunSpec
 from repro.core.dyadic import Dyadic
 from repro.core.general_broadcast import GeneralBroadcastProtocol
 from repro.core.intervals import Interval, IntervalUnion, canonical_partition
@@ -72,3 +73,47 @@ def test_micro_labeling_30(benchmark):
         assert result.terminated
 
     benchmark(run)
+
+
+# ----------------------------------------------------------------------
+# BatchRunner throughput — the perf guard for the run-spec layer.
+#
+# Later scaling PRs (sharding, caching, multi-backend) all express
+# themselves as "a thing that consumes RunSpecs", so specs/sec through the
+# BatchRunner is the baseline they must not regress.  The serial bench
+# isolates the spec layer's own overhead (registry resolution, graph
+# rebuild, record construction); the pool bench adds process dispatch.
+# ----------------------------------------------------------------------
+
+_BATCH_SPECS = [
+    RunSpec(
+        graph="random-grounded-tree",
+        graph_params={"num_internal": 60},
+        protocol="tree-broadcast",
+        seed=seed,
+    )
+    for seed in range(16)
+]
+
+
+def _assert_batch(benchmark, records):
+    assert len(records) == len(_BATCH_SPECS)
+    assert all(record.terminated for record in records)
+    if benchmark.stats:  # absent under --benchmark-disable
+        benchmark.extra_info["specs_per_sec"] = round(
+            len(_BATCH_SPECS) / benchmark.stats["mean"], 1
+        )
+
+
+def test_micro_batchrunner_serial_16(benchmark):
+    runner = BatchRunner(parallel=False)
+    records = benchmark(lambda: runner.run(_BATCH_SPECS))
+    _assert_batch(benchmark, records)
+
+
+def test_micro_batchrunner_pool_16(benchmark):
+    runner = BatchRunner(max_workers=2, chunksize=4)
+    records = benchmark.pedantic(
+        lambda: runner.run(_BATCH_SPECS), rounds=3, iterations=1
+    )
+    _assert_batch(benchmark, records)

@@ -13,11 +13,15 @@ The package implements, from scratch:
 * the lower-bound witness constructions and their measurement harnesses
   (:mod:`repro.graphs`, :mod:`repro.lowerbounds`),
 * classical undirected/strongly-connected baselines for the Section 6
-  comparison (:mod:`repro.baselines`), and
+  comparison (:mod:`repro.baselines`),
 * the experiment drivers behind every row of EXPERIMENTS.md
-  (:mod:`repro.analysis`).
+  (:mod:`repro.analysis`), and
+* the run-spec layer (:mod:`repro.api`): serializable
+  :class:`~repro.api.spec.RunSpec` descriptions of runs, string registries
+  for every protocol/graph/scheduler, and a parallel
+  :class:`~repro.api.runner.BatchRunner` with JSONL persistence + resume.
 
-Quickstart::
+Quickstart — direct calls::
 
     from repro import (
         GeneralBroadcastProtocol, run_protocol, random_digraph,
@@ -27,6 +31,36 @@ Quickstart::
     result = run_protocol(net, GeneralBroadcastProtocol("hello"))
     assert result.terminated
     print(result.metrics.total_bits, "bits,", result.metrics.total_messages, "messages")
+
+Quickstart — the same run as data (addressable, serializable, batchable)::
+
+    from repro import RunSpec, BatchRunner
+
+    spec = RunSpec(
+        graph="random-digraph", graph_params={"num_internal": 40},
+        protocol="general-broadcast", protocol_params={"broadcast_payload": "hello"},
+        seed=1,
+    )
+    record = spec.run()                      # or execute_spec(spec)
+    assert record.terminated
+    spec == RunSpec.from_dict(spec.to_dict())  # JSON round-trip, always
+
+    # Many runs, in parallel, persisted and resumable:
+    records = BatchRunner().run(
+        [spec.with_seed(s) for s in range(32)], output_path="out.jsonl"
+    )
+
+Registry names (see ``repro registry`` for the live list): protocols
+``tree-broadcast``, ``dag-broadcast``, ``general-broadcast``,
+``label-assignment``, ``topology-mapping``, plus the ``naive-tree-broadcast``
+/ ``eager-dag-broadcast`` / ``flooding`` baselines; graphs
+``random-grounded-tree``, ``random-dag``, ``random-digraph``,
+``layered-diamond-dag``, ``path-network``, ``geometric-sensor-field``,
+``caterpillar-gn``, ``skeleton-tree``, ``full-tree-with-terminal``,
+``pruned-tree``; transforms ``with-dead-end-vertex``,
+``with-stranded-cycle``; schedulers ``fifo``, ``lifo``, ``random``,
+``terminal-last``, ``terminal-first``, ``port-biased``, ``latency``,
+``dropping``.
 """
 
 from .core import (
@@ -63,8 +97,20 @@ from .network import (
     run_protocol,
     make_standard_schedulers,
 )
+from .api import (
+    GRAPH_TRANSFORMS,
+    GRAPHS,
+    PROTOCOLS,
+    SCHEDULERS,
+    BatchRunner,
+    RunRecord,
+    RunSpec,
+    execute_spec,
+    execute_spec_full,
+    run_specs,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -101,4 +147,15 @@ __all__ = [
     "skeleton_tree",
     "full_tree_with_terminal",
     "pruned_tree",
+    # run-spec layer
+    "RunSpec",
+    "RunRecord",
+    "BatchRunner",
+    "execute_spec",
+    "execute_spec_full",
+    "run_specs",
+    "PROTOCOLS",
+    "GRAPHS",
+    "GRAPH_TRANSFORMS",
+    "SCHEDULERS",
 ]

@@ -1,4 +1,4 @@
-"""Experiment drivers E1–E12 — one per paper object (DESIGN.md §6).
+"""Experiment drivers E1–E16 — one per paper object (DESIGN.md §6).
 
 Each ``experiment_eNN`` function runs the full workload for its experiment
 and returns a list of dict rows; the matching bench in ``benchmarks/``
@@ -6,15 +6,25 @@ prints the rows and asserts the expected shape, and EXPERIMENTS.md records a
 snapshot.  Sizes default to values that keep a full sweep comfortably inside
 a laptop run; every driver takes explicit parameters so larger sweeps are a
 call away.
+
+Every simulated run is expressed as a :class:`~repro.api.spec.RunSpec` and
+executed through the :mod:`repro.api` layer: drivers that only consume
+metrics go through a shared in-process :class:`~repro.api.runner.BatchRunner`
+(:data:`_RUNNER`), and white-box drivers that inspect per-vertex states or
+protocol output use :func:`~repro.api.spec.execute_spec_full`.  Protocol
+*classes* handed to the lower-bound harnesses are resolved through
+:data:`~repro.api.registry.PROTOCOLS`, so every experiment is addressable
+by the same registry names a spec file would use.  The drivers run their
+specs serially on purpose — process-level parallelism belongs to the CLI
+(``repro batch``), and nesting pools inside drivers would oversubscribe it.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
-from ..baselines.eager_dag import EagerDagBroadcastProtocol
-from ..baselines.naive_tree import NaiveTreeBroadcastProtocol
+from ..api import PROTOCOLS, BatchRunner, RunSpec, execute_spec_full
 from ..baselines.undirected import (
     DfsLabelingProtocol,
     UndirectedNetwork,
@@ -26,25 +36,11 @@ from ..core.complexity import (
     label_length_bits_bound,
     tree_broadcast_total_bits_bound,
 )
-from ..core.dag_broadcast import DagBroadcastProtocol
-from ..core.general_broadcast import GeneralBroadcastProtocol
 from ..core.intervals import union_cost
-from ..core.labeling import (
-    LabelAssignmentProtocol,
-    extract_labels,
-    labels_pairwise_disjoint,
-)
-from ..core.mapping import ROOT_MARKER, TERMINAL_MARKER, MappingProtocol
-from ..core.tree_broadcast import TreeBroadcastProtocol
-from ..graphs.constructions import pruned_tree
-from ..graphs.generators import (
-    layered_diamond_dag,
-    random_dag,
-    random_digraph,
-    random_grounded_tree,
-    with_dead_end_vertex,
-    with_stranded_cycle,
-)
+from ..core.labeling import extract_labels, labels_pairwise_disjoint
+from ..core.mapping import ROOT_MARKER, TERMINAL_MARKER
+from ..graphs.enumerate_graphs import all_grounded_trees, all_internal_wirings
+from ..graphs.properties import longest_path_length
 from ..lowerbounds.alphabet import alphabet_on_gn
 from ..lowerbounds.commodity import (
     bandwidth_growth,
@@ -54,11 +50,7 @@ from ..lowerbounds.commodity import (
 )
 from ..lowerbounds.labels import label_growth_on_pruned, pruning_preserves_label
 from ..lowerbounds.schedules import explore_all_schedules
-from ..graphs.enumerate_graphs import all_grounded_trees, all_internal_wirings
-from ..graphs.properties import longest_path_length
-from ..network.scheduler import make_standard_schedulers
-from ..network.simulator import run_protocol
-from ..network.synchronous import run_protocol_synchronous
+from ..network.scheduler import standard_scheduler_specs
 
 __all__ = [
     "experiment_e01_tree_broadcast",
@@ -80,6 +72,29 @@ __all__ = [
     "ALL_EXPERIMENTS",
 ]
 
+#: Shared in-process batch runner for the metrics-only drivers.
+_RUNNER = BatchRunner(parallel=False)
+
+
+def _tree_spec(n: int, seed: int, protocol: str = "tree-broadcast", **kw) -> RunSpec:
+    return RunSpec(
+        graph="random-grounded-tree",
+        graph_params={"num_internal": n},
+        protocol=protocol,
+        seed=seed,
+        **kw,
+    )
+
+
+def _digraph_spec(n: int, seed: int, protocol: str, **kw) -> RunSpec:
+    return RunSpec(
+        graph="random-digraph",
+        graph_params={"num_internal": n},
+        protocol=protocol,
+        seed=seed,
+        **kw,
+    )
+
 
 def experiment_e01_tree_broadcast(
     sizes: Sequence[int] = (50, 100, 200, 400, 800), seeds: Sequence[int] = (0, 1, 2)
@@ -87,23 +102,17 @@ def experiment_e01_tree_broadcast(
     """E1 / Theorem 3.1: grounded-tree broadcast cost vs ``|E| log |E|``."""
     rows: List[Dict] = []
     for n in sizes:
-        bits = []
-        msgs = []
-        maxmsg = []
-        edges = 0
-        for seed in seeds:
-            net = random_grounded_tree(n, seed=seed)
-            edges = net.num_edges
-            result = run_protocol(net, TreeBroadcastProtocol())
-            assert result.terminated
-            bits.append(result.metrics.total_bits)
-            msgs.append(result.metrics.total_messages)
-            maxmsg.append(result.metrics.max_message_bits)
-        bound = tree_broadcast_total_bits_bound(net)
+        specs = [_tree_spec(n, seed) for seed in seeds]
+        records = _RUNNER.run(specs)
+        assert all(record.terminated for record in records)
+        bits = [record.metrics["total_bits"] for record in records]
+        msgs = [record.metrics["total_messages"] for record in records]
+        maxmsg = [record.metrics["max_message_bits"] for record in records]
+        bound = tree_broadcast_total_bits_bound(specs[-1].build_graph())
         rows.append(
             {
                 "n_internal": n,
-                "E": edges,
+                "E": records[-1].num_edges,
                 "messages": max(msgs),
                 "total_bits": max(bits),
                 "max_msg_bits": max(maxmsg),
@@ -117,7 +126,7 @@ def experiment_e01_tree_broadcast(
 def experiment_e02_tree_lowerbound(ns: Sequence[int] = (4, 8, 16, 32, 64, 128, 256)) -> List[Dict]:
     """E2 / Theorem 3.2, Figure 5: alphabet growth and bit floor on ``Gₙ``."""
     rows: List[Dict] = []
-    for row in alphabet_on_gn(TreeBroadcastProtocol, ns):
+    for row in alphabet_on_gn(PROTOCOLS.get("tree-broadcast"), ns):
         rows.append(
             {
                 "n": row.n,
@@ -136,25 +145,32 @@ def experiment_e03_dag_broadcast(
     sizes: Sequence[int] = (25, 50, 100, 200), seeds: Sequence[int] = (0, 1, 2)
 ) -> List[Dict]:
     """E3 / Section 3.3: DAG broadcast; one message per edge, dyadic widths."""
+    specs = [
+        RunSpec(
+            graph="random-dag",
+            graph_params={"num_internal": n},
+            protocol="dag-broadcast",
+            seed=seed,
+        )
+        for n in sizes
+        for seed in seeds[:1]
+    ]
     rows: List[Dict] = []
-    for n in sizes:
-        for seed in seeds[:1]:
-            net = random_dag(n, seed=seed)
-            result = run_protocol(net, DagBroadcastProtocol())
-            assert result.terminated
-            bound = dag_broadcast_total_bits_bound(net)
-            rows.append(
-                {
-                    "n_internal": n,
-                    "E": net.num_edges,
-                    "messages": result.metrics.total_messages,
-                    "one_msg_per_edge": result.metrics.total_messages == net.num_edges,
-                    "total_bits": result.metrics.total_bits,
-                    "max_msg_bits": result.metrics.max_message_bits,
-                    "bound_E2": round(bound),
-                    "ratio": result.metrics.total_bits / bound,
-                }
-            )
+    for spec, record in zip(specs, _RUNNER.run(specs)):
+        assert record.terminated
+        bound = dag_broadcast_total_bits_bound(spec.build_graph())
+        rows.append(
+            {
+                "n_internal": spec.graph_params["num_internal"],
+                "E": record.num_edges,
+                "messages": record.metrics["total_messages"],
+                "one_msg_per_edge": record.metrics["total_messages"] == record.num_edges,
+                "total_bits": record.metrics["total_bits"],
+                "max_msg_bits": record.metrics["max_message_bits"],
+                "bound_E2": round(bound),
+                "ratio": record.metrics["total_bits"] / bound,
+            }
+        )
     return rows
 
 
@@ -162,11 +178,12 @@ def experiment_e04_commodity_lowerbound(
     ns: Sequence[int] = (2, 4, 6, 8, 12, 16), subset_n: int = 6
 ) -> List[Dict]:
     """E4 / Theorem 3.8, Figure 4: skeleton-tree subset sums and bandwidth."""
-    sums = collect_subset_sums(subset_n, DagBroadcastProtocol)
+    dag_protocol = PROTOCOLS.get("dag-broadcast")
+    sums = collect_subset_sums(subset_n, dag_protocol)
     distinct = len(set(sums.values()))
-    chain_ok = verify_inequality_chain(hair_quantities(subset_n, DagBroadcastProtocol), subset_n)
+    chain_ok = verify_inequality_chain(hair_quantities(subset_n, dag_protocol), subset_n)
     rows: List[Dict] = []
-    for row in bandwidth_growth(ns, DagBroadcastProtocol):
+    for row in bandwidth_growth(ns, dag_protocol):
         rows.append(
             {
                 "n": row.n,
@@ -185,26 +202,28 @@ def experiment_e05_general_broadcast(
     sizes: Sequence[int] = (10, 20, 40, 80), seeds: Sequence[int] = (0, 1)
 ) -> List[Dict]:
     """E5 / Theorems 4.2–4.3: interval broadcast on cyclic digraphs."""
+    specs = [
+        _digraph_spec(n, seed, "general-broadcast")
+        for n in sizes
+        for seed in seeds[:1]
+    ]
     rows: List[Dict] = []
-    for n in sizes:
-        for seed in seeds[:1]:
-            net = random_digraph(n, seed=seed)
-            result = run_protocol(net, GeneralBroadcastProtocol())
-            assert result.terminated
-            bound = general_broadcast_total_bits_bound(net)
-            rows.append(
-                {
-                    "n_internal": n,
-                    "V": net.num_vertices,
-                    "E": net.num_edges,
-                    "messages": result.metrics.total_messages,
-                    "total_bits": result.metrics.total_bits,
-                    "max_msg_bits": result.metrics.max_message_bits,
-                    "max_edge_bits": result.metrics.max_edge_bits,
-                    "bound_E2VlogD": round(bound),
-                    "ratio": result.metrics.total_bits / bound,
-                }
-            )
+    for spec, record in zip(specs, _RUNNER.run(specs)):
+        assert record.terminated
+        bound = general_broadcast_total_bits_bound(spec.build_graph())
+        rows.append(
+            {
+                "n_internal": spec.graph_params["num_internal"],
+                "V": record.num_vertices,
+                "E": record.num_edges,
+                "messages": record.metrics["total_messages"],
+                "total_bits": record.metrics["total_bits"],
+                "max_msg_bits": record.metrics["max_message_bits"],
+                "max_edge_bits": record.metrics["max_edge_bits"],
+                "bound_E2VlogD": round(bound),
+                "ratio": record.metrics["total_bits"] / bound,
+            }
+        )
     return rows
 
 
@@ -215,9 +234,9 @@ def experiment_e06_labeling(
     rows: List[Dict] = []
     for n in sizes:
         for seed in seeds[:1]:
-            net = random_digraph(n, seed=seed)
-            result = run_protocol(net, LabelAssignmentProtocol())
-            assert result.terminated
+            spec = _digraph_spec(n, seed, "label-assignment")
+            record, result, net = execute_spec_full(spec)
+            assert record.terminated
             labels = extract_labels(result.states)
             label_list = list(labels.values())
             disjoint = labels_pairwise_disjoint(label_list)
@@ -226,7 +245,7 @@ def experiment_e06_labeling(
             rows.append(
                 {
                     "n_internal": n,
-                    "V": net.num_vertices,
+                    "V": record.num_vertices,
                     "all_labeled": set(labels) == set(net.internal_vertices()),
                     "labels_disjoint": disjoint,
                     "max_label_bits": max_bits,
@@ -267,32 +286,33 @@ def experiment_e08_nontermination(
     sizes: Sequence[int] = (8, 14), seeds: Sequence[int] = (0, 1)
 ) -> List[Dict]:
     """E8: the "iff" direction — zero false terminations on bad graphs."""
-    protocols = {
-        "tree(general-graph-input)": None,  # tree protocol is only sound on grounded trees
-        "general-broadcast": GeneralBroadcastProtocol,
-        "label-assignment": LabelAssignmentProtocol,
-        "mapping": MappingProtocol,
-    }
+    protocols: Sequence[Tuple[str, str]] = (
+        ("general-broadcast", "general-broadcast"),
+        ("label-assignment", "label-assignment"),
+        ("mapping", "topology-mapping"),
+    )
     rows: List[Dict] = []
-    for name, factory in protocols.items():
-        if factory is None:
-            continue
-        runs = 0
-        false_terminations = 0
-        for n in sizes:
-            for seed in seeds:
-                base = random_digraph(n, seed=seed)
-                for bad in (with_dead_end_vertex(base), with_stranded_cycle(base)):
-                    for scheduler in make_standard_schedulers(random_seeds=1):
-                        result = run_protocol(bad, factory(), scheduler)
-                        runs += 1
-                        if result.terminated:
-                            false_terminations += 1
+    for display_name, protocol in protocols:
+        specs = [
+            _digraph_spec(
+                n,
+                seed,
+                protocol,
+                graph_transforms=(transform,),
+                scheduler=sched_name,
+                scheduler_params=sched_params,
+            )
+            for n in sizes
+            for seed in seeds
+            for transform in ("with-dead-end-vertex", "with-stranded-cycle")
+            for sched_name, sched_params in standard_scheduler_specs(random_seeds=1)
+        ]
+        records = _RUNNER.run(specs)
         rows.append(
             {
-                "protocol": name,
-                "bad_graph_runs": runs,
-                "false_terminations": false_terminations,
+                "protocol": display_name,
+                "bad_graph_runs": len(records),
+                "false_terminations": sum(1 for r in records if r.terminated),
             }
         )
     return rows
@@ -304,19 +324,19 @@ def experiment_e09_split_ablation(
     """E9 / Section 3.1 ablation: naive ``x/d`` split vs power-of-two split."""
     rows: List[Dict] = []
     for n in sizes:
-        net = random_grounded_tree(n, seed=seed)
-        naive = run_protocol(net, NaiveTreeBroadcastProtocol())
-        pow2 = run_protocol(net, TreeBroadcastProtocol())
+        naive, pow2 = _RUNNER.run(
+            [_tree_spec(n, seed, "naive-tree-broadcast"), _tree_spec(n, seed)]
+        )
         assert naive.terminated and pow2.terminated
         rows.append(
             {
                 "n_internal": n,
-                "E": net.num_edges,
-                "naive_bits": naive.metrics.total_bits,
-                "pow2_bits": pow2.metrics.total_bits,
-                "naive_max_msg": naive.metrics.max_message_bits,
-                "pow2_max_msg": pow2.metrics.max_message_bits,
-                "bits_ratio": naive.metrics.total_bits / pow2.metrics.total_bits,
+                "E": naive.num_edges,
+                "naive_bits": naive.metrics["total_bits"],
+                "pow2_bits": pow2.metrics["total_bits"],
+                "naive_max_msg": naive.metrics["max_message_bits"],
+                "pow2_max_msg": pow2.metrics["max_message_bits"],
+                "bits_ratio": naive.metrics["total_bits"] / pow2.metrics["total_bits"],
             }
         )
     return rows
@@ -326,19 +346,25 @@ def experiment_e10_eager_ablation(depths: Sequence[int] = (2, 4, 6, 8, 10, 12)) 
     """E10 / Section 3.3 ablation: eager vs aggregating DAG commodity."""
     rows: List[Dict] = []
     for depth in depths:
-        net = layered_diamond_dag(depth)
-        eager = run_protocol(net, EagerDagBroadcastProtocol())
-        waiting = run_protocol(net, DagBroadcastProtocol())
+        specs = [
+            RunSpec(
+                graph="layered-diamond-dag",
+                graph_params={"depth": depth},
+                protocol=protocol,
+            )
+            for protocol in ("eager-dag-broadcast", "dag-broadcast")
+        ]
+        eager, waiting = _RUNNER.run(specs)
         assert eager.terminated and waiting.terminated
         rows.append(
             {
                 "depth": depth,
-                "E": net.num_edges,
-                "eager_messages": eager.metrics.total_messages,
-                "waiting_messages": waiting.metrics.total_messages,
-                "waiting_is_E": waiting.metrics.total_messages == net.num_edges,
-                "eager_max_msg_bits": eager.metrics.max_message_bits,
-                "waiting_max_msg_bits": waiting.metrics.max_message_bits,
+                "E": eager.num_edges,
+                "eager_messages": eager.metrics["total_messages"],
+                "waiting_messages": waiting.metrics["total_messages"],
+                "waiting_is_E": waiting.metrics["total_messages"] == waiting.num_edges,
+                "eager_max_msg_bits": eager.metrics["max_message_bits"],
+                "waiting_max_msg_bits": waiting.metrics["max_message_bits"],
             }
         )
     return rows
@@ -355,17 +381,17 @@ def experiment_e11_mapping(
         messages = 0
         bits = 0
         for seed in seeds:
-            net = random_digraph(n, seed=seed)
-            result = run_protocol(net, MappingProtocol())
+            spec = _digraph_spec(n, seed, "topology-mapping")
+            record, result, net = execute_spec_full(spec)
             runs += 1
-            if result.terminated and result.output is not None:
+            if record.terminated and result.output is not None:
                 ident = {net.root: ROOT_MARKER, net.terminal: TERMINAL_MARKER}
                 for v in net.internal_vertices():
                     ident[v] = result.states[v].base.label
                 if result.output.matches_network(net, ident):
                     successes += 1
-            messages = max(messages, result.metrics.total_messages)
-            bits = max(bits, result.metrics.total_bits)
+            messages = max(messages, record.metrics["total_messages"])
+            bits = max(bits, record.metrics["total_bits"])
         rows.append(
             {
                 "n_internal": n,
@@ -388,9 +414,13 @@ def experiment_e12_gap(heights: Sequence[int] = (4, 8, 16, 32, 64)) -> List[Dict
     degree = 2
     rows: List[Dict] = []
     for h in heights:
-        net = pruned_tree(degree, h)
-        directed = run_protocol(net, LabelAssignmentProtocol())
-        assert directed.terminated
+        spec = RunSpec(
+            graph="pruned-tree",
+            graph_params={"degree": degree, "height": h},
+            protocol="label-assignment",
+        )
+        record, directed, net = execute_spec_full(spec)
+        assert record.terminated
         label = directed.states[2 + h].label
         assert label is not None
         directed_bits = union_cost(label)
@@ -402,7 +432,7 @@ def experiment_e12_gap(heights: Sequence[int] = (4, 8, 16, 32, 64)) -> List[Dict
         undirected_bits = max(1, math.ceil(math.log2(max_label + 1)))
         rows.append(
             {
-                "V": net.num_vertices,
+                "V": record.num_vertices,
                 "directed_label_bits": directed_bits,
                 "undirected_label_bits": undirected_bits,
                 "gap_factor": directed_bits / undirected_bits,
@@ -425,25 +455,31 @@ def experiment_e13_round_complexity(
     rows: List[Dict] = []
     for n in sizes:
         for seed in seeds[:1]:
-            tree = random_grounded_tree(n, seed=seed)
-            tree_run = run_protocol_synchronous(tree, TreeBroadcastProtocol())
-            assert tree_run.terminated
-            dag = random_dag(n, seed=seed)
-            dag_run = run_protocol_synchronous(dag, DagBroadcastProtocol())
-            assert dag_run.terminated
-            dig = random_digraph(min(n, 60), seed=seed)
-            dig_run = run_protocol_synchronous(dig, GeneralBroadcastProtocol())
-            assert dig_run.terminated
+            tree_spec = _tree_spec(n, seed, engine="synchronous")
+            dag_spec = RunSpec(
+                graph="random-dag",
+                graph_params={"num_internal": n},
+                protocol="dag-broadcast",
+                seed=seed,
+                engine="synchronous",
+            )
+            dig_spec = _digraph_spec(
+                min(n, 60), seed, "general-broadcast", engine="synchronous"
+            )
+            specs = [tree_spec, dag_spec, dig_spec]
+            tree_run, dag_run, dig_run = _RUNNER.run(specs)
+            assert tree_run.terminated and dag_run.terminated and dig_run.terminated
             rows.append(
                 {
                     "n_internal": n,
-                    "tree_rounds": tree_run.termination_round,
-                    "tree_longest_path": longest_path_length(tree),
-                    "dag_rounds": dag_run.termination_round,
-                    "dag_longest_path": longest_path_length(dag),
-                    "general_rounds": dig_run.termination_round,
-                    "general_V": dig.num_vertices,
-                    "general_rounds/V": dig_run.termination_round / dig.num_vertices,
+                    "tree_rounds": tree_run.metrics["termination_round"],
+                    "tree_longest_path": longest_path_length(tree_spec.build_graph()),
+                    "dag_rounds": dag_run.metrics["termination_round"],
+                    "dag_longest_path": longest_path_length(dag_spec.build_graph()),
+                    "general_rounds": dig_run.metrics["termination_round"],
+                    "general_V": dig_run.num_vertices,
+                    "general_rounds/V": dig_run.metrics["termination_round"]
+                    / dig_run.num_vertices,
                 }
             )
     return rows
@@ -466,8 +502,9 @@ def experiment_e14_exhaustive_verification(
 
     tree_count = 0
     tree_steps = 0
+    tree_protocol = PROTOCOLS.get("tree-broadcast")
     for net in all_grounded_trees(tree_internal):
-        result = explore_all_schedules(net, TreeBroadcastProtocol)
+        result = explore_all_schedules(net, tree_protocol)
         assert not result.truncated
         assert result.always_terminates
         tree_count += 1
@@ -485,10 +522,11 @@ def experiment_e14_exhaustive_verification(
     wiring_count = 0
     wiring_steps = 0
     violations = 0
+    general_protocol = PROTOCOLS.get("general-broadcast")
     for net in all_internal_wirings(2):
         if net.num_edges > max_wiring_edges:
             continue
-        result = explore_all_schedules(net, GeneralBroadcastProtocol, max_steps_total=400_000)
+        result = explore_all_schedules(net, general_protocol, max_steps_total=400_000)
         assert not result.truncated
         expected = net.all_connected_to_terminal()
         ok = result.always_terminates if expected else result.never_terminates
@@ -521,21 +559,30 @@ def experiment_e15_state_space(
     states grow with the commodity fragmentation — the memory price of
     cycle detection.
     """
+    workloads = (
+        ("tree", "random-grounded-tree", "tree-broadcast"),
+        ("dag", "random-dag", "dag-broadcast"),
+        ("general", "random-digraph", "general-broadcast"),
+        ("labeling", "random-digraph", "label-assignment"),
+    )
     rows: List[Dict] = []
     for n in sizes:
-        digraph = random_digraph(n, seed=seed)
-        tree = random_grounded_tree(n, seed=seed)
-        dag = random_dag(n, seed=seed)
-        measurements = {}
-        for name, net, protocol in (
-            ("tree", tree, TreeBroadcastProtocol()),
-            ("dag", dag, DagBroadcastProtocol()),
-            ("general", digraph, GeneralBroadcastProtocol()),
-            ("labeling", digraph, LabelAssignmentProtocol()),
-        ):
-            result = run_protocol(net, protocol, track_state_bits=True)
-            assert result.terminated
-            measurements[name] = result.metrics.max_state_bits
+        specs = [
+            RunSpec(
+                graph=graph,
+                graph_params={"num_internal": n},
+                protocol=protocol,
+                seed=seed,
+                track_state_bits=True,
+            )
+            for _, graph, protocol in workloads
+        ]
+        records = _RUNNER.run(specs)
+        assert all(record.terminated for record in records)
+        measurements = {
+            name: record.metrics["max_state_bits"]
+            for (name, _, _), record in zip(workloads, records)
+        }
         rows.append(
             {
                 "n_internal": n,
@@ -561,19 +608,27 @@ def experiment_e16_scheduler_sensitivity(
     accounting can close.  This quantifies the spread the upper bounds must
     absorb.
     """
-    net = random_digraph(n_internal, seed=seed)
+    specs = [
+        _digraph_spec(
+            n_internal,
+            seed,
+            "general-broadcast",
+            scheduler=sched_name,
+            scheduler_params=sched_params,
+        )
+        for sched_name, sched_params in standard_scheduler_specs(random_seeds=2)
+    ]
     rows: List[Dict] = []
-    for scheduler in make_standard_schedulers(random_seeds=2):
-        result = run_protocol(net, GeneralBroadcastProtocol(), scheduler)
-        assert result.terminated, scheduler.name
+    for spec, record in zip(specs, _RUNNER.run(specs)):
+        assert record.terminated, spec.scheduler
         rows.append(
             {
-                "scheduler": scheduler.name,
-                "terminated": result.terminated,
-                "messages": result.metrics.total_messages,
-                "total_bits": result.metrics.total_bits,
-                "msgs_at_termination": result.metrics.messages_at_termination,
-                "max_msg_bits": result.metrics.max_message_bits,
+                "scheduler": spec.build_scheduler().name,
+                "terminated": record.terminated,
+                "messages": record.metrics["total_messages"],
+                "total_bits": record.metrics["total_bits"],
+                "msgs_at_termination": record.metrics["messages_at_termination"],
+                "max_msg_bits": record.metrics["max_message_bits"],
             }
         )
     baseline = min(row["messages"] for row in rows)

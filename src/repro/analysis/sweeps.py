@@ -2,21 +2,40 @@
 
 The experiment drivers report worst-seed numbers (bounds are worst-case
 claims); for exploration and for EXPERIMENTS.md's narrative it is also
-useful to see spread.  :func:`sweep_metrics` runs a (graph, protocol)
-workload across seeds and aggregates every numeric metric into
-(min, mean, max); :func:`summarize` renders the aggregate for reports.
+useful to see spread.  Two entry points share the aggregation:
+
+* :func:`sweep_spec_metrics` — the spec-native form: clone one
+  :class:`~repro.api.spec.RunSpec` across seeds, execute through a
+  :class:`~repro.api.runner.BatchRunner`, aggregate the record metrics.
+  Because the workload is a spec, a sweep can also be persisted, resumed
+  and parallelised exactly like any other batch.
+* :func:`sweep_metrics` — the original callable-based form for ad-hoc
+  workloads that are not (yet) registry-addressable.
+
+Both aggregate every numeric metric into (min, mean, max);
+:func:`summarize` renders the aggregate for reports.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
+from ..api import BatchRunner, RunSpec
 from ..core.model import AnonymousProtocol
 from ..network.graph import DirectedNetwork
 from ..network.simulator import run_protocol
 
-__all__ = ["MetricSummary", "sweep_metrics", "summarize"]
+__all__ = ["MetricSummary", "sweep_metrics", "sweep_spec_metrics", "summarize"]
+
+#: Metrics every sweep aggregates, in report order.
+SWEEP_METRICS = (
+    "total_messages",
+    "total_bits",
+    "max_message_bits",
+    "max_edge_bits",
+    "termination_step",
+)
 
 
 @dataclass(frozen=True)
@@ -37,6 +56,47 @@ class MetricSummary:
         return self.maximum / self.minimum
 
 
+def _aggregate(samples: Dict[str, List[float]]) -> Dict[str, MetricSummary]:
+    return {
+        name: MetricSummary(
+            name=name,
+            minimum=min(values),
+            mean=sum(values) / len(values),
+            maximum=max(values),
+            samples=len(values),
+        )
+        for name, values in samples.items()
+    }
+
+
+def sweep_spec_metrics(
+    base_spec: RunSpec,
+    seeds: Sequence[int],
+    *,
+    require_termination: bool = True,
+    runner: Optional[BatchRunner] = None,
+    output_path: Optional[str] = None,
+) -> Dict[str, MetricSummary]:
+    """Sweep ``base_spec`` across ``seeds`` and aggregate the run metrics.
+
+    Each seed yields ``base_spec.with_seed(seed)``; the batch executes on
+    ``runner`` (default: in-process) and may be persisted/resumed through
+    ``output_path`` like any other batch.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    specs = [base_spec.with_seed(seed) for seed in seeds]
+    records = (runner or BatchRunner(parallel=False)).run(specs, output_path=output_path)
+    samples: Dict[str, List[float]] = {name: [] for name in SWEEP_METRICS}
+    for spec, record in zip(specs, records):
+        if require_termination and not record.terminated:
+            raise AssertionError(f"run for seed {spec.seed} did not terminate")
+        for name in SWEEP_METRICS:
+            value = record.metrics.get(name)
+            samples[name].append(value if value is not None else 0)
+    return _aggregate(samples)
+
+
 def sweep_metrics(
     network_factory: Callable[[int], DirectedNetwork],
     protocol_factory: Callable[[], AnonymousProtocol],
@@ -48,17 +108,13 @@ def sweep_metrics(
 
     ``network_factory(seed)`` builds the per-seed input.  Metrics collected:
     ``total_messages``, ``total_bits``, ``max_message_bits``,
-    ``max_edge_bits`` and ``termination_step``.
+    ``max_edge_bits`` and ``termination_step``.  For registry-addressable
+    workloads prefer :func:`sweep_spec_metrics`, which gains persistence,
+    resume and parallelism for free.
     """
     if not seeds:
         raise ValueError("need at least one seed")
-    samples: Dict[str, List[float]] = {
-        "total_messages": [],
-        "total_bits": [],
-        "max_message_bits": [],
-        "max_edge_bits": [],
-        "termination_step": [],
-    }
+    samples: Dict[str, List[float]] = {name: [] for name in SWEEP_METRICS}
     for seed in seeds:
         network = network_factory(seed)
         result = run_protocol(network, protocol_factory())
@@ -72,16 +128,7 @@ def sweep_metrics(
         samples["termination_step"].append(
             metrics.termination_step if metrics.termination_step is not None else 0
         )
-    return {
-        name: MetricSummary(
-            name=name,
-            minimum=min(values),
-            mean=sum(values) / len(values),
-            maximum=max(values),
-            samples=len(values),
-        )
-        for name, values in samples.items()
-    }
+    return _aggregate(samples)
 
 
 def summarize(summaries: Dict[str, MetricSummary]) -> List[Dict]:

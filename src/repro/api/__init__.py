@@ -1,0 +1,76 @@
+"""The run-spec layer: declarative, serializable, batchable experiments.
+
+Everything an execution needs — graph family and parameters, protocol and
+parameters, scheduler, step budget, seed, trace flags — lives in one frozen
+:class:`RunSpec` that round-trips through JSON.  Components are addressed
+by name through the :mod:`~repro.api.registry` registries (populated by
+decorator at import time in :mod:`repro.core`, :mod:`repro.baselines`,
+:mod:`repro.graphs` and :mod:`repro.network.scheduler`), results come back
+as structured :class:`RunRecord` objects, and the :class:`BatchRunner`
+executes whole spec files in parallel with JSONL persistence and
+resume-from-partial-output.
+
+Typical use::
+
+    from repro.api import RunSpec, BatchRunner
+
+    specs = [
+        RunSpec(graph="random-digraph", graph_params={"num_internal": 40},
+                protocol="general-broadcast", seed=seed)
+        for seed in range(8)
+    ]
+    records = BatchRunner().run(specs, output_path="out.jsonl")
+    print(max(r.metrics["total_bits"] for r in records))
+
+Or from a shell: ``repro batch specs.json -o out.jsonl``.
+"""
+
+from .registry import (
+    GRAPH_TRANSFORMS,
+    GRAPHS,
+    PROTOCOLS,
+    SCHEDULERS,
+    DuplicateNameError,
+    Registry,
+    UnknownNameError,
+    all_registries,
+)
+from .spec import (
+    TIMING_FIELDS,
+    ensure_registered,
+    RunRecord,
+    RunSpec,
+    SpecError,
+    dump_specs,
+    execute_spec,
+    execute_spec_full,
+    load_specs,
+)
+from .runner import BatchRunner, BatchStats, load_records, run_specs
+
+__all__ = [
+    # registries
+    "Registry",
+    "UnknownNameError",
+    "DuplicateNameError",
+    "PROTOCOLS",
+    "GRAPHS",
+    "GRAPH_TRANSFORMS",
+    "SCHEDULERS",
+    "all_registries",
+    # specs & records
+    "RunSpec",
+    "RunRecord",
+    "SpecError",
+    "TIMING_FIELDS",
+    "execute_spec",
+    "execute_spec_full",
+    "ensure_registered",
+    "load_specs",
+    "dump_specs",
+    # batch execution
+    "BatchRunner",
+    "BatchStats",
+    "run_specs",
+    "load_records",
+]

@@ -1,0 +1,206 @@
+"""Parallel batch execution of run specs with JSONL persistence and resume.
+
+The :class:`BatchRunner` is the scaling workhorse the ROADMAP's north star
+asks every future PR to build against: hand it an iterable of
+:class:`~repro.api.spec.RunSpec` and it executes them across a
+``concurrent.futures.ProcessPoolExecutor`` (chunked, so tiny runs amortise
+IPC), returns :class:`~repro.api.spec.RunRecord` objects **in input
+order** regardless of completion order, and — when given an output path —
+persists one deterministic JSON line per record.
+
+Resume semantics: records are keyed by :attr:`RunSpec.spec_id` (a content
+hash).  When the output file already holds a record for a spec, that spec
+is not re-executed; freshly computed records are appended as they finish
+(crash-safe), and the file is rewritten in canonical input order at the
+end.  Re-running an identical batch therefore costs zero simulations and
+reproduces the file byte-for-byte modulo :data:`~repro.api.spec.TIMING_FIELDS`.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+from .spec import RunRecord, RunSpec, execute_spec
+
+__all__ = ["BatchRunner", "BatchStats", "run_specs", "load_records"]
+
+
+def _execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker entry point: dicts in, dicts out (cheap, version-tolerant IPC)."""
+    return execute_spec(RunSpec.from_dict(payload)).to_dict()
+
+
+def load_records(path: str) -> List[RunRecord]:
+    """Parse a results JSONL file, tolerating a truncated final line.
+
+    A batch interrupted mid-write leaves at most one partial line; skipping
+    unparseable lines is exactly what makes resume-from-partial-output work.
+    """
+    records: List[RunRecord] = []
+    if not os.path.exists(path):
+        return records
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(RunRecord.from_json(line))
+            except (ValueError, KeyError, TypeError):
+                continue  # partial or foreign line — recompute that spec
+    return records
+
+
+@dataclass(frozen=True)
+class BatchStats:
+    """What the last :meth:`BatchRunner.run` actually did."""
+
+    total: int
+    executed: int
+    reused: int
+
+
+class BatchRunner:
+    """Execute many :class:`RunSpec`\\ s, in parallel, deterministically.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker processes (``None`` = ``os.cpu_count()``).
+    chunksize:
+        Specs per IPC round-trip; raise it for large batches of small runs.
+    parallel:
+        ``False`` runs everything in-process — the right mode inside
+        experiment drivers and tests (no fork overhead, full determinism
+        guarantees hold in both modes because results are ordered by input
+        position, never by completion).
+    """
+
+    def __init__(
+        self,
+        *,
+        max_workers: Optional[int] = None,
+        chunksize: int = 4,
+        parallel: bool = True,
+    ) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1 (use parallel=False for serial)")
+        if chunksize < 1:
+            raise ValueError("chunksize must be >= 1")
+        self.max_workers = max_workers
+        self.chunksize = chunksize
+        self.parallel = parallel
+        #: Stats of the most recent :meth:`run` call.
+        self.stats: Optional[BatchStats] = None
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        specs: Iterable[RunSpec],
+        *,
+        output_path: Optional[str] = None,
+        resume: bool = True,
+        progress: Optional[Callable[[int, int, RunRecord], None]] = None,
+    ) -> List[RunRecord]:
+        """Execute ``specs``; return records in input order.
+
+        Parameters
+        ----------
+        output_path:
+            JSONL file to persist records to.  Written incrementally while
+            running, then rewritten in input order (one sorted-key compact
+            JSON object per line) on completion.
+        resume:
+            Reuse records already present in ``output_path`` (keyed by
+            ``spec_id``) instead of re-executing their specs.
+        progress:
+            Optional ``(done, total, record)`` callback per completed spec.
+        """
+        spec_list = list(specs)
+        file_records = load_records(output_path) if output_path else []
+        by_id: Dict[str, RunRecord] = {}
+        if resume:
+            for record in file_records:
+                by_id[record.spec.spec_id] = record
+
+        # First occurrence of each distinct spec_id that still needs work.
+        pending: List[RunSpec] = []
+        seen_pending = set()
+        for spec in spec_list:
+            sid = spec.spec_id
+            if sid not in by_id and sid not in seen_pending:
+                seen_pending.add(sid)
+                pending.append(spec)
+
+        done = len(spec_list) - len(pending)
+
+        sink = None
+        try:
+            if output_path:
+                sink = open(output_path, "a", encoding="utf-8")
+            for record in self._execute(pending):
+                by_id[record.spec.spec_id] = record
+                if sink is not None:
+                    sink.write(record.to_json() + "\n")
+                    sink.flush()
+                done += 1
+                if progress is not None:
+                    progress(done, len(spec_list), record)
+        finally:
+            if sink is not None:
+                sink.close()
+
+        records = [by_id[spec.spec_id] for spec in spec_list]
+        if output_path:
+            # Records in the file for specs outside this batch are kept (in
+            # their original order, after the batch) — a subset re-run must
+            # never destroy results it did not recompute.
+            batch_ids = {spec.spec_id for spec in spec_list}
+            extras = [r for r in file_records if r.spec.spec_id not in batch_ids]
+            self._rewrite(output_path, list(records) + extras)
+        self.stats = BatchStats(
+            total=len(spec_list),
+            executed=len(pending),
+            reused=len(spec_list) - len(pending),
+        )
+        return records
+
+    # ------------------------------------------------------------------
+
+    def _execute(self, pending: Sequence[RunSpec]) -> Iterable[RunRecord]:
+        if not pending:
+            return
+        if not self.parallel or len(pending) == 1:
+            for spec in pending:
+                yield execute_spec(spec)
+            return
+        payloads = [spec.to_dict() for spec in pending]
+        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+            for result in pool.map(_execute_payload, payloads, chunksize=self.chunksize):
+                yield RunRecord.from_dict(result)
+
+    @staticmethod
+    def _rewrite(path: str, records: Sequence[RunRecord]) -> None:
+        """Atomically replace ``path`` with the canonical input-order JSONL."""
+        tmp = f"{path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(record.to_json() + "\n")
+        os.replace(tmp, path)
+
+
+def run_specs(
+    specs: Iterable[RunSpec],
+    *,
+    output_path: Optional[str] = None,
+    resume: bool = True,
+    max_workers: Optional[int] = None,
+    parallel: bool = True,
+) -> List[RunRecord]:
+    """One-shot convenience wrapper around :class:`BatchRunner`."""
+    runner = BatchRunner(max_workers=max_workers, parallel=parallel)
+    return runner.run(specs, output_path=output_path, resume=resume)

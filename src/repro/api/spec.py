@@ -1,0 +1,380 @@
+"""Serializable run specifications and structured run results.
+
+The simulator's promise — *"every experiment is exactly reproducible from
+(graph, protocol, scheduler, seed)"* — becomes a first-class object here.
+A :class:`RunSpec` is a frozen, JSON-round-trippable description of one
+execution: which graph to build (by registry name, with parameters), which
+protocol to run on it, under which scheduler, with what step budget, seed
+and tracing flags.  ``RunSpec.from_dict(spec.to_dict()) == spec`` always
+holds, so specs can live in files, travel across process boundaries, and
+key caches.
+
+Executing a spec yields a :class:`RunRecord` — the spec plus outcome,
+graph size and the full :class:`~repro.network.metrics.RunMetrics` as a
+plain dict — which is itself JSON-round-trippable and is the unit the
+:class:`~repro.api.runner.BatchRunner` persists to JSONL.
+
+Two entry points:
+
+* :func:`execute_spec` — spec in, record out; safe to call in worker
+  processes.
+* :func:`execute_spec_full` — additionally returns the live
+  :class:`~repro.network.simulator.RunResult` and the constructed network
+  for white-box consumers (experiment drivers that inspect per-vertex
+  states, protocol output or graph structure).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+import time
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Any, Dict, Optional, Tuple
+
+from .registry import GRAPH_TRANSFORMS, GRAPHS, PROTOCOLS, SCHEDULERS
+
+__all__ = [
+    "RunSpec",
+    "RunRecord",
+    "SpecError",
+    "TIMING_FIELDS",
+    "execute_spec",
+    "execute_spec_full",
+    "ensure_registered",
+    "load_specs",
+    "dump_specs",
+]
+
+#: RunRecord fields that vary between identical runs (wall-clock noise).
+#: Determinism comparisons — and the resume logic's byte-identity claims —
+#: are always "modulo these fields".
+TIMING_FIELDS: Tuple[str, ...] = ("elapsed_seconds",)
+
+_ENGINES = ("async", "synchronous")
+
+
+class SpecError(ValueError):
+    """A spec is malformed (bad field, unknown key, wrong engine...)."""
+
+
+def ensure_registered() -> None:
+    """Import every module that registers spec-addressable components.
+
+    Registration is an import side effect; a worker process (or a user who
+    imported only :mod:`repro.api`) may not have pulled in the baselines
+    yet.  Called automatically by every ``build_*`` method; public so tools
+    that only *enumerate* the registries (e.g. ``repro registry``) can
+    populate them first.  Idempotent and cheap after the first call.
+    """
+    from .. import baselines, core, graphs  # noqa: F401
+    from ..network import scheduler  # noqa: F401
+
+
+def _accepts_param(factory: Any, name: str) -> bool:
+    """Whether calling ``factory`` accepts a keyword argument ``name``."""
+    try:
+        signature = inspect.signature(factory)
+    except (TypeError, ValueError):  # pragma: no cover - C callables etc.
+        return False
+    params = signature.parameters
+    if name in params:
+        return params[name].kind not in (
+            inspect.Parameter.POSITIONAL_ONLY,
+            inspect.Parameter.VAR_POSITIONAL,
+        )
+    return any(p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values())
+
+
+def _json_safe(value: Any, where: str) -> Any:
+    """Round ``value`` through JSON so tuples normalise and bad types fail loudly."""
+    try:
+        return json.loads(json.dumps(value))
+    except (TypeError, ValueError) as exc:
+        raise SpecError(f"{where} is not JSON-serializable: {exc}") from None
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One fully-specified protocol execution, as plain data.
+
+    Parameters
+    ----------
+    graph / graph_params:
+        A :data:`~repro.api.registry.GRAPHS` name plus its keyword
+        arguments (e.g. ``"random-digraph"``, ``{"num_internal": 40}``).
+    graph_transforms:
+        :data:`~repro.api.registry.GRAPH_TRANSFORMS` names applied to the
+        generated network in order (e.g. ``("with-dead-end-vertex",)``).
+    protocol / protocol_params:
+        A :data:`~repro.api.registry.PROTOCOLS` name plus constructor
+        keyword arguments.
+    scheduler / scheduler_params:
+        A :data:`~repro.api.registry.SCHEDULERS` name plus constructor
+        keyword arguments; ignored by the synchronous engine.
+    engine:
+        ``"async"`` (the paper's adversarial model, default) or
+        ``"synchronous"`` (lockstep rounds, E13).
+    max_steps:
+        Delivery budget (rounds budget under the synchronous engine);
+        ``None`` uses each engine's generous default.
+    seed:
+        The run's reproducibility seed.  Injected as the ``seed`` keyword
+        into the graph factory — and the scheduler factory — whenever the
+        factory accepts one and the explicit params don't already set it.
+    record_trace / track_state_bits / stop_at_termination:
+        Forwarded to :func:`~repro.network.simulator.run_protocol`
+        (async engine only; ``stop_at_termination`` also applies to the
+        synchronous engine).
+    label:
+        Free-form human tag.  Not part of the spec's identity: two specs
+        differing only in label share a :attr:`spec_id`.
+    """
+
+    graph: str
+    protocol: str
+    graph_params: Dict[str, Any] = field(default_factory=dict)
+    protocol_params: Dict[str, Any] = field(default_factory=dict)
+    graph_transforms: Tuple[str, ...] = ()
+    scheduler: str = "fifo"
+    scheduler_params: Dict[str, Any] = field(default_factory=dict)
+    engine: str = "async"
+    max_steps: Optional[int] = None
+    seed: Optional[int] = None
+    record_trace: bool = False
+    track_state_bits: bool = False
+    stop_at_termination: bool = False
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        for key in ("graph", "protocol", "scheduler"):
+            value = getattr(self, key)
+            if not isinstance(value, str) or not value:
+                raise SpecError(f"{key} must be a non-empty registry name")
+        if self.engine not in _ENGINES:
+            raise SpecError(f"engine must be one of {_ENGINES}, got {self.engine!r}")
+        for key in ("graph_params", "protocol_params", "scheduler_params"):
+            object.__setattr__(self, key, dict(_json_safe(getattr(self, key), key)))
+        transforms = getattr(self, "graph_transforms") or ()
+        if isinstance(transforms, str):
+            raise SpecError("graph_transforms must be a sequence of names, not a string")
+        object.__setattr__(self, "graph_transforms", tuple(transforms))
+
+    # ------------------------------------------------------------------
+    # identity & serialization
+    # ------------------------------------------------------------------
+
+    @property
+    def spec_id(self) -> str:
+        """Stable content hash identifying the run (label excluded).
+
+        The :class:`~repro.api.runner.BatchRunner` keys resume-from-partial
+        output on this, so re-labelling specs never invalidates results.
+        """
+        payload = self.to_dict()
+        payload.pop("label", None)
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+    def __hash__(self) -> int:
+        return hash(self.spec_id)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-safe dict with every field present (stable shape)."""
+        payload = asdict(self)
+        payload["graph_transforms"] = list(self.graph_transforms)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "RunSpec":
+        """Inverse of :meth:`to_dict`; unknown keys are an error."""
+        if not isinstance(payload, dict):
+            raise SpecError(f"spec payload must be a dict, got {type(payload).__name__}")
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise SpecError(f"unknown spec field(s): {', '.join(sorted(unknown))}")
+        return cls(**payload)
+
+    def to_json(self, *, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunSpec":
+        return cls.from_dict(json.loads(text))
+
+    def with_seed(self, seed: Optional[int]) -> "RunSpec":
+        """A copy differing only in :attr:`seed` (sweep convenience)."""
+        return replace(self, seed=seed)
+
+    # ------------------------------------------------------------------
+    # materialization
+    # ------------------------------------------------------------------
+
+    def _params_with_seed(self, factory: Any, params: Dict[str, Any]) -> Dict[str, Any]:
+        merged = dict(params)
+        if self.seed is not None and "seed" not in merged and _accepts_param(factory, "seed"):
+            merged["seed"] = self.seed
+        return merged
+
+    def build_graph(self):
+        """Construct the network this spec describes (deterministic)."""
+        ensure_registered()
+        factory = GRAPHS.get(self.graph)
+        network = factory(**self._params_with_seed(factory, self.graph_params))
+        for transform in self.graph_transforms:
+            network = GRAPH_TRANSFORMS.create(transform, network)
+        return network
+
+    def build_protocol(self):
+        """A fresh protocol instance."""
+        ensure_registered()
+        return PROTOCOLS.create(self.protocol, **self.protocol_params)
+
+    def build_scheduler(self):
+        """A fresh scheduler instance (async engine only)."""
+        ensure_registered()
+        factory = SCHEDULERS.get(self.scheduler)
+        return factory(**self._params_with_seed(factory, self.scheduler_params))
+
+    def run(self) -> "RunRecord":
+        """Execute this spec; shorthand for :func:`execute_spec`."""
+        return execute_spec(self)
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """Structured result of executing one :class:`RunSpec`.
+
+    ``metrics`` is the flattened :class:`~repro.network.metrics.RunMetrics`
+    (plus ``rounds`` / ``termination_round`` under the synchronous engine).
+    ``elapsed_seconds`` is the only non-deterministic field — see
+    :data:`TIMING_FIELDS`.
+    """
+
+    spec: RunSpec
+    outcome: str
+    terminated: bool
+    num_vertices: int
+    num_edges: int
+    metrics: Dict[str, Optional[float]]
+    elapsed_seconds: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload = asdict(self)
+        payload["spec"] = self.spec.to_dict()
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "RunRecord":
+        data = dict(payload)
+        data["spec"] = RunSpec.from_dict(data["spec"])
+        return cls(**data)
+
+    def to_json(self) -> str:
+        """One deterministic JSONL line (keys sorted, compact)."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunRecord":
+        return cls.from_dict(json.loads(text))
+
+    def comparable_dict(self) -> Dict[str, Any]:
+        """:meth:`to_dict` minus :data:`TIMING_FIELDS` (determinism checks)."""
+        payload = self.to_dict()
+        for key in TIMING_FIELDS:
+            payload.pop(key, None)
+        return payload
+
+
+def execute_spec(spec: RunSpec) -> RunRecord:
+    """Execute ``spec`` and return only the serializable record."""
+    return execute_spec_full(spec)[0]
+
+
+def execute_spec_full(spec: RunSpec):
+    """Execute ``spec``; return ``(record, result, network)``.
+
+    ``result`` is the engine's native result object —
+    :class:`~repro.network.simulator.RunResult` or
+    :class:`~repro.network.synchronous.SynchronousRunResult` — carrying
+    per-vertex states, protocol output and the optional trace, none of
+    which survive serialization; ``network`` is the
+    :class:`~repro.network.graph.DirectedNetwork` the run executed on (so
+    white-box callers need not rebuild it).  Callers that only need
+    numbers should use :func:`execute_spec` (or the batch runner) instead.
+    """
+    from ..network.simulator import run_protocol
+    from ..network.synchronous import run_protocol_synchronous
+
+    network = spec.build_graph()
+    protocol = spec.build_protocol()
+    start = time.perf_counter()
+    if spec.engine == "synchronous":
+        result = run_protocol_synchronous(
+            network,
+            protocol,
+            max_rounds=spec.max_steps,
+            stop_at_termination=spec.stop_at_termination,
+        )
+        extra = {"rounds": result.rounds, "termination_round": result.termination_round}
+    else:
+        result = run_protocol(
+            network,
+            protocol,
+            spec.build_scheduler(),
+            max_steps=spec.max_steps,
+            record_trace=spec.record_trace,
+            track_state_bits=spec.track_state_bits,
+            stop_at_termination=spec.stop_at_termination,
+        )
+        extra = {}
+    elapsed = time.perf_counter() - start
+
+    metrics: Dict[str, Optional[float]] = dict(asdict(result.metrics))
+    metrics.update(extra)
+    record = RunRecord(
+        spec=spec,
+        outcome=result.outcome.value,
+        terminated=result.terminated,
+        num_vertices=network.num_vertices,
+        num_edges=network.num_edges,
+        metrics=metrics,
+        elapsed_seconds=elapsed,
+    )
+    return record, result, network
+
+
+# ----------------------------------------------------------------------
+# spec files
+# ----------------------------------------------------------------------
+
+
+def load_specs(path: str) -> list:
+    """Read specs from a file: a JSON list, a single JSON object, or JSONL."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    if not text.strip():
+        return []
+    try:
+        payloads = json.loads(text)
+        if isinstance(payloads, dict):
+            payloads = [payloads]
+    except json.JSONDecodeError as whole_file_error:
+        try:
+            payloads = [json.loads(line) for line in text.splitlines() if line.strip()]
+        except json.JSONDecodeError:
+            # Not valid JSONL either: the whole-file error points at the
+            # actual defect (e.g. a trailing comma mid-list); re-raise it
+            # rather than a misleading "line 1" error from the fallback.
+            raise whole_file_error from None
+    return [RunSpec.from_dict(p) for p in payloads]
+
+
+def dump_specs(specs, path: str) -> None:
+    """Write specs as a pretty-printed JSON list (the ``repro batch`` input)."""
+    payload = [spec.to_dict() for spec in specs]
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, sort_keys=True, indent=2)
+        handle.write("\n")

@@ -20,10 +20,12 @@ paper's Section 2 calls out between message count and message size.
 from __future__ import annotations
 
 from ..core.tree_broadcast import TreeBroadcastProtocol
+from ..api.registry import PROTOCOLS
 
 __all__ = ["EagerDagBroadcastProtocol"]
 
 
+@PROTOCOLS.register()
 class EagerDagBroadcastProtocol(TreeBroadcastProtocol):
     """Per-message splitting on DAGs: correct but exponentially chatty.
 

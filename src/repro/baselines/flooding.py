@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Any, List, Optional, Tuple
 
 from ..core.model import AnonymousProtocol, Emission, VertexView
+from ..api.registry import PROTOCOLS
 
 __all__ = ["FloodToken", "FloodingProtocol"]
 
@@ -38,6 +39,7 @@ class FloodState:
     payload: Any = None
 
 
+@PROTOCOLS.register()
 class FloodingProtocol(AnonymousProtocol[FloodState, FloodToken]):
     """Forward ``m`` once on every out-port; never terminate."""
 

@@ -20,6 +20,7 @@ from typing import Any, List, Optional, Tuple
 
 from ..core.encoding import signed_cost, unsigned_cost
 from ..core.model import AnonymousProtocol, Emission, VertexView
+from ..api.registry import PROTOCOLS
 
 __all__ = ["RationalToken", "NaiveTreeBroadcastProtocol"]
 
@@ -48,6 +49,7 @@ class NaiveTreeState:
     payload: Any = None
 
 
+@PROTOCOLS.register()
 class NaiveTreeBroadcastProtocol(AnonymousProtocol[NaiveTreeState, RationalToken]):
     """Grounded-tree broadcast with the naive even split ``x/d``.
 

@@ -1,26 +1,39 @@
-"""Command-line interface: run the paper's experiments from a shell.
+"""Command-line interface: run experiments and spec batches from a shell.
 
 Usage::
 
     python -m repro list                 # show the experiment index
     python -m repro run E5               # run one experiment, print its table
-    python -m repro run all              # run all fifteen
+    python -m repro run all              # run all sixteen
     python -m repro run E1 E9 --out report.txt
+    python -m repro run --spec spec.json # execute one RunSpec file
+    python -m repro batch specs.json -o out.jsonl   # parallel batch + resume
+    python -m repro registry             # list spec-addressable names
 
-The CLI is a thin veneer over :mod:`repro.analysis.experiments`; it exists
-so the reproduction can be driven without writing Python (and so the tables
-in EXPERIMENTS.md are one command away).
+The experiment commands are a thin veneer over
+:mod:`repro.analysis.experiments`; ``run --spec`` and ``batch`` drive the
+:mod:`repro.api` run-spec layer, so any experiment expressible as data can
+be executed — and resumed — without writing Python.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import IO, List, Optional, Sequence
 
 from .analysis.experiments import ALL_EXPERIMENTS
 from .analysis.report import render_table
+from .api import (
+    BatchRunner,
+    RunRecord,
+    all_registries,
+    ensure_registered,
+    execute_spec,
+    load_specs,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -57,16 +70,61 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list the experiments and what they reproduce")
 
-    run = sub.add_parser("run", help="run experiments and print their tables")
+    run = sub.add_parser(
+        "run", help="run experiments (or one spec file) and print results"
+    )
     run.add_argument(
         "experiments",
-        nargs="+",
-        help="experiment ids (E1..E14) or 'all'",
+        nargs="*",
+        help="experiment ids (E1..E16) or 'all'",
+    )
+    run.add_argument(
+        "--spec",
+        default=None,
+        metavar="FILE",
+        help="execute the RunSpec in this JSON file instead of an experiment",
     )
     run.add_argument(
         "--out",
         default=None,
-        help="also append the tables to this file",
+        help="also append the output to this file",
+    )
+
+    batch = sub.add_parser(
+        "batch", help="execute a JSON file of RunSpecs in parallel, with resume"
+    )
+    batch.add_argument("specs", help="JSON list (or JSONL) of RunSpec objects")
+    batch.add_argument(
+        "-o",
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="JSONL output; if it already holds records, matching specs are "
+        "reused instead of re-executed",
+    )
+    batch.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes (default: cpu count)",
+    )
+    batch.add_argument(
+        "--chunksize", type=int, default=4, help="specs per worker dispatch"
+    )
+    batch.add_argument(
+        "--serial",
+        action="store_true",
+        help="run in-process instead of a process pool",
+    )
+    batch.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="re-execute every spec even if the output file has its record",
+    )
+
+    sub.add_parser(
+        "registry",
+        help="list the registered protocol, graph, transform and scheduler names",
     )
 
     report = sub.add_parser(
@@ -101,6 +159,70 @@ def _emit(text: str, stream: IO[str], extra: Optional[IO[str]]) -> None:
         print(text, file=extra)
 
 
+def _record_summary(record: RunRecord) -> str:
+    spec = record.spec
+    tag = spec.label or f"{spec.protocol} on {spec.graph}"
+    metrics = record.metrics
+    return (
+        f"{tag}: {record.outcome}  V={record.num_vertices} E={record.num_edges}  "
+        f"messages={metrics.get('total_messages')} total_bits={metrics.get('total_bits')}"
+    )
+
+
+def _cmd_run_spec(path: str, stream: IO[str], extra: Optional[IO[str]]) -> int:
+    specs = load_specs(path)
+    if len(specs) != 1:
+        raise SystemExit(
+            f"--spec expects exactly one RunSpec in {path!r}, found {len(specs)}; "
+            "use 'repro batch' for many"
+        )
+    record = execute_spec(specs[0])
+    _emit(_record_summary(record), stream, extra)
+    _emit(json.dumps(record.to_dict(), sort_keys=True, indent=2), stream, extra)
+    return 0
+
+
+def _cmd_batch(args, stream: IO[str]) -> int:
+    specs = load_specs(args.specs)
+    if not specs:
+        raise SystemExit(f"no specs found in {args.specs!r}")
+    runner = BatchRunner(
+        max_workers=args.workers,
+        chunksize=args.chunksize,
+        parallel=not args.serial,
+    )
+
+    def progress(done: int, total: int, record: RunRecord) -> None:
+        print(f"[{done}/{total}] {_record_summary(record)}", file=stream)
+
+    start = time.time()
+    records = runner.run(
+        specs,
+        output_path=args.out,
+        resume=not args.no_resume,
+        progress=progress,
+    )
+    elapsed = time.time() - start
+    stats = runner.stats
+    terminated = sum(1 for r in records if r.terminated)
+    print(
+        f"{stats.total} specs: {stats.executed} executed, {stats.reused} reused "
+        f"({terminated} terminated) in {elapsed:.1f}s"
+        + (f" -> {args.out}" if args.out else ""),
+        file=stream,
+    )
+    return 0
+
+
+def _cmd_registry(stream: IO[str]) -> int:
+    ensure_registered()
+    for kind, registry in all_registries().items():
+        print(f"{kind}:", file=stream)
+        for name in registry.names():
+            print(f"  {name}", file=stream)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None, stream: IO[str] = sys.stdout) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -109,6 +231,12 @@ def main(argv: Optional[Sequence[str]] = None, stream: IO[str] = sys.stdout) -> 
         for name in ALL_EXPERIMENTS:
             print(f"{name:4s} {_DESCRIPTIONS[name]}", file=stream)
         return 0
+
+    if args.command == "registry":
+        return _cmd_registry(stream)
+
+    if args.command == "batch":
+        return _cmd_batch(args, stream)
 
     if args.command == "report":
         lines: List[str] = [
@@ -135,10 +263,17 @@ def main(argv: Optional[Sequence[str]] = None, stream: IO[str] = sys.stdout) -> 
         print(f"report written to {args.out}", file=stream)
         return 0
 
+    # command == "run"
+    if args.spec is not None and args.experiments:
+        raise SystemExit("give either experiment ids or --spec, not both")
     extra: Optional[IO[str]] = None
     if args.out is not None:
         extra = open(args.out, "a", encoding="utf-8")
     try:
+        if args.spec is not None:
+            return _cmd_run_spec(args.spec, stream, extra)
+        if not args.experiments:
+            raise SystemExit("nothing to run: give experiment ids or --spec FILE")
         for name in _resolve(args.experiments):
             driver = ALL_EXPERIMENTS[name]
             start = time.time()

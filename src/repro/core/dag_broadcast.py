@@ -35,6 +35,7 @@ from typing import Any, List, Optional, Tuple
 from .dyadic import DYADIC_ONE, DYADIC_ZERO, Dyadic
 from .messages import ScalarToken
 from .model import AnonymousProtocol, Emission, VertexView
+from ..api.registry import PROTOCOLS
 from .tree_broadcast import pow2_split_exponents
 
 __all__ = ["DagState", "DagBroadcastProtocol"]
@@ -55,6 +56,7 @@ class DagState:
     fired: bool = False
 
 
+@PROTOCOLS.register()
 class DagBroadcastProtocol(AnonymousProtocol[DagState, ScalarToken]):
     """Section 3.3 DAG broadcast: aggregate all in-edges, then split.
 

@@ -59,6 +59,7 @@ from .intervals import (
 )
 from .messages import IntervalMessage
 from .model import AnonymousProtocol, Emission, VertexView
+from ..api.registry import PROTOCOLS
 
 __all__ = ["GeneralState", "GeneralBroadcastProtocol"]
 
@@ -132,6 +133,7 @@ class GeneralState:
         )
 
 
+@PROTOCOLS.register()
 class GeneralBroadcastProtocol(AnonymousProtocol[GeneralState, IntervalMessage]):
     """The Section 4 interval-union broadcast protocol.
 

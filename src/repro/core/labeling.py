@@ -35,10 +35,12 @@ from typing import Any, Dict, Optional
 from .general_broadcast import GeneralBroadcastProtocol, GeneralState
 from .intervals import IntervalUnion
 from .model import VertexView
+from ..api.registry import PROTOCOLS
 
 __all__ = ["LabelAssignmentProtocol", "extract_labels", "labels_pairwise_disjoint"]
 
 
+@PROTOCOLS.register()
 class LabelAssignmentProtocol(GeneralBroadcastProtocol):
     """The Section 5 unique-labeling protocol.
 

@@ -57,6 +57,7 @@ from .intervals import EMPTY_UNION, IntervalUnion, union_cost
 from .labeling import LabelAssignmentProtocol
 from .messages import IntervalMessage
 from .model import AnonymousProtocol, Emission, VertexView
+from ..api.registry import PROTOCOLS
 
 __all__ = [
     "ROOT_MARKER",
@@ -275,6 +276,7 @@ def _closure(facts: Set) -> Optional[NetworkMap]:
     return NetworkMap(vertices=vertices, edges=sorted(edges, key=repr))
 
 
+@PROTOCOLS.register()
 class MappingProtocol(AnonymousProtocol[MappingState, MappingMessage]):
     """Label assignment + fact flooding = verified topology extraction.
 

@@ -41,6 +41,7 @@ from typing import Any, List, Optional, Tuple
 from .dyadic import DYADIC_ONE, DYADIC_ZERO, Dyadic
 from .messages import TreeToken
 from .model import AnonymousProtocol, Emission, VertexView
+from ..api.registry import PROTOCOLS
 
 __all__ = ["TreeState", "TreeBroadcastProtocol", "pow2_split_exponents"]
 
@@ -76,6 +77,7 @@ class TreeState:
     payload: Any = None
 
 
+@PROTOCOLS.register()
 class TreeBroadcastProtocol(AnonymousProtocol[TreeState, TreeToken]):
     """The Section 3.1 broadcast protocol with power-of-two commodity splits.
 

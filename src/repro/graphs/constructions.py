@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
+from ..api.registry import GRAPHS
 from ..network.graph import DirectedNetwork
 
 __all__ = [
@@ -42,6 +43,7 @@ __all__ = [
 Edge = Tuple[int, int]
 
 
+@GRAPHS.register()
 def caterpillar_gn(n: int) -> DirectedNetwork:
     """The Theorem 3.2 witness ``Gₙ`` (Figure 5).
 
@@ -65,6 +67,7 @@ def caterpillar_gn(n: int) -> DirectedNetwork:
     return DirectedNetwork(n + 2, edges, root=root, terminal=terminal, strict_root=True)
 
 
+@GRAPHS.register()
 def skeleton_tree(n: int, subset: Iterable[int] = ()) -> DirectedNetwork:
     """The Theorem 3.8 skeleton tree (Figure 4) for a given subset wiring.
 
@@ -107,6 +110,7 @@ def skeleton_tree_hairs(n: int) -> List[int]:
     return list(range(0, 2 * n - 1, 2))
 
 
+@GRAPHS.register()
 def full_tree_with_terminal(degree: int, height: int) -> DirectedNetwork:
     """The Theorem 5.2 upper graph (Figure 6a): a full directed tree.
 
@@ -166,6 +170,7 @@ def full_tree_path_vertices(degree: int, height: int, child_choices: Sequence[in
     return path
 
 
+@GRAPHS.register()
 def pruned_tree(
     degree: int, height: int, child_choices: Optional[Sequence[int]] = None
 ) -> DirectedNetwork:

@@ -26,6 +26,7 @@ from __future__ import annotations
 import random
 from typing import List, Optional, Tuple
 
+from ..api.registry import GRAPH_TRANSFORMS, GRAPHS
 from ..network.graph import DirectedNetwork
 
 __all__ = [
@@ -42,6 +43,7 @@ __all__ = [
 Edge = Tuple[int, int]
 
 
+@GRAPHS.register()
 def random_grounded_tree(
     num_internal: int, seed: int = 0, *, max_children: int = 4
 ) -> DirectedNetwork:
@@ -78,6 +80,7 @@ def random_grounded_tree(
     return DirectedNetwork(n, edges, root=root, terminal=terminal, strict_root=True)
 
 
+@GRAPHS.register()
 def random_dag(
     num_internal: int,
     seed: int = 0,
@@ -107,6 +110,7 @@ def random_dag(
     return DirectedNetwork(n, edges, root=base.root, terminal=base.terminal, strict_root=True)
 
 
+@GRAPHS.register()
 def random_digraph(
     num_internal: int,
     seed: int = 0,
@@ -136,6 +140,7 @@ def random_digraph(
     return DirectedNetwork(n, edges, root=base.root, terminal=base.terminal, strict_root=True)
 
 
+@GRAPHS.register()
 def layered_diamond_dag(depth: int) -> DirectedNetwork:
     """The path-multiplicity worst case: ``depth`` stacked 2-diamonds.
 
@@ -166,6 +171,7 @@ def layered_diamond_dag(depth: int) -> DirectedNetwork:
     return DirectedNetwork(next_id, edges, root=root, terminal=terminal, strict_root=True)
 
 
+@GRAPHS.register()
 def path_network(length: int) -> DirectedNetwork:
     """``s → v₁ → v₂ → … → v_length → t``, the minimal grounded tree."""
     if length < 1:
@@ -178,6 +184,7 @@ def path_network(length: int) -> DirectedNetwork:
     return DirectedNetwork(length + 2, edges, root=root, terminal=terminal, strict_root=True)
 
 
+@GRAPHS.register()
 def geometric_sensor_field(
     num_sensors: int,
     seed: int = 0,
@@ -255,6 +262,7 @@ def geometric_sensor_field(
     return net
 
 
+@GRAPH_TRANSFORMS.register()
 def with_dead_end_vertex(network: DirectedNetwork, attach_to: Optional[int] = None) -> DirectedNetwork:
     """Add a vertex reachable from ``s`` but with no path to ``t``.
 
@@ -274,6 +282,7 @@ def with_dead_end_vertex(network: DirectedNetwork, attach_to: Optional[int] = No
     )
 
 
+@GRAPH_TRANSFORMS.register()
 def with_stranded_cycle(network: DirectedNetwork, attach_to: Optional[int] = None) -> DirectedNetwork:
     """Add a 2-cycle reachable from ``s`` with no path back to ``t``.
 

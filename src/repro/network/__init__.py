@@ -15,6 +15,7 @@ from .scheduler import (
     TerminalFirstScheduler,
     TerminalLastScheduler,
     make_standard_schedulers,
+    standard_scheduler_specs,
 )
 from .simulator import Outcome, RunResult, SimulationError, run_protocol
 from .synchronous import SynchronousRunResult, run_protocol_synchronous
@@ -37,6 +38,7 @@ __all__ = [
     "PortBiasedScheduler",
     "ALL_SCHEDULER_FACTORIES",
     "make_standard_schedulers",
+    "standard_scheduler_specs",
     "Outcome",
     "RunResult",
     "SimulationError",

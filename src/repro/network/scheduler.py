@@ -36,6 +36,7 @@ import random
 from collections import deque
 from typing import Deque, List, Optional
 
+from ..api.registry import SCHEDULERS
 from .events import MessageEvent
 from .graph import DirectedNetwork
 
@@ -51,6 +52,7 @@ __all__ = [
     "DroppingScheduler",
     "ALL_SCHEDULER_FACTORIES",
     "make_standard_schedulers",
+    "standard_scheduler_specs",
 ]
 
 
@@ -89,6 +91,7 @@ class Scheduler(abc.ABC):
         """
 
 
+@SCHEDULERS.register()
 class FifoScheduler(Scheduler):
     """Deliver messages in global send order."""
 
@@ -107,6 +110,7 @@ class FifoScheduler(Scheduler):
         return len(self._queue)
 
 
+@SCHEDULERS.register()
 class LifoScheduler(Scheduler):
     """Deliver the most recently sent message first (depth-first surge)."""
 
@@ -125,6 +129,7 @@ class LifoScheduler(Scheduler):
         return len(self._stack)
 
 
+@SCHEDULERS.register()
 class RandomScheduler(Scheduler):
     """Deliver a uniformly random in-flight message (swap-pop, O(1))."""
 
@@ -169,6 +174,7 @@ class _TerminalAwareScheduler(Scheduler):
         return len(self._to_terminal) + len(self._others)
 
 
+@SCHEDULERS.register()
 class TerminalLastScheduler(_TerminalAwareScheduler):
     """Starve the terminal: deliver to ``t`` only when nothing else remains."""
 
@@ -180,6 +186,7 @@ class TerminalLastScheduler(_TerminalAwareScheduler):
         return self._to_terminal.popleft()
 
 
+@SCHEDULERS.register()
 class TerminalFirstScheduler(_TerminalAwareScheduler):
     """Rush the terminal: always deliver messages into ``t`` first."""
 
@@ -191,6 +198,7 @@ class TerminalFirstScheduler(_TerminalAwareScheduler):
         return self._others.popleft()
 
 
+@SCHEDULERS.register()
 class PortBiasedScheduler(Scheduler):
     """Prefer in-flight messages on high out-port edges (deterministic skew)."""
 
@@ -223,6 +231,7 @@ class PortBiasedScheduler(Scheduler):
         return len(self._events)
 
 
+@SCHEDULERS.register()
 class LatencyScheduler(Scheduler):
     """Per-edge link latencies: deliver the in-flight message that would
     physically arrive first.
@@ -273,6 +282,7 @@ class LatencyScheduler(Scheduler):
         return len(self._heap)
 
 
+@SCHEDULERS.register()
 class DroppingScheduler(Scheduler):
     """Failure injection: silently lose a fraction of messages.
 
@@ -340,3 +350,22 @@ def make_standard_schedulers(random_seeds: int = 3) -> List[Scheduler]:
     ]
     schedulers.extend(RandomScheduler(seed=s) for s in range(random_seeds))
     return schedulers
+
+
+def standard_scheduler_specs(random_seeds: int = 3) -> List[tuple]:
+    """The standard-adversary batch as ``(registry name, params)`` pairs.
+
+    The spec-layer twin of :func:`make_standard_schedulers` (same adversaries
+    in the same order) for experiments that quantify over schedules with
+    serializable :class:`~repro.api.spec.RunSpec`\\ s.
+    """
+    specs: List[tuple] = [
+        ("fifo", {}),
+        ("lifo", {}),
+        ("terminal-last", {}),
+        ("terminal-first", {}),
+        ("port-biased", {}),
+        ("latency", {"seed": 0}),
+    ]
+    specs.extend(("random", {"seed": s}) for s in range(random_seeds))
+    return specs

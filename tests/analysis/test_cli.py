@@ -71,3 +71,77 @@ class TestMain:
         text = out.read_text(encoding="utf-8")
         assert text.startswith("# Experiment report")
         assert "## E2" in text and "## E10" in text
+
+
+class TestSpecCommands:
+    def _spec_payload(self, seed=0):
+        from repro.api import RunSpec
+
+        return RunSpec(
+            graph="random-grounded-tree",
+            graph_params={"num_internal": 10},
+            protocol="tree-broadcast",
+            seed=seed,
+        )
+
+    def test_registry_lists_names(self):
+        stream = io.StringIO()
+        assert main(["registry"], stream=stream) == 0
+        text = stream.getvalue()
+        for name in ("tree-broadcast", "random-digraph", "fifo", "with-dead-end-vertex"):
+            assert name in text
+
+    def test_run_spec_file(self, tmp_path):
+        from repro.api import dump_specs
+
+        path = tmp_path / "spec.json"
+        dump_specs([self._spec_payload()], str(path))
+        stream = io.StringIO()
+        assert main(["run", "--spec", str(path)], stream=stream) == 0
+        assert "terminated" in stream.getvalue()
+
+    def test_run_rejects_spec_plus_experiments(self, tmp_path):
+        from repro.api import dump_specs
+
+        path = tmp_path / "spec.json"
+        dump_specs([self._spec_payload()], str(path))
+        with pytest.raises(SystemExit):
+            main(["run", "E1", "--spec", str(path)], stream=io.StringIO())
+
+    def test_run_requires_something(self):
+        with pytest.raises(SystemExit):
+            main(["run"], stream=io.StringIO())
+
+    def test_batch_executes_and_resumes(self, tmp_path):
+        from repro.api import dump_specs, load_records
+
+        specs_path = tmp_path / "specs.json"
+        out_path = tmp_path / "out.jsonl"
+        dump_specs([self._spec_payload(seed=s) for s in range(4)], str(specs_path))
+
+        stream = io.StringIO()
+        assert (
+            main(
+                ["batch", str(specs_path), "-o", str(out_path), "--serial"],
+                stream=stream,
+            )
+            == 0
+        )
+        assert "4 executed, 0 reused" in stream.getvalue()
+        assert len(load_records(str(out_path))) == 4
+
+        stream = io.StringIO()
+        assert (
+            main(
+                ["batch", str(specs_path), "-o", str(out_path), "--serial"],
+                stream=stream,
+            )
+            == 0
+        )
+        assert "0 executed, 4 reused" in stream.getvalue()
+
+    def test_batch_empty_file_errors(self, tmp_path):
+        empty = tmp_path / "empty.json"
+        empty.write_text("[]", encoding="utf-8")
+        with pytest.raises(SystemExit):
+            main(["batch", str(empty)], stream=io.StringIO())

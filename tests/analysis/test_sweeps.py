@@ -70,3 +70,66 @@ class TestSummarize:
         text = render_table(rows)
         assert "total_bits" in text
         assert "spread" in text
+
+
+class TestSpecSweep:
+    def test_matches_factory_sweep(self):
+        from repro.api import RunSpec
+        from repro.analysis.sweeps import sweep_spec_metrics
+
+        base = RunSpec(
+            graph="random-grounded-tree",
+            graph_params={"num_internal": 20},
+            protocol="tree-broadcast",
+        )
+        by_spec = sweep_spec_metrics(base, seeds=range(4))
+        by_factory = sweep_metrics(
+            lambda seed: random_grounded_tree(20, seed=seed),
+            TreeBroadcastProtocol,
+            seeds=range(4),
+        )
+        assert by_spec == by_factory
+
+    def test_requires_seeds(self):
+        from repro.api import RunSpec
+        from repro.analysis.sweeps import sweep_spec_metrics
+
+        base = RunSpec(
+            graph="random-grounded-tree",
+            graph_params={"num_internal": 5},
+            protocol="tree-broadcast",
+        )
+        with pytest.raises(ValueError):
+            sweep_spec_metrics(base, seeds=[])
+
+    def test_termination_requirement(self):
+        from repro.api import RunSpec
+        from repro.analysis.sweeps import sweep_spec_metrics
+
+        base = RunSpec(
+            graph="random-grounded-tree",
+            graph_params={"num_internal": 8},
+            graph_transforms=("with-dead-end-vertex",),
+            protocol="general-broadcast",
+        )
+        with pytest.raises(AssertionError):
+            sweep_spec_metrics(base, seeds=[0])
+        summaries = sweep_spec_metrics(base, seeds=[0, 1], require_termination=False)
+        assert summaries["termination_step"].maximum == 0
+
+    def test_persists_and_resumes(self, tmp_path):
+        from repro.api import BatchRunner, RunSpec
+        from repro.analysis.sweeps import sweep_spec_metrics
+
+        base = RunSpec(
+            graph="random-grounded-tree",
+            graph_params={"num_internal": 10},
+            protocol="tree-broadcast",
+        )
+        out = tmp_path / "sweep.jsonl"
+        runner = BatchRunner(parallel=False)
+        first = sweep_spec_metrics(base, seeds=range(3), runner=runner, output_path=str(out))
+        assert runner.stats.executed == 3
+        second = sweep_spec_metrics(base, seeds=range(3), runner=runner, output_path=str(out))
+        assert runner.stats.executed == 0
+        assert first == second

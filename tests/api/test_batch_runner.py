@@ -1,0 +1,171 @@
+"""Tests for the BatchRunner: ordering, determinism, persistence, resume."""
+
+import json
+
+import pytest
+
+from repro.api import BatchRunner, RunSpec, load_records, run_specs
+
+
+def tree_specs(n: int, size: int = 10):
+    return [
+        RunSpec(
+            graph="random-grounded-tree",
+            graph_params={"num_internal": size},
+            protocol="tree-broadcast",
+            seed=seed,
+        )
+        for seed in range(n)
+    ]
+
+
+def strip_timing(line: str) -> str:
+    payload = json.loads(line)
+    payload.pop("elapsed_seconds", None)
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+class TestOrderingAndDeterminism:
+    def test_records_in_input_order(self):
+        specs = tree_specs(5)
+        records = BatchRunner(parallel=False).run(specs)
+        assert [r.spec for r in records] == specs
+
+    def test_serial_and_parallel_agree_modulo_timing(self):
+        specs = tree_specs(6)
+        serial = BatchRunner(parallel=False).run(specs)
+        parallel = BatchRunner(max_workers=2, chunksize=2).run(specs)
+        assert [r.comparable_dict() for r in serial] == [
+            r.comparable_dict() for r in parallel
+        ]
+
+    def test_jsonl_byte_identical_modulo_timing(self, tmp_path):
+        specs = tree_specs(6)
+        out_a = tmp_path / "a.jsonl"
+        out_b = tmp_path / "b.jsonl"
+        BatchRunner(parallel=False).run(specs, output_path=str(out_a))
+        BatchRunner(max_workers=2).run(specs, output_path=str(out_b))
+        lines_a = out_a.read_text(encoding="utf-8").splitlines()
+        lines_b = out_b.read_text(encoding="utf-8").splitlines()
+        assert len(lines_a) == len(lines_b) == len(specs)
+        assert [strip_timing(l) for l in lines_a] == [strip_timing(l) for l in lines_b]
+
+
+class TestPersistenceAndResume:
+    def test_output_file_parses_back(self, tmp_path):
+        specs = tree_specs(4)
+        out = tmp_path / "out.jsonl"
+        records = BatchRunner(parallel=False).run(specs, output_path=str(out))
+        loaded = load_records(str(out))
+        assert [r.comparable_dict() for r in loaded] == [
+            r.comparable_dict() for r in records
+        ]
+
+    def test_resume_skips_finished_specs(self, tmp_path):
+        specs = tree_specs(8)
+        out = tmp_path / "out.jsonl"
+        runner = BatchRunner(parallel=False)
+
+        # Simulate a batch killed after 3 specs: keep only 3 output lines.
+        runner.run(specs[:3], output_path=str(out))
+        assert runner.stats.executed == 3
+
+        records = runner.run(specs, output_path=str(out))
+        assert runner.stats.executed == 5
+        assert runner.stats.reused == 3
+        assert len(records) == 8
+        assert [r.spec for r in records] == specs
+
+        # A third run recomputes nothing at all.
+        again = runner.run(specs, output_path=str(out))
+        assert runner.stats.executed == 0
+        assert runner.stats.reused == 8
+        assert [r.comparable_dict() for r in again] == [
+            r.comparable_dict() for r in records
+        ]
+
+    def test_resume_tolerates_truncated_final_line(self, tmp_path):
+        specs = tree_specs(4)
+        out = tmp_path / "out.jsonl"
+        runner = BatchRunner(parallel=False)
+        runner.run(specs, output_path=str(out))
+        lines = out.read_text(encoding="utf-8").splitlines()
+        # Chop the last record in half, as a mid-write crash would.
+        out.write_text("\n".join(lines[:3] + [lines[3][: len(lines[3]) // 2]]) + "\n")
+        records = runner.run(specs, output_path=str(out))
+        assert runner.stats.executed == 1
+        assert runner.stats.reused == 3
+        assert len(records) == 4
+        # The rewritten file is whole again.
+        assert len(load_records(str(out))) == 4
+
+    def test_subset_rerun_preserves_other_records(self, tmp_path):
+        specs = tree_specs(6)
+        out = tmp_path / "out.jsonl"
+        runner = BatchRunner(parallel=False)
+        runner.run(specs, output_path=str(out))
+
+        subset_records = runner.run(specs[2:4], output_path=str(out))
+        assert runner.stats.executed == 0
+        assert len(subset_records) == 2
+        # The four records outside the subset batch survive in the file.
+        kept = load_records(str(out))
+        assert len(kept) == 6
+        assert {r.spec.spec_id for r in kept} == {s.spec_id for s in specs}
+
+    def test_no_resume_forces_recompute(self, tmp_path):
+        specs = tree_specs(3)
+        out = tmp_path / "out.jsonl"
+        runner = BatchRunner(parallel=False)
+        runner.run(specs, output_path=str(out))
+        runner.run(specs, output_path=str(out), resume=False)
+        assert runner.stats.executed == 3
+
+    def test_resume_keyed_by_content_not_label(self, tmp_path):
+        specs = tree_specs(3)
+        out = tmp_path / "out.jsonl"
+        runner = BatchRunner(parallel=False)
+        runner.run(specs, output_path=str(out))
+        relabeled = [
+            RunSpec.from_dict({**s.to_dict(), "label": f"run-{i}"})
+            for i, s in enumerate(specs)
+        ]
+        runner.run(relabeled, output_path=str(out))
+        assert runner.stats.executed == 0
+
+
+class TestEdges:
+    def test_duplicate_specs_executed_once(self):
+        spec = tree_specs(1)[0]
+        runner = BatchRunner(parallel=False)
+        records = runner.run([spec, spec, spec])
+        assert runner.stats.executed == 1
+        assert len(records) == 3
+        assert records[0] == records[1] == records[2]
+
+    def test_empty_batch(self, tmp_path):
+        out = tmp_path / "out.jsonl"
+        runner = BatchRunner(parallel=False)
+        assert runner.run([], output_path=str(out)) == []
+        assert runner.stats.executed == 0
+        assert out.read_text(encoding="utf-8") == ""
+
+    def test_progress_callback(self):
+        seen = []
+        runner = BatchRunner(parallel=False)
+        runner.run(
+            tree_specs(3),
+            progress=lambda done, total, record: seen.append((done, total)),
+        )
+        assert seen == [(1, 3), (2, 3), (3, 3)]
+
+    def test_run_specs_convenience(self):
+        records = run_specs(tree_specs(2), parallel=False)
+        assert len(records) == 2
+        assert all(r.terminated for r in records)
+
+    def test_bad_constructor_args(self):
+        with pytest.raises(ValueError):
+            BatchRunner(max_workers=0)
+        with pytest.raises(ValueError):
+            BatchRunner(chunksize=0)

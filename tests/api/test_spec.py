@@ -1,0 +1,223 @@
+"""Tests for RunSpec / RunRecord: round-trip, materialization, execution."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    RunRecord,
+    RunSpec,
+    SpecError,
+    UnknownNameError,
+    execute_spec,
+    execute_spec_full,
+)
+from repro.api.spec import TIMING_FIELDS, dump_specs, load_specs
+from repro.core.general_broadcast import GeneralBroadcastProtocol
+from repro.graphs.generators import random_digraph
+from repro.network.scheduler import LatencyScheduler, RandomScheduler
+from repro.network.simulator import run_protocol
+from repro.network.synchronous import run_protocol_synchronous
+
+
+def digraph_spec(**overrides) -> RunSpec:
+    base = dict(
+        graph="random-digraph",
+        graph_params={"num_internal": 12},
+        protocol="general-broadcast",
+        seed=3,
+    )
+    base.update(overrides)
+    return RunSpec(**base)
+
+
+class TestRoundTrip:
+    def test_from_dict_to_dict_identity(self):
+        spec = digraph_spec(
+            protocol_params={"broadcast_payload": "hello"},
+            graph_transforms=("with-dead-end-vertex",),
+            scheduler="random",
+            scheduler_params={"seed": 5},
+            engine="synchronous",
+            max_steps=1000,
+            record_trace=True,
+            track_state_bits=True,
+            stop_at_termination=True,
+            label="round-trip",
+        )
+        assert RunSpec.from_dict(spec.to_dict()) == spec
+
+    def test_json_round_trip(self):
+        spec = digraph_spec(graph_transforms=("with-stranded-cycle",))
+        assert RunSpec.from_json(spec.to_json()) == spec
+        # and the dict really is plain JSON data
+        json.dumps(spec.to_dict())
+
+    def test_transform_lists_normalize_to_tuples(self):
+        payload = digraph_spec().to_dict()
+        payload["graph_transforms"] = ["with-dead-end-vertex"]  # JSON gives lists
+        spec = RunSpec.from_dict(payload)
+        assert spec.graph_transforms == ("with-dead-end-vertex",)
+        assert RunSpec.from_dict(spec.to_dict()) == spec
+
+    def test_unknown_field_rejected(self):
+        payload = digraph_spec().to_dict()
+        payload["not_a_field"] = 1
+        with pytest.raises(SpecError):
+            RunSpec.from_dict(payload)
+
+    def test_bad_engine_rejected(self):
+        with pytest.raises(SpecError):
+            digraph_spec(engine="quantum")
+
+    def test_non_json_params_rejected(self):
+        with pytest.raises(SpecError):
+            digraph_spec(protocol_params={"payload": object()})
+
+    def test_spec_file_round_trip(self, tmp_path):
+        specs = [digraph_spec(seed=s) for s in range(3)]
+        path = tmp_path / "specs.json"
+        dump_specs(specs, str(path))
+        assert load_specs(str(path)) == specs
+
+    def test_load_specs_accepts_single_object_and_jsonl(self, tmp_path):
+        spec = digraph_spec()
+        single = tmp_path / "one.json"
+        single.write_text(spec.to_json(), encoding="utf-8")
+        assert load_specs(str(single)) == [spec]
+
+        jsonl = tmp_path / "many.jsonl"
+        jsonl.write_text(
+            "\n".join(digraph_spec(seed=s).to_json() for s in range(3)),
+            encoding="utf-8",
+        )
+        assert len(load_specs(str(jsonl))) == 3
+
+
+class TestIdentity:
+    def test_spec_id_stable(self):
+        assert digraph_spec().spec_id == digraph_spec().spec_id
+
+    def test_label_does_not_change_identity(self):
+        assert digraph_spec(label="a").spec_id == digraph_spec(label="b").spec_id
+        assert digraph_spec(label="a") != digraph_spec(label="b")
+
+    def test_any_other_field_changes_identity(self):
+        base = digraph_spec()
+        assert base.spec_id != digraph_spec(seed=4).spec_id
+        assert base.spec_id != digraph_spec(protocol="label-assignment").spec_id
+        assert base.spec_id != digraph_spec(scheduler="lifo").spec_id
+
+    def test_specs_are_hashable(self):
+        assert len({digraph_spec(), digraph_spec(), digraph_spec(seed=9)}) == 2
+
+
+class TestMaterialization:
+    def test_build_graph_matches_direct_call(self):
+        net = digraph_spec().build_graph()
+        direct = random_digraph(12, seed=3)
+        assert net.num_vertices == direct.num_vertices
+        assert list(net.edges) == list(direct.edges)
+
+    def test_seed_injection_defers_to_explicit_param(self):
+        spec = digraph_spec(graph_params={"num_internal": 12, "seed": 8}, seed=3)
+        direct = random_digraph(12, seed=8)
+        assert list(spec.build_graph().edges) == list(direct.edges)
+
+    def test_seed_not_injected_where_unsupported(self):
+        spec = RunSpec(
+            graph="layered-diamond-dag",
+            graph_params={"depth": 3},
+            protocol="dag-broadcast",
+            seed=17,
+        )
+        spec.build_graph()  # would TypeError if seed were passed through
+
+    def test_build_protocol(self):
+        protocol = digraph_spec(
+            protocol_params={"broadcast_payload": "hi"}
+        ).build_protocol()
+        assert isinstance(protocol, GeneralBroadcastProtocol)
+        assert protocol.broadcast_payload == "hi"
+
+    def test_build_scheduler_with_seed_injection(self):
+        sched = digraph_spec(scheduler="random").build_scheduler()
+        assert isinstance(sched, RandomScheduler)
+        assert sched.seed == 3  # top-level spec seed injected
+        explicit = digraph_spec(
+            scheduler="latency", scheduler_params={"seed": 0, "min_latency": 2.0}
+        ).build_scheduler()
+        assert isinstance(explicit, LatencyScheduler)
+
+    def test_unknown_names_fail_at_build_time(self):
+        with pytest.raises(UnknownNameError):
+            digraph_spec(graph="no-such-graph").build_graph()
+        with pytest.raises(UnknownNameError):
+            digraph_spec(protocol="no-such-protocol").build_protocol()
+        with pytest.raises(UnknownNameError):
+            digraph_spec(scheduler="no-such-scheduler").build_scheduler()
+
+    def test_transforms_applied(self):
+        plain = digraph_spec().build_graph()
+        bad = digraph_spec(graph_transforms=("with-dead-end-vertex",)).build_graph()
+        assert bad.num_vertices == plain.num_vertices + 1
+
+
+class TestExecution:
+    def test_record_matches_direct_run(self):
+        spec = digraph_spec()
+        record = execute_spec(spec)
+        direct = run_protocol(
+            random_digraph(12, seed=3), GeneralBroadcastProtocol()
+        )
+        assert record.terminated and direct.terminated
+        assert record.outcome == direct.outcome.value
+        assert record.metrics["total_bits"] == direct.metrics.total_bits
+        assert record.metrics["total_messages"] == direct.metrics.total_messages
+        assert record.num_edges == spec.build_graph().num_edges
+
+    def test_record_round_trips_through_json(self):
+        record = execute_spec(digraph_spec())
+        clone = RunRecord.from_json(record.to_json())
+        assert clone == record
+        assert clone.spec == record.spec
+
+    def test_comparable_dict_strips_timing(self):
+        record = execute_spec(digraph_spec())
+        payload = record.comparable_dict()
+        for field in TIMING_FIELDS:
+            assert field not in payload
+
+    def test_execute_spec_full_exposes_states_and_network(self):
+        record, result, network = execute_spec_full(digraph_spec())
+        assert record.terminated
+        assert result.states  # white-box access preserved
+        assert network.num_edges == record.num_edges
+
+    def test_synchronous_engine(self):
+        spec = RunSpec(
+            graph="random-grounded-tree",
+            graph_params={"num_internal": 20},
+            protocol="tree-broadcast",
+            engine="synchronous",
+            seed=0,
+        )
+        record = execute_spec(spec)
+        direct = run_protocol_synchronous(
+            spec.build_graph(), spec.build_protocol()
+        )
+        assert record.terminated
+        assert record.metrics["termination_round"] == direct.termination_round
+        assert record.metrics["rounds"] == direct.rounds
+
+    def test_dead_end_transform_blocks_termination(self):
+        record = execute_spec(
+            digraph_spec(graph_transforms=("with-dead-end-vertex",))
+        )
+        assert not record.terminated
+        assert record.outcome == "quiescent-without-termination"
+
+    def test_spec_run_shorthand(self):
+        record = digraph_spec().run()
+        assert isinstance(record, RunRecord)
+        assert record.terminated

@@ -15,7 +15,13 @@ import pytest
 EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
 
 CASES = {
-    "quickstart.py": ["broadcast: terminated", "labeling: all", "iff-direction"],
+    "quickstart.py": [
+        "broadcast: terminated",
+        "labeling: all",
+        "iff-direction",
+        "run-spec:",
+        "batch: 8 seeds",
+    ],
     "adhoc_sensor_field.py": ["sink confirmed rollout", "did NOT confirm"],
     "p2p_overlay_mapping.py": ["map verified: exact match"],
     "lowerbound_gallery.py": ["FIGURE 5", "FIGURE 4", "FIGURE 6", "repaired rule"],
