@@ -12,9 +12,7 @@ from conftest import run_experiment
 
 
 def test_bench_e02_tree_lowerbound(benchmark):
-    rows = run_experiment(
-        benchmark, "E2 Gₙ alphabet lower bound (Thm 3.2)", experiment_e02_tree_lowerbound
-    )
+    rows = run_experiment(benchmark, "E2 Gₙ alphabet lower bound (Thm 3.2)", experiment_e02_tree_lowerbound)
     for row in rows:
         assert row["at_least_n"]
         assert row["measured_bits"] >= row["huffman_floor_bits"]

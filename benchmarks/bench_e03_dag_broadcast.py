@@ -11,10 +11,8 @@ from repro.analysis.experiments import experiment_e03_dag_broadcast
 from conftest import run_experiment
 
 
-def test_bench_e03_dag_broadcast(benchmark):
-    rows = run_experiment(
-        benchmark, "E3 DAG broadcast (§3.3)", experiment_e03_dag_broadcast
-    )
+def test_bench_e03_dag_broadcast(benchmark, engine):
+    rows = run_experiment(benchmark, "E3 DAG broadcast (§3.3)", experiment_e03_dag_broadcast, engine=engine)
     for row in rows:
         assert row["one_msg_per_edge"]
         assert row["ratio"] < 1.0

@@ -11,10 +11,8 @@ from repro.analysis.experiments import experiment_e05_general_broadcast
 from conftest import run_experiment
 
 
-def test_bench_e05_general_broadcast(benchmark):
-    rows = run_experiment(
-        benchmark, "E5 general broadcast (Thm 4.2/4.3)", experiment_e05_general_broadcast
-    )
+def test_bench_e05_general_broadcast(benchmark, engine):
+    rows = run_experiment(benchmark, "E5 general broadcast (Thm 4.2/4.3)", experiment_e05_general_broadcast, engine=engine)
     for row in rows:
         assert row["ratio"] < 1.0
         import math

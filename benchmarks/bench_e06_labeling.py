@@ -11,8 +11,8 @@ from repro.analysis.experiments import experiment_e06_labeling
 from conftest import run_experiment
 
 
-def test_bench_e06_labeling(benchmark):
-    rows = run_experiment(benchmark, "E6 label assignment (Thm 5.1)", experiment_e06_labeling)
+def test_bench_e06_labeling(benchmark, engine):
+    rows = run_experiment(benchmark, "E6 label assignment (Thm 5.1)", experiment_e06_labeling, engine=engine)
     for row in rows:
         assert row["all_labeled"]
         assert row["labels_disjoint"]

@@ -14,9 +14,7 @@ from conftest import run_experiment
 
 
 def test_bench_e07_label_lowerbound(benchmark):
-    rows = run_experiment(
-        benchmark, "E7 label lower bound (Thm 5.2)", experiment_e07_label_lowerbound
-    )
+    rows = run_experiment(benchmark, "E7 label lower bound (Thm 5.2)", experiment_e07_label_lowerbound)
     checked = [row for row in rows if row["pruning_identical"] != ""]
     assert checked and all(row["pruning_identical"] for row in checked)
     # Linear growth in h for fixed d=2.

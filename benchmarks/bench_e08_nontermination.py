@@ -10,10 +10,8 @@ from repro.analysis.experiments import experiment_e08_nontermination
 from conftest import run_experiment
 
 
-def test_bench_e08_nontermination(benchmark):
-    rows = run_experiment(
-        benchmark, "E8 non-termination sweep (the iff)", experiment_e08_nontermination
-    )
+def test_bench_e08_nontermination(benchmark, engine):
+    rows = run_experiment(benchmark, "E8 non-termination sweep (the iff)", experiment_e08_nontermination, engine=engine)
     assert rows
     for row in rows:
         assert row["bad_graph_runs"] > 0

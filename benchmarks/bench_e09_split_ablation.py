@@ -11,8 +11,8 @@ from repro.analysis.experiments import experiment_e09_split_ablation
 from conftest import run_experiment
 
 
-def test_bench_e09_split_ablation(benchmark):
-    rows = run_experiment(benchmark, "E9 split-rule ablation (§3.1)", experiment_e09_split_ablation)
+def test_bench_e09_split_ablation(benchmark, engine):
+    rows = run_experiment(benchmark, "E9 split-rule ablation (§3.1)", experiment_e09_split_ablation, engine=engine)
     ratios = [row["bits_ratio"] for row in rows]
     assert all(r > 1.5 for r in ratios)
     assert ratios[-1] >= ratios[0]

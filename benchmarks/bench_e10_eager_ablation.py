@@ -12,8 +12,8 @@ from repro.analysis.scaling import semilog_slope
 from conftest import run_experiment
 
 
-def test_bench_e10_eager_ablation(benchmark):
-    rows = run_experiment(benchmark, "E10 eager-vs-waiting ablation", experiment_e10_eager_ablation)
+def test_bench_e10_eager_ablation(benchmark, engine):
+    rows = run_experiment(benchmark, "E10 eager-vs-waiting ablation", experiment_e10_eager_ablation, engine=engine)
     assert all(row["waiting_is_E"] for row in rows)
     depths = [row["depth"] for row in rows]
     eager = [row["eager_messages"] for row in rows]

@@ -11,7 +11,7 @@ from repro.analysis.experiments import experiment_e11_mapping
 from conftest import run_experiment
 
 
-def test_bench_e11_mapping(benchmark):
-    rows = run_experiment(benchmark, "E11 topology mapping (§6)", experiment_e11_mapping)
+def test_bench_e11_mapping(benchmark, engine):
+    rows = run_experiment(benchmark, "E11 topology mapping (§6)", experiment_e11_mapping, engine=engine)
     for row in rows:
         assert row["exact_reconstructions"] == row["runs"]

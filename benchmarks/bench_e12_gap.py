@@ -13,8 +13,8 @@ from repro.analysis.scaling import loglog_slope
 from conftest import run_experiment
 
 
-def test_bench_e12_gap(benchmark):
-    rows = run_experiment(benchmark, "E12 exponential label gap (§6)", experiment_e12_gap)
+def test_bench_e12_gap(benchmark, engine):
+    rows = run_experiment(benchmark, "E12 exponential label gap (§6)", experiment_e12_gap, engine=engine)
     gaps = [row["gap_factor"] for row in rows]
     assert gaps == sorted(gaps), "gap must widen with |V|"
     directed_slope = loglog_slope(

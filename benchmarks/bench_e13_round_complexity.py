@@ -13,9 +13,7 @@ from conftest import run_experiment
 
 
 def test_bench_e13_round_complexity(benchmark):
-    rows = run_experiment(
-        benchmark, "E13 synchronous rounds (§2)", experiment_e13_round_complexity
-    )
+    rows = run_experiment(benchmark, "E13 synchronous rounds (§2)", experiment_e13_round_complexity)
     for row in rows:
         assert row["tree_rounds"] == row["tree_longest_path"]
         assert row["dag_rounds"] == row["dag_longest_path"]

@@ -13,10 +13,7 @@ from conftest import run_experiment
 
 
 def test_bench_e14_exhaustive(benchmark):
-    rows = run_experiment(
-        benchmark, "E14 exhaustive verification (beyond paper)",
-        experiment_e14_exhaustive_verification,
-    )
+    rows = run_experiment(benchmark, "E14 exhaustive verification (beyond paper)", experiment_e14_exhaustive_verification)
     for row in rows:
         assert row["iff_violations"] == 0
         assert row["topologies"] > 0

@@ -12,8 +12,8 @@ from repro.analysis.experiments import experiment_e15_state_space
 from conftest import run_experiment
 
 
-def test_bench_e15_state_space(benchmark):
-    rows = run_experiment(benchmark, "E15 state-space measure (§2)", experiment_e15_state_space)
+def test_bench_e15_state_space(benchmark, engine):
+    rows = run_experiment(benchmark, "E15 state-space measure (§2)", experiment_e15_state_space, engine=engine)
     for row in rows:
         assert row["general_state_bits"] > row["dag_state_bits"]
         assert row["labeling_state_bits"] >= row["general_state_bits"]

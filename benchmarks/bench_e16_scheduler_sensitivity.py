@@ -11,11 +11,8 @@ from repro.analysis.experiments import experiment_e16_scheduler_sensitivity
 from conftest import run_experiment
 
 
-def test_bench_e16_scheduler_sensitivity(benchmark):
-    rows = run_experiment(
-        benchmark, "E16 scheduler sensitivity (ablation)",
-        experiment_e16_scheduler_sensitivity,
-    )
+def test_bench_e16_scheduler_sensitivity(benchmark, engine):
+    rows = run_experiment(benchmark, "E16 scheduler sensitivity (ablation)", experiment_e16_scheduler_sensitivity, engine=engine)
     assert all(row["terminated"] for row in rows)
     spreads = [row["vs_best"] for row in rows]
     assert max(spreads) < 3.0, "cost spread across adversaries stays bounded"

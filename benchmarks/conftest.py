@@ -1,10 +1,22 @@
-"""Shared helper for the experiment benches.
+"""Shared helpers for the experiment benches.
 
 Each bench runs one experiment driver exactly once under pytest-benchmark
 (the drivers are deterministic; re-running them only repeats identical
 work), prints the full result table so the bench log reproduces every
 number recorded in EXPERIMENTS.md, and returns the rows for shape
 assertions.
+
+Experiment benches whose drivers execute :class:`~repro.api.spec.RunSpec`
+workloads are parametrized over the execution engines in
+:data:`ENGINES_UNDER_TEST` (request the ``engine`` fixture argument): the
+driver's specs are seeded through
+:func:`repro.analysis.experiments.experiments_engine`, so the perf
+trajectory in the bench log compares *engines*, not just protocols.  Rows
+are engine-independent by the differential-equivalence contract (enforced
+in ``tests/api/test_engine_differential.py``); only the timings differ.
+Suites whose drivers bypass the spec layer (the lower-bound and
+schedule-exploration harnesses, and the synchronous-only E13) do not take
+the parameter — an engine label there would mislabel identical work.
 """
 
 from __future__ import annotations
@@ -12,14 +24,33 @@ from __future__ import annotations
 import sys
 from typing import Callable, Dict, List
 
+from repro.analysis.experiments import experiments_engine
 from repro.analysis.report import render_table
 
+#: Engines every spec-routed experiment bench is measured under.  The
+#: synchronous engine is excluded here — it changes delivery semantics
+#: (rounds), so it has its own dedicated suite in ``bench_engines.py``.
+ENGINES_UNDER_TEST = ("async", "fastpath")
 
-def run_experiment(benchmark, name: str, driver: Callable[[], List[Dict]]) -> List[Dict]:
-    """Run ``driver`` once under the benchmark fixture and print its table."""
-    rows = benchmark.pedantic(driver, rounds=1, iterations=1)
-    table = render_table(rows, title=f"== {name} ==")
+
+def pytest_generate_tests(metafunc):
+    if "engine" in metafunc.fixturenames:
+        metafunc.parametrize("engine", ENGINES_UNDER_TEST)
+
+
+def run_experiment(
+    benchmark, name: str, driver: Callable[[], List[Dict]], engine: str = "async"
+) -> List[Dict]:
+    """Run ``driver`` under ``engine`` once inside the benchmark fixture."""
+
+    def call() -> List[Dict]:
+        with experiments_engine(engine):
+            return driver()
+
+    rows = benchmark.pedantic(call, rounds=1, iterations=1)
+    table = render_table(rows, title=f"== {name} [{engine}] ==")
     print(file=sys.stderr)
     print(table, file=sys.stderr)
     benchmark.extra_info["rows"] = len(rows)
+    benchmark.extra_info["engine"] = engine
     return rows

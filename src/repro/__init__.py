@@ -60,7 +60,14 @@ Registry names (see ``repro registry`` for the live list): protocols
 ``pruned-tree``; transforms ``with-dead-end-vertex``,
 ``with-stranded-cycle``; schedulers ``fifo``, ``lifo``, ``random``,
 ``terminal-last``, ``terminal-first``, ``port-biased``, ``latency``,
-``dropping``.
+``dropping``; engines ``async``, ``fastpath``, ``synchronous``.
+
+Choosing an engine: ``RunSpec(engine="fastpath")`` runs the compiled
+flat-state engine (:mod:`repro.network.fastpath`) — result-identical to
+the default ``"async"`` reference engine and several times faster on
+large runs; use it for sweeps and batches, and keep ``"async"`` when
+stepping through the reference implementation.  ``repro bench --quick``
+measures both on this machine (see README.md).
 """
 
 from .core import (

@@ -22,6 +22,7 @@ specs serially on purpose — process-level parallelism belongs to the CLI
 from __future__ import annotations
 
 import math
+from contextlib import contextmanager
 from typing import Dict, List, Sequence, Tuple
 
 from ..api import PROTOCOLS, BatchRunner, RunSpec, execute_spec_full
@@ -69,14 +70,42 @@ __all__ = [
     "experiment_e14_exhaustive_verification",
     "experiment_e15_state_space",
     "experiment_e16_scheduler_sensitivity",
+    "experiments_engine",
     "ALL_EXPERIMENTS",
 ]
 
 #: Shared in-process batch runner for the metrics-only drivers.
 _RUNNER = BatchRunner(parallel=False)
 
+#: Engine stack for spec-construction sites that do not pin one; drivers
+#: that *require* a specific engine (E13's synchronous runs) set it
+#: explicitly and are unaffected.
+_ENGINE_STACK = ["async"]
+
+
+@contextmanager
+def experiments_engine(engine: str):
+    """Run the enclosed experiment drivers under a different engine.
+
+    The benchmark suites use this to measure every experiment under each
+    execution engine (``with experiments_engine("fastpath"): driver()``)
+    without threading an ``engine`` parameter through sixteen drivers.
+    Results are engine-independent by the differential-equivalence
+    contract; only the wall-clock changes.
+    """
+    _ENGINE_STACK.append(engine)
+    try:
+        yield
+    finally:
+        _ENGINE_STACK.pop()
+
+
+def _engine() -> str:
+    return _ENGINE_STACK[-1]
+
 
 def _tree_spec(n: int, seed: int, protocol: str = "tree-broadcast", **kw) -> RunSpec:
+    kw.setdefault("engine", _engine())
     return RunSpec(
         graph="random-grounded-tree",
         graph_params={"num_internal": n},
@@ -87,6 +116,7 @@ def _tree_spec(n: int, seed: int, protocol: str = "tree-broadcast", **kw) -> Run
 
 
 def _digraph_spec(n: int, seed: int, protocol: str, **kw) -> RunSpec:
+    kw.setdefault("engine", _engine())
     return RunSpec(
         graph="random-digraph",
         graph_params={"num_internal": n},
@@ -151,6 +181,7 @@ def experiment_e03_dag_broadcast(
             graph_params={"num_internal": n},
             protocol="dag-broadcast",
             seed=seed,
+            engine=_engine(),
         )
         for n in sizes
         for seed in seeds[:1]
@@ -351,6 +382,7 @@ def experiment_e10_eager_ablation(depths: Sequence[int] = (2, 4, 6, 8, 10, 12)) 
                 graph="layered-diamond-dag",
                 graph_params={"depth": depth},
                 protocol=protocol,
+                engine=_engine(),
             )
             for protocol in ("eager-dag-broadcast", "dag-broadcast")
         ]
@@ -418,6 +450,7 @@ def experiment_e12_gap(heights: Sequence[int] = (4, 8, 16, 32, 64)) -> List[Dict
             graph="pruned-tree",
             graph_params={"degree": degree, "height": h},
             protocol="label-assignment",
+            engine=_engine(),
         )
         record, directed, net = execute_spec_full(spec)
         assert record.terminated
@@ -574,6 +607,7 @@ def experiment_e15_state_space(
                 protocol=protocol,
                 seed=seed,
                 track_state_bits=True,
+                engine=_engine(),
             )
             for _, graph, protocol in workloads
         ]

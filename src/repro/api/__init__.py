@@ -26,6 +26,7 @@ Or from a shell: ``repro batch specs.json -o out.jsonl``.
 """
 
 from .registry import (
+    ENGINES,
     GRAPH_TRANSFORMS,
     GRAPHS,
     PROTOCOLS,
@@ -57,6 +58,7 @@ __all__ = [
     "GRAPHS",
     "GRAPH_TRANSFORMS",
     "SCHEDULERS",
+    "ENGINES",
     "all_registries",
     # specs & records
     "RunSpec",

@@ -1,0 +1,77 @@
+"""Execution engines as registry entries.
+
+An *engine* is the thing that actually drives a protocol over a network:
+the asynchronous adversarial simulator, the synchronous lockstep runner, or
+the compiled fast-path loop.  Each engine is registered in
+:data:`~repro.api.registry.ENGINES` as a callable::
+
+    engine(spec, network, protocol) -> (result, extra_metrics)
+
+where ``result`` is the engine's native result object (it must expose
+``outcome``, ``terminated`` and ``metrics``) and ``extra_metrics`` is a
+dict of engine-specific additions folded into the
+:class:`~repro.api.spec.RunRecord` metrics (e.g. the synchronous engine's
+``rounds``).  :func:`~repro.api.spec.execute_spec_full` dispatches through
+the registry, so ``RunSpec(engine="fastpath")`` selects the fast path with
+zero driver changes, and a new engine becomes spec-addressable the moment
+it registers itself.
+
+The heavy engine modules are imported lazily inside each adapter so that
+importing :mod:`repro.api` stays cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from .registry import ENGINES
+
+__all__ = ["ENGINES"]
+
+
+@ENGINES.register("async")
+def _run_async(spec: Any, network: Any, protocol: Any) -> Tuple[Any, Dict[str, Any]]:
+    """The paper's adversarial model: per-event delivery under a scheduler."""
+    from ..network.simulator import run_protocol
+
+    result = run_protocol(
+        network,
+        protocol,
+        spec.build_scheduler(),
+        max_steps=spec.max_steps,
+        record_trace=spec.record_trace,
+        track_state_bits=spec.track_state_bits,
+        stop_at_termination=spec.stop_at_termination,
+    )
+    return result, {}
+
+
+@ENGINES.register("fastpath")
+def _run_fastpath(spec: Any, network: Any, protocol: Any) -> Tuple[Any, Dict[str, Any]]:
+    """Compiled flat-state engine; bit-identical to ``async``, much faster."""
+    from ..network.fastpath import run_protocol_fastpath
+
+    result = run_protocol_fastpath(
+        network,
+        protocol,
+        spec.build_scheduler(),
+        max_steps=spec.max_steps,
+        record_trace=spec.record_trace,
+        track_state_bits=spec.track_state_bits,
+        stop_at_termination=spec.stop_at_termination,
+    )
+    return result, {}
+
+
+@ENGINES.register("synchronous")
+def _run_synchronous(spec: Any, network: Any, protocol: Any) -> Tuple[Any, Dict[str, Any]]:
+    """Lockstep rounds (§2's time-complexity extension, experiment E13)."""
+    from ..network.synchronous import run_protocol_synchronous
+
+    result = run_protocol_synchronous(
+        network,
+        protocol,
+        max_rounds=spec.max_steps,
+        stop_at_termination=spec.stop_at_termination,
+    )
+    return result, {"rounds": result.rounds, "termination_round": result.termination_round}

@@ -23,6 +23,9 @@ Four registries cover the spec vocabulary:
   post-processors (e.g. the E8 "bad graph" mutators).
 * :data:`SCHEDULERS` — :class:`~repro.network.scheduler.Scheduler`
   subclasses, keyed by their class-level ``name``.
+* :data:`ENGINES` — execution engines: callables taking
+  ``(spec, network, protocol)`` and returning ``(result, extra_metrics)``
+  (see :mod:`repro.api.engines`).  ``RunSpec(engine=...)`` selects one.
 
 This module is intentionally a leaf: it imports nothing from the rest of
 the package, so any component module may import it without cycles.
@@ -40,6 +43,7 @@ __all__ = [
     "GRAPHS",
     "GRAPH_TRANSFORMS",
     "SCHEDULERS",
+    "ENGINES",
     "all_registries",
 ]
 
@@ -163,6 +167,8 @@ GRAPHS = Registry("graph")
 GRAPH_TRANSFORMS = Registry("graph transform")
 #: Delivery schedulers, by their class-level ``name``.
 SCHEDULERS = Registry("scheduler")
+#: Execution engines, by name (``"async"``, ``"synchronous"``, ``"fastpath"``).
+ENGINES = Registry("engine")
 
 
 def all_registries() -> Dict[str, Registry]:
@@ -172,4 +178,5 @@ def all_registries() -> Dict[str, Registry]:
         "graphs": GRAPHS,
         "graph-transforms": GRAPH_TRANSFORMS,
         "schedulers": SCHEDULERS,
+        "engines": ENGINES,
     }

@@ -33,6 +33,7 @@ import time
 from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Any, Dict, Optional, Tuple
 
+from .engines import ENGINES
 from .registry import GRAPH_TRANSFORMS, GRAPHS, PROTOCOLS, SCHEDULERS
 
 __all__ = [
@@ -51,8 +52,6 @@ __all__ = [
 #: Determinism comparisons — and the resume logic's byte-identity claims —
 #: are always "modulo these fields".
 TIMING_FIELDS: Tuple[str, ...] = ("elapsed_seconds",)
-
-_ENGINES = ("async", "synchronous")
 
 
 class SpecError(ValueError):
@@ -114,8 +113,10 @@ class RunSpec:
         A :data:`~repro.api.registry.SCHEDULERS` name plus constructor
         keyword arguments; ignored by the synchronous engine.
     engine:
-        ``"async"`` (the paper's adversarial model, default) or
-        ``"synchronous"`` (lockstep rounds, E13).
+        A :data:`~repro.api.registry.ENGINES` name: ``"async"`` (the
+        paper's adversarial model, default), ``"fastpath"`` (compiled
+        flat-state engine, result-identical to ``"async"`` and much
+        faster) or ``"synchronous"`` (lockstep rounds, E13).
     max_steps:
         Delivery budget (rounds budget under the synchronous engine);
         ``None`` uses each engine's generous default.
@@ -152,8 +153,10 @@ class RunSpec:
             value = getattr(self, key)
             if not isinstance(value, str) or not value:
                 raise SpecError(f"{key} must be a non-empty registry name")
-        if self.engine not in _ENGINES:
-            raise SpecError(f"engine must be one of {_ENGINES}, got {self.engine!r}")
+        if self.engine not in ENGINES:
+            raise SpecError(
+                f"engine must be one of {ENGINES.names()}, got {self.engine!r}"
+            )
         for key in ("graph_params", "protocol_params", "scheduler_params"):
             object.__setattr__(self, key, dict(_json_safe(getattr(self, key), key)))
         transforms = getattr(self, "graph_transforms") or ()
@@ -304,32 +307,16 @@ def execute_spec_full(spec: RunSpec):
     :class:`~repro.network.graph.DirectedNetwork` the run executed on (so
     white-box callers need not rebuild it).  Callers that only need
     numbers should use :func:`execute_spec` (or the batch runner) instead.
-    """
-    from ..network.simulator import run_protocol
-    from ..network.synchronous import run_protocol_synchronous
 
+    The engine is resolved through :data:`~repro.api.registry.ENGINES`
+    (see :mod:`repro.api.engines`), so ``engine="fastpath"`` — or any
+    engine registered later — needs no changes here.
+    """
     network = spec.build_graph()
     protocol = spec.build_protocol()
+    engine = ENGINES.get(spec.engine)
     start = time.perf_counter()
-    if spec.engine == "synchronous":
-        result = run_protocol_synchronous(
-            network,
-            protocol,
-            max_rounds=spec.max_steps,
-            stop_at_termination=spec.stop_at_termination,
-        )
-        extra = {"rounds": result.rounds, "termination_round": result.termination_round}
-    else:
-        result = run_protocol(
-            network,
-            protocol,
-            spec.build_scheduler(),
-            max_steps=spec.max_steps,
-            record_trace=spec.record_trace,
-            track_state_bits=spec.track_state_bits,
-            stop_at_termination=spec.stop_at_termination,
-        )
-        extra = {}
+    result, extra = engine(spec, network, protocol)
     elapsed = time.perf_counter() - start
 
     metrics: Dict[str, Optional[float]] = dict(asdict(result.metrics))

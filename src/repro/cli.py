@@ -9,6 +9,7 @@ Usage::
     python -m repro run --spec spec.json # execute one RunSpec file
     python -m repro batch specs.json -o out.jsonl   # parallel batch + resume
     python -m repro registry             # list spec-addressable names
+    python -m repro bench --quick        # engine throughput -> BENCH_engines.json
 
 The experiment commands are a thin veneer over
 :mod:`repro.analysis.experiments`; ``run --spec`` and ``batch`` drive the
@@ -124,7 +125,50 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser(
         "registry",
-        help="list the registered protocol, graph, transform and scheduler names",
+        help="list the registered protocol, graph, transform, scheduler and engine names",
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="measure engine throughput (steps/sec) and write BENCH_engines.json",
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="small size sweep with fewer repeats (the CI configuration)",
+    )
+    bench.add_argument(
+        "--out",
+        default="BENCH_engines.json",
+        metavar="FILE",
+        help="JSON output path (default: BENCH_engines.json)",
+    )
+    bench.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="N",
+        help="graph sizes |V| to benchmark (overrides --quick/full defaults)",
+    )
+    bench.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="timed runs per engine/size, best taken (default: 2 quick, 3 full)",
+    )
+    bench.add_argument(
+        "--engines",
+        nargs="+",
+        default=None,
+        metavar="ENGINE",
+        help="engines to benchmark (default: async fastpath synchronous)",
+    )
+    bench.add_argument(
+        "--floors",
+        default=None,
+        metavar="FILE",
+        help="floors JSON (benchmarks/floors.json); exit non-zero on violation",
     )
 
     report = sub.add_parser(
@@ -211,6 +255,72 @@ def _cmd_batch(args, stream: IO[str]) -> int:
         + (f" -> {args.out}" if args.out else ""),
         file=stream,
     )
+    # Stable machine-readable summary for CI and scripting: one line, fixed
+    # prefix, JSON payload with sorted keys.  The prose line above may be
+    # reworded freely; this one is an interface.
+    summary = {
+        "total": stats.total,
+        "executed": stats.executed,
+        "reused": stats.reused,
+        "terminated": terminated,
+        "elapsed_seconds": round(elapsed, 3),
+        "output": args.out,
+    }
+    print("BATCH_SUMMARY " + json.dumps(summary, sort_keys=True), file=stream)
+    return 0
+
+
+def _cmd_bench(args, stream: IO[str]) -> int:
+    from .analysis.benchmark import (
+        BENCH_ENGINES,
+        FULL_SIZES,
+        QUICK_SIZES,
+        check_floors,
+        load_floors,
+        render_bench_table,
+        run_engine_benchmarks,
+        write_benchmarks,
+    )
+
+    sizes = tuple(args.sizes) if args.sizes else (QUICK_SIZES if args.quick else FULL_SIZES)
+    repeats = args.repeats if args.repeats is not None else (2 if args.quick else 3)
+    engines = tuple(args.engines) if args.engines else BENCH_ENGINES
+    from .api import ENGINES as engine_registry
+
+    unknown = [engine for engine in engines if engine not in engine_registry]
+    if unknown:
+        raise SystemExit(
+            f"unknown engine(s) {', '.join(unknown)}; "
+            f"registered: {', '.join(engine_registry.names())}"
+        )
+
+    def progress(row) -> None:
+        print(
+            f"  {row['engine']:<12} n={row['n']:<4} {row['steps']} steps "
+            f"in {row['best_seconds']:.4f}s  ({row['steps_per_sec']:.0f} steps/sec)",
+            file=stream,
+        )
+
+    print(
+        f"benchmarking engines {', '.join(engines)} at sizes "
+        f"{', '.join(str(n) for n in sizes)} ({repeats} repeats, best taken)",
+        file=stream,
+    )
+    payload = run_engine_benchmarks(
+        sizes=sizes, engines=engines, repeats=repeats, progress=progress
+    )
+    write_benchmarks(payload, args.out)
+    print(file=stream)
+    print(render_bench_table(payload), file=stream)
+    print(f"benchmarks written to {args.out}", file=stream)
+
+    if args.floors is not None:
+        violations = check_floors(payload, load_floors(args.floors))
+        if violations:
+            for violation in violations:
+                print(f"FLOOR VIOLATION: {violation}", file=stream)
+            return 1
+        print(f"all floors in {args.floors} hold", file=stream)
     return 0
 
 
@@ -237,6 +347,9 @@ def main(argv: Optional[Sequence[str]] = None, stream: IO[str] = sys.stdout) -> 
 
     if args.command == "batch":
         return _cmd_batch(args, stream)
+
+    if args.command == "bench":
+        return _cmd_bench(args, stream)
 
     if args.command == "report":
         lines: List[str] = [

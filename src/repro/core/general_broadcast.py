@@ -339,6 +339,25 @@ class GeneralBroadcastProtocol(AnonymousProtocol[GeneralState, IntervalMessage])
             total += union_cost(state.label)
         return total
 
+    def compile_fastpath(self, compiled: Any) -> Optional[Any]:
+        """Flat-state kernel for the fast-path engine (exact same semantics).
+
+        Guarded by an exact type check: a subclass that overrides behaviour
+        would silently diverge from the kernel, so unknown subclasses fall
+        back to the engine's generic machine (always correct).
+        """
+        if type(self) is not GeneralBroadcastProtocol:
+            return None
+        from .interval_kernel import IntervalKernel
+
+        return IntervalKernel(
+            self,
+            compiled,
+            reserve_label=self._reserve_label,
+            root_plain=False,
+            d0_plain=False,
+        )
+
 
 def _union_all(unions: List[IntervalUnion]) -> IntervalUnion:
     """Union of a list of interval-unions."""

@@ -99,6 +99,21 @@ class LabelAssignmentProtocol(GeneralBroadcastProtocol):
             return state, []
         return super().on_receive(state, view, in_port, message)
 
+    def compile_fastpath(self, compiled):
+        """Kernel with the paper-setting root/terminal overrides applied."""
+        if type(self) is not LabelAssignmentProtocol:
+            return None
+        from .interval_kernel import IntervalKernel
+
+        plain = not self.label_endpoints
+        return IntervalKernel(
+            self,
+            compiled,
+            reserve_label=True,
+            root_plain=plain,
+            d0_plain=plain,
+        )
+
 
 def extract_labels(states: Dict[int, GeneralState]) -> Dict[int, IntervalUnion]:
     """Collect the assigned labels from a finished run's vertex states.

@@ -124,6 +124,23 @@ class AnonymousProtocol(abc.ABC, Generic[State, Message]):
         """
         return 0
 
+    def compile_fastpath(self, compiled: Any) -> Optional[Any]:
+        """Optional accelerated kernel for the fast-path engine.
+
+        ``compiled`` is a :class:`~repro.network.fastpath.CompiledNetwork`.
+        A protocol may return a kernel object implementing the machine
+        interface the fast-path engine drives (``initial_emissions``,
+        ``deliver``, ``check_terminal``, ``finalize_states``, ``output``)
+        over its own flat data structures; it must be *exactly*
+        result-equivalent to running the protocol through
+        :meth:`on_receive` — same emissions in the same port order, same
+        bit accounting, same termination step.  Return ``None`` (the
+        default) to run through the engine's generic machine, which is
+        always correct.  Kernels are never consulted when tracing or
+        state-bit tracking is requested.
+        """
+        return None
+
 
 class FunctionalProtocol(AnonymousProtocol[Any, Any]):
     """Literal ``(Π, Σ, π₀, σ₀, f, g, S)`` protocol, as in the paper.

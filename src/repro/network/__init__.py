@@ -17,6 +17,7 @@ from .scheduler import (
     make_standard_schedulers,
     standard_scheduler_specs,
 )
+from .fastpath import CompiledNetwork, FastEvent, run_protocol_fastpath
 from .simulator import Outcome, RunResult, SimulationError, run_protocol
 from .synchronous import SynchronousRunResult, run_protocol_synchronous
 from .trace import DeliveryRecord, Trace
@@ -43,6 +44,9 @@ __all__ = [
     "RunResult",
     "SimulationError",
     "run_protocol",
+    "CompiledNetwork",
+    "FastEvent",
+    "run_protocol_fastpath",
     "SynchronousRunResult",
     "run_protocol_synchronous",
     "DeliveryRecord",

@@ -1,0 +1,601 @@
+"""The compiled fast-path execution engine.
+
+:func:`run_protocol_fastpath` is a drop-in replacement for
+:func:`~repro.network.simulator.run_protocol` that produces **identical
+results** (outcome, step counts, every metric, states, output, trace) while
+running several times faster.  It gets there by doing all per-delivery work
+on flat, preprocessed data instead of per-event objects:
+
+* **Compiled topology** — a :class:`CompiledNetwork` preprocessing pass
+  flattens the :class:`~repro.network.graph.DirectedNetwork` into plain
+  lists: ``edge_head[eid]``, ``in_port[eid]`` (the reference simulator
+  recomputes the in-port with an ``O(degree)`` ``.index`` call per
+  delivery), CSR-style per-vertex out-edge-id lists and prebuilt
+  :class:`~repro.core.model.VertexView` rows.
+* **Flat in-flight queues** — under the FIFO (default) and LIFO
+  schedulers the scheduler object is bypassed entirely: in-flight messages
+  live in a preallocated list used as an index ring buffer / stack of
+  ``(edge_id, payload, bits)`` tuples.  Under any other scheduler the
+  adversary keeps full control, but events become ``__slots__`` records
+  (:class:`FastEvent`) instead of frozen dataclasses.
+* **Inlined metrics** — per-delivery accounting updates local integers and
+  two flat per-edge arrays; the immutable
+  :class:`~repro.network.metrics.RunMetrics` is materialised once at the
+  end, as are the :class:`~repro.network.trace.Trace` and
+  :class:`~repro.network.simulator.RunResult`.
+* **Termination-check elision** — the reference engine evaluates the
+  stopping predicate ``S`` on every delivery to the terminal even after
+  termination was already recorded; the result of those calls is
+  unobservable (``record_termination`` latches the first step), so the
+  fast path skips them.
+* **Protocol kernels** — a protocol may implement
+  :meth:`~repro.core.model.AnonymousProtocol.compile_fastpath` and return
+  a :class:`FastpathKernel`-shaped object that replaces the per-vertex
+  object states and message payloads with its own flat representation
+  (see :mod:`repro.core.interval_kernel` for the Section 4/5 interval
+  protocols).  Kernels must be *exactly* result-equivalent; the engine
+  falls back to the generic machine whenever tracing or state-bit
+  tracking is requested, and the differential test suite
+  (``tests/api/test_engine_differential.py``) holds every protocol ×
+  graph × scheduler combination to byte-identical records.
+
+The scheduler contract is unchanged: schedulers see the same sequence of
+``push``/``pop`` calls as under the reference engine, so seeded adversaries
+(random, latency) make identical choices and every ∀-schedule claim carries
+over.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.model import VertexView
+from .graph import DirectedNetwork
+from .metrics import RunMetrics
+from .scheduler import FifoScheduler, LifoScheduler, Scheduler
+from .simulator import Outcome, RunResult, SimulationError
+from .trace import DeliveryRecord, Trace
+
+__all__ = ["CompiledNetwork", "FastEvent", "run_protocol_fastpath"]
+
+
+class CompiledNetwork:
+    """Flat-array view of a :class:`DirectedNetwork` for the inner loop.
+
+    Construction is ``O(|V| + |E|)`` and done once per run; afterwards every
+    per-delivery topology query is a list index instead of a method call
+    (and for :attr:`in_port`, instead of an ``O(degree)`` search).
+    """
+
+    __slots__ = (
+        "network",
+        "num_vertices",
+        "num_edges",
+        "root",
+        "terminal",
+        "edge_head",
+        "edge_tail",
+        "in_port",
+        "out_edge_ids",
+        "views",
+    )
+
+    def __init__(self, network: DirectedNetwork) -> None:
+        self.network = network
+        n = network.num_vertices
+        self.num_vertices = n
+        self.num_edges = network.num_edges
+        self.root = network.root
+        self.terminal = network.terminal
+        edges = network.edges
+        self.edge_tail: List[int] = [tail for tail, _ in edges]
+        self.edge_head: List[int] = [head for _, head in edges]
+        in_port = [0] * len(edges)
+        for v in range(n):
+            for idx, eid in enumerate(network.in_edge_ids(v)):
+                in_port[eid] = idx
+        self.in_port: List[int] = in_port
+        self.out_edge_ids: List[Tuple[int, ...]] = [
+            network.out_edge_ids(v) for v in range(n)
+        ]
+        self.views: List[VertexView] = [
+            VertexView(
+                in_degree=network.in_degree(v), out_degree=network.out_degree(v)
+            )
+            for v in range(n)
+        ]
+
+
+class FastEvent:
+    """A ``__slots__`` stand-in for :class:`~repro.network.events.MessageEvent`.
+
+    Schedulers only read attributes (``edge_id``, ``seq``, ``bits``,
+    ``payload``, ``sent_step``), so this duck-typed record — allocated with
+    plain attribute stores instead of a frozen dataclass's
+    ``object.__setattr__`` chain — is interchangeable and much cheaper.
+    """
+
+    __slots__ = ("edge_id", "payload", "seq", "sent_step", "bits")
+
+    def __init__(
+        self, edge_id: int, payload: Any, seq: int, sent_step: int, bits: int
+    ) -> None:
+        self.edge_id = edge_id
+        self.payload = payload
+        self.seq = seq
+        self.sent_step = sent_step
+        self.bits = bits
+
+
+class _ProtocolMachine:
+    """Generic execution machine: runs any protocol as-is over flat state.
+
+    This is the fallback used when a protocol offers no compiled kernel (or
+    when tracing / state-bit tracking forces the fully general path).  The
+    per-delivery protocol work is unchanged; the savings come from the
+    engine loop around it.
+    """
+
+    __slots__ = ("protocol", "views", "states", "message_bits")
+
+    def __init__(self, protocol: Any, compiled: CompiledNetwork) -> None:
+        self.protocol = protocol
+        self.views = compiled.views
+        self.states: List[Any] = [
+            protocol.create_state(view) for view in self.views
+        ]
+        self.message_bits = protocol.message_bits
+
+    def initial_emissions(self, root: int) -> List[Tuple[int, Any, int]]:
+        bits = self.message_bits
+        return [
+            (port, payload, bits(payload))
+            for port, payload in self.protocol.initial_emissions(self.views[root])
+        ]
+
+    def deliver(
+        self, vertex: int, in_port: int, payload: Any
+    ) -> List[Tuple[int, Any, int]]:
+        new_state, emissions = self.protocol.on_receive(
+            self.states[vertex], self.views[vertex], in_port, payload
+        )
+        self.states[vertex] = new_state
+        if not emissions:
+            return emissions  # type: ignore[return-value]
+        bits = self.message_bits
+        return [(port, out, bits(out)) for port, out in emissions]
+
+    def check_terminal(self, terminal: int) -> bool:
+        return self.protocol.is_terminated(self.states[terminal])
+
+    def state_bits(self, vertex: int) -> int:
+        return self.protocol.state_bits(self.states[vertex])
+
+    def finalize_states(self) -> Dict[int, Any]:
+        return dict(enumerate(self.states))
+
+    def output(self, terminal: int) -> Any:
+        return self.protocol.output(self.states[terminal])
+
+
+def run_protocol_fastpath(
+    network: DirectedNetwork,
+    protocol: Any,
+    scheduler: Optional[Scheduler] = None,
+    *,
+    max_steps: Optional[int] = None,
+    record_trace: bool = False,
+    track_state_bits: bool = False,
+    stop_at_termination: bool = False,
+) -> RunResult:
+    """Execute ``protocol`` on ``network``; result-identical to
+    :func:`~repro.network.simulator.run_protocol`.
+
+    Accepts exactly the same parameters (including the same default step
+    budget) and returns the same :class:`RunResult` shape.  See the module
+    docstring for what makes it fast.
+    """
+    if scheduler is None:
+        scheduler = FifoScheduler()
+    scheduler.bind(network)
+    if max_steps is None:
+        max_steps = 64 + 16 * network.num_edges * (network.num_vertices + 2)
+
+    compiled = CompiledNetwork(network)
+    machine: Any = None
+    if not record_trace and not track_state_bits:
+        machine = protocol.compile_fastpath(compiled)
+    if machine is None:
+        machine = _ProtocolMachine(protocol, compiled)
+
+    # The FIFO/LIFO bypass is only sound for the exact stock classes —
+    # subclasses may reorder arbitrarily, so they keep the scheduler path.
+    if type(scheduler) is FifoScheduler:
+        runner = _drive_flat_queue
+    elif type(scheduler) is LifoScheduler:
+        runner = _drive_flat_stack
+    else:
+        runner = _drive_scheduler
+    return runner(
+        compiled,
+        machine,
+        scheduler,
+        max_steps,
+        record_trace,
+        track_state_bits,
+        stop_at_termination,
+    )
+
+
+def _freeze_result(
+    compiled: CompiledNetwork,
+    machine: Any,
+    outcome: Outcome,
+    step: int,
+    total_messages: int,
+    total_bits: int,
+    max_message_bits: int,
+    edge_bits: List[int],
+    edge_messages: List[int],
+    termination_step: Optional[int],
+    messages_at_termination: int,
+    bits_at_termination: int,
+    max_state_bits: int,
+    trace_log: Optional[List[Tuple[int, int, Any, int]]],
+) -> RunResult:
+    """Materialise the immutable result objects (the only allocation-heavy
+    part of the engine, deferred to run end)."""
+    terminated = termination_step is not None
+    metrics = RunMetrics(
+        total_messages=total_messages,
+        total_bits=total_bits,
+        max_message_bits=max_message_bits,
+        max_edge_bits=max(edge_bits, default=0),
+        max_edge_messages=max(edge_messages, default=0),
+        termination_step=termination_step,
+        steps=step,
+        messages_at_termination=(
+            messages_at_termination if terminated else total_messages
+        ),
+        bits_at_termination=bits_at_termination if terminated else total_bits,
+        max_state_bits=max_state_bits,
+    )
+    trace: Optional[Trace] = None
+    if trace_log is not None:
+        trace = Trace()
+        trace.deliveries = [
+            DeliveryRecord(s, e, p, b) for s, e, p, b in trace_log
+        ]
+    output = None
+    if terminated and outcome is Outcome.TERMINATED:
+        output = machine.output(compiled.terminal)
+    return RunResult(
+        outcome=outcome,
+        metrics=metrics,
+        states=machine.finalize_states(),
+        output=output,
+        trace=trace,
+    )
+
+
+def _bad_port(vertex: int, out_port: int, out_degree: int) -> SimulationError:
+    return SimulationError(
+        f"vertex {vertex} emitted on out-port {out_port} but has "
+        f"out-degree {out_degree}"
+    )
+
+
+def _drive_flat_queue(
+    compiled: CompiledNetwork,
+    machine: Any,
+    scheduler: Scheduler,
+    max_steps: int,
+    record_trace: bool,
+    track_state_bits: bool,
+    stop_at_termination: bool,
+) -> RunResult:
+    """Inner loop under global send order: a list used as an index ring."""
+    edge_head = compiled.edge_head
+    in_port = compiled.in_port
+    out_edge_ids = compiled.out_edge_ids
+    terminal = compiled.terminal
+    deliver = machine.deliver
+
+    total_messages = 0
+    total_bits = 0
+    max_message_bits = 0
+    edge_bits = [0] * compiled.num_edges
+    edge_messages = [0] * compiled.num_edges
+    termination_step: Optional[int] = None
+    messages_at_termination = 0
+    bits_at_termination = 0
+    max_state_bits = 0
+    trace_log: Optional[List[Tuple[int, int, Any, int]]] = (
+        [] if record_trace else None
+    )
+
+    queue: List[Tuple[int, Any, int]] = []
+    head_idx = 0
+    root = compiled.root
+    root_ports = out_edge_ids[root]
+    for out_port, payload, bits in machine.initial_emissions(root):
+        if not 0 <= out_port < len(root_ports):
+            raise _bad_port(root, out_port, len(root_ports))
+        queue.append((root_ports[out_port], payload, bits))
+
+    step = 0
+    outcome = None
+    while head_idx < len(queue):
+        if step >= max_steps:
+            outcome = Outcome.BUDGET_EXHAUSTED
+            break
+        edge_id, payload, bits = queue[head_idx]
+        head_idx += 1
+        # Reclaim the consumed prefix once it dominates the buffer, so
+        # in-flight memory stays proportional to the live message count.
+        if head_idx >= 8192 and head_idx * 2 >= len(queue):
+            del queue[:head_idx]
+            head_idx = 0
+        step += 1
+        head = edge_head[edge_id]
+        total_messages += 1
+        total_bits += bits
+        if bits > max_message_bits:
+            max_message_bits = bits
+        edge_bits[edge_id] += bits
+        edge_messages[edge_id] += 1
+        if trace_log is not None:
+            trace_log.append((step, edge_id, payload, bits))
+
+        emissions = deliver(head, in_port[edge_id], payload)
+        if emissions:
+            ports = out_edge_ids[head]
+            nports = len(ports)
+            for out_port, out_payload, out_bits in emissions:
+                if not 0 <= out_port < nports:
+                    raise _bad_port(head, out_port, nports)
+                queue.append((ports[out_port], out_payload, out_bits))
+        if track_state_bits:
+            sb = machine.state_bits(head)
+            if sb > max_state_bits:
+                max_state_bits = sb
+
+        if head == terminal and termination_step is None:
+            if machine.check_terminal(terminal):
+                termination_step = step
+                messages_at_termination = total_messages
+                bits_at_termination = total_bits
+                if stop_at_termination:
+                    break
+    if outcome is None:
+        outcome = (
+            Outcome.TERMINATED if termination_step is not None else Outcome.QUIESCENT
+        )
+
+    return _freeze_result(
+        compiled,
+        machine,
+        outcome,
+        step,
+        total_messages,
+        total_bits,
+        max_message_bits,
+        edge_bits,
+        edge_messages,
+        termination_step,
+        messages_at_termination,
+        bits_at_termination,
+        max_state_bits,
+        trace_log,
+    )
+
+
+def _drive_flat_stack(
+    compiled: CompiledNetwork,
+    machine: Any,
+    scheduler: Scheduler,
+    max_steps: int,
+    record_trace: bool,
+    track_state_bits: bool,
+    stop_at_termination: bool,
+) -> RunResult:
+    """Inner loop under newest-first order: a plain list used as a stack.
+
+    Mirrors :func:`_drive_flat_queue` except for the pop side; the two are
+    kept as separate straight-line loops on purpose — this is the hot path,
+    and a shared parameterised loop costs a branch or an indirection per
+    delivery.
+    """
+    edge_head = compiled.edge_head
+    in_port = compiled.in_port
+    out_edge_ids = compiled.out_edge_ids
+    terminal = compiled.terminal
+    deliver = machine.deliver
+
+    total_messages = 0
+    total_bits = 0
+    max_message_bits = 0
+    edge_bits = [0] * compiled.num_edges
+    edge_messages = [0] * compiled.num_edges
+    termination_step: Optional[int] = None
+    messages_at_termination = 0
+    bits_at_termination = 0
+    max_state_bits = 0
+    trace_log: Optional[List[Tuple[int, int, Any, int]]] = (
+        [] if record_trace else None
+    )
+
+    stack: List[Tuple[int, Any, int]] = []
+    root = compiled.root
+    root_ports = out_edge_ids[root]
+    for out_port, payload, bits in machine.initial_emissions(root):
+        if not 0 <= out_port < len(root_ports):
+            raise _bad_port(root, out_port, len(root_ports))
+        stack.append((root_ports[out_port], payload, bits))
+
+    step = 0
+    outcome = None
+    while stack:
+        if step >= max_steps:
+            outcome = Outcome.BUDGET_EXHAUSTED
+            break
+        edge_id, payload, bits = stack.pop()
+        step += 1
+        head = edge_head[edge_id]
+        total_messages += 1
+        total_bits += bits
+        if bits > max_message_bits:
+            max_message_bits = bits
+        edge_bits[edge_id] += bits
+        edge_messages[edge_id] += 1
+        if trace_log is not None:
+            trace_log.append((step, edge_id, payload, bits))
+
+        emissions = deliver(head, in_port[edge_id], payload)
+        if emissions:
+            ports = out_edge_ids[head]
+            nports = len(ports)
+            for out_port, out_payload, out_bits in emissions:
+                if not 0 <= out_port < nports:
+                    raise _bad_port(head, out_port, nports)
+                stack.append((ports[out_port], out_payload, out_bits))
+        if track_state_bits:
+            sb = machine.state_bits(head)
+            if sb > max_state_bits:
+                max_state_bits = sb
+
+        if head == terminal and termination_step is None:
+            if machine.check_terminal(terminal):
+                termination_step = step
+                messages_at_termination = total_messages
+                bits_at_termination = total_bits
+                if stop_at_termination:
+                    break
+    if outcome is None:
+        outcome = (
+            Outcome.TERMINATED if termination_step is not None else Outcome.QUIESCENT
+        )
+
+    return _freeze_result(
+        compiled,
+        machine,
+        outcome,
+        step,
+        total_messages,
+        total_bits,
+        max_message_bits,
+        edge_bits,
+        edge_messages,
+        termination_step,
+        messages_at_termination,
+        bits_at_termination,
+        max_state_bits,
+        trace_log,
+    )
+
+
+def _drive_scheduler(
+    compiled: CompiledNetwork,
+    machine: Any,
+    scheduler: Scheduler,
+    max_steps: int,
+    record_trace: bool,
+    track_state_bits: bool,
+    stop_at_termination: bool,
+) -> RunResult:
+    """Inner loop under an arbitrary adversary: the scheduler keeps full
+    control, receiving the same push/pop sequence as under the reference
+    engine (so seeded adversaries replay identically)."""
+    edge_head = compiled.edge_head
+    in_port = compiled.in_port
+    out_edge_ids = compiled.out_edge_ids
+    terminal = compiled.terminal
+    deliver = machine.deliver
+    push = scheduler.push
+    pop = scheduler.pop
+
+    total_messages = 0
+    total_bits = 0
+    max_message_bits = 0
+    edge_bits = [0] * compiled.num_edges
+    edge_messages = [0] * compiled.num_edges
+    termination_step: Optional[int] = None
+    messages_at_termination = 0
+    bits_at_termination = 0
+    max_state_bits = 0
+    trace_log: Optional[List[Tuple[int, int, Any, int]]] = (
+        [] if record_trace else None
+    )
+
+    seq = 0
+    root = compiled.root
+    root_ports = out_edge_ids[root]
+    for out_port, payload, bits in machine.initial_emissions(root):
+        if not 0 <= out_port < len(root_ports):
+            raise _bad_port(root, out_port, len(root_ports))
+        push(FastEvent(root_ports[out_port], payload, seq, 0, bits))
+        seq += 1
+
+    step = 0
+    outcome = None
+    while len(scheduler):
+        if step >= max_steps:
+            outcome = Outcome.BUDGET_EXHAUSTED
+            break
+        event = pop()
+        step += 1
+        edge_id = event.edge_id
+        bits = event.bits
+        payload = event.payload
+        head = edge_head[edge_id]
+        total_messages += 1
+        total_bits += bits
+        if bits > max_message_bits:
+            max_message_bits = bits
+        edge_bits[edge_id] += bits
+        edge_messages[edge_id] += 1
+        if trace_log is not None:
+            trace_log.append((step, edge_id, payload, bits))
+
+        emissions = deliver(head, in_port[edge_id], payload)
+        if emissions:
+            ports = out_edge_ids[head]
+            nports = len(ports)
+            for out_port, out_payload, out_bits in emissions:
+                if not 0 <= out_port < nports:
+                    raise _bad_port(head, out_port, nports)
+                push(FastEvent(ports[out_port], out_payload, seq, step, out_bits))
+                seq += 1
+        if track_state_bits:
+            sb = machine.state_bits(head)
+            if sb > max_state_bits:
+                max_state_bits = sb
+
+        if head == terminal and termination_step is None:
+            if machine.check_terminal(terminal):
+                termination_step = step
+                messages_at_termination = total_messages
+                bits_at_termination = total_bits
+                if stop_at_termination:
+                    break
+    if outcome is None:
+        outcome = (
+            Outcome.TERMINATED if termination_step is not None else Outcome.QUIESCENT
+        )
+
+    return _freeze_result(
+        compiled,
+        machine,
+        outcome,
+        step,
+        total_messages,
+        total_bits,
+        max_message_bits,
+        edge_bits,
+        edge_messages,
+        termination_step,
+        messages_at_termination,
+        bits_at_termination,
+        max_state_bits,
+        trace_log,
+    )

@@ -1,0 +1,199 @@
+"""Tests for the engine benchmark harness and the ``repro bench`` CLI."""
+
+import io
+import json
+
+import pytest
+
+from repro.analysis.benchmark import (
+    bench_spec,
+    check_floors,
+    load_floors,
+    measure_spec,
+    render_bench_table,
+    run_engine_benchmarks,
+    write_benchmarks,
+)
+from repro.cli import main
+
+
+def tiny_payload(**kwargs):
+    """A real (small) benchmark run: n=8 keeps this test-suite fast."""
+    defaults = dict(sizes=(8,), engines=("async", "fastpath"), repeats=1)
+    defaults.update(kwargs)
+    return run_engine_benchmarks(**defaults)
+
+
+class TestHarness:
+    def test_bench_spec_has_requested_size(self):
+        spec = bench_spec(16, "fastpath")
+        assert spec.build_graph().num_vertices == 16
+        assert spec.engine == "fastpath"
+
+    def test_measure_spec_reports_throughput(self):
+        row = measure_spec(bench_spec(8, "fastpath"), repeats=2)
+        assert row["engine"] == "fastpath"
+        assert row["n"] == 8
+        assert row["steps"] > 0
+        assert row["steps_per_sec"] > 0
+        assert row["outcome"] == "terminated"
+
+    def test_measure_spec_rejects_zero_repeats(self):
+        with pytest.raises(ValueError):
+            measure_spec(bench_spec(8, "async"), repeats=0)
+
+    def test_payload_shape_and_comparisons(self):
+        payload = tiny_payload()
+        assert payload["suite"] == "engines"
+        assert {row["engine"] for row in payload["results"]} == {"async", "fastpath"}
+        (comparison,) = payload["comparisons"]
+        assert comparison["n"] == 8
+        assert comparison["fastpath_vs_async"] > 0
+        assert "python" in payload["environment"]
+
+    def test_write_benchmarks_round_trips(self, tmp_path):
+        payload = tiny_payload()
+        path = tmp_path / "BENCH_engines.json"
+        write_benchmarks(payload, str(path))
+        assert json.loads(path.read_text(encoding="utf-8")) == payload
+
+    def test_render_bench_table_mentions_every_engine(self):
+        text = render_bench_table(tiny_payload())
+        assert "async" in text and "fastpath" in text and "steps/sec" in text
+
+
+class TestFloors:
+    def test_passing_floors(self):
+        payload = tiny_payload()
+        assert check_floors(payload, {"fastpath_min_steps_per_sec": {"8": 1}}) == []
+
+    def test_absolute_floor_violation(self):
+        payload = tiny_payload()
+        violations = check_floors(
+            payload, {"fastpath_min_steps_per_sec": {"8": 10**12}}
+        )
+        assert len(violations) == 1
+        assert "below the floor" in violations[0]
+
+    def test_ratio_floor_violation(self):
+        payload = tiny_payload()
+        violations = check_floors(
+            payload, {"fastpath_vs_async_min_ratio": {"8": 10**6}}
+        )
+        assert len(violations) == 1
+        assert "vs async" in violations[0]
+
+    def test_missing_size_is_a_violation(self):
+        payload = tiny_payload()
+        violations = check_floors(
+            payload,
+            {
+                "fastpath_min_steps_per_sec": {"512": 1},
+                "fastpath_vs_async_min_ratio": {"512": 1.0},
+            },
+        )
+        assert len(violations) == 2
+
+    def test_checked_in_floor_file_parses_and_names_the_gated_size(self):
+        from pathlib import Path
+
+        floor_path = Path(__file__).resolve().parents[2] / "benchmarks" / "floors.json"
+        floors = load_floors(str(floor_path))
+        assert "64" in floors["fastpath_min_steps_per_sec"]
+        assert floors["fastpath_vs_async_min_ratio"]["64"] >= 2.0
+
+
+class TestBenchCli:
+    def test_bench_writes_json_and_reports(self, tmp_path):
+        out = tmp_path / "BENCH_engines.json"
+        stream = io.StringIO()
+        code = main(
+            ["bench", "--sizes", "8", "--repeats", "1", "--engines", "async", "fastpath", "--out", str(out)],
+            stream=stream,
+        )
+        assert code == 0
+        payload = json.loads(out.read_text(encoding="utf-8"))
+        assert payload["suite"] == "engines"
+        assert "steps/sec" in stream.getvalue()
+
+    def test_bench_floor_gate_failure_exits_nonzero(self, tmp_path):
+        out = tmp_path / "BENCH_engines.json"
+        floors = tmp_path / "floors.json"
+        floors.write_text(
+            json.dumps({"fastpath_min_steps_per_sec": {"8": 10**12}}),
+            encoding="utf-8",
+        )
+        stream = io.StringIO()
+        code = main(
+            [
+                "bench", "--sizes", "8", "--repeats", "1",
+                "--engines", "async", "fastpath",
+                "--out", str(out), "--floors", str(floors),
+            ],
+            stream=stream,
+        )
+        assert code == 1
+        assert "FLOOR VIOLATION" in stream.getvalue()
+
+    def test_bench_floor_gate_pass(self, tmp_path):
+        out = tmp_path / "BENCH_engines.json"
+        floors = tmp_path / "floors.json"
+        floors.write_text(
+            json.dumps({"fastpath_min_steps_per_sec": {"8": 1}}), encoding="utf-8"
+        )
+        stream = io.StringIO()
+        code = main(
+            [
+                "bench", "--sizes", "8", "--repeats", "1",
+                "--engines", "async", "fastpath",
+                "--out", str(out), "--floors", str(floors),
+            ],
+            stream=stream,
+        )
+        assert code == 0
+        assert "all floors" in stream.getvalue()
+
+
+class TestBatchSummaryLine:
+    def test_batch_emits_machine_readable_summary(self, tmp_path):
+        from repro.api import RunSpec, dump_specs
+
+        specs = [
+            RunSpec(
+                graph="path-network",
+                graph_params={"length": 3},
+                protocol="flooding",
+                seed=seed,
+            )
+            for seed in range(2)
+        ]
+        spec_file = tmp_path / "specs.json"
+        dump_specs(specs, str(spec_file))
+        out = tmp_path / "records.jsonl"
+
+        def run_and_parse():
+            stream = io.StringIO()
+            assert (
+                main(
+                    ["batch", str(spec_file), "-o", str(out), "--serial"],
+                    stream=stream,
+                )
+                == 0
+            )
+            lines = [
+                line
+                for line in stream.getvalue().splitlines()
+                if line.startswith("BATCH_SUMMARY ")
+            ]
+            assert len(lines) == 1
+            return json.loads(lines[0][len("BATCH_SUMMARY ") :])
+
+        first = run_and_parse()
+        assert first["total"] == 2
+        assert first["executed"] == 2
+        assert first["reused"] == 0
+        # The resume no-op is what CI asserts from this line.
+        second = run_and_parse()
+        assert second["executed"] == 0
+        assert second["reused"] == 2
+        assert second["output"] == str(out)

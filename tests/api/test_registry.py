@@ -148,5 +148,6 @@ class TestPopulatedRegistries:
             "graphs",
             "graph-transforms",
             "schedulers",
+            "engines",
         }
         assert registries["protocols"] is PROTOCOLS
