@@ -7,14 +7,13 @@ a small constant band as the family grows; max message bits ≤ c·log |E|.
 
 import math
 
-from repro.analysis.experiments import experiment_e01_tree_broadcast
 from repro.analysis.scaling import is_flat
 
 from conftest import run_experiment
 
 
 def test_bench_e01_tree_broadcast(benchmark, engine):
-    rows = run_experiment(benchmark, "E1 tree broadcast (Thm 3.1)", experiment_e01_tree_broadcast, engine=engine)
+    rows = run_experiment(benchmark, "e01", engine=engine)
     ratios = [row["ratio"] for row in rows]
     assert is_flat(ratios, tolerance=3.0), ratios
     for row in rows:

@@ -6,13 +6,12 @@ symbols ≥ n on every Gₙ; the Huffman floor (best any encoding could do for
 the observed stream) normalised by |E|·log₂|E| approaches a constant.
 """
 
-from repro.analysis.experiments import experiment_e02_tree_lowerbound
 
 from conftest import run_experiment
 
 
 def test_bench_e02_tree_lowerbound(benchmark):
-    rows = run_experiment(benchmark, "E2 Gₙ alphabet lower bound (Thm 3.2)", experiment_e02_tree_lowerbound)
+    rows = run_experiment(benchmark, "e02")
     for row in rows:
         assert row["at_least_n"]
         assert row["measured_bits"] >= row["huffman_floor_bits"]

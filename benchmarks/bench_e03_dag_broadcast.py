@@ -6,13 +6,12 @@ messages; total bits well under the |E|² bound with the ratio shrinking
 (random DAGs are far from the skeleton-tree worst case, which E4 covers).
 """
 
-from repro.analysis.experiments import experiment_e03_dag_broadcast
 
 from conftest import run_experiment
 
 
 def test_bench_e03_dag_broadcast(benchmark, engine):
-    rows = run_experiment(benchmark, "E3 DAG broadcast (§3.3)", experiment_e03_dag_broadcast, engine=engine)
+    rows = run_experiment(benchmark, "e03", engine=engine)
     for row in rows:
         assert row["one_msg_per_edge"]
         assert row["ratio"] < 1.0

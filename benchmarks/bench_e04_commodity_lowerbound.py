@@ -6,14 +6,13 @@ Expected shape: all subset sums pairwise distinct; the decay chain (1)
 holds; max message bits grow linearly (log-log slope ≈ 1) in n.
 """
 
-from repro.analysis.experiments import experiment_e04_commodity_lowerbound
 from repro.analysis.scaling import loglog_slope
 
 from conftest import run_experiment
 
 
 def test_bench_e04_commodity_lowerbound(benchmark):
-    rows = run_experiment(benchmark, "E4 skeleton-tree bandwidth (Thm 3.8)", experiment_e04_commodity_lowerbound)
+    rows = run_experiment(benchmark, "e04")
     marked = [row for row in rows if row["distinct_sums"] != ""]
     assert marked and marked[0]["distinct_sums"] == marked[0]["subset_count"]
     assert marked[0]["chain_(1)_holds"]

@@ -6,13 +6,12 @@ totals stay under the bound (ratio < 1, not growing); per-edge cumulative
 bits under the symbol bound.
 """
 
-from repro.analysis.experiments import experiment_e05_general_broadcast
 
 from conftest import run_experiment
 
 
 def test_bench_e05_general_broadcast(benchmark, engine):
-    rows = run_experiment(benchmark, "E5 general broadcast (Thm 4.2/4.3)", experiment_e05_general_broadcast, engine=engine)
+    rows = run_experiment(benchmark, "e05", engine=engine)
     for row in rows:
         assert row["ratio"] < 1.0
         import math

@@ -6,13 +6,12 @@ Expected shape: every internal vertex labeled, labels pairwise disjoint
 (hence unique), max label bits within a constant of |V|·log₂ d_out.
 """
 
-from repro.analysis.experiments import experiment_e06_labeling
 
 from conftest import run_experiment
 
 
 def test_bench_e06_labeling(benchmark, engine):
-    rows = run_experiment(benchmark, "E6 label assignment (Thm 5.1)", experiment_e06_labeling, engine=engine)
+    rows = run_experiment(benchmark, "e06", engine=engine)
     for row in rows:
         assert row["all_labeled"]
         assert row["labels_disjoint"]

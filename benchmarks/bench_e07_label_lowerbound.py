@@ -7,14 +7,13 @@ Expected shape: full-vs-pruned label equality; leaf label bits growing
 linearly in h and in log d.
 """
 
-from repro.analysis.experiments import experiment_e07_label_lowerbound
 from repro.analysis.scaling import loglog_slope
 
 from conftest import run_experiment
 
 
 def test_bench_e07_label_lowerbound(benchmark):
-    rows = run_experiment(benchmark, "E7 label lower bound (Thm 5.2)", experiment_e07_label_lowerbound)
+    rows = run_experiment(benchmark, "e07")
     checked = [row for row in rows if row["pruning_identical"] != ""]
     assert checked and all(row["pruning_identical"] for row in checked)
     # Linear growth in h for fixed d=2.

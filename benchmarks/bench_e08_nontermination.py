@@ -5,13 +5,12 @@ from s cannot reach t.  Expected shape: zero false terminations across all
 protocols × bad graphs (dead ends and stranded cycles) × schedulers.
 """
 
-from repro.analysis.experiments import experiment_e08_nontermination
 
 from conftest import run_experiment
 
 
 def test_bench_e08_nontermination(benchmark, engine):
-    rows = run_experiment(benchmark, "E8 non-termination sweep (the iff)", experiment_e08_nontermination, engine=engine)
+    rows = run_experiment(benchmark, "e08", engine=engine)
     assert rows
     for row in rows:
         assert row["bad_graph_runs"] > 0

@@ -6,13 +6,12 @@ gap widens with |E|; naive max message bits grow polynomially while pow2
 stays logarithmic.
 """
 
-from repro.analysis.experiments import experiment_e09_split_ablation
 
 from conftest import run_experiment
 
 
 def test_bench_e09_split_ablation(benchmark, engine):
-    rows = run_experiment(benchmark, "E9 split-rule ablation (§3.1)", experiment_e09_split_ablation, engine=engine)
+    rows = run_experiment(benchmark, "e09", engine=engine)
     ratios = [row["bits_ratio"] for row in rows]
     assert all(r > 1.5 for r in ratios)
     assert ratios[-1] >= ratios[0]

@@ -6,14 +6,13 @@ variant's message count grows exponentially with depth (2^depth paths)
 while the waiting variant sends exactly |E| messages.
 """
 
-from repro.analysis.experiments import experiment_e10_eager_ablation
 from repro.analysis.scaling import semilog_slope
 
 from conftest import run_experiment
 
 
 def test_bench_e10_eager_ablation(benchmark, engine):
-    rows = run_experiment(benchmark, "E10 eager-vs-waiting ablation", experiment_e10_eager_ablation, engine=engine)
+    rows = run_experiment(benchmark, "e10", engine=engine)
     assert all(row["waiting_is_E"] for row in rows)
     depths = [row["depth"] for row in rows]
     eager = [row["eager_messages"] for row in rows]

@@ -6,12 +6,11 @@ exactly matching the ground truth (vertices, out-degrees, port-level edge
 wiring) under the label correspondence.
 """
 
-from repro.analysis.experiments import experiment_e11_mapping
 
 from conftest import run_experiment
 
 
 def test_bench_e11_mapping(benchmark, engine):
-    rows = run_experiment(benchmark, "E11 topology mapping (§6)", experiment_e11_mapping, engine=engine)
+    rows = run_experiment(benchmark, "e11", engine=engine)
     for row in rows:
         assert row["exact_reconstructions"] == row["runs"]

@@ -7,14 +7,13 @@ while the undirected DFS baseline grows ~logarithmically — a gap factor
 that increases with |V|.
 """
 
-from repro.analysis.experiments import experiment_e12_gap
 from repro.analysis.scaling import loglog_slope
 
 from conftest import run_experiment
 
 
 def test_bench_e12_gap(benchmark, engine):
-    rows = run_experiment(benchmark, "E12 exponential label gap (§6)", experiment_e12_gap, engine=engine)
+    rows = run_experiment(benchmark, "e12", engine=engine)
     gaps = [row["gap_factor"] for row in rows]
     assert gaps == sorted(gaps), "gap must widen with |V|"
     directed_slope = loglog_slope(

@@ -7,13 +7,12 @@ general interval protocol stays well under a small multiple of |V| on
 random cyclic digraphs.
 """
 
-from repro.analysis.experiments import experiment_e13_round_complexity
 
 from conftest import run_experiment
 
 
 def test_bench_e13_round_complexity(benchmark):
-    rows = run_experiment(benchmark, "E13 synchronous rounds (§2)", experiment_e13_round_complexity)
+    rows = run_experiment(benchmark, "e13")
     for row in rows:
         assert row["tree_rounds"] == row["tree_longest_path"]
         assert row["dag_rounds"] == row["dag_longest_path"]

@@ -7,13 +7,12 @@ Expected shape: zero violations with zero truncation — on these instances
 the theorem is machine-checked, not sampled.
 """
 
-from repro.analysis.experiments import experiment_e14_exhaustive_verification
 
 from conftest import run_experiment
 
 
 def test_bench_e14_exhaustive(benchmark):
-    rows = run_experiment(benchmark, "E14 exhaustive verification (beyond paper)", experiment_e14_exhaustive_verification)
+    rows = run_experiment(benchmark, "e14")
     for row in rows:
         assert row["iff_violations"] == 0
         assert row["topologies"] > 0

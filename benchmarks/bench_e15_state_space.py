@@ -7,13 +7,12 @@ memory premium for identifiable commodity, larger still for labeling (the
 retained label plus the d+1 partition).
 """
 
-from repro.analysis.experiments import experiment_e15_state_space
 
 from conftest import run_experiment
 
 
 def test_bench_e15_state_space(benchmark, engine):
-    rows = run_experiment(benchmark, "E15 state-space measure (§2)", experiment_e15_state_space, engine=engine)
+    rows = run_experiment(benchmark, "e15", engine=engine)
     for row in rows:
         assert row["general_state_bits"] > row["dag_state_bits"]
         assert row["labeling_state_bits"] >= row["general_state_bits"]

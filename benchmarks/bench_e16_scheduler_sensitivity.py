@@ -6,13 +6,12 @@ vary within a modest band (depth-first and terminal-starving orders inflate
 cycle churn and message widths); no adversary breaks the upper bounds.
 """
 
-from repro.analysis.experiments import experiment_e16_scheduler_sensitivity
 
 from conftest import run_experiment
 
 
 def test_bench_e16_scheduler_sensitivity(benchmark, engine):
-    rows = run_experiment(benchmark, "E16 scheduler sensitivity (ablation)", experiment_e16_scheduler_sensitivity, engine=engine)
+    rows = run_experiment(benchmark, "e16", engine=engine)
     assert all(row["terminated"] for row in rows)
     spreads = [row["vs_best"] for row in rows]
     assert max(spreads) < 3.0, "cost spread across adversaries stays bounded"

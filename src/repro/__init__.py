@@ -110,14 +110,17 @@ from .api import (
     PROTOCOLS,
     SCHEDULERS,
     BatchRunner,
+    CampaignRunner,
+    ExperimentSpec,
     RunRecord,
     RunSpec,
     execute_spec,
     execute_spec_full,
+    run_experiment,
     run_specs,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -165,4 +168,8 @@ __all__ = [
     "GRAPHS",
     "GRAPH_TRANSFORMS",
     "SCHEDULERS",
+    # campaign layer
+    "ExperimentSpec",
+    "CampaignRunner",
+    "run_experiment",
 ]

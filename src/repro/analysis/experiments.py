@@ -7,41 +7,36 @@ snapshot.  Sizes default to values that keep a full sweep comfortably inside
 a laptop run; every driver takes explicit parameters so larger sweeps are a
 call away.
 
-Every simulated run is expressed as a :class:`~repro.api.spec.RunSpec` and
-executed through the :mod:`repro.api` layer: drivers that only consume
-metrics go through a shared in-process :class:`~repro.api.runner.BatchRunner`
-(:data:`_RUNNER`), and white-box drivers that inspect per-vertex states or
-protocol output use :func:`~repro.api.spec.execute_spec_full`.  Protocol
-*classes* handed to the lower-bound harnesses are resolved through
-:data:`~repro.api.registry.PROTOCOLS`, so every experiment is addressable
-by the same registry names a spec file would use.  The drivers run their
-specs serially on purpose — process-level parallelism belongs to the CLI
-(``repro batch``), and nesting pools inside drivers would oversubscribe it.
+Since the campaign redesign, the simulation-backed drivers are thin
+keyword-argument veneers over the *registered experiment campaigns* in
+:mod:`repro.analysis.campaigns`: each one looks up its
+:class:`~repro.api.campaign.ExperimentSpec` in
+:data:`~repro.api.registry.EXPERIMENTS`, swaps in the caller's grid axes
+via :meth:`~repro.api.campaign.ExperimentSpec.with_overrides`, and executes
+it with an in-process :class:`~repro.api.campaign.CampaignRunner` — so
+``experiment_e05_general_broadcast()`` and
+``repro experiment e05`` run the *same* declarative campaign.  The
+white-box experiments (E6, E11, E12) wrap the same grid expansion with
+``white_box`` aggregators that inspect live per-vertex states.  Only the
+lower-bound and exhaustive-verification harnesses (E2, E4, E7, E14) remain
+imperative here; they are registered as
+:class:`~repro.api.campaign.DriverExperiment` entries.
+
+Engine selection is an explicit ``engine=...`` keyword on the
+simulation-backed drivers (or ``CampaignRunner(engine=...)``); the old
+mutable ``_ENGINE_STACK`` global is gone and :func:`experiments_engine`
+survives only as a deprecated shim for one release.
 """
 
 from __future__ import annotations
 
-import math
+import warnings
 from contextlib import contextmanager
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
-from ..api import PROTOCOLS, BatchRunner, RunSpec, execute_spec_full
-from ..baselines.undirected import (
-    DfsLabelingProtocol,
-    UndirectedNetwork,
-    run_undirected_protocol,
-)
-from ..core.complexity import (
-    dag_broadcast_total_bits_bound,
-    general_broadcast_total_bits_bound,
-    label_length_bits_bound,
-    tree_broadcast_total_bits_bound,
-)
-from ..core.intervals import union_cost
-from ..core.labeling import extract_labels, labels_pairwise_disjoint
-from ..core.mapping import ROOT_MARKER, TERMINAL_MARKER
+from ..api import EXPERIMENTS, PROTOCOLS
+from ..api.campaign import CampaignRunner, ExperimentSpec
 from ..graphs.enumerate_graphs import all_grounded_trees, all_internal_wirings
-from ..graphs.properties import longest_path_length
 from ..lowerbounds.alphabet import alphabet_on_gn
 from ..lowerbounds.commodity import (
     bandwidth_growth,
@@ -51,7 +46,7 @@ from ..lowerbounds.commodity import (
 )
 from ..lowerbounds.labels import label_growth_on_pruned, pruning_preserves_label
 from ..lowerbounds.schedules import explore_all_schedules
-from ..network.scheduler import standard_scheduler_specs
+from . import campaigns as _campaigns  # noqa: F401  (registers EXPERIMENTS)
 
 __all__ = [
     "experiment_e01_tree_broadcast",
@@ -74,83 +69,63 @@ __all__ = [
     "ALL_EXPERIMENTS",
 ]
 
-#: Shared in-process batch runner for the metrics-only drivers.
-_RUNNER = BatchRunner(parallel=False)
-
-#: Engine stack for spec-construction sites that do not pin one; drivers
-#: that *require* a specific engine (E13's synchronous runs) set it
-#: explicitly and are unaffected.
-_ENGINE_STACK = ["async"]
+#: Deprecated engine-override stack backing :func:`experiments_engine`.
+#: New code passes ``engine=...`` explicitly; this exists only so the shim
+#: can keep working for one release.
+_DEPRECATED_ENGINE_OVERRIDE: List[str] = []
 
 
 @contextmanager
 def experiments_engine(engine: str):
-    """Run the enclosed experiment drivers under a different engine.
+    """Deprecated: run the enclosed drivers under a different engine.
 
-    The benchmark suites use this to measure every experiment under each
-    execution engine (``with experiments_engine("fastpath"): driver()``)
-    without threading an ``engine`` parameter through sixteen drivers.
-    Results are engine-independent by the differential-equivalence
-    contract; only the wall-clock changes.
+    .. deprecated:: 1.2
+        Pass ``engine=...`` to the experiment functions, or use
+        :class:`repro.api.CampaignRunner` with an ``engine`` override
+        (CLI: ``repro experiment e05 --engine fastpath``).  This shim will
+        be removed in the next release.
     """
-    _ENGINE_STACK.append(engine)
+    warnings.warn(
+        "experiments_engine() is deprecated; pass engine=... to the experiment "
+        "functions or use repro.api.CampaignRunner(engine=...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    _DEPRECATED_ENGINE_OVERRIDE.append(engine)
     try:
         yield
     finally:
-        _ENGINE_STACK.pop()
+        _DEPRECATED_ENGINE_OVERRIDE.pop()
 
 
-def _engine() -> str:
-    return _ENGINE_STACK[-1]
+def _experiment(name: str) -> ExperimentSpec:
+    spec = EXPERIMENTS.get(name)
+    assert isinstance(spec, ExperimentSpec), name
+    return spec
 
 
-def _tree_spec(n: int, seed: int, protocol: str = "tree-broadcast", **kw) -> RunSpec:
-    kw.setdefault("engine", _engine())
-    return RunSpec(
-        graph="random-grounded-tree",
-        graph_params={"num_internal": n},
-        protocol=protocol,
-        seed=seed,
-        **kw,
-    )
+def _campaign_rows(experiment: ExperimentSpec, engine: Optional[str]) -> List[Dict]:
+    """Execute a campaign serially in-process and return its rows.
 
-
-def _digraph_spec(n: int, seed: int, protocol: str, **kw) -> RunSpec:
-    kw.setdefault("engine", _engine())
-    return RunSpec(
-        graph="random-digraph",
-        graph_params={"num_internal": n},
-        protocol=protocol,
-        seed=seed,
-        **kw,
-    )
+    Serial on purpose — process-level parallelism belongs to the CLI
+    (``repro experiment``/``repro batch``), and nesting pools inside
+    drivers would oversubscribe it.
+    """
+    if engine is None and _DEPRECATED_ENGINE_OVERRIDE:
+        engine = _DEPRECATED_ENGINE_OVERRIDE[-1]
+    return CampaignRunner(engine=engine, parallel=False).run(experiment).rows
 
 
 def experiment_e01_tree_broadcast(
-    sizes: Sequence[int] = (50, 100, 200, 400, 800), seeds: Sequence[int] = (0, 1, 2)
+    sizes: Sequence[int] = (50, 100, 200, 400, 800),
+    seeds: Sequence[int] = (0, 1, 2),
+    engine: Optional[str] = None,
 ) -> List[Dict]:
     """E1 / Theorem 3.1: grounded-tree broadcast cost vs ``|E| log |E|``."""
-    rows: List[Dict] = []
-    for n in sizes:
-        specs = [_tree_spec(n, seed) for seed in seeds]
-        records = _RUNNER.run(specs)
-        assert all(record.terminated for record in records)
-        bits = [record.metrics["total_bits"] for record in records]
-        msgs = [record.metrics["total_messages"] for record in records]
-        maxmsg = [record.metrics["max_message_bits"] for record in records]
-        bound = tree_broadcast_total_bits_bound(specs[-1].build_graph())
-        rows.append(
-            {
-                "n_internal": n,
-                "E": records[-1].num_edges,
-                "messages": max(msgs),
-                "total_bits": max(bits),
-                "max_msg_bits": max(maxmsg),
-                "bound_E_logE": round(bound),
-                "ratio": max(bits) / bound,
-            }
-        )
-    return rows
+    exp = _experiment("e01").with_overrides(
+        axes={"graph_params.num_internal": list(sizes), "seed": list(seeds)}
+    )
+    return _campaign_rows(exp, engine)
 
 
 def experiment_e02_tree_lowerbound(ns: Sequence[int] = (4, 8, 16, 32, 64, 128, 256)) -> List[Dict]:
@@ -172,37 +147,15 @@ def experiment_e02_tree_lowerbound(ns: Sequence[int] = (4, 8, 16, 32, 64, 128, 2
 
 
 def experiment_e03_dag_broadcast(
-    sizes: Sequence[int] = (25, 50, 100, 200), seeds: Sequence[int] = (0, 1, 2)
+    sizes: Sequence[int] = (25, 50, 100, 200),
+    seeds: Sequence[int] = (0, 1, 2),
+    engine: Optional[str] = None,
 ) -> List[Dict]:
     """E3 / Section 3.3: DAG broadcast; one message per edge, dyadic widths."""
-    specs = [
-        RunSpec(
-            graph="random-dag",
-            graph_params={"num_internal": n},
-            protocol="dag-broadcast",
-            seed=seed,
-            engine=_engine(),
-        )
-        for n in sizes
-        for seed in seeds[:1]
-    ]
-    rows: List[Dict] = []
-    for spec, record in zip(specs, _RUNNER.run(specs)):
-        assert record.terminated
-        bound = dag_broadcast_total_bits_bound(spec.build_graph())
-        rows.append(
-            {
-                "n_internal": spec.graph_params["num_internal"],
-                "E": record.num_edges,
-                "messages": record.metrics["total_messages"],
-                "one_msg_per_edge": record.metrics["total_messages"] == record.num_edges,
-                "total_bits": record.metrics["total_bits"],
-                "max_msg_bits": record.metrics["max_message_bits"],
-                "bound_E2": round(bound),
-                "ratio": record.metrics["total_bits"] / bound,
-            }
-        )
-    return rows
+    exp = _experiment("e03").with_overrides(
+        axes={"graph_params.num_internal": list(sizes), "seed": list(seeds[:1])}
+    )
+    return _campaign_rows(exp, engine)
 
 
 def experiment_e04_commodity_lowerbound(
@@ -230,61 +183,27 @@ def experiment_e04_commodity_lowerbound(
 
 
 def experiment_e05_general_broadcast(
-    sizes: Sequence[int] = (10, 20, 40, 80), seeds: Sequence[int] = (0, 1)
+    sizes: Sequence[int] = (10, 20, 40, 80),
+    seeds: Sequence[int] = (0, 1),
+    engine: Optional[str] = None,
 ) -> List[Dict]:
     """E5 / Theorems 4.2–4.3: interval broadcast on cyclic digraphs."""
-    specs = [
-        _digraph_spec(n, seed, "general-broadcast")
-        for n in sizes
-        for seed in seeds[:1]
-    ]
-    rows: List[Dict] = []
-    for spec, record in zip(specs, _RUNNER.run(specs)):
-        assert record.terminated
-        bound = general_broadcast_total_bits_bound(spec.build_graph())
-        rows.append(
-            {
-                "n_internal": spec.graph_params["num_internal"],
-                "V": record.num_vertices,
-                "E": record.num_edges,
-                "messages": record.metrics["total_messages"],
-                "total_bits": record.metrics["total_bits"],
-                "max_msg_bits": record.metrics["max_message_bits"],
-                "max_edge_bits": record.metrics["max_edge_bits"],
-                "bound_E2VlogD": round(bound),
-                "ratio": record.metrics["total_bits"] / bound,
-            }
-        )
-    return rows
+    exp = _experiment("e05").with_overrides(
+        axes={"graph_params.num_internal": list(sizes), "seed": list(seeds[:1])}
+    )
+    return _campaign_rows(exp, engine)
 
 
 def experiment_e06_labeling(
-    sizes: Sequence[int] = (10, 20, 40, 80), seeds: Sequence[int] = (0, 1)
+    sizes: Sequence[int] = (10, 20, 40, 80),
+    seeds: Sequence[int] = (0, 1),
+    engine: Optional[str] = None,
 ) -> List[Dict]:
     """E6 / Theorem 5.1: label uniqueness and size vs ``|V| log d_out``."""
-    rows: List[Dict] = []
-    for n in sizes:
-        for seed in seeds[:1]:
-            spec = _digraph_spec(n, seed, "label-assignment")
-            record, result, net = execute_spec_full(spec)
-            assert record.terminated
-            labels = extract_labels(result.states)
-            label_list = list(labels.values())
-            disjoint = labels_pairwise_disjoint(label_list)
-            max_bits = max(union_cost(l) for l in label_list)
-            bound = label_length_bits_bound(net)
-            rows.append(
-                {
-                    "n_internal": n,
-                    "V": record.num_vertices,
-                    "all_labeled": set(labels) == set(net.internal_vertices()),
-                    "labels_disjoint": disjoint,
-                    "max_label_bits": max_bits,
-                    "bound_VlogD": round(bound),
-                    "ratio": max_bits / bound,
-                }
-            )
-    return rows
+    exp = _experiment("e06").with_overrides(
+        axes={"graph_params.num_internal": list(sizes), "seed": list(seeds[:1])}
+    )
+    return _campaign_rows(exp, engine)
 
 
 def experiment_e07_label_lowerbound(
@@ -314,164 +233,60 @@ def experiment_e07_label_lowerbound(
 
 
 def experiment_e08_nontermination(
-    sizes: Sequence[int] = (8, 14), seeds: Sequence[int] = (0, 1)
+    sizes: Sequence[int] = (8, 14),
+    seeds: Sequence[int] = (0, 1),
+    engine: Optional[str] = None,
 ) -> List[Dict]:
     """E8: the "iff" direction — zero false terminations on bad graphs."""
-    protocols: Sequence[Tuple[str, str]] = (
-        ("general-broadcast", "general-broadcast"),
-        ("label-assignment", "label-assignment"),
-        ("mapping", "topology-mapping"),
+    exp = _experiment("e08").with_overrides(
+        axes={"graph_params.num_internal": list(sizes), "seed": list(seeds)}
     )
-    rows: List[Dict] = []
-    for display_name, protocol in protocols:
-        specs = [
-            _digraph_spec(
-                n,
-                seed,
-                protocol,
-                graph_transforms=(transform,),
-                scheduler=sched_name,
-                scheduler_params=sched_params,
-            )
-            for n in sizes
-            for seed in seeds
-            for transform in ("with-dead-end-vertex", "with-stranded-cycle")
-            for sched_name, sched_params in standard_scheduler_specs(random_seeds=1)
-        ]
-        records = _RUNNER.run(specs)
-        rows.append(
-            {
-                "protocol": display_name,
-                "bad_graph_runs": len(records),
-                "false_terminations": sum(1 for r in records if r.terminated),
-            }
-        )
-    return rows
+    return _campaign_rows(exp, engine)
 
 
 def experiment_e09_split_ablation(
-    sizes: Sequence[int] = (50, 100, 200, 400), seed: int = 0
+    sizes: Sequence[int] = (50, 100, 200, 400),
+    seed: int = 0,
+    engine: Optional[str] = None,
 ) -> List[Dict]:
     """E9 / Section 3.1 ablation: naive ``x/d`` split vs power-of-two split."""
-    rows: List[Dict] = []
-    for n in sizes:
-        naive, pow2 = _RUNNER.run(
-            [_tree_spec(n, seed, "naive-tree-broadcast"), _tree_spec(n, seed)]
-        )
-        assert naive.terminated and pow2.terminated
-        rows.append(
-            {
-                "n_internal": n,
-                "E": naive.num_edges,
-                "naive_bits": naive.metrics["total_bits"],
-                "pow2_bits": pow2.metrics["total_bits"],
-                "naive_max_msg": naive.metrics["max_message_bits"],
-                "pow2_max_msg": pow2.metrics["max_message_bits"],
-                "bits_ratio": naive.metrics["total_bits"] / pow2.metrics["total_bits"],
-            }
-        )
-    return rows
+    exp = _experiment("e09").with_overrides(
+        axes={"graph_params.num_internal": list(sizes)}, base={"seed": seed}
+    )
+    return _campaign_rows(exp, engine)
 
 
-def experiment_e10_eager_ablation(depths: Sequence[int] = (2, 4, 6, 8, 10, 12)) -> List[Dict]:
+def experiment_e10_eager_ablation(
+    depths: Sequence[int] = (2, 4, 6, 8, 10, 12), engine: Optional[str] = None
+) -> List[Dict]:
     """E10 / Section 3.3 ablation: eager vs aggregating DAG commodity."""
-    rows: List[Dict] = []
-    for depth in depths:
-        specs = [
-            RunSpec(
-                graph="layered-diamond-dag",
-                graph_params={"depth": depth},
-                protocol=protocol,
-                engine=_engine(),
-            )
-            for protocol in ("eager-dag-broadcast", "dag-broadcast")
-        ]
-        eager, waiting = _RUNNER.run(specs)
-        assert eager.terminated and waiting.terminated
-        rows.append(
-            {
-                "depth": depth,
-                "E": eager.num_edges,
-                "eager_messages": eager.metrics["total_messages"],
-                "waiting_messages": waiting.metrics["total_messages"],
-                "waiting_is_E": waiting.metrics["total_messages"] == waiting.num_edges,
-                "eager_max_msg_bits": eager.metrics["max_message_bits"],
-                "waiting_max_msg_bits": waiting.metrics["max_message_bits"],
-            }
-        )
-    return rows
+    exp = _experiment("e10").with_overrides(axes={"graph_params.depth": list(depths)})
+    return _campaign_rows(exp, engine)
 
 
 def experiment_e11_mapping(
-    sizes: Sequence[int] = (10, 20, 40), seeds: Sequence[int] = (0, 1, 2)
+    sizes: Sequence[int] = (10, 20, 40),
+    seeds: Sequence[int] = (0, 1, 2),
+    engine: Optional[str] = None,
 ) -> List[Dict]:
     """E11 / Section 6: topology reconstruction success and cost."""
-    rows: List[Dict] = []
-    for n in sizes:
-        successes = 0
-        runs = 0
-        messages = 0
-        bits = 0
-        for seed in seeds:
-            spec = _digraph_spec(n, seed, "topology-mapping")
-            record, result, net = execute_spec_full(spec)
-            runs += 1
-            if record.terminated and result.output is not None:
-                ident = {net.root: ROOT_MARKER, net.terminal: TERMINAL_MARKER}
-                for v in net.internal_vertices():
-                    ident[v] = result.states[v].base.label
-                if result.output.matches_network(net, ident):
-                    successes += 1
-            messages = max(messages, record.metrics["total_messages"])
-            bits = max(bits, record.metrics["total_bits"])
-        rows.append(
-            {
-                "n_internal": n,
-                "runs": runs,
-                "exact_reconstructions": successes,
-                "messages_max": messages,
-                "total_bits_max": bits,
-            }
-        )
-    return rows
+    exp = _experiment("e11").with_overrides(
+        axes={"graph_params.num_internal": list(sizes), "seed": list(seeds)}
+    )
+    return _campaign_rows(exp, engine)
 
 
-def experiment_e12_gap(heights: Sequence[int] = (4, 8, 16, 32, 64)) -> List[Dict]:
+def experiment_e12_gap(
+    heights: Sequence[int] = (4, 8, 16, 32, 64), engine: Optional[str] = None
+) -> List[Dict]:
     """E12 / Section 6: the exponential gap, directed vs undirected labels.
 
     Both protocols label the *same* topology: the Figure-6 pruned tree (the
     directed lower-bound witness) and its undirected shadow.  Directed
     labels must grow ``Θ(|V|)``; undirected DFS labels ``Θ(log |V|)``.
     """
-    degree = 2
-    rows: List[Dict] = []
-    for h in heights:
-        spec = RunSpec(
-            graph="pruned-tree",
-            graph_params={"degree": degree, "height": h},
-            protocol="label-assignment",
-            engine=_engine(),
-        )
-        record, directed, net = execute_spec_full(spec)
-        assert record.terminated
-        label = directed.states[2 + h].label
-        assert label is not None
-        directed_bits = union_cost(label)
-
-        undirected = UndirectedNetwork.from_directed(net)
-        dfs = run_undirected_protocol(undirected, DfsLabelingProtocol(), seed=0)
-        assert dfs.finished
-        max_label = max(s["label"] for s in dfs.states.values())
-        undirected_bits = max(1, math.ceil(math.log2(max_label + 1)))
-        rows.append(
-            {
-                "V": record.num_vertices,
-                "directed_label_bits": directed_bits,
-                "undirected_label_bits": undirected_bits,
-                "gap_factor": directed_bits / undirected_bits,
-            }
-        )
-    return rows
+    exp = _experiment("e12").with_overrides(axes={"graph_params.height": list(heights)})
+    return _campaign_rows(exp, engine)
 
 
 def experiment_e13_round_complexity(
@@ -483,39 +298,16 @@ def experiment_e13_round_complexity(
     longest root-to-terminal chain of waits: on trees and DAGs that is the
     longest directed path; on cyclic digraphs the interval protocol adds
     cycle-detection and β-flood traversals on top (reported as a multiple
-    of |V| for scale).
+    of |V| for scale).  The engine is part of the experiment's semantics
+    (``engine_locked``), so there is no ``engine`` parameter here.
     """
-    rows: List[Dict] = []
-    for n in sizes:
-        for seed in seeds[:1]:
-            tree_spec = _tree_spec(n, seed, engine="synchronous")
-            dag_spec = RunSpec(
-                graph="random-dag",
-                graph_params={"num_internal": n},
-                protocol="dag-broadcast",
-                seed=seed,
-                engine="synchronous",
-            )
-            dig_spec = _digraph_spec(
-                min(n, 60), seed, "general-broadcast", engine="synchronous"
-            )
-            specs = [tree_spec, dag_spec, dig_spec]
-            tree_run, dag_run, dig_run = _RUNNER.run(specs)
-            assert tree_run.terminated and dag_run.terminated and dig_run.terminated
-            rows.append(
-                {
-                    "n_internal": n,
-                    "tree_rounds": tree_run.metrics["termination_round"],
-                    "tree_longest_path": longest_path_length(tree_spec.build_graph()),
-                    "dag_rounds": dag_run.metrics["termination_round"],
-                    "dag_longest_path": longest_path_length(dag_spec.build_graph()),
-                    "general_rounds": dig_run.metrics["termination_round"],
-                    "general_V": dig_run.num_vertices,
-                    "general_rounds/V": dig_run.metrics["termination_round"]
-                    / dig_run.num_vertices,
-                }
-            )
-    return rows
+    exp = _experiment("e13").with_overrides(
+        axes={
+            "seed": list(seeds[:1]),
+            "@case": _campaigns.round_complexity_cases(sizes),
+        }
+    )
+    return _campaign_rows(exp, None)
 
 
 def experiment_e14_exhaustive_verification(
@@ -580,7 +372,7 @@ def experiment_e14_exhaustive_verification(
 
 
 def experiment_e15_state_space(
-    sizes: Sequence[int] = (10, 20, 40), seed: int = 0
+    sizes: Sequence[int] = (10, 20, 40), seed: int = 0, engine: Optional[str] = None
 ) -> List[Dict]:
     """E15 / §2: the state-space quality measure, measured.
 
@@ -592,46 +384,14 @@ def experiment_e15_state_space(
     states grow with the commodity fragmentation — the memory price of
     cycle detection.
     """
-    workloads = (
-        ("tree", "random-grounded-tree", "tree-broadcast"),
-        ("dag", "random-dag", "dag-broadcast"),
-        ("general", "random-digraph", "general-broadcast"),
-        ("labeling", "random-digraph", "label-assignment"),
+    exp = _experiment("e15").with_overrides(
+        axes={"graph_params.num_internal": list(sizes)}, base={"seed": seed}
     )
-    rows: List[Dict] = []
-    for n in sizes:
-        specs = [
-            RunSpec(
-                graph=graph,
-                graph_params={"num_internal": n},
-                protocol=protocol,
-                seed=seed,
-                track_state_bits=True,
-                engine=_engine(),
-            )
-            for _, graph, protocol in workloads
-        ]
-        records = _RUNNER.run(specs)
-        assert all(record.terminated for record in records)
-        measurements = {
-            name: record.metrics["max_state_bits"]
-            for (name, _, _), record in zip(workloads, records)
-        }
-        rows.append(
-            {
-                "n_internal": n,
-                "tree_state_bits": measurements["tree"],
-                "dag_state_bits": measurements["dag"],
-                "general_state_bits": measurements["general"],
-                "labeling_state_bits": measurements["labeling"],
-                "general/dag_ratio": round(measurements["general"] / max(1, measurements["dag"]), 1),
-            }
-        )
-    return rows
+    return _campaign_rows(exp, engine)
 
 
 def experiment_e16_scheduler_sensitivity(
-    n_internal: int = 30, seed: int = 0
+    n_internal: int = 30, seed: int = 0, engine: Optional[str] = None
 ) -> List[Dict]:
     """E16 (ablation): how much the asynchronous adversary costs.
 
@@ -642,36 +402,15 @@ def experiment_e16_scheduler_sensitivity(
     accounting can close.  This quantifies the spread the upper bounds must
     absorb.
     """
-    specs = [
-        _digraph_spec(
-            n_internal,
-            seed,
-            "general-broadcast",
-            scheduler=sched_name,
-            scheduler_params=sched_params,
-        )
-        for sched_name, sched_params in standard_scheduler_specs(random_seeds=2)
-    ]
-    rows: List[Dict] = []
-    for spec, record in zip(specs, _RUNNER.run(specs)):
-        assert record.terminated, spec.scheduler
-        rows.append(
-            {
-                "scheduler": spec.build_scheduler().name,
-                "terminated": record.terminated,
-                "messages": record.metrics["total_messages"],
-                "total_bits": record.metrics["total_bits"],
-                "msgs_at_termination": record.metrics["messages_at_termination"],
-                "max_msg_bits": record.metrics["max_message_bits"],
-            }
-        )
-    baseline = min(row["messages"] for row in rows)
-    for row in rows:
-        row["vs_best"] = round(row["messages"] / baseline, 2)
-    return rows
+    exp = _experiment("e16").with_overrides(
+        base={"graph_params.num_internal": n_internal, "seed": seed}
+    )
+    return _campaign_rows(exp, engine)
 
 
 #: Name → driver, used by the report CLI and the EXPERIMENTS.md generator.
+#: ``repro list`` derives from the EXPERIMENTS registry instead; a parity
+#: test keeps the two views identical.
 ALL_EXPERIMENTS = {
     "E1": experiment_e01_tree_broadcast,
     "E2": experiment_e02_tree_lowerbound,

@@ -23,10 +23,24 @@ Typical use::
     print(max(r.metrics["total_bits"] for r in records))
 
 Or from a shell: ``repro batch specs.json -o out.jsonl``.
+
+One level up, a whole experiment — a parameter *grid* of runs plus a named
+row aggregation — is an :class:`ExperimentSpec` (see
+:mod:`~repro.api.campaign`), registered in :data:`EXPERIMENTS` and executed
+by the :class:`CampaignRunner` with spec_id-keyed resume::
+
+    from repro.api import CampaignRunner
+
+    result = CampaignRunner(engine="fastpath").run("e05")
+    print(result.rows)
+
+Or from a shell: ``repro experiment e05 --engine fastpath``.
 """
 
 from .registry import (
+    AGGREGATORS,
     ENGINES,
+    EXPERIMENTS,
     GRAPH_TRANSFORMS,
     GRAPHS,
     PROTOCOLS,
@@ -39,6 +53,7 @@ from .registry import (
 from .spec import (
     TIMING_FIELDS,
     ensure_registered,
+    MetricValue,
     RunRecord,
     RunSpec,
     SpecError,
@@ -48,6 +63,17 @@ from .spec import (
     load_specs,
 )
 from .runner import BatchRunner, BatchStats, load_records, run_specs
+from . import aggregators as _aggregators  # noqa: F401  (populates AGGREGATORS)
+from .campaign import (
+    CampaignResult,
+    CampaignRunner,
+    DriverExperiment,
+    ExperimentSpec,
+    WhiteBoxRun,
+    load_experiment,
+    register_experiment,
+    run_experiment,
+)
 
 __all__ = [
     # registries
@@ -59,11 +85,14 @@ __all__ = [
     "GRAPH_TRANSFORMS",
     "SCHEDULERS",
     "ENGINES",
+    "AGGREGATORS",
+    "EXPERIMENTS",
     "all_registries",
     # specs & records
     "RunSpec",
     "RunRecord",
     "SpecError",
+    "MetricValue",
     "TIMING_FIELDS",
     "execute_spec",
     "execute_spec_full",
@@ -75,4 +104,13 @@ __all__ = [
     "BatchStats",
     "run_specs",
     "load_records",
+    # campaigns
+    "ExperimentSpec",
+    "DriverExperiment",
+    "WhiteBoxRun",
+    "CampaignResult",
+    "CampaignRunner",
+    "register_experiment",
+    "load_experiment",
+    "run_experiment",
 ]

@@ -26,6 +26,14 @@ Four registries cover the spec vocabulary:
 * :data:`ENGINES` — execution engines: callables taking
   ``(spec, network, protocol)`` and returning ``(result, extra_metrics)``
   (see :mod:`repro.api.engines`).  ``RunSpec(engine=...)`` selects one.
+* :data:`AGGREGATORS` — row aggregators: callables collapsing a list of
+  :class:`~repro.api.spec.RunRecord` into the experiment tables' dict rows
+  (see :mod:`repro.api.aggregators`).
+* :data:`EXPERIMENTS` — whole experiment campaigns.  Unlike the other
+  registries this one holds *objects*, not factories: each entry is a
+  :class:`~repro.api.campaign.ExperimentSpec` (a declarative parameter
+  grid) or a :class:`~repro.api.campaign.DriverExperiment` (a legacy
+  imperative driver referenced by dotted name), looked up with ``.get``.
 
 This module is intentionally a leaf: it imports nothing from the rest of
 the package, so any component module may import it without cycles.
@@ -44,6 +52,8 @@ __all__ = [
     "GRAPH_TRANSFORMS",
     "SCHEDULERS",
     "ENGINES",
+    "AGGREGATORS",
+    "EXPERIMENTS",
     "all_registries",
 ]
 
@@ -169,6 +179,10 @@ GRAPH_TRANSFORMS = Registry("graph transform")
 SCHEDULERS = Registry("scheduler")
 #: Execution engines, by name (``"async"``, ``"synchronous"``, ``"fastpath"``).
 ENGINES = Registry("engine")
+#: RunRecord-list → row-dict-list aggregators, by name.
+AGGREGATORS = Registry("aggregator")
+#: Experiment campaigns (``"e01"`` … ``"e16"`` plus user registrations).
+EXPERIMENTS = Registry("experiment")
 
 
 def all_registries() -> Dict[str, Registry]:
@@ -179,4 +193,6 @@ def all_registries() -> Dict[str, Registry]:
         "graph-transforms": GRAPH_TRANSFORMS,
         "schedulers": SCHEDULERS,
         "engines": ENGINES,
+        "aggregators": AGGREGATORS,
+        "experiments": EXPERIMENTS,
     }

@@ -31,7 +31,7 @@ import inspect
 import json
 import time
 from dataclasses import asdict, dataclass, field, fields, replace
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple, Union
 
 from .engines import ENGINES
 from .registry import GRAPH_TRANSFORMS, GRAPHS, PROTOCOLS, SCHEDULERS
@@ -40,6 +40,7 @@ __all__ = [
     "RunSpec",
     "RunRecord",
     "SpecError",
+    "MetricValue",
     "TIMING_FIELDS",
     "execute_spec",
     "execute_spec_full",
@@ -47,6 +48,13 @@ __all__ = [
     "load_specs",
     "dump_specs",
 ]
+
+#: One entry of :attr:`RunRecord.metrics`.  Most metrics are floats (or
+#: ``None`` where a quantity is undefined for a run), but engines may fold
+#: in integer extras — the synchronous engine's ``rounds`` and
+#: ``termination_round`` — and JSON round-trips preserve the distinction,
+#: so the union is the honest type.
+MetricValue = Union[int, float, None]
 
 #: RunRecord fields that vary between identical runs (wall-clock noise).
 #: Determinism comparisons — and the resume logic's byte-identity claims —
@@ -68,6 +76,7 @@ def ensure_registered() -> None:
     populate them first.  Idempotent and cheap after the first call.
     """
     from .. import baselines, core, graphs  # noqa: F401
+    from ..analysis import campaigns  # noqa: F401  (EXPERIMENTS entries)
     from ..network import scheduler  # noqa: F401
 
 
@@ -261,7 +270,7 @@ class RunRecord:
     terminated: bool
     num_vertices: int
     num_edges: int
-    metrics: Dict[str, Optional[float]]
+    metrics: Dict[str, MetricValue]
     elapsed_seconds: float
 
     def to_dict(self) -> Dict[str, Any]:
@@ -319,7 +328,7 @@ def execute_spec_full(spec: RunSpec):
     result, extra = engine(spec, network, protocol)
     elapsed = time.perf_counter() - start
 
-    metrics: Dict[str, Optional[float]] = dict(asdict(result.metrics))
+    metrics: Dict[str, MetricValue] = dict(asdict(result.metrics))
     metrics.update(extra)
     record = RunRecord(
         spec=spec,

@@ -8,54 +8,66 @@ Usage::
     python -m repro run E1 E9 --out report.txt
     python -m repro run --spec spec.json # execute one RunSpec file
     python -m repro batch specs.json -o out.jsonl   # parallel batch + resume
+    python -m repro experiment e05 --engine fastpath  # registered campaign
+    python -m repro experiment all --quick --out artifacts/
     python -m repro registry             # list spec-addressable names
     python -m repro bench --quick        # engine throughput -> BENCH_engines.json
 
-The experiment commands are a thin veneer over
-:mod:`repro.analysis.experiments`; ``run --spec`` and ``batch`` drive the
-:mod:`repro.api` run-spec layer, so any experiment expressible as data can
-be executed — and resumed — without writing Python.
+``run --spec`` and ``batch`` drive the :mod:`repro.api` run-spec layer;
+``experiment`` drives the campaign layer on top of it — registered
+:class:`~repro.api.campaign.ExperimentSpec` grids executed with
+spec_id-keyed resume and per-experiment artifacts.  The experiment index
+(``list``) is derived from the :data:`~repro.api.registry.EXPERIMENTS`
+registry, so a registered experiment can never be missing from the
+listing.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
 import time
-from typing import IO, List, Optional, Sequence
+from typing import IO, Dict, List, Optional, Sequence
 
 from .analysis.experiments import ALL_EXPERIMENTS
 from .analysis.report import render_table
 from .api import (
+    ENGINES,
+    EXPERIMENTS,
     BatchRunner,
+    CampaignRunner,
     RunRecord,
     all_registries,
     ensure_registered,
     execute_spec,
+    load_experiment,
     load_specs,
 )
 
 __all__ = ["main", "build_parser"]
 
-_DESCRIPTIONS = {
-    "E1": "Thm 3.1  grounded-tree broadcast upper bound",
-    "E2": "Thm 3.2  G_n alphabet lower bound (Fig 5)",
-    "E3": "§3.3     DAG broadcast upper bound",
-    "E4": "Thm 3.8  commodity bandwidth lower bound (Fig 4)",
-    "E5": "Thm 4.2  general-graph broadcast upper bound",
-    "E6": "Thm 5.1  unique labeling upper bound",
-    "E7": "Thm 5.2  label-length lower bound (Fig 6)",
-    "E8": "iff      non-termination on disconnected graphs",
-    "E9": "§3.1     ablation: naive vs power-of-two split",
-    "E10": "§3.3     ablation: eager vs aggregated commodity",
-    "E11": "§6       topology mapping",
-    "E12": "§6       directed/undirected label gap",
-    "E13": "§2       synchronous round complexity",
-    "E14": "beyond   exhaustive ∀-schedule ∀-topology verification",
-    "E15": "§2       per-vertex state-space (memory) measure",
-    "E16": "ablation scheduler (adversary) cost sensitivity",
-}
+
+def _legacy_id(name: str) -> str:
+    """Registry name → the historical experiment id (``"e01"`` → ``"E1"``)."""
+    match = re.fullmatch(r"e(\d+)", name)
+    return f"E{int(match.group(1))}" if match else name
+
+
+def _campaign_name(key: str) -> Optional[str]:
+    """Any of ``E1``/``e1``/``e01`` → the registry name ``e01``."""
+    match = re.fullmatch(r"[eE](\d+)", key)
+    return f"e{int(match.group(1)):02d}" if match else None
+
+
+def _experiment_titles() -> Dict[str, str]:
+    """Legacy id → registered title, for the ``run``/``report`` headers."""
+    ensure_registered()
+    return {
+        _legacy_id(name): getattr(EXPERIMENTS.get(name), "title", "") or name
+        for name in EXPERIMENTS.names()
+    }
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -123,9 +135,65 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-execute every spec even if the output file has its record",
     )
 
+    experiment = sub.add_parser(
+        "experiment",
+        help="run registered experiment campaigns (ExperimentSpec grids) with resume",
+    )
+    experiment.add_argument(
+        "names",
+        nargs="*",
+        help="experiment names (e01..e16, E1..E16) or 'all'",
+    )
+    experiment.add_argument(
+        "--spec",
+        default=None,
+        metavar="FILE",
+        help="run the ExperimentSpec in this JSON file instead of registered ones",
+    )
+    experiment.add_argument(
+        "--engine",
+        default=None,
+        metavar="ENGINE",
+        help="override the execution engine for every expanded run "
+        "(ignored by engine-locked campaigns such as e13)",
+    )
+    experiment.add_argument(
+        "--scale",
+        default=None,
+        metavar="NAME",
+        help="named axis override from the campaign's scales (e.g. 'quick')",
+    )
+    experiment.add_argument(
+        "--quick", action="store_true", help="shorthand for --scale quick"
+    )
+    experiment.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="artifact directory: per experiment a <name>.runs.jsonl resume "
+        "file and a <name>.rows.json table",
+    )
+    experiment.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes (default: cpu count)",
+    )
+    experiment.add_argument(
+        "--serial",
+        action="store_true",
+        help="run in-process instead of a process pool",
+    )
+    experiment.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="re-execute every run even if the artifact dir has its record",
+    )
+
     sub.add_parser(
         "registry",
-        help="list the registered protocol, graph, transform, scheduler and engine names",
+        help="list the registered protocol, graph, transform, scheduler, "
+        "engine, aggregator and experiment names",
     )
 
     bench = sub.add_parser(
@@ -333,17 +401,133 @@ def _cmd_registry(stream: IO[str]) -> int:
     return 0
 
 
+def _resolve_experiments(names: Sequence[str]) -> List[str]:
+    """Map CLI experiment arguments onto EXPERIMENTS registry names."""
+    if any(name.lower() == "all" for name in names):
+        return list(EXPERIMENTS.names())
+    resolved: List[str] = []
+    for raw in names:
+        canonical = _campaign_name(raw)
+        for candidate in (raw, canonical):
+            if candidate is not None and candidate in EXPERIMENTS:
+                resolved.append(candidate)
+                break
+        else:
+            raise SystemExit(
+                f"unknown experiment {raw!r}; registered: "
+                f"{', '.join(EXPERIMENTS.names())} or 'all'"
+            )
+    return resolved
+
+
+def _cmd_experiment(args, stream: IO[str]) -> int:
+    ensure_registered()
+    if args.quick and args.scale not in (None, "quick"):
+        raise SystemExit("--quick is shorthand for --scale quick; give one of them")
+    scale = "quick" if args.quick else args.scale
+    if args.engine is not None and args.engine not in ENGINES:
+        raise SystemExit(
+            f"unknown engine {args.engine!r}; registered: {', '.join(ENGINES.names())}"
+        )
+
+    if args.spec is not None:
+        if args.names:
+            raise SystemExit("give either experiment names or --spec, not both")
+        experiments = [load_experiment(args.spec)]
+    else:
+        if not args.names:
+            raise SystemExit(
+                "nothing to run: give experiment names (e01..e16, 'all') or --spec FILE"
+            )
+        experiments = [EXPERIMENTS.get(name) for name in _resolve_experiments(args.names)]
+
+    if scale is not None:
+        # Validate up front: a typo'd scale must be a clean one-line error
+        # before any experiment runs, not a traceback mid-campaign.
+        for experiment in experiments:
+            scales = getattr(experiment, "scales", {}) or {}
+            if scale not in scales:
+                known = ", ".join(sorted(scales)) or "<none defined>"
+                raise SystemExit(
+                    f"experiment {experiment.name!r} has no scale {scale!r}; "
+                    f"known: {known}"
+                )
+
+    def progress(done: int, total: int, record: RunRecord) -> None:
+        print(f"[{done}/{total}] {_record_summary(record)}", file=stream)
+
+    runner = CampaignRunner(
+        engine=args.engine,
+        scale=scale,
+        out_dir=args.out,
+        resume=not args.no_resume,
+        parallel=not args.serial,
+        max_workers=args.workers,
+        progress=progress,
+    )
+
+    start = time.time()
+    total_specs = executed = reused = total_rows = 0
+    engines_applied: Dict[str, Optional[str]] = {}
+    for experiment in experiments:
+        exp_start = time.time()
+        result = runner.run(experiment)
+        exp_elapsed = time.time() - exp_start
+        engines_applied[experiment.name] = result.applied_engine
+        title = (
+            f"== {experiment.name} — {experiment.title or 'experiment'} "
+            f"({exp_elapsed:.1f}s) =="
+        )
+        print(render_table(result.rows, title=title), file=stream)
+        print(file=stream)
+        total_specs += result.stats.total
+        executed += result.stats.executed
+        reused += result.stats.reused
+        total_rows += len(result.rows)
+    elapsed = time.time() - start
+
+    # Stable machine-readable summary for CI and scripting: one line, fixed
+    # prefix, JSON payload with sorted keys (the campaign twin of
+    # BATCH_SUMMARY).  The tables above may be reworded freely; this line
+    # is an interface.
+    summary = {
+        "experiments": [experiment.name for experiment in experiments],
+        "scale": scale,
+        # "engine" is the requested override; "engines_applied" is what each
+        # campaign actually ran under (None = campaign ignored the override:
+        # engine-locked grids and driver experiments).
+        "engine": args.engine,
+        "engines_applied": engines_applied,
+        "total_specs": total_specs,
+        "executed": executed,
+        "reused": reused,
+        "rows": total_rows,
+        "elapsed_seconds": round(elapsed, 3),
+        "output": args.out,
+    }
+    print("EXPERIMENT_SUMMARY " + json.dumps(summary, sort_keys=True), file=stream)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None, stream: IO[str] = sys.stdout) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
 
     if args.command == "list":
-        for name in ALL_EXPERIMENTS:
-            print(f"{name:4s} {_DESCRIPTIONS[name]}", file=stream)
+        # Derived from the EXPERIMENTS registry: registering an experiment
+        # is what puts it in this listing, so the two can never drift.
+        ensure_registered()
+        for name in EXPERIMENTS.names():
+            experiment = EXPERIMENTS.get(name)
+            title = getattr(experiment, "title", "") or ""
+            print(f"{_legacy_id(name):4s} {title}  [{name}]", file=stream)
         return 0
 
     if args.command == "registry":
         return _cmd_registry(stream)
+
+    if args.command == "experiment":
+        return _cmd_experiment(args, stream)
 
     if args.command == "batch":
         return _cmd_batch(args, stream)
@@ -359,11 +543,12 @@ def main(argv: Optional[Sequence[str]] = None, stream: IO[str] = sys.stdout) -> 
             "(see EXPERIMENTS.md for the paper-vs-measured discussion).",
             "",
         ]
+        titles = _experiment_titles()
         for name, driver in ALL_EXPERIMENTS.items():
             start = time.time()
             rows = driver()
             elapsed = time.time() - start
-            lines.append(f"## {name} — {_DESCRIPTIONS[name].strip()}")
+            lines.append(f"## {name} — {titles.get(name, name).strip()}")
             lines.append("")
             lines.append("```")
             lines.append(render_table(rows))
@@ -387,12 +572,13 @@ def main(argv: Optional[Sequence[str]] = None, stream: IO[str] = sys.stdout) -> 
             return _cmd_run_spec(args.spec, stream, extra)
         if not args.experiments:
             raise SystemExit("nothing to run: give experiment ids or --spec FILE")
+        titles = _experiment_titles()
         for name in _resolve(args.experiments):
             driver = ALL_EXPERIMENTS[name]
             start = time.time()
             rows = driver()
             elapsed = time.time() - start
-            title = f"== {name} — {_DESCRIPTIONS[name]} ({elapsed:.1f}s) =="
+            title = f"== {name} — {titles.get(name, name)} ({elapsed:.1f}s) =="
             _emit(render_table(rows, title=title), stream, extra)
             _emit("", stream, extra)
     finally:

@@ -1,11 +1,13 @@
 """Tests for the experiment-runner CLI."""
 
 import io
+import json
 
 import pytest
 
 from repro.analysis.experiments import ALL_EXPERIMENTS
-from repro.cli import _DESCRIPTIONS, build_parser, main
+from repro.api import EXPERIMENTS, ensure_registered
+from repro.cli import _campaign_name, _legacy_id, build_parser, main
 
 
 class TestParser:
@@ -24,9 +26,28 @@ class TestParser:
             build_parser().parse_args([])
 
 
-class TestDescriptions:
-    def test_every_experiment_described(self):
-        assert set(_DESCRIPTIONS) == set(ALL_EXPERIMENTS)
+class TestRegistryListParity:
+    """`repro list` derives from EXPERIMENTS — the views can never drift."""
+
+    def test_registry_matches_driver_table(self):
+        ensure_registered()
+        assert {_legacy_id(name) for name in EXPERIMENTS.names()} == set(
+            ALL_EXPERIMENTS
+        )
+
+    def test_list_shows_every_registered_experiment(self):
+        ensure_registered()
+        stream = io.StringIO()
+        assert main(["list"], stream=stream) == 0
+        text = stream.getvalue()
+        for name in EXPERIMENTS.names():
+            assert f"[{name}]" in text
+            assert getattr(EXPERIMENTS.get(name), "title", "") in text
+
+    def test_name_mapping_round_trips(self):
+        ensure_registered()
+        for name in EXPERIMENTS.names():
+            assert _campaign_name(_legacy_id(name)) == name
 
 
 class TestMain:
@@ -145,3 +166,133 @@ class TestSpecCommands:
         empty.write_text("[]", encoding="utf-8")
         with pytest.raises(SystemExit):
             main(["batch", str(empty)], stream=io.StringIO())
+
+
+def _experiment_summary(text: str) -> dict:
+    lines = [l for l in text.splitlines() if l.startswith("EXPERIMENT_SUMMARY ")]
+    assert len(lines) == 1, text
+    return json.loads(lines[0][len("EXPERIMENT_SUMMARY "):])
+
+
+class TestExperimentCommand:
+    def test_runs_quick_campaign_with_summary(self, tmp_path):
+        stream = io.StringIO()
+        assert (
+            main(
+                ["experiment", "e05", "--quick", "--serial", "--out", str(tmp_path)],
+                stream=stream,
+            )
+            == 0
+        )
+        text = stream.getvalue()
+        assert "bound_E2VlogD" in text
+        summary = _experiment_summary(text)
+        assert summary["experiments"] == ["e05"]
+        assert summary["scale"] == "quick"
+        assert summary["executed"] == summary["total_specs"] > 0
+        assert (tmp_path / "e05.runs.jsonl").exists()
+        assert (tmp_path / "e05.rows.json").exists()
+
+    def test_resume_is_noop(self, tmp_path):
+        args = ["experiment", "e05", "--quick", "--serial", "--out", str(tmp_path)]
+        assert main(args, stream=io.StringIO()) == 0
+        stream = io.StringIO()
+        assert main(args, stream=stream) == 0
+        summary = _experiment_summary(stream.getvalue())
+        assert summary["executed"] == 0
+        assert summary["reused"] == summary["total_specs"] > 0
+
+    def test_legacy_ids_accepted(self):
+        stream = io.StringIO()
+        assert main(["experiment", "E5", "--quick", "--serial"], stream=stream) == 0
+        assert _experiment_summary(stream.getvalue())["experiments"] == ["e05"]
+
+    def test_engine_override(self):
+        stream = io.StringIO()
+        assert (
+            main(
+                ["experiment", "e05", "--quick", "--serial", "--engine", "fastpath"],
+                stream=stream,
+            )
+            == 0
+        )
+        summary = _experiment_summary(stream.getvalue())
+        assert summary["engine"] == "fastpath"
+        assert summary["engines_applied"] == {"e05": "fastpath"}
+
+    def test_engine_override_reported_as_ignored_where_ignored(self, tmp_path):
+        """e13 is engine-locked and e02 runs no engine at all; the summary and
+        artifacts must not claim their results came from fastpath."""
+        stream = io.StringIO()
+        assert (
+            main(
+                [
+                    "experiment", "e13", "e02",
+                    "--quick", "--serial", "--engine", "fastpath",
+                    "--out", str(tmp_path),
+                ],
+                stream=stream,
+            )
+            == 0
+        )
+        summary = _experiment_summary(stream.getvalue())
+        assert summary["engine"] == "fastpath"
+        assert summary["engines_applied"] == {"e13": None, "e02": None}
+        payload = json.loads((tmp_path / "e13.rows.json").read_text(encoding="utf-8"))
+        assert payload["engine"] is None
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(SystemExit):
+            main(
+                ["experiment", "e05", "--engine", "warp-drive"], stream=io.StringIO()
+            )
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "e99"], stream=io.StringIO())
+
+    def test_requires_names_or_spec(self):
+        with pytest.raises(SystemExit):
+            main(["experiment"], stream=io.StringIO())
+
+    def test_quick_conflicts_with_other_scale(self):
+        with pytest.raises(SystemExit):
+            main(
+                ["experiment", "e05", "--quick", "--scale", "full"],
+                stream=io.StringIO(),
+            )
+
+    def test_unknown_scale_is_clean_error_before_any_run(self):
+        # A typo'd scale must fail up front for the whole list (no partial
+        # campaign execution, no traceback).
+        with pytest.raises(SystemExit, match="no scale 'nope'"):
+            main(
+                ["experiment", "e05", "e13", "--scale", "nope", "--serial"],
+                stream=io.StringIO(),
+            )
+
+    def test_spec_file_campaign(self, tmp_path):
+        from repro.api import ExperimentSpec
+
+        spec = ExperimentSpec(
+            name="cli-demo",
+            base={"graph": "random-grounded-tree", "protocol": "tree-broadcast"},
+            axes={"graph_params.num_internal": [8], "seed": [0, 1]},
+            aggregator="min-mean-max",
+        )
+        path = tmp_path / "campaign.json"
+        path.write_text(spec.to_json(), encoding="utf-8")
+        stream = io.StringIO()
+        assert (
+            main(["experiment", "--spec", str(path), "--serial"], stream=stream) == 0
+        )
+        summary = _experiment_summary(stream.getvalue())
+        assert summary["experiments"] == ["cli-demo"]
+        assert summary["total_specs"] == 2
+
+    def test_driver_experiment_through_campaign_cli(self):
+        stream = io.StringIO()
+        assert main(["experiment", "e02", "--quick", "--serial"], stream=stream) == 0
+        text = stream.getvalue()
+        assert "distinct_symbols" in text
+        assert _experiment_summary(text)["rows"] == 3

@@ -149,5 +149,7 @@ class TestPopulatedRegistries:
             "graph-transforms",
             "schedulers",
             "engines",
+            "aggregators",
+            "experiments",
         }
         assert registries["protocols"] is PROTOCOLS

@@ -22,6 +22,11 @@ CASES = {
         "run-spec:",
         "batch: 8 seeds",
     ],
+    "campaign_quickstart.py": [
+        "expands to 12 runs",
+        "resume: 12 runs reused, 0 re-executed",
+        "all inside the paper bound",
+    ],
     "adhoc_sensor_field.py": ["sink confirmed rollout", "did NOT confirm"],
     "p2p_overlay_mapping.py": ["map verified: exact match"],
     "lowerbound_gallery.py": ["FIGURE 5", "FIGURE 4", "FIGURE 6", "repaired rule"],
