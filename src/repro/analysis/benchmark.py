@@ -37,15 +37,19 @@ import platform
 import time
 from typing import Any, Dict, List, Optional, Sequence
 
-from ..api import RunSpec, execute_spec
+from ..api import PROTOCOLS, RunSpec, ensure_registered, execute_spec
 
 __all__ = [
     "BENCH_ENGINES",
     "QUICK_SIZES",
     "FULL_SIZES",
+    "PROTOCOL_BENCH_GRAPHS",
+    "PROTOCOL_MATRIX_N",
     "bench_spec",
+    "protocol_bench_spec",
     "measure_spec",
     "run_engine_benchmarks",
+    "run_protocol_matrix",
     "write_benchmarks",
     "load_floors",
     "check_floors",
@@ -60,6 +64,20 @@ QUICK_SIZES = (16, 64)
 
 #: Graph sizes for a full `repro bench`.
 FULL_SIZES = (16, 32, 64, 128)
+
+#: The graph family each protocol is benchmarked on (its natural habitat:
+#: the family where the protocol terminates and does representative work).
+#: Protocols not listed run on the general ``random-digraph`` workload.
+PROTOCOL_BENCH_GRAPHS: Dict[str, str] = {
+    "tree-broadcast": "random-grounded-tree",
+    "naive-tree-broadcast": "random-grounded-tree",
+    "dag-broadcast": "random-dag",
+    "eager-dag-broadcast": "random-dag",
+}
+
+#: The size at which the per-protocol kernel coverage matrix is measured
+#: (and at which the per-protocol ratio floors are gated).
+PROTOCOL_MATRIX_N = 64
 
 
 def bench_spec(
@@ -85,20 +103,55 @@ def bench_spec(
     )
 
 
-def measure_spec(spec: RunSpec, *, repeats: int = 3) -> Dict[str, Any]:
+def protocol_bench_spec(
+    protocol: str,
+    n: int,
+    engine: str,
+    *,
+    seed: int = 1,
+    max_steps: int = 200_000,
+) -> RunSpec:
+    """The coverage-matrix workload for one protocol × engine at ``|V| = n``.
+
+    Each protocol runs on its :data:`PROTOCOL_BENCH_GRAPHS` family; the
+    explicit ``max_steps`` cap bounds intentionally explosive baselines
+    (the eager-DAG split's path multiplicity) without affecting the
+    well-matched protocols, and applies identically to every engine.
+    """
+    return RunSpec(
+        graph=PROTOCOL_BENCH_GRAPHS.get(protocol, "random-digraph"),
+        graph_params={"num_internal": n - 2},
+        protocol=protocol,
+        engine=engine,
+        seed=seed,
+        max_steps=max_steps,
+        label=f"bench-{protocol}-n{n}-{engine}",
+    )
+
+
+def measure_spec(
+    spec: RunSpec, *, repeats: int = 3, inner_loops: int = 1
+) -> Dict[str, Any]:
     """Execute ``spec`` ``repeats`` times; report best-time throughput.
 
     Best-of-N is the standard noise filter for single-process CPU-bound
     benchmarks: the minimum is the run least disturbed by the OS.
+    ``inner_loops`` amortises timer resolution for sub-millisecond runs:
+    each timed sample executes the spec that many times and reports the
+    mean per-execution time (the work is deterministic, so every inner
+    execution is identical).
     """
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
+    if inner_loops < 1:
+        raise ValueError("inner_loops must be >= 1")
     best = float("inf")
     record = None
     for _ in range(repeats):
         start = time.perf_counter()
-        record = execute_spec(spec)
-        elapsed = time.perf_counter() - start
+        for _ in range(inner_loops):
+            record = execute_spec(spec)
+        elapsed = (time.perf_counter() - start) / inner_loops
         if elapsed < best:
             best = elapsed
     assert record is not None
@@ -113,6 +166,7 @@ def measure_spec(spec: RunSpec, *, repeats: int = 3) -> Dict[str, Any]:
         "outcome": record.outcome,
         "steps": steps,
         "repeats": repeats,
+        "inner_loops": inner_loops,
         "best_seconds": best,
         "steps_per_sec": steps / best if best > 0 else 0.0,
     }
@@ -168,6 +222,65 @@ def run_engine_benchmarks(
     }
 
 
+def run_protocol_matrix(
+    *,
+    n: int = PROTOCOL_MATRIX_N,
+    engines: Sequence[str] = ("async", "fastpath"),
+    repeats: int = 2,
+    min_seconds: float = 0.05,
+    seed: int = 1,
+    progress: Optional[Any] = None,
+) -> Dict[str, Any]:
+    """Measure every *registered* protocol under each engine at ``|V| = n``.
+
+    The matrix is registry-driven — :data:`~repro.api.registry.PROTOCOLS`
+    is enumerated at run time, so a newly registered protocol is benched
+    automatically and the ``require_protocol_coverage`` floor (see
+    :func:`check_floors`) fails CI if one were ever skipped.  Each
+    protocol × engine cell gets one uncounted warmup/calibration run
+    (which also primes the topology cache, as campaign traffic would),
+    and sub-``min_seconds`` runs are amortised over inner loops.
+    """
+    ensure_registered()
+    results: List[Dict[str, Any]] = []
+    comparisons: List[Dict[str, Any]] = []
+    for protocol in sorted(PROTOCOLS.names()):
+        by_engine: Dict[str, Dict[str, Any]] = {}
+        for engine in engines:
+            spec = protocol_bench_spec(protocol, n, engine, seed=seed)
+            start = time.perf_counter()
+            execute_spec(spec)  # warmup / calibration (uncounted)
+            calibration = time.perf_counter() - start
+            inner_loops = 1
+            if calibration < min_seconds:
+                inner_loops = min(
+                    256, max(1, int(min_seconds / max(calibration, 1e-7)))
+                )
+            row = measure_spec(spec, repeats=repeats, inner_loops=inner_loops)
+            by_engine[engine] = row
+            results.append(row)
+            if progress is not None:
+                progress(row)
+        comparison: Dict[str, Any] = {"protocol": protocol, "n": n}
+        base = by_engine.get("async")
+        for engine in engines:
+            if engine == "async" or base is None or engine not in by_engine:
+                continue
+            if base["steps_per_sec"] > 0:
+                comparison[f"{engine}_vs_async"] = (
+                    by_engine[engine]["steps_per_sec"] / base["steps_per_sec"]
+                )
+        comparisons.append(comparison)
+    return {
+        "n": n,
+        "seed": seed,
+        "repeats": repeats,
+        "engines": list(engines),
+        "results": results,
+        "comparisons": comparisons,
+    }
+
+
 def write_benchmarks(payload: Dict[str, Any], path: str) -> None:
     """Write the payload as stable, diff-friendly JSON."""
     with open(path, "w", encoding="utf-8") as handle:
@@ -188,13 +301,20 @@ def check_floors(payload: Dict[str, Any], floors: Dict[str, Any]) -> List[str]:
 
         {
           "fastpath_min_steps_per_sec": {"64": 4000},
-          "fastpath_vs_async_min_ratio": {"64": 2.0}
+          "fastpath_vs_async_min_ratio": {"64": 2.0},
+          "protocol_vs_async_min_ratio": {"tree-broadcast": 2.0, ...},
+          "require_protocol_coverage": true
         }
 
-    Keys are sizes as strings (JSON objects), values are the minimum
-    acceptable measurement at that size.  Sizes missing from the current
-    payload are reported as violations — a gate that silently skips is no
-    gate.
+    Keys of the size-indexed floors are sizes as strings (JSON objects);
+    ``protocol_vs_async_min_ratio`` is keyed by protocol registry name and
+    checked against the ``protocols`` coverage matrix.  Measurements
+    missing from the current payload are reported as violations — a gate
+    that silently skips is no gate.  With ``require_protocol_coverage``
+    set, every protocol registered in
+    :data:`~repro.api.registry.PROTOCOLS` must appear in the coverage
+    matrix, so registering a protocol without extending the bench matrix
+    fails CI.
     """
     violations: List[str] = []
     by_size = {
@@ -224,6 +344,44 @@ def check_floors(payload: Dict[str, Any], floors: Dict[str, Any]) -> List[str]:
                 f"fastpath vs async at n={n} is {ratio:.2f}x, "
                 f"below the floor of {minimum}x"
             )
+
+    protocols_block = payload.get("protocols") or {}
+    protocol_ratios = {
+        c["protocol"]: c for c in protocols_block.get("comparisons", [])
+    }
+    protocol_floors = floors.get("protocol_vs_async_min_ratio", {})
+    matrix_n = protocols_block.get("n")
+    if protocol_floors and matrix_n is not None and matrix_n != PROTOCOL_MATRIX_N:
+        # The per-protocol floors are calibrated at the gated size; ratios
+        # measured elsewhere (e.g. --protocols-n experiments) must fail
+        # loudly rather than gate the wrong numbers either way.
+        violations.append(
+            f"protocol coverage matrix was measured at n={matrix_n} but the "
+            f"per-protocol ratio floors are calibrated at n={PROTOCOL_MATRIX_N}"
+        )
+    else:
+        for name, minimum in protocol_floors.items():
+            ratio = protocol_ratios.get(name, {}).get("fastpath_vs_async")
+            if ratio is None:
+                violations.append(
+                    f"no fastpath-vs-async ratio for protocol {name!r} in the "
+                    "coverage matrix to check against floor"
+                )
+                continue
+            if ratio < minimum:
+                violations.append(
+                    f"fastpath vs async for {name} is {ratio:.2f}x, "
+                    f"below the floor of {minimum}x"
+                )
+    if floors.get("require_protocol_coverage"):
+        ensure_registered()
+        benched = {row["protocol"] for row in protocols_block.get("results", [])}
+        for name in sorted(PROTOCOLS.names()):
+            if name not in benched:
+                violations.append(
+                    f"registered protocol {name!r} is missing from the bench "
+                    "matrix (protocols coverage)"
+                )
     return violations
 
 
@@ -245,4 +403,18 @@ def render_bench_table(payload: Dict[str, Any]) -> str:
         )
         if ratios:
             lines.append(f"n={comparison['n']}: {ratios}")
+    protocols_block = payload.get("protocols")
+    if protocols_block:
+        lines.append("")
+        lines.append(
+            f"protocol kernel coverage at n={protocols_block['n']} "
+            "(fastpath vs async):"
+        )
+        ratios_by_protocol = {
+            c["protocol"]: c.get("fastpath_vs_async")
+            for c in protocols_block.get("comparisons", [])
+        }
+        for protocol, ratio in sorted(ratios_by_protocol.items()):
+            shown = f"{ratio:.2f}x" if ratio is not None else "n/a"
+            lines.append(f"  {protocol:<24} {shown:>8}")
     return "\n".join(lines)

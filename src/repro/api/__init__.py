@@ -57,10 +57,13 @@ from .spec import (
     RunRecord,
     RunSpec,
     SpecError,
+    TopologyCacheStats,
+    clear_topology_cache,
     dump_specs,
     execute_spec,
     execute_spec_full,
     load_specs,
+    topology_cache_stats,
 )
 from .runner import BatchRunner, BatchStats, load_records, run_specs
 from . import aggregators as _aggregators  # noqa: F401  (populates AGGREGATORS)
@@ -99,6 +102,10 @@ __all__ = [
     "ensure_registered",
     "load_specs",
     "dump_specs",
+    # topology cache
+    "TopologyCacheStats",
+    "topology_cache_stats",
+    "clear_topology_cache",
     # batch execution
     "BatchRunner",
     "BatchStats",

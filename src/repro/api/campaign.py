@@ -52,7 +52,14 @@ from typing import Any, Callable, Dict, List, NamedTuple, Optional, Sequence, Tu
 
 from .registry import AGGREGATORS, EXPERIMENTS
 from .runner import BatchRunner, BatchStats
-from .spec import RunRecord, RunSpec, SpecError, _json_safe, execute_spec_full
+from .spec import (
+    RunRecord,
+    RunSpec,
+    SpecError,
+    _json_safe,
+    execute_spec_full,
+    topology_cache_stats,
+)
 
 __all__ = [
     "ExperimentSpec",
@@ -318,9 +325,10 @@ class CampaignRunner:
         re-executing them.  White-box campaigns cannot resume (their rows
         need live states) and always execute.
     parallel / max_workers / chunksize:
-        Forwarded to the :class:`~repro.api.runner.BatchRunner`.  The
-        default is in-process serial execution — the right mode inside
-        drivers, tests and benches; the CLI turns parallelism on.
+        Forwarded to the :class:`~repro.api.runner.BatchRunner`
+        (``chunksize=None`` auto-tunes per dispatch).  The default is
+        in-process serial execution — the right mode inside drivers,
+        tests and benches; the CLI turns parallelism on.
     """
 
     def __init__(
@@ -332,7 +340,7 @@ class CampaignRunner:
         resume: bool = True,
         parallel: bool = False,
         max_workers: Optional[int] = None,
-        chunksize: int = 4,
+        chunksize: Optional[int] = None,
         progress: Optional[Callable[[int, int, RunRecord], None]] = None,
     ) -> None:
         self.engine = engine
@@ -405,18 +413,26 @@ class CampaignRunner:
             # Live states cannot be persisted, so white-box campaigns always
             # execute serially in-process; records are still written for
             # inspection (not resume).
+            cache_before = topology_cache_stats()
             runs: List[WhiteBoxRun] = []
             for spec in specs:
                 run = WhiteBoxRun(*execute_spec_full(spec))
                 runs.append(run)
                 if self.progress is not None:
                     self.progress(len(runs), len(specs), run.record)
+            cache_after = topology_cache_stats()
             records = [run.record for run in runs]
             if runs_path:
                 with open(runs_path, "w", encoding="utf-8") as handle:
                     for record in records:
                         handle.write(record.to_json() + "\n")
-            stats = BatchStats(total=len(specs), executed=len(specs), reused=0)
+            stats = BatchStats(
+                total=len(specs),
+                executed=len(specs),
+                reused=0,
+                cache_hits=cache_after.hits - cache_before.hits,
+                cache_misses=cache_after.misses - cache_before.misses,
+            )
             rows = aggregate(runs, **experiment.aggregator_params)
         else:
             runner = BatchRunner(

@@ -48,8 +48,15 @@ def _run_async(spec: Any, network: Any, protocol: Any) -> Tuple[Any, Dict[str, A
 
 @ENGINES.register("fastpath")
 def _run_fastpath(spec: Any, network: Any, protocol: Any) -> Tuple[Any, Dict[str, Any]]:
-    """Compiled flat-state engine; bit-identical to ``async``, much faster."""
+    """Compiled flat-state engine; bit-identical to ``async``, much faster.
+
+    The ``O(|V| + |E|)`` topology compilation is served from the
+    process-local cache keyed by the spec's graph-defining fields, so
+    campaign grids that sweep protocol/scheduler/seed axes over one
+    topology compile it once per worker instead of once per run.
+    """
     from ..network.fastpath import run_protocol_fastpath
+    from .spec import compiled_topology
 
     result = run_protocol_fastpath(
         network,
@@ -59,6 +66,7 @@ def _run_fastpath(spec: Any, network: Any, protocol: Any) -> Tuple[Any, Dict[str
         record_trace=spec.record_trace,
         track_state_bits=spec.track_state_bits,
         stop_at_termination=spec.stop_at_termination,
+        compiled=compiled_topology(spec, network),
     )
     return result, {}
 

@@ -23,14 +23,26 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
-from .spec import RunRecord, RunSpec, execute_spec
+from .spec import RunRecord, RunSpec, execute_spec, topology_cache_stats
 
 __all__ = ["BatchRunner", "BatchStats", "run_specs", "load_records"]
 
 
 def _execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
-    """Worker entry point: dicts in, dicts out (cheap, version-tolerant IPC)."""
-    return execute_spec(RunSpec.from_dict(payload)).to_dict()
+    """Worker entry point: dicts in, dicts out (cheap, version-tolerant IPC).
+
+    Alongside the record, each result carries the run's topology-cache
+    hit/miss *delta* — caches are process-local, so per-run deltas are the
+    only aggregation that composes across a worker pool.
+    """
+    before = topology_cache_stats()
+    record = execute_spec(RunSpec.from_dict(payload)).to_dict()
+    after = topology_cache_stats()
+    return {
+        "record": record,
+        "cache_hits": after.hits - before.hits,
+        "cache_misses": after.misses - before.misses,
+    }
 
 
 def load_records(path: str) -> List[RunRecord]:
@@ -56,11 +68,20 @@ def load_records(path: str) -> List[RunRecord]:
 
 @dataclass(frozen=True)
 class BatchStats:
-    """What the last :meth:`BatchRunner.run` actually did."""
+    """What the last :meth:`BatchRunner.run` actually did.
+
+    ``cache_hits`` / ``cache_misses`` count compiled-topology cache events
+    across every process that executed specs (see
+    :func:`~repro.api.spec.topology_cache_stats`); a grid that sweeps
+    protocol/scheduler/seed axes over one topology should show hits close
+    to ``executed``.
+    """
 
     total: int
     executed: int
     reused: int
+    cache_hits: int = 0
+    cache_misses: int = 0
 
 
 class BatchRunner:
@@ -71,7 +92,10 @@ class BatchRunner:
     max_workers:
         Worker processes (``None`` = ``os.cpu_count()``).
     chunksize:
-        Specs per IPC round-trip; raise it for large batches of small runs.
+        Specs per IPC round-trip.  ``None`` (the default) auto-tunes to
+        ``max(4, pending // (8 * workers))`` when the batch is dispatched,
+        so huge quick-scale campaigns stop paying one IPC round-trip per
+        4 tiny runs while each worker still gets ~8 chunks to balance load.
     parallel:
         ``False`` runs everything in-process — the right mode inside
         experiment drivers and tests (no fork overhead, full determinism
@@ -83,18 +107,27 @@ class BatchRunner:
         self,
         *,
         max_workers: Optional[int] = None,
-        chunksize: int = 4,
+        chunksize: Optional[int] = None,
         parallel: bool = True,
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be >= 1 (use parallel=False for serial)")
-        if chunksize < 1:
-            raise ValueError("chunksize must be >= 1")
+        if chunksize is not None and chunksize < 1:
+            raise ValueError("chunksize must be >= 1 (or None to auto-tune)")
         self.max_workers = max_workers
         self.chunksize = chunksize
         self.parallel = parallel
         #: Stats of the most recent :meth:`run` call.
         self.stats: Optional[BatchStats] = None
+        self._cache_hits = 0
+        self._cache_misses = 0
+
+    def effective_chunksize(self, pending: int) -> int:
+        """The chunksize a dispatch of ``pending`` specs will use."""
+        if self.chunksize is not None:
+            return self.chunksize
+        workers = self.max_workers or os.cpu_count() or 1
+        return max(4, pending // (8 * workers))
 
     # ------------------------------------------------------------------
 
@@ -138,6 +171,8 @@ class BatchRunner:
 
         done = len(spec_list) - len(pending)
 
+        self._cache_hits = 0
+        self._cache_misses = 0
         sink = None
         try:
             if output_path:
@@ -166,6 +201,8 @@ class BatchRunner:
             total=len(spec_list),
             executed=len(pending),
             reused=len(spec_list) - len(pending),
+            cache_hits=self._cache_hits,
+            cache_misses=self._cache_misses,
         )
         return records
 
@@ -176,12 +213,20 @@ class BatchRunner:
             return
         if not self.parallel or len(pending) == 1:
             for spec in pending:
-                yield execute_spec(spec)
+                before = topology_cache_stats()
+                record = execute_spec(spec)
+                after = topology_cache_stats()
+                self._cache_hits += after.hits - before.hits
+                self._cache_misses += after.misses - before.misses
+                yield record
             return
         payloads = [spec.to_dict() for spec in pending]
+        chunksize = self.effective_chunksize(len(payloads))
         with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-            for result in pool.map(_execute_payload, payloads, chunksize=self.chunksize):
-                yield RunRecord.from_dict(result)
+            for result in pool.map(_execute_payload, payloads, chunksize=chunksize):
+                self._cache_hits += result["cache_hits"]
+                self._cache_misses += result["cache_misses"]
+                yield RunRecord.from_dict(result["record"])
 
     @staticmethod
     def _rewrite(path: str, records: Sequence[RunRecord]) -> None:

@@ -30,7 +30,9 @@ import hashlib
 import inspect
 import json
 import time
+from collections import OrderedDict
 from dataclasses import asdict, dataclass, field, fields, replace
+from functools import lru_cache
 from typing import Any, Dict, Optional, Tuple, Union
 
 from .engines import ENGINES
@@ -42,8 +44,12 @@ __all__ = [
     "SpecError",
     "MetricValue",
     "TIMING_FIELDS",
+    "TopologyCacheStats",
     "execute_spec",
     "execute_spec_full",
+    "compiled_topology",
+    "topology_cache_stats",
+    "clear_topology_cache",
     "ensure_registered",
     "load_specs",
     "dump_specs",
@@ -80,8 +86,14 @@ def ensure_registered() -> None:
     from ..network import scheduler  # noqa: F401
 
 
+@lru_cache(maxsize=1024)
 def _accepts_param(factory: Any, name: str) -> bool:
-    """Whether calling ``factory`` accepts a keyword argument ``name``."""
+    """Whether calling ``factory`` accepts a keyword argument ``name``.
+
+    Memoised: registry factories are a small fixed set, and the
+    ``inspect.signature`` walk is ~60µs — a measurable fraction of a short
+    run when campaigns execute thousands of specs.
+    """
     try:
         signature = inspect.signature(factory)
     except (TypeError, ValueError):  # pragma: no cover - C callables etc.
@@ -300,6 +312,133 @@ class RunRecord:
         return payload
 
 
+# ----------------------------------------------------------------------
+# compiled-topology cache
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TopologyCacheStats:
+    """Snapshot of the process-local topology cache counters."""
+
+    hits: int
+    misses: int
+
+
+class _TopologyEntry:
+    """One cached topology: the built network plus its lazy compilation."""
+
+    __slots__ = ("network", "compiled")
+
+    def __init__(self, network: Any) -> None:
+        self.network = network
+        self.compiled: Any = None
+
+
+class _TopologyCache:
+    """Bounded process-local LRU of built (and compiled) topologies.
+
+    Campaign grids routinely sweep thousands of protocol/scheduler/seed
+    combinations over a handful of graphs; rebuilding the
+    :class:`~repro.network.graph.DirectedNetwork` — and, on the fastpath
+    engine, re-flattening it into a
+    :class:`~repro.network.fastpath.CompiledNetwork` — per run is pure
+    waste, since networks are immutable.  Entries are keyed by the spec's
+    *graph-defining* fields: graph name, effective graph params (with the
+    run seed injected exactly as :meth:`RunSpec.build_graph` would inject
+    it — so graph families that ignore the seed share one entry across a
+    seed sweep), and the transform chain.
+
+    The cache is deliberately process-local: each
+    :class:`~repro.api.runner.BatchRunner` worker populates its own copy
+    on first use, and the per-run hit/miss deltas are shipped back with
+    each record so :class:`~repro.api.runner.BatchStats` can aggregate
+    them across the pool.
+    """
+
+    __slots__ = ("maxsize", "_entries", "hits", "misses")
+
+    def __init__(self, maxsize: int = 32) -> None:
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[Any, _TopologyEntry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def _key(self, spec: "RunSpec") -> Any:
+        ensure_registered()
+        factory = GRAPHS.get(spec.graph)
+        params = spec._params_with_seed(factory, spec.graph_params)
+        return (
+            spec.graph,
+            json.dumps(params, sort_keys=True, separators=(",", ":")),
+            spec.graph_transforms,
+        )
+
+    def entry(self, spec: "RunSpec") -> _TopologyEntry:
+        key = self._key(spec)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return entry
+        self.misses += 1
+        entry = _TopologyEntry(spec.build_graph())
+        self._entries[key] = entry
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        return entry
+
+    def network(self, spec: "RunSpec") -> Any:
+        return self.entry(spec).network
+
+    def compiled(self, spec: "RunSpec", network: Any) -> Any:
+        """The :class:`CompiledNetwork` for ``network``, cached per topology.
+
+        Only the entry whose network *is* the given object may serve (or
+        store) a compilation — a caller-built network bypassing the cache
+        gets a fresh, uncached compilation instead of poisoning an entry.
+        """
+        from ..network.fastpath import CompiledNetwork
+
+        key = self._key(spec)
+        entry = self._entries.get(key)
+        if entry is not None and entry.network is network:
+            if entry.compiled is None:
+                entry.compiled = CompiledNetwork(network)
+            return entry.compiled
+        return CompiledNetwork(network)
+
+    def stats(self) -> TopologyCacheStats:
+        return TopologyCacheStats(hits=self.hits, misses=self.misses)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+_TOPOLOGY_CACHE = _TopologyCache()
+
+
+def topology_cache_stats() -> TopologyCacheStats:
+    """Cumulative hit/miss counters of this process's topology cache."""
+    return _TOPOLOGY_CACHE.stats()
+
+
+def clear_topology_cache() -> None:
+    """Drop every cached topology and reset the counters (test isolation)."""
+    _TOPOLOGY_CACHE.clear()
+
+
+def compiled_topology(spec: RunSpec, network: Any) -> Any:
+    """The cached :class:`~repro.network.fastpath.CompiledNetwork` for a run.
+
+    Used by the fastpath engine adapter; see :meth:`_TopologyCache.compiled`
+    for the safety rule.
+    """
+    return _TOPOLOGY_CACHE.compiled(spec, network)
+
+
 def execute_spec(spec: RunSpec) -> RunRecord:
     """Execute ``spec`` and return only the serializable record."""
     return execute_spec_full(spec)[0]
@@ -320,8 +459,12 @@ def execute_spec_full(spec: RunSpec):
     The engine is resolved through :data:`~repro.api.registry.ENGINES`
     (see :mod:`repro.api.engines`), so ``engine="fastpath"`` — or any
     engine registered later — needs no changes here.
+
+    The network comes from the process-local topology cache (networks are
+    immutable, so sharing one object across runs is sound); see
+    :class:`_TopologyCache` and :func:`topology_cache_stats`.
     """
-    network = spec.build_graph()
+    network = _TOPOLOGY_CACHE.network(spec)
     protocol = spec.build_protocol()
     engine = ENGINES.get(spec.engine)
     start = time.perf_counter()

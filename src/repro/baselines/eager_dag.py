@@ -35,3 +35,17 @@ class EagerDagBroadcastProtocol(TreeBroadcastProtocol):
     """
 
     name = "eager-dag-broadcast"
+
+    def compile_fastpath(self, compiled):
+        """The tree kernel, re-guarded for this exact subclass.
+
+        Transition rules are identical to the grounded-tree protocol, so
+        the same flat kernel applies — but the parent's exact-type guard
+        correctly refuses subclasses, so this class re-issues the kernel
+        under its own guard.
+        """
+        if type(self) is not EagerDagBroadcastProtocol:
+            return None
+        from ..core.flat_kernel import TreeBroadcastKernel
+
+        return TreeBroadcastKernel(self, compiled)

@@ -85,3 +85,19 @@ class FloodingProtocol(AnonymousProtocol[FloodState, FloodToken]):
 
     def output(self, state: FloodState) -> Any:
         return state.payload
+
+    def clone_state(self, state: FloodState) -> FloodState:
+        # Frozen dataclass, replaced (never mutated) on every transition.
+        return state
+
+    def clone_message(self, message: FloodToken) -> FloodToken:
+        # Frozen dataclass; transitions never mutate received messages.
+        return message
+
+    def compile_fastpath(self, compiled: Any) -> Optional[Any]:
+        """One-receipt-bit kernel with precompiled emission lists."""
+        if type(self) is not FloodingProtocol:
+            return None
+        from ..core.flat_kernel import FloodingKernel
+
+        return FloodingKernel(self, compiled)

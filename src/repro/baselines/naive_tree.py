@@ -107,3 +107,19 @@ class NaiveTreeBroadcastProtocol(AnonymousProtocol[NaiveTreeState, RationalToken
 
     def output(self, state: NaiveTreeState) -> Any:
         return state.payload
+
+    def clone_state(self, state: NaiveTreeState) -> NaiveTreeState:
+        # Frozen dataclass, replaced (never mutated) on every transition.
+        return state
+
+    def clone_message(self, message: RationalToken) -> RationalToken:
+        # Frozen dataclass; transitions never mutate received messages.
+        return message
+
+    def compile_fastpath(self, compiled: Any) -> Optional[Any]:
+        """Reduced ``(num, den)`` rational kernel (exact same semantics)."""
+        if type(self) is not NaiveTreeBroadcastProtocol:
+            return None
+        from ..core.flat_kernel import NaiveTreeKernel
+
+        return NaiveTreeKernel(self, compiled)

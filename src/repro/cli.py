@@ -122,7 +122,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes (default: cpu count)",
     )
     batch.add_argument(
-        "--chunksize", type=int, default=4, help="specs per worker dispatch"
+        "--chunksize",
+        type=int,
+        default=None,
+        help="specs per worker dispatch (default: auto-tuned to batch size)",
     )
     batch.add_argument(
         "--serial",
@@ -238,6 +241,20 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="floors JSON (benchmarks/floors.json); exit non-zero on violation",
     )
+    bench.add_argument(
+        "--no-protocols",
+        action="store_true",
+        help="skip the per-protocol kernel coverage matrix (engines only); "
+        "note the coverage floors then report violations",
+    )
+    bench.add_argument(
+        "--protocols-n",
+        type=int,
+        default=None,
+        metavar="N",
+        help="graph size |V| for the per-protocol coverage matrix "
+        "(default: the gated size, 64)",
+    )
 
     report = sub.add_parser(
         "report", help="run all experiments and write a markdown report"
@@ -331,6 +348,8 @@ def _cmd_batch(args, stream: IO[str]) -> int:
         "executed": stats.executed,
         "reused": stats.reused,
         "terminated": terminated,
+        "cache_hits": stats.cache_hits,
+        "cache_misses": stats.cache_misses,
         "elapsed_seconds": round(elapsed, 3),
         "output": args.out,
     }
@@ -347,6 +366,7 @@ def _cmd_bench(args, stream: IO[str]) -> int:
         load_floors,
         render_bench_table,
         run_engine_benchmarks,
+        run_protocol_matrix,
         write_benchmarks,
     )
 
@@ -377,6 +397,25 @@ def _cmd_bench(args, stream: IO[str]) -> int:
     payload = run_engine_benchmarks(
         sizes=sizes, engines=engines, repeats=repeats, progress=progress
     )
+    if not args.no_protocols:
+        print(
+            "benchmarking kernel coverage for every registered protocol "
+            "(async vs fastpath)",
+            file=stream,
+        )
+
+        def protocol_progress(row) -> None:
+            print(
+                f"  {row['protocol']:<22} {row['engine']:<9} n={row['n']:<4} "
+                f"{row['steps']} steps in {row['best_seconds']:.4f}s  "
+                f"({row['steps_per_sec']:.0f} steps/sec)",
+                file=stream,
+            )
+
+        matrix_kwargs = {"repeats": min(repeats, 2), "progress": protocol_progress}
+        if args.protocols_n is not None:
+            matrix_kwargs["n"] = args.protocols_n
+        payload["protocols"] = run_protocol_matrix(**matrix_kwargs)
     write_benchmarks(payload, args.out)
     print(file=stream)
     print(render_bench_table(payload), file=stream)
@@ -468,6 +507,7 @@ def _cmd_experiment(args, stream: IO[str]) -> int:
 
     start = time.time()
     total_specs = executed = reused = total_rows = 0
+    cache_hits = cache_misses = 0
     engines_applied: Dict[str, Optional[str]] = {}
     for experiment in experiments:
         exp_start = time.time()
@@ -483,6 +523,8 @@ def _cmd_experiment(args, stream: IO[str]) -> int:
         total_specs += result.stats.total
         executed += result.stats.executed
         reused += result.stats.reused
+        cache_hits += result.stats.cache_hits
+        cache_misses += result.stats.cache_misses
         total_rows += len(result.rows)
     elapsed = time.time() - start
 
@@ -501,6 +543,8 @@ def _cmd_experiment(args, stream: IO[str]) -> int:
         "total_specs": total_specs,
         "executed": executed,
         "reused": reused,
+        "cache_hits": cache_hits,
+        "cache_misses": cache_misses,
         "rows": total_rows,
         "elapsed_seconds": round(elapsed, 3),
         "output": args.out,

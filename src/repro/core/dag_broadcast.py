@@ -126,3 +126,19 @@ class DagBroadcastProtocol(AnonymousProtocol[DagState, ScalarToken]):
         from .encoding import dyadic_cost, unsigned_cost
 
         return dyadic_cost(state.acc) + unsigned_cost(state.heard) + 2
+
+    def clone_state(self, state: DagState) -> DagState:
+        # Frozen dataclass, replaced (never mutated) on every transition.
+        return state
+
+    def clone_message(self, message: ScalarToken) -> ScalarToken:
+        # Frozen dataclass; transitions never mutate received messages.
+        return message
+
+    def compile_fastpath(self, compiled: Any) -> Optional[Any]:
+        """Flat aggregate-then-split kernel (exact same semantics)."""
+        if type(self) is not DagBroadcastProtocol:
+            return None
+        from .flat_kernel import DagBroadcastKernel
+
+        return DagBroadcastKernel(self, compiled)

@@ -123,6 +123,26 @@ class GeneralState:
             return self.coverage.union(self.beta)
         return self.alpha_acc.union(self.beta)
 
+    def clone(self) -> "GeneralState":
+        """An independent copy sharing the immutable interval unions.
+
+        Only ``alphas`` is ever mutated in place (last-port absorption);
+        every :class:`IntervalUnion` is immutable, so a shallow list copy
+        plus field copies is a full state fork — the cheap substitute for
+        ``copy.deepcopy`` in schedule-tree branching.
+        """
+        clone = GeneralState.__new__(GeneralState)
+        clone.virgin = self.virgin
+        clone.alphas = list(self.alphas)
+        clone.beta = self.beta
+        clone.label = self.label
+        clone.alpha_acc = self.alpha_acc
+        clone.frozen_union = self.frozen_union
+        clone.coverage = self.coverage
+        clone.got_broadcast = self.got_broadcast
+        clone.payload = self.payload
+        return clone
+
     def __repr__(self) -> str:
         # Complete by design: the schedule-exploration harness uses reprs as
         # state fingerprints, so every behaviour-relevant field must appear.
@@ -338,6 +358,13 @@ class GeneralBroadcastProtocol(AnonymousProtocol[GeneralState, IntervalMessage])
         if state.label is not None:
             total += union_cost(state.label)
         return total
+
+    def clone_state(self, state: GeneralState) -> GeneralState:
+        return state.clone()
+
+    def clone_message(self, message: IntervalMessage) -> IntervalMessage:
+        # Frozen dataclass over immutable unions; never mutated on receive.
+        return message
 
     def compile_fastpath(self, compiled: Any) -> Optional[Any]:
         """Flat-state kernel for the fast-path engine (exact same semantics).

@@ -34,6 +34,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Tuple
 
 from .dyadic import Dyadic
+from .flat_kernel import _add, _dcost, _le, _lt, _norm, _sub, _ucost
 from .intervals import EMPTY_UNION, Interval, IntervalUnion
 
 __all__ = ["IntervalKernel"]
@@ -49,63 +50,10 @@ _UNIT: _FlatUnion = [(0, 0, 1, 0)]
 #: Encoded size of an empty union (length prefix only).
 _EMPTY_COST = 1  # _ucost(0)
 
-
-# ----------------------------------------------------------------------
-# Dyadic (num, exp) arithmetic — mirrors repro.core.dyadic exactly
-# ----------------------------------------------------------------------
-
-
-def _norm(num: int, exp: int) -> Tuple[int, int]:
-    """Canonicalise ``num / 2**exp`` (num odd or exp == 0; zero is (0, 0))."""
-    if num == 0:
-        return 0, 0
-    shift = (num & -num).bit_length() - 1
-    if shift > exp:
-        shift = exp
-    return num >> shift, exp - shift
-
-
-def _add(an: int, ae: int, bn: int, be: int) -> Tuple[int, int]:
-    if ae >= be:
-        return _norm(an + (bn << (ae - be)), ae)
-    return _norm((an << (be - ae)) + bn, be)
-
-
-def _sub(an: int, ae: int, bn: int, be: int) -> Tuple[int, int]:
-    if ae >= be:
-        return _norm(an - (bn << (ae - be)), ae)
-    return _norm((an << (be - ae)) - bn, be)
-
-
-def _lt(an: int, ae: int, bn: int, be: int) -> bool:
-    """a < b for normalised dyadic pairs."""
-    if ae >= be:
-        return an < (bn << (ae - be))
-    return (an << (be - ae)) < bn
-
-
-def _le(an: int, ae: int, bn: int, be: int) -> bool:
-    """a <= b for normalised dyadic pairs."""
-    if ae >= be:
-        return an <= (bn << (ae - be))
-    return (an << (be - ae)) <= bn
-
-
-# ----------------------------------------------------------------------
-# Bit costs — mirrors repro.core.encoding exactly
-# ----------------------------------------------------------------------
-
-
-def _ucost(value: int) -> int:
-    """``unsigned_cost``: Elias-delta length of ``value + 1``."""
-    nbits = (value + 1).bit_length()
-    return 2 * nbits.bit_length() + nbits - 2
-
-
-def _dcost(num: int, exp: int) -> int:
-    """``dyadic_cost`` of a normalised pair (zig-zag num + unsigned exp)."""
-    mapped = num + num if num >= 0 else -num - num - 1
-    return _ucost(mapped) + _ucost(exp)
+# The dyadic-pair arithmetic (_norm/_add/_sub/_lt/_le) and scalar bit costs
+# (_ucost/_dcost) are shared with the scalar-protocol kernels; they live in
+# :mod:`repro.core.flat_kernel` and are re-exported here for the union
+# algebra below (and for existing imports of this module).
 
 
 def _cost(union: _FlatUnion) -> int:
@@ -487,6 +435,44 @@ class IntervalKernel:
         raise NotImplementedError(
             "the interval kernel is never engaged with state-bit tracking"
         )
+
+    # ------------------------------------------------------------------
+    # snapshot/restore (schedule-explorer branching)
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Tuple:
+        """The full mutable state as nested tuples.
+
+        Flat unions are de-facto immutable (every algebra call returns a
+        fresh list or an operand), so the snapshot shares them by
+        reference and only copies the containers that are reassigned or
+        index-assigned.  ``restore`` is the exact inverse.
+        """
+        return (
+            tuple(self.virgin),
+            tuple(self.received),
+            tuple(tuple(per_port) for per_port in self.alphas),
+            tuple(self.beta),
+            tuple(self.alpha_acc),
+            tuple(self.label),
+            tuple(self.frozen),
+            tuple(self.coverage),
+            self.covered,
+            self.terminal_done,
+        )
+
+    def restore(self, snap: Tuple) -> None:
+        """Reset the kernel to a previously captured :meth:`snapshot`."""
+        self.virgin = list(snap[0])
+        self.received = list(snap[1])
+        self.alphas = [list(per_port) for per_port in snap[2]]
+        self.beta = list(snap[3])
+        self.alpha_acc = list(snap[4])
+        self.label = list(snap[5])
+        self.frozen = list(snap[6])
+        self.coverage = list(snap[7])
+        self.covered = snap[8]
+        self.terminal_done = snap[9]
 
     # ------------------------------------------------------------------
     # end-of-run materialisation

@@ -400,6 +400,27 @@ class MappingProtocol(AnonymousProtocol[MappingState, MappingMessage]):
             return False
         return _closure(state.facts) is not None
 
+    def clone_message(self, message: MappingMessage) -> MappingMessage:
+        # Frozen dataclass (identities and fact sets immutable).
+        return message
+
+    def clone_state(self, state: MappingState) -> MappingState:
+        """Shallow-container copy: facts and identities are immutable."""
+        clone = MappingState(state.base.clone(), state.out_degree)
+        clone.facts = set(state.facts)
+        clone.in_info = dict(state.in_info)
+        clone.recorded_ports = set(state.recorded_ports)
+        clone.identity = state.identity
+        return clone
+
+    def compile_fastpath(self, compiled: Any) -> Optional[Any]:
+        """Flat fact-flooding kernel over the interval labeling kernel."""
+        if type(self) is not MappingProtocol:
+            return None
+        from .mapping_kernel import MappingKernel
+
+        return MappingKernel(self, compiled)
+
     def message_bits(self, message: MappingMessage) -> int:
         return message.structure_bits() + self.payload_bits
 

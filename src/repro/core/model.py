@@ -138,8 +138,41 @@ class AnonymousProtocol(abc.ABC, Generic[State, Message]):
         default) to run through the engine's generic machine, which is
         always correct.  Kernels are never consulted when tracing or
         state-bit tracking is requested.
+
+        Kernels may additionally implement ``snapshot()`` / ``restore()``
+        over their flat state; the ∀-schedule explorer
+        (:mod:`repro.lowerbounds.schedules`) uses that pair to branch
+        without deep-copying object states.
         """
         return None
+
+    def clone_state(self, state: State) -> State:
+        """An independent copy of ``state`` for schedule-tree branching.
+
+        The ∀-schedule explorer forks the configuration at every branch
+        point; transitions may mutate states in place, so branches need
+        independent copies.  The default is a full :func:`copy.deepcopy`
+        (always correct).  Protocols with immutable states should return
+        ``state`` unchanged; protocols with shallow mutable containers
+        should copy just those containers — that turns exhaustive
+        exploration from allocation-bound into pointer-copy-bound.
+        """
+        import copy
+
+        return copy.deepcopy(state)
+
+    def clone_message(self, message: Message) -> Message:
+        """A delivery-safe copy of an in-flight ``message``.
+
+        Sibling schedule-tree branches share the pending-message list, so
+        a transition that mutates a received message would leak into other
+        branches; the default deepcopy keeps arbitrary protocols safe.
+        Every shipped message type is a frozen dataclass, so the paper
+        protocols override this to return the message unchanged.
+        """
+        import copy
+
+        return copy.deepcopy(message)
 
 
 class FunctionalProtocol(AnonymousProtocol[Any, Any]):

@@ -148,3 +148,24 @@ class TreeBroadcastProtocol(AnonymousProtocol[TreeState, TreeToken]):
         from .encoding import dyadic_cost
 
         return dyadic_cost(state.received_sum) + 1
+
+    def clone_state(self, state: TreeState) -> TreeState:
+        # Frozen dataclass, replaced (never mutated) on every transition.
+        return state
+
+    def clone_message(self, message: TreeToken) -> TreeToken:
+        # Frozen dataclass; transitions never mutate received messages.
+        return message
+
+    def compile_fastpath(self, compiled: Any) -> Optional[Any]:
+        """Flat dyadic-pair kernel (exact same semantics).
+
+        Guarded by an exact type check: a behaviour-overriding subclass
+        would silently diverge from the kernel, so unknown subclasses fall
+        back to the engine's generic machine (always correct).
+        """
+        if type(self) is not TreeBroadcastProtocol:
+            return None
+        from .flat_kernel import TreeBroadcastKernel
+
+        return TreeBroadcastKernel(self, compiled)

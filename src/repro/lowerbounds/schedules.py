@@ -6,8 +6,27 @@ on small instances: :func:`explore_all_schedules` walks the tree of every
 possible delivery order (at each step, any in-flight message may be the
 next delivered) and reports the set of reachable final outcomes.
 
-Protocol states are deep-copied along each branch (protocol transitions may
-mutate state), so branches are fully independent.  The schedule tree is
+Branching no longer deep-copies anything.  Two snapshot/restore regimes
+share one DFS:
+
+* **Kernel mode** (the fast default): when the protocol compiles a
+  fast-path kernel (:meth:`~repro.core.model.AnonymousProtocol.compile_fastpath`)
+  that supports ``snapshot()``/``restore()``, the walk runs on the
+  kernel's flat state — a branch point captures the whole-network state
+  as nested tuples sharing the immutable leaves, and branching is a
+  restore + one delivery.  This turns E14's exhaustive search from
+  allocation-bound into tuple-copy-bound.
+* **Object mode** (the general fallback, and always used when an
+  ``invariant`` hook needs live vertex states): per-branch state forks go
+  through :meth:`~repro.core.model.AnonymousProtocol.clone_state`
+  (deepcopy by default; the shipped protocols override it with cheap
+  immutable-sharing copies) and in-flight payloads through
+  :meth:`~repro.core.model.AnonymousProtocol.clone_message`.
+
+Both modes explore the identical schedule tree with identical confluence
+collapsing (configurations are fingerprinted by exact state), so
+outcome/execution/step counts agree — ``tests/lowerbounds/test_schedules.py``
+asserts mode equivalence on enumerated topologies.  The schedule tree is
 exponential in the number of concurrent messages; callers bound the
 instance size (≤ ~10 messages in flight is comfortable) and/or pass a node
 budget.  The integration tests run it over every ≤-4-internal-vertex
@@ -18,7 +37,6 @@ about as close to the theorem as testing can get.
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
@@ -58,6 +76,7 @@ def explore_all_schedules(
     *,
     max_steps_total: int = 200_000,
     invariant: Optional[Callable[[Dict[int, Any]], bool]] = None,
+    use_kernel: Optional[bool] = None,
 ) -> ScheduleExploration:
     """Explore every delivery order of ``protocol`` on ``network``.
 
@@ -65,7 +84,7 @@ def explore_all_schedules(
     ----------
     network / protocol_factory:
         The instance under check; a fresh protocol is created once (its
-        transition functions are shared; per-branch state is deep-copied).
+        transition functions are shared; per-branch state is snapshotted).
     max_steps_total:
         Global budget on delivered messages across all branches; when
         exceeded the result is marked ``truncated`` (assertions should then
@@ -74,6 +93,13 @@ def explore_all_schedules(
         Optional predicate over the vertex-state dict, checked after every
         delivery on every branch; a ``False`` return raises
         :class:`AssertionError` with the offending branch's depth.
+        Providing an invariant forces object mode (the hook needs live
+        per-vertex states).
+    use_kernel:
+        Force (``True``) or forbid (``False``) the flat-kernel walk;
+        ``None`` (default) uses the kernel whenever the protocol offers a
+        snapshot-capable one and no invariant was given.  Forcing ``True``
+        raises :class:`ValueError` if the protocol cannot satisfy it.
 
     Notes
     -----
@@ -84,6 +110,37 @@ def explore_all_schedules(
     monotone state).
     """
     protocol = protocol_factory()
+
+    kernel = None
+    if use_kernel is not False and invariant is None:
+        from ..network.fastpath import CompiledNetwork
+
+        compiled = CompiledNetwork(network)
+        candidate = protocol.compile_fastpath(compiled)
+        if (
+            candidate is not None
+            and callable(getattr(candidate, "snapshot", None))
+            and callable(getattr(candidate, "restore", None))
+        ):
+            kernel = candidate
+    if use_kernel is True and kernel is None:
+        raise ValueError(
+            "use_kernel=True but the protocol offers no snapshot-capable "
+            "kernel (or an invariant hook forced object mode)"
+        )
+
+    if kernel is not None:
+        return _explore_kernel(network, kernel, max_steps_total)
+    return _explore_object(network, protocol, max_steps_total, invariant)
+
+
+def _explore_object(
+    network: DirectedNetwork,
+    protocol: AnonymousProtocol,
+    max_steps_total: int,
+    invariant: Optional[Callable[[Dict[int, Any]], bool]],
+) -> ScheduleExploration:
+    """The general walk over live protocol states (clone_state branching)."""
     views = [
         VertexView(in_degree=network.in_degree(v), out_degree=network.out_degree(v))
         for v in range(network.num_vertices)
@@ -99,6 +156,8 @@ def explore_all_schedules(
     executions = 0
     steps = 0
     truncated = False
+    clone_state = protocol.clone_state
+    clone_message = protocol.clone_message
 
     def fingerprint(states: Dict[int, Any], pending: List[Tuple[int, Any]]) -> str:
         # Reprs are complete for the shipped protocols' state types (the
@@ -136,13 +195,13 @@ def explore_all_schedules(
             distinct_choices.setdefault(repr(pending[index]), index)
         for index in distinct_choices.values():
             edge_id, payload = pending[index]
-            branch_states = {v: copy.deepcopy(s) for v, s in states.items()}
+            branch_states = {v: clone_state(s) for v, s in states.items()}
             branch_pending = pending[:index] + pending[index + 1 :]
             head = network.edge_head(edge_id)
             in_port = network.in_port_of_edge(edge_id)
             steps += 1
             new_state, emissions = protocol.on_receive(
-                branch_states[head], views[head], in_port, copy.deepcopy(payload)
+                branch_states[head], views[head], in_port, clone_message(payload)
             )
             branch_states[head] = new_state
             if invariant is not None and not invariant(branch_states):
@@ -150,9 +209,9 @@ def explore_all_schedules(
                     f"invariant violated after delivering edge {edge_id}"
                 )
             for out_port, out_payload in emissions:
-                branch_pending = branch_pending + [
+                branch_pending.append(
                     (network.out_edge_ids(head)[out_port], out_payload)
-                ]
+                )
             if head == network.terminal and protocol.is_terminated(new_state):
                 outcomes.add("terminated")
                 executions += 1
@@ -161,6 +220,81 @@ def explore_all_schedules(
             if key not in seen:
                 seen.add(key)
                 stack.append((branch_states, branch_pending))
+
+    return ScheduleExploration(
+        outcomes=outcomes, executions=executions, steps=steps, truncated=truncated
+    )
+
+
+def _explore_kernel(
+    network: DirectedNetwork,
+    kernel: Any,
+    max_steps_total: int,
+) -> ScheduleExploration:
+    """The flat walk: restore-snapshot-deliver on the compiled kernel.
+
+    Structurally identical to :func:`_explore_object` — same frame order,
+    same distinct-choice collapsing, same exact-state fingerprints — so
+    both modes report identical counts; only the cost of a branch differs
+    (a tuple restore instead of a state-dict deepcopy/clone).
+    """
+    root = network.root
+    terminal = network.terminal
+    root_ports = network.out_edge_ids(root)
+    out_edge_ids = [network.out_edge_ids(v) for v in range(network.num_vertices)]
+    edge_head = [network.edge_head(e) for e in range(network.num_edges)]
+    in_port_of = [network.in_port_of_edge(e) for e in range(network.num_edges)]
+
+    initial_msgs: List[Tuple[int, Any]] = [
+        (root_ports[out_port], payload)
+        for out_port, payload, _bits in kernel.initial_emissions(root)
+    ]
+    init_snap = kernel.snapshot()
+
+    outcomes: Set[str] = set()
+    executions = 0
+    steps = 0
+    truncated = False
+
+    def fingerprint(snap: Any, pending: List[Tuple[int, Any]]) -> str:
+        # Kernel snapshots are the exact state (flat tuples over immutable
+        # leaves), so their reprs fingerprint configurations precisely.
+        return repr((sorted(repr(p) for p in pending), snap))
+
+    stack: List[Tuple[Any, List[Tuple[int, Any]]]] = [(init_snap, initial_msgs)]
+    seen: Set[str] = {fingerprint(init_snap, initial_msgs)}
+
+    while stack:
+        snap, pending = stack.pop()
+        if not pending:
+            outcomes.add("quiescent")
+            executions += 1
+            continue
+        if steps >= max_steps_total:
+            truncated = True
+            break
+
+        distinct_choices = {}
+        for index in range(len(pending)):
+            distinct_choices.setdefault(repr(pending[index]), index)
+        for index in distinct_choices.values():
+            edge_id, payload = pending[index]
+            kernel.restore(snap)
+            branch_pending = pending[:index] + pending[index + 1 :]
+            head = edge_head[edge_id]
+            steps += 1
+            emissions = kernel.deliver(head, in_port_of[edge_id], payload)
+            for out_port, out_payload, _bits in emissions:
+                branch_pending.append((out_edge_ids[head][out_port], out_payload))
+            if head == terminal and kernel.check_terminal(terminal):
+                outcomes.add("terminated")
+                executions += 1
+                continue
+            branch_snap = kernel.snapshot()
+            key = fingerprint(branch_snap, branch_pending)
+            if key not in seen:
+                seen.add(key)
+                stack.append((branch_snap, branch_pending))
 
     return ScheduleExploration(
         outcomes=outcomes, executions=executions, steps=steps, truncated=truncated

@@ -53,10 +53,22 @@ from ..core.model import VertexView
 from .graph import DirectedNetwork
 from .metrics import RunMetrics
 from .scheduler import FifoScheduler, LifoScheduler, Scheduler
-from .simulator import Outcome, RunResult, SimulationError
+from .simulator import Outcome, RunResult, SimulationError, default_step_budget
 from .trace import DeliveryRecord, Trace
 
-__all__ = ["CompiledNetwork", "FastEvent", "run_protocol_fastpath"]
+__all__ = [
+    "CompiledNetwork",
+    "FastEvent",
+    "KERNEL_EXEMPT",
+    "run_protocol_fastpath",
+]
+
+#: Protocol registry names that are allowed to lack a ``compile_fastpath``
+#: kernel.  Every registered protocol now ships one, so the set is empty;
+#: the registry-driven completeness test
+#: (``tests/api/test_kernel_completeness.py``) fails the build if a newly
+#: registered protocol neither compiles a kernel nor is listed here.
+KERNEL_EXEMPT: frozenset = frozenset()
 
 
 class CompiledNetwork:
@@ -187,6 +199,7 @@ def run_protocol_fastpath(
     record_trace: bool = False,
     track_state_bits: bool = False,
     stop_at_termination: bool = False,
+    compiled: Optional[CompiledNetwork] = None,
 ) -> RunResult:
     """Execute ``protocol`` on ``network``; result-identical to
     :func:`~repro.network.simulator.run_protocol`.
@@ -194,14 +207,20 @@ def run_protocol_fastpath(
     Accepts exactly the same parameters (including the same default step
     budget) and returns the same :class:`RunResult` shape.  See the module
     docstring for what makes it fast.
+
+    ``compiled`` optionally supplies a pre-built :class:`CompiledNetwork`
+    for ``network`` (campaign runners cache them per topology); it is used
+    only if it actually wraps this exact network object, so a stale or
+    mismatched cache entry can never corrupt a run.
     """
     if scheduler is None:
         scheduler = FifoScheduler()
     scheduler.bind(network)
     if max_steps is None:
-        max_steps = 64 + 16 * network.num_edges * (network.num_vertices + 2)
+        max_steps = default_step_budget(network)
 
-    compiled = CompiledNetwork(network)
+    if compiled is None or compiled.network is not network:
+        compiled = CompiledNetwork(network)
     machine: Any = None
     if not record_trace and not track_state_bits:
         machine = protocol.compile_fastpath(compiled)

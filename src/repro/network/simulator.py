@@ -44,7 +44,25 @@ from .metrics import MetricsCollector, RunMetrics
 from .scheduler import FifoScheduler, Scheduler
 from .trace import Trace
 
-__all__ = ["Outcome", "RunResult", "run_protocol", "SimulationError"]
+__all__ = [
+    "Outcome",
+    "RunResult",
+    "run_protocol",
+    "default_step_budget",
+    "SimulationError",
+]
+
+
+def default_step_budget(network: DirectedNetwork) -> int:
+    """The default delivery budget shared by the execution engines.
+
+    A generous bound derived from the paper's worst-case message counts —
+    ``64 + 16·|E|·(|V| + 2)`` deliveries — which no correct protocol in
+    this repository exceeds.  Both the reference engine and the fast path
+    resolve ``max_steps=None`` through this one function, so the two can
+    never drift.
+    """
+    return 64 + 16 * network.num_edges * (network.num_vertices + 2)
 
 
 class SimulationError(RuntimeError):
@@ -104,10 +122,9 @@ def run_protocol(
     scheduler:
         Delivery adversary; defaults to a fresh :class:`FifoScheduler`.
     max_steps:
-        Delivery budget.  Defaults to a generous bound derived from the
-        paper's worst-case message counts
-        (``64 + 16·|E|·(|V| + 2)`` deliveries), which no correct protocol in
-        this repository exceeds.
+        Delivery budget.  Defaults to :func:`default_step_budget`
+        (``64 + 16·|E|·(|V| + 2)`` deliveries), which no correct protocol
+        in this repository exceeds.
     record_trace:
         Record every delivery (needed by the lower-bound harnesses).
     track_state_bits:
@@ -126,7 +143,7 @@ def run_protocol(
         scheduler = FifoScheduler()
     scheduler.bind(network)
     if max_steps is None:
-        max_steps = 64 + 16 * network.num_edges * (network.num_vertices + 2)
+        max_steps = default_step_budget(network)
 
     views = [
         VertexView(in_degree=network.in_degree(v), out_degree=network.out_degree(v))

@@ -10,10 +10,13 @@ from repro.analysis.benchmark import (
     check_floors,
     load_floors,
     measure_spec,
+    protocol_bench_spec,
     render_bench_table,
     run_engine_benchmarks,
+    run_protocol_matrix,
     write_benchmarks,
 )
+from repro.api import PROTOCOLS, ensure_registered
 from repro.cli import main
 
 
@@ -61,6 +64,59 @@ class TestHarness:
         text = render_bench_table(tiny_payload())
         assert "async" in text and "fastpath" in text and "steps/sec" in text
 
+    def test_measure_spec_inner_loops_amortise_short_runs(self):
+        row = measure_spec(bench_spec(8, "fastpath"), repeats=1, inner_loops=3)
+        assert row["inner_loops"] == 3
+        assert row["steps_per_sec"] > 0
+
+    def test_measure_spec_rejects_zero_inner_loops(self):
+        with pytest.raises(ValueError):
+            measure_spec(bench_spec(8, "async"), inner_loops=0)
+
+
+def tiny_matrix(**kwargs):
+    """A real (small) protocol coverage matrix: n=8 keeps the suite fast."""
+    defaults = dict(n=8, repeats=1, min_seconds=0.0)
+    defaults.update(kwargs)
+    return run_protocol_matrix(**defaults)
+
+
+class TestProtocolMatrix:
+    def test_protocol_bench_spec_uses_natural_graph_family(self):
+        assert protocol_bench_spec("tree-broadcast", 16, "async").graph == (
+            "random-grounded-tree"
+        )
+        assert protocol_bench_spec("general-broadcast", 16, "async").graph == (
+            "random-digraph"
+        )
+
+    def test_matrix_covers_every_registered_protocol(self):
+        ensure_registered()
+        matrix = tiny_matrix()
+        benched = {row["protocol"] for row in matrix["results"]}
+        assert benched == set(PROTOCOLS.names())
+        compared = {c["protocol"] for c in matrix["comparisons"]}
+        assert compared == set(PROTOCOLS.names())
+        for comparison in matrix["comparisons"]:
+            assert comparison["fastpath_vs_async"] > 0
+
+    def test_matrix_rows_carry_both_engines(self):
+        matrix = tiny_matrix()
+        for protocol in PROTOCOLS.names():
+            engines = {
+                row["engine"]
+                for row in matrix["results"]
+                if row["protocol"] == protocol
+            }
+            assert engines == {"async", "fastpath"}
+
+    def test_render_table_includes_protocol_coverage(self):
+        payload = tiny_payload()
+        payload["protocols"] = tiny_matrix()
+        text = render_bench_table(payload)
+        assert "protocol kernel coverage" in text
+        assert "tree-broadcast" in text
+
 
 class TestFloors:
     def test_passing_floors(self):
@@ -102,13 +158,75 @@ class TestFloors:
         assert "64" in floors["fastpath_min_steps_per_sec"]
         assert floors["fastpath_vs_async_min_ratio"]["64"] >= 2.0
 
+    def test_checked_in_floors_gate_every_registered_protocol(self):
+        from pathlib import Path
+
+        floor_path = Path(__file__).resolve().parents[2] / "benchmarks" / "floors.json"
+        floors = load_floors(str(floor_path))
+        ensure_registered()
+        assert floors["require_protocol_coverage"] is True
+        per_protocol = floors["protocol_vs_async_min_ratio"]
+        for name in PROTOCOLS.names():
+            assert per_protocol.get(name, 0) >= 2.0, name
+
+    def test_protocol_ratio_floor_violation(self):
+        from repro.analysis.benchmark import PROTOCOL_MATRIX_N
+
+        payload = tiny_payload()
+        payload["protocols"] = tiny_matrix()
+        # The ratio floors only apply at the gated size; pretend the tiny
+        # matrix was measured there to exercise the ratio check itself.
+        payload["protocols"]["n"] = PROTOCOL_MATRIX_N
+        violations = check_floors(
+            payload, {"protocol_vs_async_min_ratio": {"flooding": 10**6}}
+        )
+        assert len(violations) == 1
+        assert "flooding" in violations[0]
+
+    def test_protocol_missing_from_matrix_is_a_violation(self):
+        from repro.analysis.benchmark import PROTOCOL_MATRIX_N
+
+        payload = tiny_payload()
+        payload["protocols"] = tiny_matrix()
+        payload["protocols"]["n"] = PROTOCOL_MATRIX_N
+        violations = check_floors(
+            payload, {"protocol_vs_async_min_ratio": {"no-such-protocol": 1.0}}
+        )
+        assert len(violations) == 1
+        assert "no-such-protocol" in violations[0]
+
+    def test_protocol_floors_reject_matrix_at_the_wrong_size(self):
+        payload = tiny_payload()
+        payload["protocols"] = tiny_matrix()  # measured at n=8
+        violations = check_floors(
+            payload, {"protocol_vs_async_min_ratio": {"flooding": 0.1}}
+        )
+        assert len(violations) == 1
+        assert "calibrated at n=64" in violations[0]
+
+    def test_registered_protocol_absent_from_matrix_fails_coverage_gate(self):
+        payload = tiny_payload()  # no "protocols" block at all
+        violations = check_floors(payload, {"require_protocol_coverage": True})
+        ensure_registered()
+        assert len(violations) == len(PROTOCOLS.names())
+        assert all("missing from the bench matrix" in v for v in violations)
+
+    def test_full_coverage_satisfies_the_gate(self):
+        payload = tiny_payload()
+        payload["protocols"] = tiny_matrix()
+        assert check_floors(payload, {"require_protocol_coverage": True}) == []
+
 
 class TestBenchCli:
     def test_bench_writes_json_and_reports(self, tmp_path):
         out = tmp_path / "BENCH_engines.json"
         stream = io.StringIO()
         code = main(
-            ["bench", "--sizes", "8", "--repeats", "1", "--engines", "async", "fastpath", "--out", str(out)],
+            [
+                "bench", "--sizes", "8", "--repeats", "1",
+                "--engines", "async", "fastpath",
+                "--no-protocols", "--out", str(out),
+            ],
             stream=stream,
         )
         assert code == 0
@@ -127,7 +245,7 @@ class TestBenchCli:
         code = main(
             [
                 "bench", "--sizes", "8", "--repeats", "1",
-                "--engines", "async", "fastpath",
+                "--engines", "async", "fastpath", "--no-protocols",
                 "--out", str(out), "--floors", str(floors),
             ],
             stream=stream,
@@ -145,13 +263,56 @@ class TestBenchCli:
         code = main(
             [
                 "bench", "--sizes", "8", "--repeats", "1",
-                "--engines", "async", "fastpath",
+                "--engines", "async", "fastpath", "--no-protocols",
                 "--out", str(out), "--floors", str(floors),
             ],
             stream=stream,
         )
         assert code == 0
         assert "all floors" in stream.getvalue()
+
+
+class TestBenchCliProtocolMatrix:
+    def test_bench_includes_protocol_matrix_and_satisfies_coverage(self, tmp_path):
+        out = tmp_path / "BENCH_engines.json"
+        floors = tmp_path / "floors.json"
+        floors.write_text(
+            json.dumps({"require_protocol_coverage": True}), encoding="utf-8"
+        )
+        stream = io.StringIO()
+        code = main(
+            [
+                "bench", "--sizes", "8", "--repeats", "1",
+                "--engines", "async", "fastpath",
+                "--protocols-n", "8",
+                "--out", str(out), "--floors", str(floors),
+            ],
+            stream=stream,
+        )
+        assert code == 0
+        payload = json.loads(out.read_text(encoding="utf-8"))
+        ensure_registered()
+        benched = {row["protocol"] for row in payload["protocols"]["results"]}
+        assert benched == set(PROTOCOLS.names())
+        assert "protocol kernel coverage" in stream.getvalue()
+
+    def test_bench_no_protocols_fails_coverage_floor(self, tmp_path):
+        out = tmp_path / "BENCH_engines.json"
+        floors = tmp_path / "floors.json"
+        floors.write_text(
+            json.dumps({"require_protocol_coverage": True}), encoding="utf-8"
+        )
+        stream = io.StringIO()
+        code = main(
+            [
+                "bench", "--sizes", "8", "--repeats", "1",
+                "--engines", "async", "fastpath", "--no-protocols",
+                "--out", str(out), "--floors", str(floors),
+            ],
+            stream=stream,
+        )
+        assert code == 1
+        assert "missing from the bench matrix" in stream.getvalue()
 
 
 class TestBatchSummaryLine:

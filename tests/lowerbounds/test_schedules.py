@@ -110,6 +110,159 @@ class TestExploration:
             )
 
 
+class TestModeEquivalence:
+    """Kernel-mode and object-mode walks report identical counts.
+
+    The kernel walk (flat snapshot/restore) and the object walk
+    (clone_state branching) must explore the same schedule tree with the
+    same confluence collapsing — otherwise E14's numbers would depend on
+    an implementation detail.
+    """
+
+    PROTOCOLS_UNDER_TEST = [
+        TreeBroadcastProtocol,
+        GeneralBroadcastProtocol,
+        LabelAssignmentProtocol,
+    ]
+
+    def _assert_modes_agree(self, net, factory, max_steps=400_000):
+        obj = explore_all_schedules(
+            net, factory, max_steps_total=max_steps, use_kernel=False
+        )
+        ker = explore_all_schedules(
+            net, factory, max_steps_total=max_steps, use_kernel=True
+        )
+        assert (obj.outcomes, obj.executions, obj.steps, obj.truncated) == (
+            ker.outcomes,
+            ker.executions,
+            ker.steps,
+            ker.truncated,
+        ), net.to_dot()
+
+    def test_modes_agree_on_grounded_trees(self):
+        for net in all_grounded_trees(3):
+            self._assert_modes_agree(net, TreeBroadcastProtocol)
+
+    def test_modes_agree_on_wirings_for_interval_protocols(self):
+        for net in all_internal_wirings(2):
+            if net.num_edges > 5:
+                continue
+            self._assert_modes_agree(net, GeneralBroadcastProtocol)
+            self._assert_modes_agree(net, LabelAssignmentProtocol)
+
+    def test_modes_agree_under_truncation(self):
+        net = DirectedNetwork(
+            4, [(0, 2), (2, 3), (2, 3), (3, 1), (3, 1)], root=0, terminal=1
+        )
+        self._assert_modes_agree(net, GeneralBroadcastProtocol, max_steps=3)
+
+    def test_kernel_mode_is_the_default_without_invariant(self):
+        # use_kernel=True must not raise for a kernel-capable protocol —
+        # i.e. the default path really engages the kernel.
+        net = DirectedNetwork(4, [(0, 2), (2, 3), (3, 1)], root=0, terminal=1)
+        result = explore_all_schedules(net, GeneralBroadcastProtocol, use_kernel=True)
+        assert result.always_terminates
+
+    def test_invariant_forces_object_mode(self):
+        net = DirectedNetwork(4, [(0, 2), (2, 3), (3, 1)], root=0, terminal=1)
+        with pytest.raises(ValueError):
+            explore_all_schedules(
+                net,
+                GeneralBroadcastProtocol,
+                invariant=lambda states: True,
+                use_kernel=True,
+            )
+
+    def test_kernelless_protocol_falls_back_to_object_mode(self):
+        class NoKernel(TreeBroadcastProtocol):
+            name = "no-kernel-tree"
+
+        net = DirectedNetwork(4, [(0, 2), (2, 3), (3, 1)], root=0, terminal=1)
+        result = explore_all_schedules(net, NoKernel)
+        assert result.always_terminates
+        with pytest.raises(ValueError):
+            explore_all_schedules(net, NoKernel, use_kernel=True)
+
+
+class TestCloneState:
+    """The object-mode branching hooks."""
+
+    def test_general_state_clone_is_independent(self):
+        from repro.core.intervals import UNIT_UNION
+        from repro.core.model import VertexView
+
+        protocol = GeneralBroadcastProtocol()
+        state = protocol.create_state(VertexView(in_degree=1, out_degree=2))
+        clone = protocol.clone_state(state)
+        assert clone is not state
+        assert clone.alphas is not state.alphas
+        assert repr(clone) == repr(state)
+        clone.alphas[-1] = UNIT_UNION
+        assert state.alphas[-1] != UNIT_UNION
+
+    def test_frozen_states_clone_to_themselves(self):
+        from repro.core.model import VertexView
+
+        protocol = TreeBroadcastProtocol()
+        state = protocol.create_state(VertexView(in_degree=1, out_degree=2))
+        assert protocol.clone_state(state) is state
+
+    def test_frozen_messages_clone_to_themselves(self):
+        from repro.core.messages import TreeToken
+
+        token = TreeToken(exponent=2)
+        assert TreeBroadcastProtocol().clone_message(token) is token
+
+    def test_default_clone_message_protects_mutable_messages(self):
+        # Branch independence: a protocol that mutates received messages
+        # must not leak the mutation into sibling schedule branches — the
+        # default clone_message deepcopy is what guarantees it.
+        from repro.core.model import FunctionalProtocol
+
+        def mutate_state(state, message, in_port):
+            message.append(in_port)
+            return len(message)
+
+        protocol_factory = lambda: FunctionalProtocol(  # noqa: E731
+            initial_state=0,
+            initial_message=[],
+            state_fn=mutate_state,
+            message_fn=lambda s, m, i, j: list(m),
+            stopping_predicate=lambda s: False,
+            message_bits_fn=lambda m: len(m) + 1,
+        )
+        original = [1, 2]
+        clone = protocol_factory().clone_message(original)
+        assert clone == original and clone is not original
+        net = DirectedNetwork(
+            4, [(0, 2), (2, 3), (2, 3), (3, 1)], root=0, terminal=1
+        )
+        result = explore_all_schedules(
+            net, protocol_factory, max_steps_total=5_000
+        )
+        # With shared (non-copied) payloads the exploration would count
+        # configurations contaminated by sibling branches; the deepcopy
+        # default keeps the walk sound for arbitrary protocols.
+        assert result.never_terminates
+        assert not result.truncated
+
+    def test_default_clone_state_deepcopies(self):
+        from repro.core.model import FunctionalProtocol
+
+        protocol = FunctionalProtocol(
+            initial_state={"seen": []},
+            initial_message="go",
+            state_fn=lambda s, m, i: s,
+            message_fn=lambda s, m, i, j: None,
+            stopping_predicate=lambda s: False,
+            message_bits_fn=lambda m: 1,
+        )
+        state = {"seen": [1, 2]}
+        clone = protocol.clone_state(state)
+        assert clone == state and clone is not state
+        assert clone["seen"] is not state["seen"]
+
+
 class TestIffExhaustive:
     """The headline: the iff theorem, machine-checked on small instances."""
 
