@@ -1,0 +1,21 @@
+"""E17 — faults: broadcast termination rate vs. message-loss rate.
+
+Expected shape: the fault-free row terminates every seed; as the loss
+rate rises the termination rate decays toward zero, and every
+non-terminating run ends quiescent (fail-safe — the `quiescent` column
+absorbs exactly the non-terminating remainder).
+"""
+
+
+from conftest import run_experiment
+
+
+def test_bench_e17_loss_termination(benchmark, engine):
+    rows = run_experiment(benchmark, "e17", engine=engine)
+    assert [type(row["drop_probability"]) for row in rows] == [float] * len(rows)
+    baseline = rows[0]
+    assert baseline["drop_probability"] == 0.0
+    assert baseline["termination_rate"] == 1.0
+    for row in rows:
+        assert row["runs"] == row["terminated"] + row["quiescent"]
+    assert rows[-1]["termination_rate"] <= baseline["termination_rate"]

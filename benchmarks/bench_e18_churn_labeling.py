@@ -1,0 +1,20 @@
+"""E18 — faults: labeling uniqueness under node churn.
+
+Expected shape: baseline rows terminate with zero churned deliveries;
+churn scenarios swallow deliveries (and count rejoins where the vertex
+returns), but the safety invariants — pairwise-disjoint labels, coverage
+within the unit interval — hold in every row.
+"""
+
+
+from conftest import run_experiment
+
+
+def test_bench_e18_churn_labeling(benchmark, engine):
+    rows = run_experiment(benchmark, "e18", engine=engine)
+    assert all(row["labels_disjoint"] for row in rows)
+    assert all(row["coverage_safe"] for row in rows)
+    baseline = [row for row in rows if row["scenario"] == "baseline"]
+    assert baseline and all(row["terminated"] for row in baseline)
+    churned = [row for row in rows if row["scenario"] != "baseline"]
+    assert churned and all(row["churned_deliveries"] > 0 for row in churned)

@@ -98,7 +98,10 @@ from .graphs import (
     skeleton_tree,
 )
 from .network import (
+    ChurnFault,
+    CrashFault,
     DirectedNetwork,
+    FaultSpec,
     Outcome,
     RunResult,
     run_protocol,
@@ -120,7 +123,7 @@ from .api import (
     run_specs,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "__version__",
@@ -148,6 +151,9 @@ __all__ = [
     "RunResult",
     "Outcome",
     "make_standard_schedulers",
+    "FaultSpec",
+    "CrashFault",
+    "ChurnFault",
     # graphs
     "random_grounded_tree",
     "random_dag",

@@ -1,4 +1,4 @@
-"""The registered experiment campaigns ``e01`` … ``e16``.
+"""The registered experiment campaigns ``e01`` … ``e18``.
 
 Importing this module populates :data:`~repro.api.registry.EXPERIMENTS`
 (:func:`repro.api.ensure_registered` does it for you): every paper
@@ -10,12 +10,13 @@ Three kinds of entry:
 
 * **Grid campaigns** — :class:`~repro.api.campaign.ExperimentSpec` whose
   axes expand to :class:`~repro.api.spec.RunSpec` lists and whose rows come
-  from a records-level aggregator (E1, E3, E5, E8, E9, E10, E13, E15, E16).
+  from a records-level aggregator (E1, E3, E5, E8, E9, E10, E13, E15, E16,
+  and the fault campaign E17, whose axes sweep ``faults`` payloads).
   These are pure data: serializable, resumable, engine-overridable.
 * **White-box campaigns** — the same grid expansion, but the aggregator
   (registered here with ``white_box = True``) consumes live engine results
   because the rows inspect per-vertex states or protocol output
-  (E6 labeling, E11 mapping, E12 label gap).
+  (E6 labeling, E11 mapping, E12 label gap, E18 churn safety).
 * **Driver experiments** — :class:`~repro.api.campaign.DriverExperiment`
   wrapping the lower-bound/exhaustive harnesses that do not execute specs
   at all (E2, E4, E7, E14), referenced lazily by dotted name so this
@@ -40,10 +41,13 @@ from ..network.scheduler import standard_scheduler_specs
 __all__ = [
     "scheduler_patches",
     "round_complexity_cases",
+    "loss_rate_axis",
+    "churn_scenarios",
     "STATE_SPACE_WORKLOADS",
     "labeling_quality",
     "mapping_accuracy",
     "label_gap",
+    "churn_labeling",
 ]
 
 
@@ -86,6 +90,50 @@ def round_complexity_cases(sizes: Sequence[int]) -> List[Dict[str, Any]]:
             }
         )
     return cases
+
+
+def loss_rate_axis(rates: Sequence[float]) -> List[Dict[str, Any]]:
+    """E17's ``faults`` axis: one fault payload per message-loss rate.
+
+    ``FaultSpec.seed`` stays unset, so each run's fault RNG follows the
+    run seed — a seed sweep varies topology and loss pattern together.
+    """
+    return [{"drop_probability": rate} for rate in rates]
+
+
+def churn_scenarios(heavy: bool = True) -> List[Dict[str, Any]]:
+    """E18's ``@scenario`` patch-axis values: named churn fault payloads.
+
+    Vertex ids follow the generator convention (root 0, terminal 1,
+    internal vertices from 2); steps are delivery steps.  The baseline
+    scenario runs fault-free (``faults=None``) so every E18 table carries
+    its own reliable-model control row.  ``heavy=False`` drops the
+    heaviest scenario (the quick scale).
+    """
+    scenarios: List[Dict[str, Any]] = [
+        {"label": "baseline", "faults": None},
+        {
+            "label": "brief-leave",
+            "faults": {"churn": [{"vertex": 3, "leave_step": 10, "rejoin_step": 60}]},
+        },
+        {
+            "label": "permanent-leave",
+            "faults": {"churn": [{"vertex": 4, "leave_step": 15, "rejoin_step": None}]},
+        },
+    ]
+    if heavy:
+        scenarios.append(
+            {
+                "label": "double-churn",
+                "faults": {
+                    "churn": [
+                        {"vertex": 2, "leave_step": 5, "rejoin_step": 40},
+                        {"vertex": 5, "leave_step": 20, "rejoin_step": 90},
+                    ]
+                },
+            }
+        )
+    return scenarios
 
 
 #: E15's per-protocol workloads, in row-column order (tree/dag/general/labeling).
@@ -211,6 +259,40 @@ def label_gap(runs: Sequence[WhiteBoxRun]) -> List[Dict]:
 
 
 label_gap.white_box = True
+
+
+@AGGREGATORS.register("churn-labeling")
+def churn_labeling(runs: Sequence[WhiteBoxRun]) -> List[Dict]:
+    """E18: label uniqueness under node churn (white-box safety check).
+
+    Churn breaks liveness — a vertex that leaves mid-run takes received
+    commodity with it, so the terminal's accounting usually never closes —
+    but it must never break *safety*: the labels held by live vertices
+    stay pairwise disjoint even across state resets, because a reset only
+    discards commodity and can never mint overlapping intervals.
+    """
+    from ..core.invariants import coverage_within_unit, labels_disjoint_globally
+
+    rows: List[Dict] = []
+    for record, result, net in runs:
+        faults = record.spec.faults
+        rows.append(
+            {
+                "scenario": record.spec.label or "baseline",
+                "seed": record.spec.seed,
+                "churn_events": len(faults.churn) if faults is not None else 0,
+                "terminated": record.terminated,
+                "labels_disjoint": labels_disjoint_globally(result.states),
+                "coverage_safe": coverage_within_unit(result.states),
+                "messages": record.metrics["total_messages"],
+                "churned_deliveries": record.metrics.get("fault_churned", 0),
+                "rejoins": record.metrics.get("fault_rejoined", 0),
+            }
+        )
+    return rows
+
+
+churn_labeling.white_box = True
 
 
 # ----------------------------------------------------------------------
@@ -401,6 +483,53 @@ register_experiment(
         axes={"@scheduler": scheduler_patches(random_seeds=2)},
         aggregator="scheduler-spread",
         scales={"quick": {"@scheduler": scheduler_patches(random_seeds=1)}},
+    )
+)
+
+
+register_experiment(
+    ExperimentSpec(
+        name="e17",
+        title="faults   broadcast termination vs. message-loss rate",
+        base={
+            "graph": "random-digraph",
+            "graph_params": {"num_internal": 16},
+            "protocol": "general-broadcast",
+        },
+        axes={
+            "faults": loss_rate_axis([0.0, 0.02, 0.05, 0.1, 0.2, 0.4]),
+            "seed": [0, 1, 2, 3, 4, 5, 6, 7],
+        },
+        aggregator="loss-termination",
+        scales={
+            "quick": {
+                "faults": loss_rate_axis([0.0, 0.1, 0.3]),
+                "seed": [0, 1, 2],
+            }
+        },
+    )
+)
+
+register_experiment(
+    ExperimentSpec(
+        name="e18",
+        title="faults   labeling uniqueness under node churn",
+        base={
+            "graph": "random-digraph",
+            "graph_params": {"num_internal": 12},
+            "protocol": "label-assignment",
+        },
+        axes={
+            "@scenario": churn_scenarios(),
+            "seed": [0, 1, 2],
+        },
+        aggregator="churn-labeling",
+        scales={
+            "quick": {
+                "@scenario": churn_scenarios(heavy=False),
+                "seed": [0, 1],
+            }
+        },
     )
 )
 

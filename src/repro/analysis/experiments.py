@@ -1,4 +1,4 @@
-"""Experiment drivers E1–E16 — one per paper object (DESIGN.md §6).
+"""Experiment drivers E1–E18 — the paper's objects plus the fault axis.
 
 Each ``experiment_eNN`` function runs the full workload for its experiment
 and returns a list of dict rows; the matching bench in ``benchmarks/``
@@ -65,6 +65,8 @@ __all__ = [
     "experiment_e14_exhaustive_verification",
     "experiment_e15_state_space",
     "experiment_e16_scheduler_sensitivity",
+    "experiment_e17_loss_termination",
+    "experiment_e18_churn_labeling",
     "experiments_engine",
     "ALL_EXPERIMENTS",
 ]
@@ -408,6 +410,49 @@ def experiment_e16_scheduler_sensitivity(
     return _campaign_rows(exp, engine)
 
 
+def experiment_e17_loss_termination(
+    rates: Sequence[float] = (0.0, 0.02, 0.05, 0.1, 0.2, 0.4),
+    seeds: Sequence[int] = (0, 1, 2, 3, 4, 5, 6, 7),
+    n_internal: int = 16,
+    engine: Optional[str] = None,
+) -> List[Dict]:
+    """E17 (faults): broadcast termination rate vs. message-loss rate.
+
+    The paper's protocols assume reliable delivery; under seeded message
+    loss they must fail *safe* — the termination rate decays toward zero
+    as the loss rate rises, and every non-terminating run ends quiescent,
+    never falsely terminated (lost commodity can only delay the terminal's
+    accounting forever, not complete it spuriously).
+    """
+    from .campaigns import loss_rate_axis
+
+    exp = _experiment("e17").with_overrides(
+        axes={"faults": loss_rate_axis(rates), "seed": list(seeds)},
+        base={"graph_params.num_internal": n_internal},
+    )
+    return _campaign_rows(exp, engine)
+
+
+def experiment_e18_churn_labeling(
+    seeds: Sequence[int] = (0, 1, 2),
+    n_internal: int = 12,
+    engine: Optional[str] = None,
+) -> List[Dict]:
+    """E18 (faults): label uniqueness under node churn.
+
+    Vertices leave mid-run (their deliveries are swallowed) and rejoin
+    with reset state — the self-stabilization notion of a transient node.
+    Liveness goes (the runs usually end quiescent), but the white-box rows
+    check that *safety* holds: live vertices' labels stay pairwise
+    disjoint and coverage stays within the unit interval across resets.
+    """
+    exp = _experiment("e18").with_overrides(
+        axes={"seed": list(seeds)},
+        base={"graph_params.num_internal": n_internal},
+    )
+    return _campaign_rows(exp, engine)
+
+
 #: Name → driver, used by the report CLI and the EXPERIMENTS.md generator.
 #: ``repro list`` derives from the EXPERIMENTS registry instead; a parity
 #: test keeps the two views identical.
@@ -428,4 +473,6 @@ ALL_EXPERIMENTS = {
     "E14": experiment_e14_exhaustive_verification,
     "E15": experiment_e15_state_space,
     "E16": experiment_e16_scheduler_sensitivity,
+    "E17": experiment_e17_loss_termination,
+    "E18": experiment_e18_churn_labeling,
 }

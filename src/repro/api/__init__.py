@@ -41,6 +41,7 @@ from .registry import (
     AGGREGATORS,
     ENGINES,
     EXPERIMENTS,
+    FAULTS,
     GRAPH_TRANSFORMS,
     GRAPHS,
     PROTOCOLS,
@@ -89,6 +90,7 @@ __all__ = [
     "SCHEDULERS",
     "ENGINES",
     "AGGREGATORS",
+    "FAULTS",
     "EXPERIMENTS",
     "all_registries",
     # specs & records

@@ -19,7 +19,10 @@ reductions the E-experiment drivers historically hand-rolled:
 * experiment-faithful reductions for the remaining simulation-backed
   drivers: :func:`false_terminations` (E8), :func:`split_ablation` (E9),
   :func:`eager_ablation` (E10), :func:`round_complexity` (E13),
-  :func:`state_space` (E15) and :func:`scheduler_spread` (E16).
+  :func:`state_space` (E15) and :func:`scheduler_spread` (E16);
+* fault-model reductions: :func:`loss_termination` (E17's termination
+  rate vs. message-loss rate; the churn aggregator is white-box and lives
+  in :mod:`repro.analysis.campaigns`).
 
 White-box aggregators — which need the live engine results, not just
 records — are registered from :mod:`repro.analysis.campaigns` and carry a
@@ -52,6 +55,7 @@ __all__ = [
     "round_complexity",
     "state_space",
     "scheduler_spread",
+    "loss_termination",
 ]
 
 
@@ -372,6 +376,48 @@ def state_space(
                 "general/dag_ratio": round(
                     measurements["general"] / max(1, measurements["dag"]), 1
                 ),
+            }
+        )
+    return rows
+
+
+@AGGREGATORS.register("loss-termination")
+def loss_termination(records: Sequence[RunRecord]) -> List[Dict]:
+    """Termination rate per message-loss rate, over the seed sweep (E17).
+
+    Groups records by their fault model's ``drop_probability`` (``0.0``
+    for fault-free records) in first-occurrence order.  The paper's
+    protocols are not loss-tolerant but must fail *safe*: as the loss rate
+    rises the termination rate falls toward zero while every
+    non-terminating run ends quiescent — never falsely terminated.
+    """
+    order: List[float] = []
+    groups: Dict[float, List[RunRecord]] = {}
+    for record in records:
+        faults = record.spec.faults
+        rate = faults.drop_probability if faults is not None else 0.0
+        if rate not in groups:
+            order.append(rate)
+            groups[rate] = []
+        groups[rate].append(record)
+    rows: List[Dict] = []
+    for rate in order:
+        group = groups[rate]
+        terminated = sum(1 for r in group if r.terminated)
+        budget_exhausted = sum(
+            1 for r in group if r.outcome == "budget-exhausted"
+        )
+        dropped = [r.metrics.get("fault_dropped", 0) or 0 for r in group]
+        messages = [r.metrics["total_messages"] for r in group]
+        rows.append(
+            {
+                "drop_probability": rate,
+                "runs": len(group),
+                "terminated": terminated,
+                "termination_rate": round(terminated / len(group), 3),
+                "quiescent": len(group) - terminated - budget_exhausted,
+                "dropped_mean": round(sum(dropped) / len(group), 1),
+                "messages_mean": round(sum(messages) / len(group), 1),
             }
         )
     return rows

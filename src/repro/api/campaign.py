@@ -92,6 +92,16 @@ class ExperimentSpec:
     ``ExperimentSpec.from_dict(spec.to_dict()) == spec`` always holds, so
     campaigns live in JSON files and key artifact directories the same way
     :class:`~repro.api.spec.RunSpec` keys result lines.
+
+    >>> campaign = ExperimentSpec(
+    ...     name="sweep",
+    ...     base={"graph": "random-digraph", "protocol": "general-broadcast"},
+    ...     axes={"graph_params.num_internal": [10, 20], "seed": [0, 1]},
+    ... )
+    >>> ExperimentSpec.from_dict(campaign.to_dict()) == campaign
+    True
+    >>> [spec.seed for spec in campaign.expand()]  # first axis outermost
+    [0, 1, 0, 1]
     """
 
     name: str
@@ -175,10 +185,12 @@ class ExperimentSpec:
         return cls(**payload)
 
     def to_json(self, *, indent: Optional[int] = None) -> str:
+        """Serialize to a JSON string (axis order preserved)."""
         return json.dumps(self.to_dict(), indent=indent)
 
     @classmethod
     def from_json(cls, text: str) -> "ExperimentSpec":
+        """Parse a campaign from its :meth:`to_json` form."""
         return cls.from_dict(json.loads(text))
 
     # ------------------------------------------------------------------

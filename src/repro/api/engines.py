@@ -29,21 +29,38 @@ from .registry import ENGINES
 __all__ = ["ENGINES"]
 
 
+def _faults_and_scheduler(spec: Any, network: Any) -> Tuple[Any, Any]:
+    """The run's fault injector (or ``None``) and its effective scheduler.
+
+    A fault spec naming an adversarial strategy replaces the run spec's
+    scheduler with it — the strategy *is* the delivery adversary.
+    """
+    injector = spec.build_faults(network)
+    if injector is not None and injector.adversary is not None:
+        return injector, injector.adversary
+    return injector, spec.build_scheduler()
+
+
 @ENGINES.register("async")
 def _run_async(spec: Any, network: Any, protocol: Any) -> Tuple[Any, Dict[str, Any]]:
     """The paper's adversarial model: per-event delivery under a scheduler."""
     from ..network.simulator import run_protocol
 
+    faults, scheduler = _faults_and_scheduler(spec, network)
     result = run_protocol(
         network,
         protocol,
-        spec.build_scheduler(),
+        scheduler,
         max_steps=spec.max_steps,
         record_trace=spec.record_trace,
         track_state_bits=spec.track_state_bits,
         stop_at_termination=spec.stop_at_termination,
+        faults=faults,
     )
-    return result, {}
+    return result, faults.counters() if faults is not None else {}
+
+
+_run_async.supports_faults = True
 
 
 @ENGINES.register("fastpath")
@@ -54,21 +71,31 @@ def _run_fastpath(spec: Any, network: Any, protocol: Any) -> Tuple[Any, Dict[str
     process-local cache keyed by the spec's graph-defining fields, so
     campaign grids that sweep protocol/scheduler/seed axes over one
     topology compile it once per worker instead of once per run.
+
+    When the spec carries a fault model the engine runs kernel-exempt (the
+    generic protocol machine under the real scheduler object), with the
+    same injection hooks as the reference simulator — faulty runs stay
+    engine-identical, and fault-free runs never touch the fault path.
     """
     from ..network.fastpath import run_protocol_fastpath
     from .spec import compiled_topology
 
+    faults, scheduler = _faults_and_scheduler(spec, network)
     result = run_protocol_fastpath(
         network,
         protocol,
-        spec.build_scheduler(),
+        scheduler,
         max_steps=spec.max_steps,
         record_trace=spec.record_trace,
         track_state_bits=spec.track_state_bits,
         stop_at_termination=spec.stop_at_termination,
         compiled=compiled_topology(spec, network),
+        faults=faults,
     )
-    return result, {}
+    return result, faults.counters() if faults is not None else {}
+
+
+_run_fastpath.supports_faults = True
 
 
 @ENGINES.register("synchronous")

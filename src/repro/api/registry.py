@@ -29,6 +29,10 @@ Four registries cover the spec vocabulary:
 * :data:`AGGREGATORS` — row aggregators: callables collapsing a list of
   :class:`~repro.api.spec.RunRecord` into the experiment tables' dict rows
   (see :mod:`repro.api.aggregators`).
+* :data:`FAULTS` — adversarial fault-model scheduler strategies
+  (``"starve-one-edge"``, ``"oldest-last"``), named by
+  :attr:`~repro.network.faults.FaultSpec.adversary` (see
+  :mod:`repro.network.faults`).
 * :data:`EXPERIMENTS` — whole experiment campaigns.  Unlike the other
   registries this one holds *objects*, not factories: each entry is a
   :class:`~repro.api.campaign.ExperimentSpec` (a declarative parameter
@@ -53,6 +57,7 @@ __all__ = [
     "SCHEDULERS",
     "ENGINES",
     "AGGREGATORS",
+    "FAULTS",
     "EXPERIMENTS",
     "all_registries",
 ]
@@ -89,7 +94,17 @@ def _default_name(obj: Any) -> str:
 
 
 class Registry:
-    """An ordered name → factory mapping with decorator registration."""
+    """An ordered name → factory mapping with decorator registration.
+
+    >>> COLORS = Registry("color")
+    >>> @COLORS.register("red")
+    ... def make_red():
+    ...     return "#ff0000"
+    >>> COLORS.create("red")
+    '#ff0000'
+    >>> "red" in COLORS and "blue" not in COLORS
+    True
+    """
 
     def __init__(self, kind: str) -> None:
         #: What the registry holds, e.g. ``"protocol"`` — used in error text.
@@ -181,7 +196,9 @@ SCHEDULERS = Registry("scheduler")
 ENGINES = Registry("engine")
 #: RunRecord-list → row-dict-list aggregators, by name.
 AGGREGATORS = Registry("aggregator")
-#: Experiment campaigns (``"e01"`` … ``"e16"`` plus user registrations).
+#: Adversarial fault-model scheduler strategies, by class-level ``name``.
+FAULTS = Registry("fault adversary")
+#: Experiment campaigns (``"e01"`` … ``"e18"`` plus user registrations).
 EXPERIMENTS = Registry("experiment")
 
 
@@ -194,5 +211,6 @@ def all_registries() -> Dict[str, Registry]:
         "schedulers": SCHEDULERS,
         "engines": ENGINES,
         "aggregators": AGGREGATORS,
+        "faults": FAULTS,
         "experiments": EXPERIMENTS,
     }

@@ -36,7 +36,7 @@ from functools import lru_cache
 from typing import Any, Dict, Optional, Tuple, Union
 
 from .engines import ENGINES
-from .registry import GRAPH_TRANSFORMS, GRAPHS, PROTOCOLS, SCHEDULERS
+from .registry import GRAPH_TRANSFORMS, GRAPHS, PROTOCOLS, SCHEDULERS, UnknownNameError
 
 __all__ = [
     "RunSpec",
@@ -83,7 +83,7 @@ def ensure_registered() -> None:
     """
     from .. import baselines, core, graphs  # noqa: F401
     from ..analysis import campaigns  # noqa: F401  (EXPERIMENTS entries)
-    from ..network import scheduler  # noqa: F401
+    from ..network import faults, scheduler  # noqa: F401
 
 
 @lru_cache(maxsize=1024)
@@ -149,9 +149,22 @@ class RunSpec:
         Forwarded to :func:`~repro.network.simulator.run_protocol`
         (async engine only; ``stop_at_termination`` also applies to the
         synchronous engine).
+    faults:
+        Optional fault model: a :class:`~repro.network.faults.FaultSpec`
+        (or its dict form) describing message loss/duplication/delay,
+        crash schedules, churn intervals and an optional adversarial
+        scheduler strategy.  ``None`` — the default, and the paper's
+        reliable model — leaves the engines' fault-free paths untouched
+        and keeps :attr:`spec_id` byte-identical to pre-fault-layer specs.
     label:
         Free-form human tag.  Not part of the spec's identity: two specs
         differing only in label share a :attr:`spec_id`.
+
+    >>> spec = RunSpec(graph="random-grounded-tree", protocol="tree-broadcast", seed=1)
+    >>> RunSpec.from_dict(spec.to_dict()) == spec
+    True
+    >>> spec.with_seed(2).seed
+    2
     """
 
     graph: str
@@ -167,6 +180,7 @@ class RunSpec:
     record_trace: bool = False
     track_state_bits: bool = False
     stop_at_termination: bool = False
+    faults: Optional[Any] = None
     label: Optional[str] = None
 
     def __post_init__(self) -> None:
@@ -184,6 +198,26 @@ class RunSpec:
         if isinstance(transforms, str):
             raise SpecError("graph_transforms must be a sequence of names, not a string")
         object.__setattr__(self, "graph_transforms", tuple(transforms))
+        if self.faults is not None:
+            # Imported lazily: repro.network.faults needs the scheduler
+            # module, whose import in turn initialises this package.
+            from ..network.faults import FaultSpec, FaultSpecError
+
+            try:
+                if isinstance(self.faults, dict):
+                    object.__setattr__(self, "faults", FaultSpec.from_dict(self.faults))
+                elif not isinstance(self.faults, FaultSpec):
+                    raise SpecError(
+                        "faults must be a FaultSpec, its dict form, or None; "
+                        f"got {type(self.faults).__name__}"
+                    )
+            except FaultSpecError as exc:
+                raise SpecError(f"invalid faults payload: {exc}") from None
+            if not getattr(ENGINES.get(self.engine), "supports_faults", False):
+                raise SpecError(
+                    f"engine {self.engine!r} does not support fault injection; "
+                    "use 'async' or 'fastpath'"
+                )
 
     # ------------------------------------------------------------------
     # identity & serialization
@@ -195,9 +229,14 @@ class RunSpec:
 
         The :class:`~repro.api.runner.BatchRunner` keys resume-from-partial
         output on this, so re-labelling specs never invalidates results.
+        ``faults=None`` is excluded from the hash: fault-free specs keep
+        the spec_id they had before the fault layer existed, so legacy
+        resume files and caches stay valid.
         """
         payload = self.to_dict()
         payload.pop("label", None)
+        if payload.get("faults") is None:
+            payload.pop("faults", None)
         canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
@@ -208,6 +247,7 @@ class RunSpec:
         """A JSON-safe dict with every field present (stable shape)."""
         payload = asdict(self)
         payload["graph_transforms"] = list(self.graph_transforms)
+        payload["faults"] = self.faults.to_dict() if self.faults is not None else None
         return payload
 
     @classmethod
@@ -222,10 +262,12 @@ class RunSpec:
         return cls(**payload)
 
     def to_json(self, *, indent: Optional[int] = None) -> str:
+        """Serialize to a JSON string (sorted keys, optional pretty-print)."""
         return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
 
     @classmethod
     def from_json(cls, text: str) -> "RunSpec":
+        """Parse a spec from its :meth:`to_json` form."""
         return cls.from_dict(json.loads(text))
 
     def with_seed(self, seed: Optional[int]) -> "RunSpec":
@@ -262,6 +304,25 @@ class RunSpec:
         factory = SCHEDULERS.get(self.scheduler)
         return factory(**self._params_with_seed(factory, self.scheduler_params))
 
+    def build_faults(self, network):
+        """The run's :class:`~repro.network.faults.FaultInjector`, or ``None``.
+
+        Needs the built network (fault schedules are validated against its
+        vertex count); the run seed feeds the fault RNG unless the fault
+        spec pins its own seed.  Build-time defects — a fault vertex the
+        network doesn't have, an unregistered adversary name — surface as
+        :class:`SpecError`, same as construction-time ones.
+        """
+        if self.faults is None:
+            return None
+        ensure_registered()
+        from ..network.faults import FaultSpecError
+
+        try:
+            return self.faults.build(network, self.seed)
+        except (FaultSpecError, UnknownNameError) as exc:
+            raise SpecError(f"invalid faults payload: {exc}") from None
+
     def run(self) -> "RunRecord":
         """Execute this spec; shorthand for :func:`execute_spec`."""
         return execute_spec(self)
@@ -286,12 +347,14 @@ class RunRecord:
     elapsed_seconds: float
 
     def to_dict(self) -> Dict[str, Any]:
+        """A JSON-safe dict with the spec nested in its own dict form."""
         payload = asdict(self)
         payload["spec"] = self.spec.to_dict()
         return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "RunRecord":
+        """Inverse of :meth:`to_dict`."""
         data = dict(payload)
         data["spec"] = RunSpec.from_dict(data["spec"])
         return cls(**data)
@@ -302,6 +365,7 @@ class RunRecord:
 
     @classmethod
     def from_json(cls, text: str) -> "RunRecord":
+        """Parse one :meth:`to_json` line back into a record."""
         return cls.from_dict(json.loads(text))
 
     def comparable_dict(self) -> Dict[str, Any]:

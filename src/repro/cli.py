@@ -4,7 +4,7 @@ Usage::
 
     python -m repro list                 # show the experiment index
     python -m repro run E5               # run one experiment, print its table
-    python -m repro run all              # run all sixteen
+    python -m repro run all              # run all eighteen
     python -m repro run E1 E9 --out report.txt
     python -m repro run --spec spec.json # execute one RunSpec file
     python -m repro batch specs.json -o out.jsonl   # parallel batch + resume
@@ -39,6 +39,7 @@ from .api import (
     BatchRunner,
     CampaignRunner,
     RunRecord,
+    SpecError,
     all_registries,
     ensure_registered,
     execute_spec,
@@ -47,6 +48,23 @@ from .api import (
 )
 
 __all__ = ["main", "build_parser"]
+
+
+def _load_or_die(path: str, loader, noun: str):
+    """Read a spec/experiment file, mapping every defect to a one-line exit.
+
+    A typo'd path, malformed JSON, or an invalid payload (unknown field,
+    bad ``faults`` model, unregistered engine) must produce a clear
+    single-line error and a nonzero exit — never a traceback.
+    """
+    try:
+        return loader(path)
+    except OSError as exc:
+        raise SystemExit(f"cannot read {noun} file {path!r}: {exc}") from None
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"malformed JSON in {noun} file {path!r}: {exc}") from None
+    except SpecError as exc:
+        raise SystemExit(f"invalid {noun} in {path!r}: {exc}") from None
 
 
 def _legacy_id(name: str) -> str:
@@ -89,7 +107,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "experiments",
         nargs="*",
-        help="experiment ids (E1..E16) or 'all'",
+        help="experiment ids (E1..E18) or 'all'",
     )
     run.add_argument(
         "--spec",
@@ -145,7 +163,7 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "names",
         nargs="*",
-        help="experiment names (e01..e16, E1..E16) or 'all'",
+        help="experiment names (e01..e18, E1..E18) or 'all'",
     )
     experiment.add_argument(
         "--spec",
@@ -299,20 +317,25 @@ def _record_summary(record: RunRecord) -> str:
 
 
 def _cmd_run_spec(path: str, stream: IO[str], extra: Optional[IO[str]]) -> int:
-    specs = load_specs(path)
+    specs = _load_or_die(path, load_specs, "spec")
     if len(specs) != 1:
         raise SystemExit(
             f"--spec expects exactly one RunSpec in {path!r}, found {len(specs)}; "
             "use 'repro batch' for many"
         )
-    record = execute_spec(specs[0])
+    try:
+        record = execute_spec(specs[0])
+    except SpecError as exc:
+        # defects only detectable at build time (fault vertex out of range,
+        # unregistered adversary) get the same one-line treatment
+        raise SystemExit(f"cannot execute spec in {path!r}: {exc}") from None
     _emit(_record_summary(record), stream, extra)
     _emit(json.dumps(record.to_dict(), sort_keys=True, indent=2), stream, extra)
     return 0
 
 
 def _cmd_batch(args, stream: IO[str]) -> int:
-    specs = load_specs(args.specs)
+    specs = _load_or_die(args.specs, load_specs, "spec")
     if not specs:
         raise SystemExit(f"no specs found in {args.specs!r}")
     runner = BatchRunner(
@@ -325,12 +348,15 @@ def _cmd_batch(args, stream: IO[str]) -> int:
         print(f"[{done}/{total}] {_record_summary(record)}", file=stream)
 
     start = time.time()
-    records = runner.run(
-        specs,
-        output_path=args.out,
-        resume=not args.no_resume,
-        progress=progress,
-    )
+    try:
+        records = runner.run(
+            specs,
+            output_path=args.out,
+            resume=not args.no_resume,
+            progress=progress,
+        )
+    except SpecError as exc:
+        raise SystemExit(f"cannot execute batch {args.specs!r}: {exc}") from None
     elapsed = time.time() - start
     stats = runner.stats
     terminated = sum(1 for r in records if r.terminated)
@@ -472,11 +498,11 @@ def _cmd_experiment(args, stream: IO[str]) -> int:
     if args.spec is not None:
         if args.names:
             raise SystemExit("give either experiment names or --spec, not both")
-        experiments = [load_experiment(args.spec)]
+        experiments = [_load_or_die(args.spec, load_experiment, "experiment")]
     else:
         if not args.names:
             raise SystemExit(
-                "nothing to run: give experiment names (e01..e16, 'all') or --spec FILE"
+                "nothing to run: give experiment names (e01..e18, 'all') or --spec FILE"
             )
         experiments = [EXPERIMENTS.get(name) for name in _resolve_experiments(args.names)]
 
@@ -511,7 +537,12 @@ def _cmd_experiment(args, stream: IO[str]) -> int:
     engines_applied: Dict[str, Optional[str]] = {}
     for experiment in experiments:
         exp_start = time.time()
-        result = runner.run(experiment)
+        try:
+            result = runner.run(experiment)
+        except SpecError as exc:
+            # e.g. an engine override a campaign's fault model rejects:
+            # surface it as a one-line error, not a mid-campaign traceback.
+            raise SystemExit(f"experiment {experiment.name!r}: {exc}") from None
         exp_elapsed = time.time() - exp_start
         engines_applied[experiment.name] = result.applied_engine
         title = (

@@ -18,6 +18,15 @@ from .scheduler import (
     standard_scheduler_specs,
 )
 from .fastpath import CompiledNetwork, FastEvent, run_protocol_fastpath
+from .faults import (
+    ChurnFault,
+    CrashFault,
+    FaultInjector,
+    FaultSpec,
+    FaultSpecError,
+    OldestLastScheduler,
+    StarveOneEdgeScheduler,
+)
 from .simulator import Outcome, RunResult, SimulationError, run_protocol
 from .synchronous import SynchronousRunResult, run_protocol_synchronous
 from .trace import DeliveryRecord, Trace
@@ -40,6 +49,13 @@ __all__ = [
     "ALL_SCHEDULER_FACTORIES",
     "make_standard_schedulers",
     "standard_scheduler_specs",
+    "FaultSpec",
+    "FaultSpecError",
+    "CrashFault",
+    "ChurnFault",
+    "FaultInjector",
+    "StarveOneEdgeScheduler",
+    "OldestLastScheduler",
     "Outcome",
     "RunResult",
     "SimulationError",

@@ -50,6 +50,8 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.model import VertexView
+from .faults import DELIVER_AFTER_RESET as _FAULT_RESET
+from .faults import SWALLOW as _FAULT_SWALLOW
 from .graph import DirectedNetwork
 from .metrics import RunMetrics
 from .scheduler import FifoScheduler, LifoScheduler, Scheduler
@@ -180,6 +182,10 @@ class _ProtocolMachine:
     def check_terminal(self, terminal: int) -> bool:
         return self.protocol.is_terminated(self.states[terminal])
 
+    def reset_vertex(self, vertex: int) -> None:
+        """Reset one vertex to a fresh initial state (churn rejoin)."""
+        self.states[vertex] = self.protocol.create_state(self.views[vertex])
+
     def state_bits(self, vertex: int) -> int:
         return self.protocol.state_bits(self.states[vertex])
 
@@ -200,6 +206,7 @@ def run_protocol_fastpath(
     track_state_bits: bool = False,
     stop_at_termination: bool = False,
     compiled: Optional[CompiledNetwork] = None,
+    faults: Optional[Any] = None,
 ) -> RunResult:
     """Execute ``protocol`` on ``network``; result-identical to
     :func:`~repro.network.simulator.run_protocol`.
@@ -212,6 +219,14 @@ def run_protocol_fastpath(
     for ``network`` (campaign runners cache them per topology); it is used
     only if it actually wraps this exact network object, so a stale or
     mismatched cache entry can never corrupt a run.
+
+    ``faults`` optionally supplies a
+    :class:`~repro.network.faults.FaultInjector`.  A fault model forces
+    the kernel-exempt path: protocol kernels flatten state in ways the
+    fault layer cannot reset mid-run, so the generic protocol machine runs
+    under the real scheduler object with exactly the injection hooks of
+    the reference simulator — faulty runs are engine-identical, and
+    ``faults=None`` never touches this branch.
     """
     if scheduler is None:
         scheduler = FifoScheduler()
@@ -221,6 +236,20 @@ def run_protocol_fastpath(
 
     if compiled is None or compiled.network is not network:
         compiled = CompiledNetwork(network)
+    if faults is not None:
+        # Kernel-exempt fallback: the generic machine under the real
+        # scheduler, so sequence numbers and hook order match the
+        # reference simulator delivery for delivery.
+        return _drive_faults(
+            compiled,
+            _ProtocolMachine(protocol, compiled),
+            scheduler,
+            max_steps,
+            record_trace,
+            track_state_bits,
+            stop_at_termination,
+            faults,
+        )
     machine: Any = None
     if not record_trace and not track_state_bits:
         machine = protocol.compile_fastpath(compiled)
@@ -478,6 +507,129 @@ def _drive_flat_stack(
                 if not 0 <= out_port < nports:
                     raise _bad_port(head, out_port, nports)
                 stack.append((ports[out_port], out_payload, out_bits))
+        if track_state_bits:
+            sb = machine.state_bits(head)
+            if sb > max_state_bits:
+                max_state_bits = sb
+
+        if head == terminal and termination_step is None:
+            if machine.check_terminal(terminal):
+                termination_step = step
+                messages_at_termination = total_messages
+                bits_at_termination = total_bits
+                if stop_at_termination:
+                    break
+    if outcome is None:
+        outcome = (
+            Outcome.TERMINATED if termination_step is not None else Outcome.QUIESCENT
+        )
+
+    return _freeze_result(
+        compiled,
+        machine,
+        outcome,
+        step,
+        total_messages,
+        total_bits,
+        max_message_bits,
+        edge_bits,
+        edge_messages,
+        termination_step,
+        messages_at_termination,
+        bits_at_termination,
+        max_state_bits,
+        trace_log,
+    )
+
+
+def _drive_faults(
+    compiled: CompiledNetwork,
+    machine: Any,
+    scheduler: Scheduler,
+    max_steps: int,
+    record_trace: bool,
+    track_state_bits: bool,
+    stop_at_termination: bool,
+    faults: Any,
+) -> RunResult:
+    """Inner loop with fault injection: :func:`_drive_scheduler` plus the
+    three :class:`~repro.network.faults.FaultInjector` hooks, called at
+    exactly the reference simulator's call sites (send, pop, deliver) so
+    the fault RNG makes identical choices under both engines."""
+    edge_head = compiled.edge_head
+    in_port = compiled.in_port
+    out_edge_ids = compiled.out_edge_ids
+    terminal = compiled.terminal
+    deliver = machine.deliver
+    push = scheduler.push
+    pop = scheduler.pop
+    send_copies = faults.send_copies
+    should_defer = faults.should_defer
+    on_deliver = faults.on_deliver
+
+    total_messages = 0
+    total_bits = 0
+    max_message_bits = 0
+    edge_bits = [0] * compiled.num_edges
+    edge_messages = [0] * compiled.num_edges
+    termination_step: Optional[int] = None
+    messages_at_termination = 0
+    bits_at_termination = 0
+    max_state_bits = 0
+    trace_log: Optional[List[Tuple[int, int, Any, int]]] = (
+        [] if record_trace else None
+    )
+
+    seq = 0
+    root = compiled.root
+    root_ports = out_edge_ids[root]
+    for out_port, payload, bits in machine.initial_emissions(root):
+        if not 0 <= out_port < len(root_ports):
+            raise _bad_port(root, out_port, len(root_ports))
+        for _ in range(send_copies()):
+            push(FastEvent(root_ports[out_port], payload, seq, 0, bits))
+            seq += 1
+
+    step = 0
+    outcome = None
+    while len(scheduler):
+        if step >= max_steps:
+            outcome = Outcome.BUDGET_EXHAUSTED
+            break
+        event = pop()
+        if should_defer(len(scheduler)):
+            push(event)  # deferred, not delivered: no step consumed
+            continue
+        step += 1
+        edge_id = event.edge_id
+        bits = event.bits
+        payload = event.payload
+        head = edge_head[edge_id]
+        total_messages += 1
+        total_bits += bits
+        if bits > max_message_bits:
+            max_message_bits = bits
+        edge_bits[edge_id] += bits
+        edge_messages[edge_id] += 1
+        if trace_log is not None:
+            trace_log.append((step, edge_id, payload, bits))
+
+        action = on_deliver(head, step)
+        if action == _FAULT_SWALLOW:
+            continue  # vertex is down: message consumed, no transition
+        if action == _FAULT_RESET:
+            machine.reset_vertex(head)
+
+        emissions = deliver(head, in_port[edge_id], payload)
+        if emissions:
+            ports = out_edge_ids[head]
+            nports = len(ports)
+            for out_port, out_payload, out_bits in emissions:
+                if not 0 <= out_port < nports:
+                    raise _bad_port(head, out_port, nports)
+                for _ in range(send_copies()):
+                    push(FastEvent(ports[out_port], out_payload, seq, step, out_bits))
+                    seq += 1
         if track_state_bits:
             sb = machine.state_bits(head)
             if sb > max_state_bits:

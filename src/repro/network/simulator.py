@@ -39,6 +39,8 @@ from typing import Any, Dict, Optional
 
 from ..core.model import AnonymousProtocol, VertexView
 from .events import MessageEvent
+from .faults import DELIVER_AFTER_RESET as _FAULT_RESET
+from .faults import SWALLOW as _FAULT_SWALLOW
 from .graph import DirectedNetwork
 from .metrics import MetricsCollector, RunMetrics
 from .scheduler import FifoScheduler, Scheduler
@@ -110,6 +112,7 @@ def run_protocol(
     record_trace: bool = False,
     track_state_bits: bool = False,
     stop_at_termination: bool = False,
+    faults: Optional[Any] = None,
 ) -> RunResult:
     """Execute ``protocol`` on ``network`` under ``scheduler``.
 
@@ -133,6 +136,12 @@ def run_protocol(
     stop_at_termination:
         Stop delivering as soon as the stopping predicate holds instead of
         draining to quiescence.  Post-termination work is then not measured.
+    faults:
+        Optional :class:`~repro.network.faults.FaultInjector` — the fault
+        model's runtime: drops/duplicates sends, defers deliveries and
+        downs crashed/churned vertices (see :mod:`repro.network.faults`).
+        ``None`` (the default) is the paper's reliable model; the loop is
+        then exactly the pre-fault-layer loop.
 
     Returns
     -------
@@ -165,13 +174,17 @@ def run_protocol(
                 f"vertex {vertex} emitted on out-port {out_port} but has "
                 f"out-degree {len(out_ids)}"
             )
+        copies = 1 if faults is None else faults.send_copies()
+        if copies == 0:  # transport loss: the message never enters the network
+            return
         bits = protocol.message_bits(payload)
-        scheduler.push(
-            MessageEvent(
-                edge_id=out_ids[out_port], payload=payload, seq=seq, sent_step=step, bits=bits
+        for _ in range(copies):
+            scheduler.push(
+                MessageEvent(
+                    edge_id=out_ids[out_port], payload=payload, seq=seq, sent_step=step, bits=bits
+                )
             )
-        )
-        seq += 1
+            seq += 1
 
     # Inject the root's initial transmissions (the paper's σ₀ on s's out-edge).
     for out_port, payload in protocol.initial_emissions(views[network.root]):
@@ -188,12 +201,22 @@ def run_protocol(
                 trace=trace,
             )
         event = scheduler.pop()
+        if faults is not None and faults.should_defer(len(scheduler)):
+            scheduler.push(event)  # deferred, not delivered: no step consumed
+            continue
         step += 1
         head = network.edge_head(event.edge_id)
         in_port = network.in_port_of_edge(event.edge_id)
         metrics.record_delivery(event.edge_id, event.bits)
         if trace is not None:
             trace.record(step, event.edge_id, event.payload, event.bits)
+
+        if faults is not None:
+            action = faults.on_deliver(head, step)
+            if action == _FAULT_SWALLOW:
+                continue  # vertex is down: message consumed, no transition
+            if action == _FAULT_RESET:
+                states[head] = protocol.create_state(views[head])
 
         new_state, emissions = protocol.on_receive(
             states[head], views[head], in_port, event.payload

@@ -1,0 +1,160 @@
+"""CLI error paths: every user mistake is a clear one-line error + exit 1.
+
+The contract under test: unknown experiment names, malformed ``--spec``
+files and invalid ``faults=`` payloads never escape as tracebacks — they
+become a single-line ``SystemExit`` message (argparse maps a string code
+to exit status 1).
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def _run_expecting_error(argv):
+    with pytest.raises(SystemExit) as excinfo:
+        main(argv, stream=io.StringIO())
+    code = excinfo.value.code
+    # a string code means "print this and exit 1" — assert it is one line
+    assert isinstance(code, str), f"expected a message, got exit code {code!r}"
+    assert "\n" not in code, f"error message spans lines: {code!r}"
+    return code
+
+
+class TestUnknownExperiment:
+    def test_run_unknown_id(self):
+        message = _run_expecting_error(["run", "E99"])
+        assert "unknown experiment" in message
+
+    def test_experiment_unknown_name(self):
+        message = _run_expecting_error(["experiment", "e99"])
+        assert "unknown experiment" in message
+        assert "e17" in message  # the listing helps the user recover
+
+    def test_experiment_unknown_scale(self):
+        message = _run_expecting_error(["experiment", "e17", "--scale", "nope"])
+        assert "no scale" in message
+
+
+class TestMalformedSpecFile:
+    def test_run_spec_bad_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json", encoding="utf-8")
+        message = _run_expecting_error(["run", "--spec", str(path)])
+        assert "malformed JSON" in message
+
+    def test_batch_bad_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('[{"graph": "g",]', encoding="utf-8")
+        message = _run_expecting_error(["batch", str(path)])
+        assert "malformed JSON" in message
+
+    def test_run_spec_missing_file(self, tmp_path):
+        message = _run_expecting_error(["run", "--spec", str(tmp_path / "nope.json")])
+        assert "cannot read" in message
+
+    def test_run_spec_unknown_field(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(
+            json.dumps({"graph": "g", "protocol": "p", "graf_params": {}}),
+            encoding="utf-8",
+        )
+        message = _run_expecting_error(["run", "--spec", str(path)])
+        assert "invalid spec" in message
+
+    def test_experiment_spec_bad_json(self, tmp_path):
+        path = tmp_path / "exp.json"
+        path.write_text("[[[", encoding="utf-8")
+        message = _run_expecting_error(["experiment", "--spec", str(path)])
+        assert "malformed JSON" in message
+
+
+class TestInvalidFaultsPayload:
+    def _write_spec(self, tmp_path, faults):
+        path = tmp_path / "spec.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "graph": "random-grounded-tree",
+                    "graph_params": {"num_internal": 4},
+                    "protocol": "tree-broadcast",
+                    "faults": faults,
+                }
+            ),
+            encoding="utf-8",
+        )
+        return str(path)
+
+    def test_bad_probability(self, tmp_path):
+        path = self._write_spec(tmp_path, {"drop_probability": 2.0})
+        message = _run_expecting_error(["run", "--spec", path])
+        assert "drop_probability" in message
+
+    def test_unknown_fault_field(self, tmp_path):
+        path = self._write_spec(tmp_path, {"drop_rate": 0.5})
+        message = _run_expecting_error(["run", "--spec", path])
+        assert "unknown fault field" in message
+
+    def test_bad_churn_interval(self, tmp_path):
+        path = self._write_spec(
+            tmp_path, {"churn": [{"vertex": 2, "leave_step": 9, "rejoin_step": 4}]}
+        )
+        message = _run_expecting_error(["batch", path])
+        assert "rejoin_step" in message
+
+    def test_typoed_churn_entry_key(self, tmp_path):
+        path = self._write_spec(tmp_path, {"churn": [{"vertex": 1, "leave": 5}]})
+        message = _run_expecting_error(["run", "--spec", path])
+        assert "invalid churn entry" in message
+
+    def test_non_dict_crash_entry(self, tmp_path):
+        path = self._write_spec(tmp_path, {"crashes": [3]})
+        message = _run_expecting_error(["run", "--spec", path])
+        assert "crashes entries must be dicts" in message
+
+    def test_churn_not_a_list(self, tmp_path):
+        path = self._write_spec(tmp_path, {"churn": 0.5})
+        message = _run_expecting_error(["batch", path])
+        assert "churn must be a sequence" in message
+
+    def test_fault_vertex_out_of_range(self, tmp_path):
+        # only detectable at execution time, once the graph is built —
+        # still a one-line error, in both run and batch
+        path = self._write_spec(
+            tmp_path, {"churn": [{"vertex": 99, "leave_step": 5}]}
+        )
+        message = _run_expecting_error(["run", "--spec", path])
+        assert "vertex 99" in message
+        message = _run_expecting_error(["batch", path, "--serial"])
+        assert "vertex 99" in message
+
+    def test_unknown_adversary_name(self, tmp_path):
+        path = self._write_spec(tmp_path, {"adversary": "starve-everything"})
+        message = _run_expecting_error(["run", "--spec", path])
+        assert "starve-everything" in message
+        assert "starve-one-edge" in message  # the listing helps the user recover
+
+    def test_adversary_edge_out_of_range(self, tmp_path):
+        path = self._write_spec(
+            tmp_path,
+            {"adversary": "starve-one-edge", "adversary_params": {"edge_id": 9999}},
+        )
+        message = _run_expecting_error(["run", "--spec", path])
+        assert "edge_id 9999" in message
+
+    def test_bogus_adversary_params(self, tmp_path):
+        path = self._write_spec(
+            tmp_path, {"adversary": "starve-one-edge", "adversary_params": {"bogus": 1}}
+        )
+        message = _run_expecting_error(["run", "--spec", path])
+        assert "adversary_params" in message
+
+    def test_valid_faults_spec_runs(self, tmp_path):
+        """Sanity: the same shape with a valid payload executes fine."""
+        path = self._write_spec(tmp_path, {"drop_probability": 0.0})
+        stream = io.StringIO()
+        assert main(["run", "--spec", path], stream=stream) == 0
+        assert "terminated" in stream.getvalue()

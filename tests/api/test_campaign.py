@@ -214,9 +214,9 @@ class TestCampaignRunner:
 
 
 class TestRegisteredExperiments:
-    def test_all_sixteen_registered(self):
+    def test_all_eighteen_registered(self):
         ensure_registered()
-        assert set(EXPERIMENTS.names()) == {f"e{i:02d}" for i in range(1, 17)}
+        assert set(EXPERIMENTS.names()) == {f"e{i:02d}" for i in range(1, 19)}
 
     def test_grid_campaigns_expand(self):
         ensure_registered()

@@ -150,6 +150,7 @@ class TestPopulatedRegistries:
             "schedulers",
             "engines",
             "aggregators",
+            "faults",
             "experiments",
         }
         assert registries["protocols"] is PROTOCOLS

@@ -27,6 +27,12 @@ CASES = {
         "resume: 12 runs reused, 0 re-executed",
         "all inside the paper bound",
     ],
+    "fault_injection.py": [
+        "fault counters:",
+        "determinism + engine equivalence hold",
+        "labels stay disjoint under churn",
+        "terminated 4/4",
+    ],
     "adhoc_sensor_field.py": ["sink confirmed rollout", "did NOT confirm"],
     "p2p_overlay_mapping.py": ["map verified: exact match"],
     "lowerbound_gallery.py": ["FIGURE 5", "FIGURE 4", "FIGURE 6", "repaired rule"],
