@@ -45,11 +45,14 @@ __all__ = [
     "FULL_SIZES",
     "PROTOCOL_BENCH_GRAPHS",
     "PROTOCOL_MATRIX_N",
+    "STORE_BENCH_RECORDS",
     "bench_spec",
     "protocol_bench_spec",
     "measure_spec",
+    "synthetic_store_records",
     "run_engine_benchmarks",
     "run_protocol_matrix",
+    "run_store_benchmarks",
     "write_benchmarks",
     "load_floors",
     "check_floors",
@@ -78,6 +81,11 @@ PROTOCOL_BENCH_GRAPHS: Dict[str, str] = {
 #: The size at which the per-protocol kernel coverage matrix is measured
 #: (and at which the per-protocol ratio floors are gated).
 PROTOCOL_MATRIX_N = 64
+
+#: Record count for the result-store micro-benchmark in a full
+#: ``repro bench`` (``--quick`` uses a fifth of it; the per-record cost is
+#: flat well past this point, so quick runs measure the same thing).
+STORE_BENCH_RECORDS = 10_000
 
 
 def bench_spec(
@@ -281,6 +289,99 @@ def run_protocol_matrix(
     }
 
 
+def synthetic_store_records(n_records: int) -> List[Any]:
+    """``n_records`` distinct, cheap :class:`~repro.api.spec.RunRecord`\\ s.
+
+    Synthesized rather than executed — the store bench measures store
+    throughput, not engine throughput — but shaped exactly like real
+    records (a full RunSpec with a distinct seed per record), so hashing,
+    serialization and shard fan-out costs are representative.
+    """
+    from dataclasses import replace
+
+    from ..api.spec import RunRecord
+
+    base = RunSpec(
+        graph="random-digraph",
+        graph_params={"num_internal": 8},
+        protocol="general-broadcast",
+        label="store-bench",
+    )
+    return [
+        RunRecord(
+            spec=replace(base, seed=i),
+            outcome="terminated",
+            terminated=True,
+            num_vertices=10,
+            num_edges=27,
+            metrics={"steps": 100 + i, "total_messages": 300, "total_bits": 8000},
+            elapsed_seconds=0.001,
+        )
+        for i in range(n_records)
+    ]
+
+
+def run_store_benchmarks(
+    *,
+    n_records: int = STORE_BENCH_RECORDS,
+    root: Optional[str] = None,
+    progress: Optional[Any] = None,
+) -> Dict[str, Any]:
+    """Measure result-store put/contains/get throughput at ``n_records``.
+
+    Populates a fresh :class:`~repro.store.store.ResultStore` (a temp
+    directory unless ``root`` is given) with synthetic records, then times
+    the three operations a warm campaign resume exercises: ``put_many``
+    (publishing), ``contains_many`` (index probes) and ``get_many`` (full
+    record retrieval with hash verification).  ``cache_hit_rate`` is the
+    fraction of just-stored records ``get_many`` returned intact — 1.0 on
+    a healthy store, and the number the ``store_min_cache_hit_rate`` floor
+    gates (a retrieval or quarantine bug shows up here, not as a perf
+    regression).
+    """
+    import shutil
+    import tempfile
+
+    from ..store import ResultStore
+
+    records = synthetic_store_records(n_records)
+    specs = [record.spec for record in records]
+    tmp = None
+    if root is None:
+        tmp = root = tempfile.mkdtemp(prefix="repro-store-bench-")
+    try:
+        store = ResultStore(root)
+        start = time.perf_counter()
+        store.put_many(records)
+        put_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        found = store.contains_many(specs)
+        contains_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        got = store.get_many(specs)
+        get_seconds = time.perf_counter() - start
+        block = {
+            "n_records": n_records,
+            "put_seconds": put_seconds,
+            "contains_seconds": contains_seconds,
+            "get_seconds": get_seconds,
+            "put_per_sec": n_records / put_seconds if put_seconds > 0 else 0.0,
+            "contains_per_sec": (
+                n_records / contains_seconds if contains_seconds > 0 else 0.0
+            ),
+            "get_per_sec": n_records / get_seconds if get_seconds > 0 else 0.0,
+            "indexed": len(found),
+            "retrieved": len(got),
+            "cache_hit_rate": len(got) / n_records if n_records else 0.0,
+        }
+        if progress is not None:
+            progress(block)
+        return block
+    finally:
+        if tmp is not None:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+
 def write_benchmarks(payload: Dict[str, Any], path: str) -> None:
     """Write the payload as stable, diff-friendly JSON."""
     with open(path, "w", encoding="utf-8") as handle:
@@ -303,7 +404,11 @@ def check_floors(payload: Dict[str, Any], floors: Dict[str, Any]) -> List[str]:
           "fastpath_min_steps_per_sec": {"64": 4000},
           "fastpath_vs_async_min_ratio": {"64": 2.0},
           "protocol_vs_async_min_ratio": {"tree-broadcast": 2.0, ...},
-          "require_protocol_coverage": true
+          "require_protocol_coverage": true,
+          "store_min_put_per_sec": 300,
+          "store_min_get_per_sec": 400,
+          "store_min_contains_per_sec": 1500,
+          "store_min_cache_hit_rate": 0.95
         }
 
     Keys of the size-indexed floors are sizes as strings (JSON objects);
@@ -382,6 +487,31 @@ def check_floors(payload: Dict[str, Any], floors: Dict[str, Any]) -> List[str]:
                     f"registered protocol {name!r} is missing from the bench "
                     "matrix (protocols coverage)"
                 )
+
+    store_block = payload.get("store")
+    store_floor_keys = [
+        ("store_min_put_per_sec", "put_per_sec", "store put/sec"),
+        ("store_min_get_per_sec", "get_per_sec", "store get/sec"),
+        ("store_min_contains_per_sec", "contains_per_sec", "store contains/sec"),
+        ("store_min_cache_hit_rate", "cache_hit_rate", "store cache hit rate"),
+    ]
+    for floor_key, metric_key, label in store_floor_keys:
+        minimum = floors.get(floor_key)
+        if minimum is None:
+            continue
+        if store_block is None:
+            violations.append(
+                f"no store benchmark block to check against {floor_key} "
+                "(run repro bench without --no-store-bench)"
+            )
+            break
+        value = store_block.get(metric_key)
+        if value is None:
+            violations.append(f"store benchmark block lacks {metric_key!r}")
+        elif value < minimum:
+            violations.append(
+                f"{label} is {value:.4g}, below the floor of {minimum}"
+            )
     return violations
 
 
@@ -417,4 +547,14 @@ def render_bench_table(payload: Dict[str, Any]) -> str:
         for protocol, ratio in sorted(ratios_by_protocol.items()):
             shown = f"{ratio:.2f}x" if ratio is not None else "n/a"
             lines.append(f"  {protocol:<24} {shown:>8}")
+    store_block = payload.get("store")
+    if store_block:
+        lines.append("")
+        lines.append(
+            f"result store at {store_block['n_records']} records: "
+            f"put {store_block['put_per_sec']:.0f}/s, "
+            f"contains {store_block['contains_per_sec']:.0f}/s, "
+            f"get {store_block['get_per_sec']:.0f}/s, "
+            f"hit rate {store_block['cache_hit_rate']:.3f}"
+        )
     return "\n".join(lines)

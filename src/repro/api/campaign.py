@@ -341,6 +341,14 @@ class CampaignRunner:
         (``chunksize=None`` auto-tunes per dispatch).  The default is
         in-process serial execution — the right mode inside drivers,
         tests and benches; the CLI turns parallelism on.
+    store:
+        Optional :class:`~repro.store.store.ResultStore` shared across
+        campaigns, users and CI runs.  Grid campaigns resolve every
+        expanded spec against the store index before executing anything
+        and publish fresh records back (see
+        :class:`~repro.api.runner.BatchRunner`); white-box campaigns
+        ignore it — their rows need live engine states, which records
+        cannot carry — and driver experiments execute no specs at all.
     """
 
     def __init__(
@@ -354,6 +362,7 @@ class CampaignRunner:
         max_workers: Optional[int] = None,
         chunksize: Optional[int] = None,
         progress: Optional[Callable[[int, int, RunRecord], None]] = None,
+        store: Optional[Any] = None,
     ) -> None:
         self.engine = engine
         self.scale = scale
@@ -363,6 +372,7 @@ class CampaignRunner:
         self.max_workers = max_workers
         self.chunksize = chunksize
         self.progress = progress
+        self.store = store
 
     # ------------------------------------------------------------------
 
@@ -451,6 +461,7 @@ class CampaignRunner:
                 parallel=self.parallel,
                 max_workers=self.max_workers,
                 chunksize=self.chunksize,
+                store=self.store,
             )
             records = runner.run(
                 specs,

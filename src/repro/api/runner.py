@@ -14,6 +14,15 @@ is not re-executed; freshly computed records are appended as they finish
 (crash-safe), and the file is rewritten in canonical input order at the
 end.  Re-running an identical batch therefore costs zero simulations and
 reproduces the file byte-for-byte modulo :data:`~repro.api.spec.TIMING_FIELDS`.
+
+With a :class:`~repro.store.store.ResultStore` attached
+(``BatchRunner(store=...)``), resume first consults the store's sqlite
+index — cross-campaign, cross-user, cross-CI cache hits at the cost of an
+index lookup, not a JSONL parse — and every freshly computed record is
+published back to the store as it completes.  The per-batch JSONL file
+keeps working exactly as before and is only parsed when the store could
+not satisfy the whole batch (the legacy fallback); records it serves are
+absorbed into the store, migrating old artifact dirs on touch.
 """
 
 from __future__ import annotations
@@ -21,9 +30,12 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Dict, Iterable, List, Optional, Sequence
 
 from .spec import RunRecord, RunSpec, execute_spec, topology_cache_stats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..store.store import ResultStore
 
 __all__ = ["BatchRunner", "BatchStats", "run_specs", "load_records"]
 
@@ -75,6 +87,12 @@ class BatchStats:
     :func:`~repro.api.spec.topology_cache_stats`); a grid that sweeps
     protocol/scheduler/seed axes over one topology should show hits close
     to ``executed``.
+
+    ``store_hits`` / ``store_misses`` count result-store lookups (unique
+    specs served from / absent from the attached
+    :class:`~repro.store.store.ResultStore`); both stay zero when no
+    store is attached or resume is off.  Store hits are counted inside
+    ``reused`` — a record served from the store was not executed.
     """
 
     total: int
@@ -82,6 +100,8 @@ class BatchStats:
     reused: int
     cache_hits: int = 0
     cache_misses: int = 0
+    store_hits: int = 0
+    store_misses: int = 0
 
 
 class BatchRunner:
@@ -101,6 +121,13 @@ class BatchRunner:
         experiment drivers and tests (no fork overhead, full determinism
         guarantees hold in both modes because results are ordered by input
         position, never by completion).
+    store:
+        Optional :class:`~repro.store.store.ResultStore`.  When set, a
+        resuming run looks specs up in the store index before anything
+        else (O(pending) — the batch JSONL is not even parsed when the
+        store satisfies every spec) and publishes every freshly computed
+        record back to the store as it completes.  The store is only
+        touched from this parent process, never from pool workers.
     """
 
     def __init__(
@@ -109,6 +136,7 @@ class BatchRunner:
         max_workers: Optional[int] = None,
         chunksize: Optional[int] = None,
         parallel: bool = True,
+        store: "Optional[ResultStore]" = None,
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be >= 1 (use parallel=False for serial)")
@@ -117,6 +145,7 @@ class BatchRunner:
         self.max_workers = max_workers
         self.chunksize = chunksize
         self.parallel = parallel
+        self.store = store
         #: Stats of the most recent :meth:`run` call.
         self.stats: Optional[BatchStats] = None
         self._cache_hits = 0
@@ -148,27 +177,56 @@ class BatchRunner:
             running, then rewritten in input order (one sorted-key compact
             JSON object per line) on completion.
         resume:
-            Reuse records already present in ``output_path`` (keyed by
-            ``spec_id``) instead of re-executing their specs.
+            Reuse records already present in the attached store and in
+            ``output_path`` (keyed by ``spec_id``) instead of re-executing
+            their specs.
         progress:
             Optional ``(done, total, record)`` callback per completed spec.
+
+        Notes
+        -----
+        With a store attached, ``output_path`` is only *parsed* when the
+        store could not satisfy every spec in the batch (legacy fallback;
+        JSONL-served records are absorbed into the store).  When the store
+        serves the whole batch, the file is rewritten purely from batch
+        records — records for specs outside the batch are preserved only
+        on the no-store / fallback path, where the file has been read.
         """
         spec_list = list(specs)
-        file_records = load_records(output_path) if output_path else []
-        by_id: Dict[str, RunRecord] = {}
-        if resume:
-            for record in file_records:
-                by_id[record.spec.spec_id] = record
-
-        # First occurrence of each distinct spec_id that still needs work.
-        pending: List[RunSpec] = []
-        seen_pending = set()
+        # First occurrence of each distinct spec in input order.
+        unique: Dict[str, RunSpec] = {}
         for spec in spec_list:
-            sid = spec.spec_id
-            if sid not in by_id and sid not in seen_pending:
-                seen_pending.add(sid)
-                pending.append(spec)
+            unique.setdefault(spec.spec_id, spec)
 
+        by_id: Dict[str, RunRecord] = {}
+        store = self.store
+        store_ids: set = set()
+        if store is not None and resume:
+            by_id.update(store.get_many(unique.values()))
+            store_ids = set(by_id)
+
+        # Legacy JSONL resume: skipped entirely when the store already
+        # satisfied the whole batch — that is what makes a warm-store
+        # resume O(pending) instead of O(records in the artifact file).
+        file_records: List[RunRecord] = []
+        fully_served = store is not None and resume and len(by_id) == len(unique)
+        if output_path and not fully_served:
+            file_records = load_records(output_path)
+            if resume:
+                for record in file_records:
+                    by_id.setdefault(record.spec.spec_id, record)
+                if store is not None:
+                    # Absorb JSONL-only records: legacy artifact dirs
+                    # migrate into the store the first time they resume.
+                    absorbed = [
+                        by_id[sid]
+                        for sid in unique
+                        if sid in by_id and sid not in store_ids
+                    ]
+                    if absorbed:
+                        store.put_many(absorbed)
+
+        pending = [spec for sid, spec in unique.items() if sid not in by_id]
         done = len(spec_list) - len(pending)
 
         self._cache_hits = 0
@@ -179,6 +237,8 @@ class BatchRunner:
                 sink = open(output_path, "a", encoding="utf-8")
             for record in self._execute(pending):
                 by_id[record.spec.spec_id] = record
+                if store is not None:
+                    store.put(record)
                 if sink is not None:
                     sink.write(record.to_json() + "\n")
                     sink.flush()
@@ -197,12 +257,15 @@ class BatchRunner:
             batch_ids = {spec.spec_id for spec in spec_list}
             extras = [r for r in file_records if r.spec.spec_id not in batch_ids]
             self._rewrite(output_path, list(records) + extras)
+        lookups = len(unique) if (store is not None and resume) else 0
         self.stats = BatchStats(
             total=len(spec_list),
             executed=len(pending),
             reused=len(spec_list) - len(pending),
             cache_hits=self._cache_hits,
             cache_misses=self._cache_misses,
+            store_hits=len(store_ids),
+            store_misses=max(0, lookups - len(store_ids)),
         )
         return records
 
@@ -245,7 +308,8 @@ def run_specs(
     resume: bool = True,
     max_workers: Optional[int] = None,
     parallel: bool = True,
+    store: "Optional[ResultStore]" = None,
 ) -> List[RunRecord]:
     """One-shot convenience wrapper around :class:`BatchRunner`."""
-    runner = BatchRunner(max_workers=max_workers, parallel=parallel)
+    runner = BatchRunner(max_workers=max_workers, parallel=parallel, store=store)
     return runner.run(specs, output_path=output_path, resume=resume)

@@ -12,6 +12,9 @@ Usage::
     python -m repro experiment all --quick --out artifacts/
     python -m repro registry             # list spec-addressable names
     python -m repro bench --quick        # engine throughput -> BENCH_engines.json
+    python -m repro experiment all --quick --store ~/.cache/repro-store
+    python -m repro store stats --store ~/.cache/repro-store
+    python -m repro serve --port 8642 --store ~/.cache/repro-store
 
 ``run --spec`` and ``batch`` drive the :mod:`repro.api` run-spec layer;
 ``experiment`` drives the campaign layer on top of it — registered
@@ -20,6 +23,14 @@ spec_id-keyed resume and per-experiment artifacts.  The experiment index
 (``list``) is derived from the :data:`~repro.api.registry.EXPERIMENTS`
 registry, so a registered experiment can never be missing from the
 listing.
+
+``--store DIR`` (or the ``REPRO_STORE`` environment variable) attaches a
+content-addressed :class:`~repro.store.store.ResultStore` to ``run
+--spec``, ``batch`` and ``experiment``: any record computed before — in
+any campaign, by any user of the store — is a cache hit, and the summary
+lines grow ``store_hits`` / ``store_misses`` / ``store_hit_rate``
+fields.  ``repro store`` inspects and maintains a store; ``repro serve``
+exposes campaign submission over HTTP (see :mod:`repro.service`).
 """
 
 from __future__ import annotations
@@ -46,8 +57,34 @@ from .api import (
     load_experiment,
     load_specs,
 )
+from .store import STORE_ENV_VAR, ResultStore, StoreError, resolve_store
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_store_flags(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--store`` / ``--no-store`` pair (batch, experiment, run, serve)."""
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="content-addressed result store directory (default: the "
+        f"{STORE_ENV_VAR} environment variable, if set); previously computed "
+        "records are served from the store instead of re-executed",
+    )
+    parser.add_argument(
+        "--no-store",
+        action="store_true",
+        help=f"ignore --store and {STORE_ENV_VAR}; run without a result store",
+    )
+
+
+def _store_or_die(args) -> Optional[ResultStore]:
+    """Resolve the CLI store flags, mapping defects to one-line exits."""
+    try:
+        return resolve_store(path=args.store, no_store=args.no_store)
+    except StoreError as exc:
+        raise SystemExit(f"cannot open result store: {exc}") from None
 
 
 def _load_or_die(path: str, loader, noun: str):
@@ -120,6 +157,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also append the output to this file",
     )
+    _add_store_flags(run)
 
     batch = sub.add_parser(
         "batch", help="execute a JSON file of RunSpecs in parallel, with resume"
@@ -155,6 +193,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="re-execute every spec even if the output file has its record",
     )
+    _add_store_flags(batch)
 
     experiment = sub.add_parser(
         "experiment",
@@ -210,6 +249,84 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="re-execute every run even if the artifact dir has its record",
     )
+    _add_store_flags(experiment)
+
+    store = sub.add_parser(
+        "store",
+        help="inspect and maintain a content-addressed result store",
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    store_stats = store_sub.add_parser(
+        "stats", help="index statistics: record/shard counts, bytes, engines"
+    )
+    store_ls = store_sub.add_parser(
+        "ls", help="list index rows for a spec_id (hex prefix match)"
+    )
+    store_ls.add_argument(
+        "spec_id",
+        nargs="?",
+        default="",
+        help="spec_id or hex prefix (empty lists everything, newest first)",
+    )
+    store_ls.add_argument(
+        "--limit",
+        type=int,
+        default=50,
+        help="maximum rows to print (default: 50)",
+    )
+    store_verify = store_sub.add_parser(
+        "verify", help="re-hash every shard against the index, report corruption"
+    )
+    store_gc = store_sub.add_parser(
+        "gc", help="expire old records and compact shards (reclaims orphans)"
+    )
+    store_gc.add_argument(
+        "--keep-days",
+        type=float,
+        default=None,
+        metavar="N",
+        help="drop records older than N days (default: keep all, only compact)",
+    )
+    for store_cmd in (store_stats, store_ls, store_verify, store_gc):
+        _add_store_flags(store_cmd)
+
+    serve = sub.add_parser(
+        "serve",
+        help="HTTP experiment service: POST campaigns, poll status, fetch results",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8642,
+        help="bind port (default: 8642; 0 picks a free port)",
+    )
+    serve.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="artifact directory; each job writes under <DIR>/<job-id>/",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes per job (default: cpu count)",
+    )
+    serve.add_argument(
+        "--serial",
+        action="store_true",
+        help="execute each job's runs in-process instead of a process pool",
+    )
+    serve.add_argument(
+        "--job-workers",
+        type=int,
+        default=1,
+        help="concurrent jobs (default: 1)",
+    )
+    _add_store_flags(serve)
 
     sub.add_parser(
         "registry",
@@ -273,6 +390,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="graph size |V| for the per-protocol coverage matrix "
         "(default: the gated size, 64)",
     )
+    bench.add_argument(
+        "--no-store-bench",
+        action="store_true",
+        help="skip the result-store put/get/contains micro-benchmark; "
+        "note the store floors then report violations",
+    )
+    bench.add_argument(
+        "--store-records",
+        type=int,
+        default=None,
+        metavar="N",
+        help="record count for the store micro-benchmark "
+        "(default: 2000 quick, 10000 full)",
+    )
 
     report = sub.add_parser(
         "report", help="run all experiments and write a markdown report"
@@ -316,20 +447,31 @@ def _record_summary(record: RunRecord) -> str:
     )
 
 
-def _cmd_run_spec(path: str, stream: IO[str], extra: Optional[IO[str]]) -> int:
+def _cmd_run_spec(
+    path: str,
+    stream: IO[str],
+    extra: Optional[IO[str]],
+    store: Optional[ResultStore] = None,
+) -> int:
     specs = _load_or_die(path, load_specs, "spec")
     if len(specs) != 1:
         raise SystemExit(
             f"--spec expects exactly one RunSpec in {path!r}, found {len(specs)}; "
             "use 'repro batch' for many"
         )
-    try:
-        record = execute_spec(specs[0])
-    except SpecError as exc:
-        # defects only detectable at build time (fault vertex out of range,
-        # unregistered adversary) get the same one-line treatment
-        raise SystemExit(f"cannot execute spec in {path!r}: {exc}") from None
-    _emit(_record_summary(record), stream, extra)
+    record = store.get(specs[0]) if store is not None else None
+    if record is not None:
+        _emit(f"(served from store) {_record_summary(record)}", stream, extra)
+    else:
+        try:
+            record = execute_spec(specs[0])
+        except SpecError as exc:
+            # defects only detectable at build time (fault vertex out of range,
+            # unregistered adversary) get the same one-line treatment
+            raise SystemExit(f"cannot execute spec in {path!r}: {exc}") from None
+        if store is not None:
+            store.put(record)
+        _emit(_record_summary(record), stream, extra)
     _emit(json.dumps(record.to_dict(), sort_keys=True, indent=2), stream, extra)
     return 0
 
@@ -338,10 +480,12 @@ def _cmd_batch(args, stream: IO[str]) -> int:
     specs = _load_or_die(args.specs, load_specs, "spec")
     if not specs:
         raise SystemExit(f"no specs found in {args.specs!r}")
+    store = _store_or_die(args)
     runner = BatchRunner(
         max_workers=args.workers,
         chunksize=args.chunksize,
         parallel=not args.serial,
+        store=store,
     )
 
     def progress(done: int, total: int, record: RunRecord) -> None:
@@ -376,6 +520,14 @@ def _cmd_batch(args, stream: IO[str]) -> int:
         "terminated": terminated,
         "cache_hits": stats.cache_hits,
         "cache_misses": stats.cache_misses,
+        "store": store.root if store is not None else None,
+        "store_hits": stats.store_hits,
+        "store_misses": stats.store_misses,
+        "store_hit_rate": (
+            round(stats.store_hits / stats.total, 4)
+            if store is not None and stats.total
+            else None
+        ),
         "elapsed_seconds": round(elapsed, 3),
         "output": args.out,
     }
@@ -388,11 +540,13 @@ def _cmd_bench(args, stream: IO[str]) -> int:
         BENCH_ENGINES,
         FULL_SIZES,
         QUICK_SIZES,
+        STORE_BENCH_RECORDS,
         check_floors,
         load_floors,
         render_bench_table,
         run_engine_benchmarks,
         run_protocol_matrix,
+        run_store_benchmarks,
         write_benchmarks,
     )
 
@@ -442,6 +596,15 @@ def _cmd_bench(args, stream: IO[str]) -> int:
         if args.protocols_n is not None:
             matrix_kwargs["n"] = args.protocols_n
         payload["protocols"] = run_protocol_matrix(**matrix_kwargs)
+    if not args.no_store_bench:
+        store_records = args.store_records
+        if store_records is None:
+            store_records = STORE_BENCH_RECORDS // 5 if args.quick else STORE_BENCH_RECORDS
+        print(
+            f"benchmarking result store put/contains/get at {store_records} records",
+            file=stream,
+        )
+        payload["store"] = run_store_benchmarks(n_records=store_records)
     write_benchmarks(payload, args.out)
     print(file=stream)
     print(render_bench_table(payload), file=stream)
@@ -521,6 +684,7 @@ def _cmd_experiment(args, stream: IO[str]) -> int:
     def progress(done: int, total: int, record: RunRecord) -> None:
         print(f"[{done}/{total}] {_record_summary(record)}", file=stream)
 
+    store = _store_or_die(args)
     runner = CampaignRunner(
         engine=args.engine,
         scale=scale,
@@ -529,11 +693,12 @@ def _cmd_experiment(args, stream: IO[str]) -> int:
         parallel=not args.serial,
         max_workers=args.workers,
         progress=progress,
+        store=store,
     )
 
     start = time.time()
     total_specs = executed = reused = total_rows = 0
-    cache_hits = cache_misses = 0
+    cache_hits = cache_misses = store_hits = store_misses = 0
     engines_applied: Dict[str, Optional[str]] = {}
     for experiment in experiments:
         exp_start = time.time()
@@ -556,6 +721,8 @@ def _cmd_experiment(args, stream: IO[str]) -> int:
         reused += result.stats.reused
         cache_hits += result.stats.cache_hits
         cache_misses += result.stats.cache_misses
+        store_hits += result.stats.store_hits
+        store_misses += result.stats.store_misses
         total_rows += len(result.rows)
     elapsed = time.time() - start
 
@@ -576,11 +743,92 @@ def _cmd_experiment(args, stream: IO[str]) -> int:
         "reused": reused,
         "cache_hits": cache_hits,
         "cache_misses": cache_misses,
+        "store": store.root if store is not None else None,
+        "store_hits": store_hits,
+        "store_misses": store_misses,
+        "store_hit_rate": (
+            round(store_hits / total_specs, 4)
+            if store is not None and total_specs
+            else None
+        ),
         "rows": total_rows,
         "elapsed_seconds": round(elapsed, 3),
         "output": args.out,
     }
     print("EXPERIMENT_SUMMARY " + json.dumps(summary, sort_keys=True), file=stream)
+    return 0
+
+
+def _cmd_store(args, stream: IO[str]) -> int:
+    store = _store_or_die(args)
+    if store is None:
+        raise SystemExit(
+            f"no result store: give --store DIR or set {STORE_ENV_VAR} "
+            "(--no-store makes no sense here)"
+        )
+    try:
+        if args.store_command == "stats":
+            print(json.dumps(store.stats().to_dict(), indent=2, sort_keys=True), file=stream)
+        elif args.store_command == "ls":
+            rows = store.ls(args.spec_id)
+            for row in rows[: max(0, args.limit)]:
+                print(json.dumps(row, sort_keys=True), file=stream)
+            if len(rows) > args.limit:
+                print(f"... {len(rows) - args.limit} more (raise --limit)", file=stream)
+            print(f"{len(rows)} record(s) match {args.spec_id!r}", file=stream)
+        elif args.store_command == "verify":
+            report = store.verify()
+            print(json.dumps(report.to_dict(), indent=2, sort_keys=True), file=stream)
+            if not report.clean:
+                print("STORE VERIFY: corruption detected", file=stream)
+                return 1
+            print(
+                f"store at {store.root} is clean "
+                f"({report.records_checked} records, {report.shards_checked} shards)",
+                file=stream,
+            )
+        else:  # gc
+            report = store.gc(keep_days=args.keep_days)
+            print(json.dumps(report.to_dict(), indent=2, sort_keys=True), file=stream)
+            reclaimed = report.bytes_before - report.bytes_after
+            print(
+                f"gc: removed {report.removed_records} record(s), kept "
+                f"{report.kept_records}, reclaimed {reclaimed} bytes",
+                file=stream,
+            )
+    except StoreError as exc:
+        raise SystemExit(f"store {args.store_command} failed: {exc}") from None
+    return 0
+
+
+def _cmd_serve(args, stream: IO[str]) -> int:
+    from .service import ExperimentService, make_server, serve_forever
+
+    ensure_registered()
+    store = _store_or_die(args)
+    service = ExperimentService(
+        store=store,
+        out_dir=args.out,
+        parallel=not args.serial,
+        max_workers=args.workers,
+        job_workers=args.job_workers,
+    )
+    try:
+        server = make_server(args.host, args.port, service)
+    except OSError as exc:
+        raise SystemExit(f"cannot bind {args.host}:{args.port}: {exc}") from None
+    print(
+        f"serving experiments on http://{server.server_address[0]}:"
+        f"{server.server_address[1]} "
+        + (f"(store: {store.root})" if store is not None else "(no store)"),
+        file=stream,
+    )
+    try:
+        serve_forever(server)
+    except KeyboardInterrupt:
+        print("shutting down", file=stream)
+    finally:
+        service.close()
     return 0
 
 
@@ -606,6 +854,12 @@ def main(argv: Optional[Sequence[str]] = None, stream: IO[str] = sys.stdout) -> 
 
     if args.command == "batch":
         return _cmd_batch(args, stream)
+
+    if args.command == "store":
+        return _cmd_store(args, stream)
+
+    if args.command == "serve":
+        return _cmd_serve(args, stream)
 
     if args.command == "bench":
         return _cmd_bench(args, stream)
@@ -644,7 +898,7 @@ def main(argv: Optional[Sequence[str]] = None, stream: IO[str] = sys.stdout) -> 
         extra = open(args.out, "a", encoding="utf-8")
     try:
         if args.spec is not None:
-            return _cmd_run_spec(args.spec, stream, extra)
+            return _cmd_run_spec(args.spec, stream, extra, store=_store_or_die(args))
         if not args.experiments:
             raise SystemExit("nothing to run: give experiment ids or --spec FILE")
         titles = _experiment_titles()

@@ -1,0 +1,105 @@
+"""Content-addressed keys for stored run records.
+
+Every :class:`~repro.api.spec.RunRecord` in a
+:class:`~repro.store.store.ResultStore` is addressed by a
+:class:`StoreKey` — the four fields that determine whether a cached
+record may stand in for a fresh execution:
+
+* ``spec_id`` — the :attr:`~repro.api.spec.RunSpec.spec_id` content hash
+  (which already covers graph, protocol, scheduler, engine, seed, fault
+  model and every other semantic field of the spec);
+* ``seed`` / ``engine`` — denormalised out of the spec so the index can
+  be queried by them directly (``repro store ls``, per-engine stats)
+  without parsing record payloads;
+* ``code_version`` — the version of the code that produced the record.
+  Experiments are pure functions of ``(spec, seed)`` *for a fixed
+  implementation*; bumping the package version invalidates every cached
+  record at once, which is the conservative-correct invalidation rule
+  (see docs/STORE.md).
+
+The key is deliberately redundant — ``spec_id`` alone determines ``seed``
+and ``engine`` — but the redundancy is what makes the sqlite index
+answer operational questions (how many fastpath records? which seeds of
+this spec are cached?) without touching a shard.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import NamedTuple, Optional
+
+__all__ = ["StoreKey", "current_code_version", "shard_name"]
+
+
+def current_code_version() -> str:
+    """The code version stamped onto (and required of) store records.
+
+    Defaults to the installed :data:`repro.__version__`; the
+    ``REPRO_STORE_CODE_VERSION`` environment variable overrides it — the
+    escape hatch for rescuing a warm store across a version bump that is
+    known not to change run semantics (documented in docs/STORE.md).
+    """
+    override = os.environ.get("REPRO_STORE_CODE_VERSION")
+    if override:
+        return override
+    from .. import __version__
+
+    return __version__
+
+
+class StoreKey(NamedTuple):
+    """The identity of one stored record: ``(spec_id, seed, engine, code_version)``."""
+
+    spec_id: str
+    seed: Optional[int]
+    engine: str
+    code_version: str
+
+    @classmethod
+    def for_spec(cls, spec, code_version: Optional[str] = None) -> "StoreKey":
+        """The key under which ``spec``'s record is stored (or looked up)."""
+        return cls(
+            spec_id=spec.spec_id,
+            seed=spec.seed,
+            engine=spec.engine,
+            code_version=code_version or current_code_version(),
+        )
+
+    @property
+    def seed_text(self) -> str:
+        """The seed as canonical JSON text (``"7"`` / ``"null"``).
+
+        Sqlite composite primary keys treat ``NULL`` values as pairwise
+        distinct, which would let seedless specs collide into duplicate
+        index rows; storing the JSON text keeps the uniqueness constraint
+        honest for every seed value.
+        """
+        return json.dumps(self.seed)
+
+    @property
+    def shard(self) -> str:
+        """The shard file this key's record lives in."""
+        return shard_name(self.spec_id)
+
+    def to_list(self) -> list:
+        """JSON-envelope form: ``[spec_id, seed, engine, code_version]``."""
+        return [self.spec_id, self.seed, self.engine, self.code_version]
+
+    @classmethod
+    def from_list(cls, payload: list) -> "StoreKey":
+        """Inverse of :meth:`to_list`."""
+        spec_id, seed, engine, code_version = payload
+        return cls(spec_id, seed, engine, code_version)
+
+
+def shard_name(spec_id: str) -> str:
+    """The shard file holding ``spec_id``'s records (``"shards/ab.jsonl"``).
+
+    Records fan out over 256 append-only JSONL files keyed by the first
+    two hex digits of the spec_id, so one shard stays small enough to
+    scan in microseconds while the store as a whole scales to millions
+    of records.
+    """
+    prefix = spec_id[:2] if len(spec_id) >= 2 else (spec_id + "__")[:2]
+    return f"{prefix}.jsonl"

@@ -315,6 +315,69 @@ class TestBenchCliProtocolMatrix:
         assert "missing from the bench matrix" in stream.getvalue()
 
 
+class TestStoreBench:
+    def test_store_block_shape_and_hit_rate(self):
+        from repro.analysis.benchmark import run_store_benchmarks
+
+        block = run_store_benchmarks(n_records=50)
+        assert block["n_records"] == 50
+        assert block["indexed"] == 50 and block["retrieved"] == 50
+        assert block["cache_hit_rate"] == 1.0
+        for key in ("put_per_sec", "contains_per_sec", "get_per_sec"):
+            assert block[key] > 0
+
+    def test_store_floors_pass_and_fail(self):
+        from repro.analysis.benchmark import run_store_benchmarks
+
+        payload = {"store": run_store_benchmarks(n_records=50)}
+        assert check_floors(payload, {"store_min_cache_hit_rate": 0.95}) == []
+        violations = check_floors(payload, {"store_min_put_per_sec": 10**12})
+        assert len(violations) == 1 and "below the floor" in violations[0]
+
+    def test_missing_store_block_is_a_violation(self):
+        violations = check_floors({}, {"store_min_cache_hit_rate": 0.95})
+        assert len(violations) == 1
+        assert "no store benchmark block" in violations[0]
+
+    def test_checked_in_floors_gate_the_store(self):
+        from pathlib import Path
+
+        floor_path = Path(__file__).resolve().parents[2] / "benchmarks" / "floors.json"
+        floors = load_floors(str(floor_path))
+        assert floors["store_min_cache_hit_rate"] >= 0.95
+
+    def test_render_table_mentions_store(self):
+        from repro.analysis.benchmark import run_store_benchmarks
+
+        payload = tiny_payload()
+        payload["store"] = run_store_benchmarks(n_records=20)
+        assert "result store at 20 records" in render_bench_table(payload)
+
+    def test_bench_cli_no_store_bench_fails_store_floor(self, tmp_path):
+        floors = tmp_path / "floors.json"
+        floors.write_text(json.dumps({"store_min_cache_hit_rate": 0.95}))
+        stream = io.StringIO()
+        code = main(
+            [
+                "bench",
+                "--quick",
+                "--sizes",
+                "8",
+                "--repeats",
+                "1",
+                "--no-protocols",
+                "--no-store-bench",
+                "--floors",
+                str(floors),
+                "--out",
+                str(tmp_path / "bench.json"),
+            ],
+            stream=stream,
+        )
+        assert code == 1
+        assert "no store benchmark block" in stream.getvalue()
+
+
 class TestBatchSummaryLine:
     def test_batch_emits_machine_readable_summary(self, tmp_path):
         from repro.api import RunSpec, dump_specs

@@ -1,0 +1,178 @@
+"""CLI store wiring: --store/--no-store flags, summary fields, store subcommands."""
+
+import io
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(argv):
+    stream = io.StringIO()
+    code = main(argv, stream=stream)
+    return code, stream.getvalue()
+
+
+def summary_line(text, prefix):
+    lines = [l for l in text.splitlines() if l.startswith(prefix + " ")]
+    assert len(lines) == 1, f"expected one {prefix} line, got {len(lines)}"
+    return json.loads(lines[0][len(prefix) + 1 :])
+
+
+@pytest.fixture()
+def spec_file(tmp_path):
+    path = tmp_path / "specs.json"
+    path.write_text(
+        json.dumps(
+            [
+                {
+                    "graph": "random-grounded-tree",
+                    "graph_params": {"num_internal": 8},
+                    "protocol": "tree-broadcast",
+                    "seed": seed,
+                }
+                for seed in range(3)
+            ]
+        )
+    )
+    return str(path)
+
+
+class TestBatchStoreFlags:
+    def test_cold_then_warm(self, tmp_path, spec_file):
+        store = str(tmp_path / "store")
+        code, text = run_cli(["batch", spec_file, "--serial", "--store", store])
+        assert code == 0
+        cold = summary_line(text, "BATCH_SUMMARY")
+        assert cold["store"] == os.path.abspath(store)
+        assert cold["store_hits"] == 0 and cold["store_misses"] == 3
+        assert cold["store_hit_rate"] == 0.0
+
+        code, text = run_cli(["batch", spec_file, "--serial", "--store", store])
+        warm = summary_line(text, "BATCH_SUMMARY")
+        assert warm["executed"] == 0
+        assert warm["store_hits"] == 3 and warm["store_hit_rate"] == 1.0
+
+    def test_no_store_escape_hatch(self, tmp_path, spec_file, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "store"))
+        code, text = run_cli(["batch", spec_file, "--serial", "--no-store"])
+        summary = summary_line(text, "BATCH_SUMMARY")
+        assert summary["store"] is None
+        assert summary["store_hit_rate"] is None
+        assert not (tmp_path / "store").exists()
+
+    def test_env_var_attaches_store(self, tmp_path, spec_file, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "store"))
+        code, text = run_cli(["batch", spec_file, "--serial"])
+        summary = summary_line(text, "BATCH_SUMMARY")
+        assert summary["store"] == str(tmp_path / "store")
+        assert summary["store_misses"] == 3
+
+
+class TestExperimentStoreFlags:
+    def test_warm_experiment_all_hits(self, tmp_path):
+        store = str(tmp_path / "store")
+        args = ["experiment", "e01", "--quick", "--serial", "--store", store]
+        code, text = run_cli(args + ["--out", str(tmp_path / "a")])
+        cold = summary_line(text, "EXPERIMENT_SUMMARY")
+        assert cold["store_misses"] == cold["total_specs"] > 0
+
+        # fresh artifact dir: only the store can serve it
+        code, text = run_cli(args + ["--out", str(tmp_path / "b")])
+        warm = summary_line(text, "EXPERIMENT_SUMMARY")
+        assert warm["executed"] == 0
+        assert warm["store_hit_rate"] == 1.0
+        assert warm["store_hits"] == warm["total_specs"]
+
+
+class TestRunSpecStore:
+    def test_single_spec_served_from_store(self, tmp_path):
+        spec_path = tmp_path / "one.json"
+        spec_path.write_text(
+            json.dumps(
+                {
+                    "graph": "random-grounded-tree",
+                    "graph_params": {"num_internal": 8},
+                    "protocol": "tree-broadcast",
+                    "seed": 5,
+                }
+            )
+        )
+        store = str(tmp_path / "store")
+        code, text_cold = run_cli(["run", "--spec", str(spec_path), "--store", store])
+        assert code == 0 and "served from store" not in text_cold
+        code, text_warm = run_cli(["run", "--spec", str(spec_path), "--store", store])
+        assert code == 0 and "(served from store)" in text_warm
+
+        def record_json(text):
+            start = text.index("{")
+            return json.loads(text[start:])
+
+        assert record_json(text_warm) == record_json(text_cold)
+
+
+class TestStoreSubcommands:
+    @pytest.fixture()
+    def populated(self, tmp_path, spec_file):
+        store = str(tmp_path / "store")
+        run_cli(["batch", spec_file, "--serial", "--store", store])
+        return store
+
+    def test_stats(self, populated):
+        code, text = run_cli(["store", "stats", "--store", populated])
+        assert code == 0
+        stats = json.loads(text[: text.rindex("}") + 1])
+        assert stats["records"] == 3
+
+    def test_ls(self, populated):
+        code, text = run_cli(["store", "ls", "--store", populated])
+        assert code == 0
+        assert "3 record(s)" in text
+        code, text = run_cli(["store", "ls", "--store", populated, "--limit", "1"])
+        assert "2 more" in text
+
+    def test_verify_clean(self, populated):
+        code, text = run_cli(["store", "verify", "--store", populated])
+        assert code == 0
+        assert "is clean" in text
+
+    def test_verify_detects_corruption(self, populated):
+        shards = os.path.join(populated, "shards")
+        victim = os.path.join(shards, sorted(os.listdir(shards))[0])
+        with open(victim, "r+b") as handle:
+            data = handle.read()
+            handle.seek(0)
+            handle.truncate()
+            handle.write(data[: len(data) // 2])
+        code, text = run_cli(["store", "verify", "--store", populated])
+        assert code == 1
+        assert "corruption detected" in text
+
+    def test_gc(self, populated):
+        code, text = run_cli(["store", "gc", "--store", populated])
+        assert code == 0
+        assert "removed 0 record(s)" in text
+        code, text = run_cli(
+            ["store", "gc", "--store", populated, "--keep-days", "0"]
+        )
+        assert code == 0
+        assert "removed 3 record(s)" in text
+
+
+class TestStoreErrors:
+    def test_store_command_without_root(self, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["store", "stats"], stream=io.StringIO())
+        message = excinfo.value.code
+        assert isinstance(message, str) and "no result store" in message
+        assert "\n" not in message
+
+    def test_ls_rejects_non_hex_prefix(self, tmp_path):
+        store = str(tmp_path / "store")
+        run_cli(["store", "stats", "--store", store])  # creates the store
+        with pytest.raises(SystemExit) as excinfo:
+            main(["store", "ls", "zz!", "--store", store], stream=io.StringIO())
+        assert isinstance(excinfo.value.code, str)

@@ -152,5 +152,6 @@ class TestPopulatedRegistries:
             "aggregators",
             "faults",
             "experiments",
+            "store-backends",
         }
         assert registries["protocols"] is PROTOCOLS

@@ -26,6 +26,7 @@ DOCUMENTS = [
     "README.md",
     "docs/ARCHITECTURE.md",
     "docs/FAULTS.md",
+    "docs/STORE.md",
 ]
 
 _FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)

@@ -1,0 +1,141 @@
+"""Store integrity: verify, gc, and corruption quarantine + recompute."""
+
+import json
+import os
+
+from repro.api import BatchRunner, execute_spec
+from repro.store import ResultStore, shard_name
+
+from .test_store import make_spec
+
+
+def populate(store, seeds=(0, 1, 2)):
+    records = [execute_spec(make_spec(seed=s)) for s in seeds]
+    store.put_many(records)
+    return records
+
+
+class TestVerify:
+    def test_clean_store(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store"))
+        records = populate(store)
+        report = store.verify()
+        assert report.clean
+        assert report.records_checked == len(records)
+        assert report.missing == [] and report.mismatched == []
+
+    def test_orphan_lines_reported_not_fatal(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store"))
+        [record] = populate(store, seeds=(0,))
+        shard = tmp_path / "store" / "shards" / shard_name(record.spec.spec_id)
+        # a crash between shard append and index insert leaves an orphan
+        # line: same envelope shape, no index row
+        orphan = execute_spec(make_spec(seed=77))
+        key = store.key_for(orphan.spec)
+        import hashlib
+
+        record_json = orphan.to_json()
+        envelope = json.dumps(
+            {
+                "key": key.to_list(),
+                "record": json.loads(record_json),
+                "sha256": hashlib.sha256(record_json.encode()).hexdigest(),
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        with open(shard, "a", encoding="utf-8") as handle:
+            handle.write(envelope + "\n")
+        report = store.verify()
+        assert report.clean  # orphans are reclaimable, not corruption
+        assert report.orphan_lines == 1
+
+    def test_corrupt_line_reported(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store"))
+        [record] = populate(store, seeds=(0,))
+        shard = tmp_path / "store" / "shards" / shard_name(record.spec.spec_id)
+        with open(shard, "a", encoding="utf-8") as handle:
+            handle.write('{"key": [1], "truncat\n')
+        report = store.verify()
+        assert report.corrupt_lines == 1
+        # the indexed record itself is still intact
+        assert report.missing == []
+
+
+class TestGc:
+    def test_compaction_reclaims_orphans(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store"))
+        [record] = populate(store, seeds=(0,))
+        shard = tmp_path / "store" / "shards" / shard_name(record.spec.spec_id)
+        with open(shard, "a", encoding="utf-8") as handle:
+            handle.write("garbage that is not json\n")
+        before = shard.stat().st_size
+        report = store.gc()
+        assert report.dropped_lines == 1
+        assert shard.stat().st_size < before
+        assert store.get(record.spec) is not None  # live record survives
+
+    def test_keep_days_expires_old_records(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store"))
+        records = populate(store)
+        # age every index row well past the cutoff
+        conn = store._connection()
+        conn.execute("UPDATE records SET created_at = created_at - 40 * 86400")
+        conn.commit()
+        report = store.gc(keep_days=30)
+        assert report.removed_records == len(records)
+        assert store.stats().records == 0
+        # expired shards are deleted outright
+        assert list((tmp_path / "store" / "shards").glob("*.jsonl")) == []
+
+    def test_gc_noop_on_clean_store(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store"))
+        populate(store)
+        report = store.gc()
+        assert report.removed_records == 0
+        assert report.dropped_lines == 0
+        assert store.verify().clean
+
+
+class TestCorruptionQuarantine:
+    """A truncated shard is quarantined and its specs recomputed — never a crash."""
+
+    def test_truncated_shard_quarantined_and_recomputed(self, tmp_path):
+        root = str(tmp_path / "store")
+        store = ResultStore(root)
+        specs = [make_spec(seed=s) for s in range(3)]
+        originals = BatchRunner(parallel=False, store=store).run(specs)
+
+        # truncate one record's shard mid-line: its indexed record becomes
+        # unservable
+        victim = originals[0]
+        shard = tmp_path / "store" / "shards" / shard_name(victim.spec.spec_id)
+        data = shard.read_bytes()
+        shard.write_bytes(data[: len(data) // 2])
+
+        runner = BatchRunner(parallel=False, store=ResultStore(root))
+        records = runner.run(specs, resume=True)
+        # every record comes back correct...
+        for fresh, original in zip(records, originals):
+            assert fresh.comparable_dict() == original.comparable_dict()
+        # ...the corrupt shard was quarantined, not crashed on...
+        quarantined = list((tmp_path / "store" / "quarantine").iterdir())
+        assert quarantined, "corrupt shard should be moved to quarantine/"
+        # ...and the victim spec was actually re-executed
+        assert runner.stats.executed >= 1
+        assert runner.stats.store_hits < len(specs)
+
+        # the store heals: the recomputed record is stored and verify is clean
+        healed = ResultStore(root)
+        assert healed.get(victim.spec) is not None
+        assert healed.verify().clean
+
+    def test_deleted_shard_treated_as_missing(self, tmp_path):
+        root = str(tmp_path / "store")
+        store = ResultStore(root)
+        [record] = populate(store, seeds=(0,))
+        shard = tmp_path / "store" / "shards" / shard_name(record.spec.spec_id)
+        os.remove(shard)
+        assert store.get(record.spec) is None  # unservable, not an exception
+        report = ResultStore(root).verify()
+        assert report.clean  # quarantine purged the dangling index rows
