@@ -46,13 +46,17 @@ __all__ = [
     "PROTOCOL_BENCH_GRAPHS",
     "PROTOCOL_MATRIX_N",
     "STORE_BENCH_RECORDS",
+    "BATCH_BENCH_KS",
+    "BATCH_BENCH_GATED_K",
     "bench_spec",
     "protocol_bench_spec",
+    "batch_bench_spec",
     "measure_spec",
     "synthetic_store_records",
     "run_engine_benchmarks",
     "run_protocol_matrix",
     "run_store_benchmarks",
+    "run_batch_benchmarks",
     "write_benchmarks",
     "load_floors",
     "check_floors",
@@ -86,6 +90,13 @@ PROTOCOL_MATRIX_N = 64
 #: ``repro bench`` (``--quick`` uses a fifth of it; the per-record cost is
 #: flat well past this point, so quick runs measure the same thing).
 STORE_BENCH_RECORDS = 10_000
+
+#: Seed-group sizes for the batch-engine suite.  K=16 shows the break-even
+#: region, K=64 is the gated size, K=256 the asymptotic regime.
+BATCH_BENCH_KS = (16, 64, 256)
+
+#: The group size at which ``batch_vs_fastpath_min_ratio`` is gated.
+BATCH_BENCH_GATED_K = 64
 
 
 def bench_spec(
@@ -289,6 +300,99 @@ def run_protocol_matrix(
     }
 
 
+def batch_bench_spec() -> RunSpec:
+    """The seed-group template the batch suite sweeps K seeds over.
+
+    Flooding on a dense geometric sensor field: the heaviest stock
+    random-scheduler workload per spec (every edge floods once, ~30 steps
+    per vertex), and — critically — the graph seed is **pinned** in
+    ``graph_params``, so every run in the group shares one compiled
+    topology and the whole group reaches the kernel as a single state
+    tensor.  An unpinned graph seed would shatter the group into K
+    singleton topologies and measure nothing but fallback dispatch.
+    """
+    return RunSpec(
+        graph="geometric-sensor-field",
+        graph_params={"num_sensors": 48, "seed": 0, "base_range": 0.5},
+        protocol="flooding",
+        scheduler="random",
+        engine="batch",
+        label="bench-batch-flooding",
+    )
+
+
+def run_batch_benchmarks(
+    *,
+    ks: Sequence[int] = BATCH_BENCH_KS,
+    repeats: int = 3,
+    progress: Optional[Any] = None,
+) -> Dict[str, Any]:
+    """Measure ``run_many`` seed-groups against per-seed fastpath runs.
+
+    For each group size K, the same (spec, seed) pairs execute once
+    through the batch engine's ``run_many`` and once as K individual
+    fastpath runs.  The two timings are *interleaved* round by round and
+    the best round of each is kept — engine A must never get the
+    thermally-throttled half of the measurement window — and the floor
+    gates the ratio, which is machine-independent (both engines run on
+    the same box, same workload, same records).
+    """
+    from dataclasses import replace
+
+    from ..api import ENGINES
+
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    template = batch_bench_spec()
+    run_many = ENGINES.get(template.engine).run_many
+    rounds = repeats + 2
+    results: List[Dict[str, Any]] = []
+    for k in ks:
+        seeds = list(range(k))
+        fast_specs = [
+            replace(template, engine="fastpath", seed=seed) for seed in seeds
+        ]
+        records = run_many(template, seeds)  # warmup (compiles everything)
+        execute_spec(fast_specs[0])
+        total_steps = sum(int(record.metrics["steps"]) for record in records)
+        best_batch = best_fast = float("inf")
+        for _ in range(rounds):
+            start = time.perf_counter()
+            run_many(template, seeds)
+            best_batch = min(best_batch, time.perf_counter() - start)
+            start = time.perf_counter()
+            for spec in fast_specs:
+                execute_spec(spec)
+            best_fast = min(best_fast, time.perf_counter() - start)
+        row = {
+            "k": k,
+            "steps": total_steps,
+            "batch_seconds": best_batch,
+            "fastpath_seconds": best_fast,
+            "batch_steps_per_sec": (
+                total_steps / best_batch if best_batch > 0 else 0.0
+            ),
+            "fastpath_steps_per_sec": (
+                total_steps / best_fast if best_fast > 0 else 0.0
+            ),
+            "ratio": best_fast / best_batch if best_batch > 0 else 0.0,
+        }
+        results.append(row)
+        if progress is not None:
+            progress(row)
+    return {
+        "workload": {
+            "graph": template.graph,
+            "graph_params": dict(template.graph_params),
+            "protocol": template.protocol,
+            "scheduler": template.scheduler,
+        },
+        "ks": list(ks),
+        "rounds": rounds,
+        "results": results,
+    }
+
+
 def synthetic_store_records(n_records: int) -> List[Any]:
     """``n_records`` distinct, cheap :class:`~repro.api.spec.RunRecord`\\ s.
 
@@ -408,7 +512,8 @@ def check_floors(payload: Dict[str, Any], floors: Dict[str, Any]) -> List[str]:
           "store_min_put_per_sec": 300,
           "store_min_get_per_sec": 400,
           "store_min_contains_per_sec": 1500,
-          "store_min_cache_hit_rate": 0.95
+          "store_min_cache_hit_rate": 0.95,
+          "batch_vs_fastpath_min_ratio": {"64": 3.0}
         }
 
     Keys of the size-indexed floors are sizes as strings (JSON objects);
@@ -512,6 +617,34 @@ def check_floors(payload: Dict[str, Any], floors: Dict[str, Any]) -> List[str]:
             violations.append(
                 f"{label} is {value:.4g}, below the floor of {minimum}"
             )
+
+    batch_floors = floors.get("batch_vs_fastpath_min_ratio", {})
+    if batch_floors:
+        batch_block = payload.get("batch")
+        if batch_block is None:
+            violations.append(
+                "no batch benchmark block to check against "
+                "batch_vs_fastpath_min_ratio "
+                "(run repro bench without --no-batch-bench)"
+            )
+        else:
+            batch_rows = {
+                row["k"]: row for row in batch_block.get("results", [])
+            }
+            for k_text, minimum in batch_floors.items():
+                k = int(k_text)
+                row = batch_rows.get(k)
+                if row is None:
+                    violations.append(
+                        f"no batch-vs-fastpath measurement at K={k} to "
+                        "check against floor"
+                    )
+                    continue
+                if row["ratio"] < minimum:
+                    violations.append(
+                        f"batch vs fastpath at K={k} is {row['ratio']:.2f}x, "
+                        f"below the floor of {minimum}x"
+                    )
     return violations
 
 
@@ -557,4 +690,24 @@ def render_bench_table(payload: Dict[str, Any]) -> str:
             f"get {store_block['get_per_sec']:.0f}/s, "
             f"hit rate {store_block['cache_hit_rate']:.3f}"
         )
+    batch_block = payload.get("batch")
+    if batch_block:
+        lines.append("")
+        workload = batch_block.get("workload", {})
+        lines.append(
+            "batch engine seed-groups on "
+            f"{workload.get('graph', '?')}/{workload.get('protocol', '?')} "
+            "(run_many vs per-seed fastpath):"
+        )
+        lines.append(
+            f"{'K':>6} {'steps':>9} {'batch/s':>12} {'fastpath/s':>12} "
+            f"{'ratio':>8}"
+        )
+        for row in batch_block.get("results", []):
+            lines.append(
+                f"{row['k']:>6} {row['steps']:>9} "
+                f"{row['batch_steps_per_sec']:>12.0f} "
+                f"{row['fastpath_steps_per_sec']:>12.0f} "
+                f"{row['ratio']:>7.2f}x"
+            )
     return "\n".join(lines)

@@ -66,6 +66,7 @@ from .spec import (
     load_specs,
     topology_cache_stats,
 )
+from .engines import EngineInfo, fault_capable_engines
 from .runner import BatchRunner, BatchStats, load_records, run_specs
 from . import aggregators as _aggregators  # noqa: F401  (populates AGGREGATORS)
 from .campaign import (
@@ -108,6 +109,9 @@ __all__ = [
     "TopologyCacheStats",
     "topology_cache_stats",
     "clear_topology_cache",
+    # engine capabilities
+    "EngineInfo",
+    "fault_capable_engines",
     # batch execution
     "BatchRunner",
     "BatchStats",

@@ -1,32 +1,110 @@
-"""Execution engines as registry entries.
+"""Execution engines as structured registry entries.
 
 An *engine* is the thing that actually drives a protocol over a network:
-the asynchronous adversarial simulator, the synchronous lockstep runner, or
-the compiled fast-path loop.  Each engine is registered in
-:data:`~repro.api.registry.ENGINES` as a callable::
+the asynchronous adversarial simulator, the synchronous lockstep runner,
+the compiled fast-path loop, or the vectorized multi-run batch engine.
+Each engine is registered in :data:`~repro.api.registry.ENGINES` as an
+:class:`EngineInfo` — a capability contract instead of a bare callable::
 
-    engine(spec, network, protocol) -> (result, extra_metrics)
+    info = ENGINES.get("fastpath")
+    result, extra = info.run_one(spec, network, protocol)
+    if info.supports_batching:
+        records = info.run_many(spec, seeds)
 
-where ``result`` is the engine's native result object (it must expose
-``outcome``, ``terminated`` and ``metrics``) and ``extra_metrics`` is a
-dict of engine-specific additions folded into the
+``run_one`` keeps the historical callable signature
+``(spec, network, protocol) -> (result, extra_metrics)`` where ``result``
+is the engine's native result object (it must expose ``outcome``,
+``terminated`` and ``metrics``) and ``extra_metrics`` is a dict of
+engine-specific additions folded into the
 :class:`~repro.api.spec.RunRecord` metrics (e.g. the synchronous engine's
-``rounds``).  :func:`~repro.api.spec.execute_spec_full` dispatches through
-the registry, so ``RunSpec(engine="fastpath")`` selects the fast path with
-zero driver changes, and a new engine becomes spec-addressable the moment
-it registers itself.
+``rounds``).  :class:`EngineInfo` instances are themselves callable with
+that signature, so legacy ``engine(spec, network, protocol)`` call sites
+keep working unchanged.
+
+``run_many`` is the batching capability: ``run_many(spec, seeds)``
+executes one spec shape across many seeds in a single call and returns
+input-ordered :class:`~repro.api.spec.RunRecord` objects.  Only engines
+with ``supports_batching=True`` provide it; the
+:class:`~repro.api.runner.BatchRunner` groups pending work by
+"spec minus seed" and dispatches whole seed-groups through it.
+
+``supports_faults`` replaces the old ad-hoc function attribute of the
+same name: :class:`~repro.api.spec.RunSpec` validation consults it, so a
+spec carrying a fault model on a non-fault engine fails at construction
+with a one-line error listing the engines that do support faults.
 
 The heavy engine modules are imported lazily inside each adapter so that
-importing :mod:`repro.api` stays cheap.
+importing :mod:`repro.api` stays cheap (and so the ``batch`` engine's
+numpy dependency is only required when the batch engine actually runs).
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from .registry import ENGINES
 
-__all__ = ["ENGINES"]
+__all__ = ["ENGINES", "EngineInfo", "fault_capable_engines"]
+
+
+@dataclass(frozen=True)
+class EngineInfo:
+    """Capability contract for one registered execution engine.
+
+    Parameters
+    ----------
+    name:
+        The registry name (``"async"``, ``"fastpath"``, ...).
+    run_one:
+        ``(spec, network, protocol) -> (result, extra_metrics)`` — the
+        single-run adapter every engine must provide.
+    run_many:
+        Optional ``(spec, seeds) -> list[RunRecord]`` executing one spec
+        shape across many seeds in a single call (input-ordered records).
+        Must be present exactly when ``supports_batching`` is set.
+    supports_faults:
+        Whether specs carrying a :class:`~repro.network.faults.FaultSpec`
+        may select this engine.
+    supports_batching:
+        Whether :class:`~repro.api.runner.BatchRunner` may dispatch whole
+        seed-groups through :attr:`run_many`.
+    """
+
+    name: str
+    run_one: Callable[[Any, Any, Any], Tuple[Any, Dict[str, Any]]]
+    run_many: Optional[Callable[[Any, Sequence[Any]], List[Any]]] = None
+    supports_faults: bool = False
+    supports_batching: bool = False
+
+    def __post_init__(self) -> None:
+        if self.supports_batching != (self.run_many is not None):
+            raise ValueError(
+                f"engine {self.name!r}: supports_batching must match the "
+                "presence of run_many"
+            )
+
+    def __call__(self, spec: Any, network: Any, protocol: Any) -> Tuple[Any, Dict[str, Any]]:
+        """Legacy callable form; delegates to :attr:`run_one`."""
+        return self.run_one(spec, network, protocol)
+
+    def capabilities(self) -> Tuple[str, ...]:
+        """The declared capability tags, for ``repro registry`` and tests."""
+        tags = ["run_one"]
+        if self.run_many is not None:
+            tags.append("run_many")
+        if self.supports_faults:
+            tags.append("faults")
+        if self.supports_batching:
+            tags.append("batching")
+        return tuple(tags)
+
+
+def fault_capable_engines() -> Tuple[str, ...]:
+    """Registry names of every engine with ``supports_faults=True``."""
+    return tuple(
+        name for name in ENGINES.names() if ENGINES.get(name).supports_faults
+    )
 
 
 def _faults_and_scheduler(spec: Any, network: Any) -> Tuple[Any, Any]:
@@ -41,7 +119,6 @@ def _faults_and_scheduler(spec: Any, network: Any) -> Tuple[Any, Any]:
     return injector, spec.build_scheduler()
 
 
-@ENGINES.register("async")
 def _run_async(spec: Any, network: Any, protocol: Any) -> Tuple[Any, Dict[str, Any]]:
     """The paper's adversarial model: per-event delivery under a scheduler."""
     from ..network.simulator import run_protocol
@@ -60,10 +137,6 @@ def _run_async(spec: Any, network: Any, protocol: Any) -> Tuple[Any, Dict[str, A
     return result, faults.counters() if faults is not None else {}
 
 
-_run_async.supports_faults = True
-
-
-@ENGINES.register("fastpath")
 def _run_fastpath(spec: Any, network: Any, protocol: Any) -> Tuple[Any, Dict[str, Any]]:
     """Compiled flat-state engine; bit-identical to ``async``, much faster.
 
@@ -95,10 +168,6 @@ def _run_fastpath(spec: Any, network: Any, protocol: Any) -> Tuple[Any, Dict[str
     return result, faults.counters() if faults is not None else {}
 
 
-_run_fastpath.supports_faults = True
-
-
-@ENGINES.register("synchronous")
 def _run_synchronous(spec: Any, network: Any, protocol: Any) -> Tuple[Any, Dict[str, Any]]:
     """Lockstep rounds (§2's time-complexity extension, experiment E13)."""
     from ..network.synchronous import run_protocol_synchronous
@@ -110,3 +179,38 @@ def _run_synchronous(spec: Any, network: Any, protocol: Any) -> Tuple[Any, Dict[
         stop_at_termination=spec.stop_at_termination,
     )
     return result, {"rounds": result.rounds, "termination_round": result.termination_round}
+
+
+def _run_batch_many(spec: Any, seeds: Sequence[Any]) -> List[Any]:
+    """Structure-of-arrays multi-run execution (see :mod:`repro.network.batchpath`)."""
+    from ..network.batchpath import run_many_batched
+
+    return run_many_batched(spec, seeds)
+
+
+ENGINES.register(
+    "async",
+    EngineInfo(name="async", run_one=_run_async, supports_faults=True),
+)
+ENGINES.register(
+    "fastpath",
+    EngineInfo(name="fastpath", run_one=_run_fastpath, supports_faults=True),
+)
+ENGINES.register(
+    "synchronous",
+    EngineInfo(name="synchronous", run_one=_run_synchronous),
+)
+# The batch engine executes single runs through the fastpath adapter (its
+# vectorized path only pays off across a seed-group), so run_one results
+# are fastpath-identical by construction; run_many vectorizes seed-groups
+# and falls back to per-spec fastpath execution for anything its kernels
+# cannot express.
+ENGINES.register(
+    "batch",
+    EngineInfo(
+        name="batch",
+        run_one=_run_fastpath,
+        run_many=_run_batch_many,
+        supports_batching=True,
+    ),
+)

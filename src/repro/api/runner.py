@@ -32,6 +32,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Dict, Iterable, List, Optional, Sequence
 
+from .engines import ENGINES
 from .spec import RunRecord, RunSpec, execute_spec, topology_cache_stats
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -52,6 +53,27 @@ def _execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     after = topology_cache_stats()
     return {
         "record": record,
+        "cache_hits": after.hits - before.hits,
+        "cache_misses": after.misses - before.misses,
+    }
+
+
+def _execute_group_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker entry point for one seed-group: ``{"specs": [...]}`` in,
+    ``{"records": [...], "cache_hits", "cache_misses"}`` out.
+
+    The whole group runs through the engine's ``run_many`` capability in
+    this one worker — that is the point: the vectorized engines only pay
+    off when the seed-group reaches them intact.
+    """
+    specs = [RunSpec.from_dict(d) for d in payload["specs"]]
+    before = topology_cache_stats()
+    records = ENGINES.get(specs[0].engine).run_many(
+        specs[0], [spec.seed for spec in specs]
+    )
+    after = topology_cache_stats()
+    return {
+        "records": [record.to_dict() for record in records],
         "cache_hits": after.hits - before.hits,
         "cache_misses": after.misses - before.misses,
     }
@@ -93,6 +115,11 @@ class BatchStats:
     :class:`~repro.store.store.ResultStore`); both stay zero when no
     store is attached or resume is off.  Store hits are counted inside
     ``reused`` — a record served from the store was not executed.
+
+    ``batched_groups`` counts the seed-groups dispatched whole through an
+    engine's ``run_many`` capability (see
+    :class:`~repro.api.engines.EngineInfo`); the specs they contain are
+    still counted individually in ``executed``.
     """
 
     total: int
@@ -102,6 +129,7 @@ class BatchStats:
     cache_misses: int = 0
     store_hits: int = 0
     store_misses: int = 0
+    batched_groups: int = 0
 
 
 class BatchRunner:
@@ -150,6 +178,7 @@ class BatchRunner:
         self.stats: Optional[BatchStats] = None
         self._cache_hits = 0
         self._cache_misses = 0
+        self._batched_groups = 0
 
     def effective_chunksize(self, pending: int) -> int:
         """The chunksize a dispatch of ``pending`` specs will use."""
@@ -231,6 +260,7 @@ class BatchRunner:
 
         self._cache_hits = 0
         self._cache_misses = 0
+        self._batched_groups = 0
         sink = None
         try:
             if output_path:
@@ -266,16 +296,55 @@ class BatchRunner:
             cache_misses=self._cache_misses,
             store_hits=len(store_ids),
             store_misses=max(0, lookups - len(store_ids)),
+            batched_groups=self._batched_groups,
         )
         return records
 
     # ------------------------------------------------------------------
 
+    @staticmethod
+    def _plan(pending: Sequence[RunSpec]) -> "tuple[List[RunSpec], List[List[RunSpec]]]":
+        """Split pending work into singleton specs and ``run_many`` groups.
+
+        Specs whose engine declares ``supports_batching`` are grouped by
+        "spec minus seed" (the ``spec_id`` with the seed nulled out).
+        Grouping happens strictly *after* store/JSONL resume filtering, so
+        a store hit inside a group shrinks the group instead of forcing a
+        re-execution; groups that shrink to a single spec fall back to the
+        ordinary per-spec path, where dispatch is cheaper.
+        """
+        singles: List[RunSpec] = []
+        by_shape: Dict[str, List[RunSpec]] = {}
+        for spec in pending:
+            info = ENGINES.get(spec.engine)
+            if getattr(info, "supports_batching", False):
+                by_shape.setdefault(spec.with_seed(None).spec_id, []).append(spec)
+            else:
+                singles.append(spec)
+        groups: List[List[RunSpec]] = []
+        for members in by_shape.values():
+            if len(members) >= 2:
+                groups.append(members)
+            else:
+                singles.extend(members)
+        return singles, groups
+
     def _execute(self, pending: Sequence[RunSpec]) -> Iterable[RunRecord]:
         if not pending:
             return
+        singles, groups = self._plan(pending)
         if not self.parallel or len(pending) == 1:
-            for spec in pending:
+            for members in groups:
+                before = topology_cache_stats()
+                records = ENGINES.get(members[0].engine).run_many(
+                    members[0], [spec.seed for spec in members]
+                )
+                after = topology_cache_stats()
+                self._cache_hits += after.hits - before.hits
+                self._cache_misses += after.misses - before.misses
+                self._batched_groups += 1
+                yield from records
+            for spec in singles:
                 before = topology_cache_stats()
                 record = execute_spec(spec)
                 after = topology_cache_stats()
@@ -283,13 +352,25 @@ class BatchRunner:
                 self._cache_misses += after.misses - before.misses
                 yield record
             return
-        payloads = [spec.to_dict() for spec in pending]
-        chunksize = self.effective_chunksize(len(payloads))
         with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-            for result in pool.map(_execute_payload, payloads, chunksize=chunksize):
-                self._cache_hits += result["cache_hits"]
-                self._cache_misses += result["cache_misses"]
-                yield RunRecord.from_dict(result["record"])
+            if groups:
+                group_payloads = [
+                    {"specs": [spec.to_dict() for spec in members]}
+                    for members in groups
+                ]
+                for result in pool.map(_execute_group_payload, group_payloads):
+                    self._cache_hits += result["cache_hits"]
+                    self._cache_misses += result["cache_misses"]
+                    self._batched_groups += 1
+                    for record in result["records"]:
+                        yield RunRecord.from_dict(record)
+            if singles:
+                payloads = [spec.to_dict() for spec in singles]
+                chunksize = self.effective_chunksize(len(payloads))
+                for result in pool.map(_execute_payload, payloads, chunksize=chunksize):
+                    self._cache_hits += result["cache_hits"]
+                    self._cache_misses += result["cache_misses"]
+                    yield RunRecord.from_dict(result["record"])
 
     @staticmethod
     def _rewrite(path: str, records: Sequence[RunRecord]) -> None:

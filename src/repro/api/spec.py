@@ -48,6 +48,8 @@ __all__ = [
     "execute_spec",
     "execute_spec_full",
     "compiled_topology",
+    "topology_key",
+    "cached_network",
     "topology_cache_stats",
     "clear_topology_cache",
     "ensure_registered",
@@ -214,10 +216,13 @@ class RunSpec:
                     )
             except FaultSpecError as exc:
                 raise SpecError(f"invalid faults payload: {exc}") from None
-            if not getattr(ENGINES.get(self.engine), "supports_faults", False):
+            if not ENGINES.get(self.engine).supports_faults:
+                from .engines import fault_capable_engines
+
+                capable = "', '".join(fault_capable_engines())
                 raise SpecError(
                     f"engine {self.engine!r} does not support fault injection; "
-                    "use 'async' or 'fastpath'"
+                    f"use '{capable}'"
                 )
 
     # ------------------------------------------------------------------
@@ -504,6 +509,22 @@ def compiled_topology(spec: RunSpec, network: Any) -> Any:
     return _TOPOLOGY_CACHE.compiled(spec, network)
 
 
+def topology_key(spec: RunSpec) -> Any:
+    """The spec's graph-defining identity (hashable).
+
+    Two specs with equal topology keys build the same network — this is
+    the key the process-local topology cache uses, exposed so the batch
+    engine can subdivide a seed-group wherever the seed actually changes
+    the graph (seed-sensitive graph families) before vectorizing.
+    """
+    return _TOPOLOGY_CACHE._key(spec)
+
+
+def cached_network(spec: RunSpec) -> Any:
+    """The spec's network, served from the process-local topology cache."""
+    return _TOPOLOGY_CACHE.network(spec)
+
+
 def execute_spec(spec: RunSpec) -> RunRecord:
     """Execute ``spec`` and return only the serializable record."""
     return execute_spec_full(spec)[0]
@@ -533,7 +554,7 @@ def execute_spec_full(spec: RunSpec):
     protocol = spec.build_protocol()
     engine = ENGINES.get(spec.engine)
     start = time.perf_counter()
-    result, extra = engine(spec, network, protocol)
+    result, extra = engine.run_one(spec, network, protocol)
     elapsed = time.perf_counter() - start
 
     metrics: Dict[str, MetricValue] = dict(asdict(result.metrics))

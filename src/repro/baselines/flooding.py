@@ -101,3 +101,11 @@ class FloodingProtocol(AnonymousProtocol[FloodState, FloodToken]):
         from ..core.flat_kernel import FloodingKernel
 
         return FloodingKernel(self, compiled)
+
+    def compile_batch(self, compiled: Any) -> Optional[Any]:
+        """Structure-of-arrays multi-run kernel (one got-bit per run × vertex)."""
+        if type(self) is not FloodingProtocol:
+            return None
+        from ..core.batch_kernel import BatchFloodingKernel
+
+        return BatchFloodingKernel(self, compiled)

@@ -157,6 +157,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also append the output to this file",
     )
+    run.add_argument(
+        "--engine",
+        default=None,
+        metavar="ENGINE",
+        help="override the execution engine of the --spec run",
+    )
     _add_store_flags(run)
 
     batch = sub.add_parser(
@@ -192,6 +198,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-resume",
         action="store_true",
         help="re-execute every spec even if the output file has its record",
+    )
+    batch.add_argument(
+        "--engine",
+        default=None,
+        metavar="ENGINE",
+        help="override the execution engine for every spec in the file",
     )
     _add_store_flags(batch)
 
@@ -397,6 +409,20 @@ def build_parser() -> argparse.ArgumentParser:
         "note the store floors then report violations",
     )
     bench.add_argument(
+        "--no-batch-bench",
+        action="store_true",
+        help="skip the batch-engine seed-group suite; note the batch "
+        "floors then report violations",
+    )
+    bench.add_argument(
+        "--batch-ks",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="K",
+        help="seed-group sizes K for the batch suite (default: 16 64 256)",
+    )
+    bench.add_argument(
         "--store-records",
         type=int,
         default=None,
@@ -447,13 +473,36 @@ def _record_summary(record: RunRecord) -> str:
     )
 
 
+def _override_engine(specs, engine: Optional[str]):
+    """Re-target loaded specs at ``engine`` (``--engine`` flag), or die.
+
+    Engine capability mismatches (an unregistered name, a fault model on
+    an engine whose :class:`~repro.api.engines.EngineInfo` lacks
+    ``supports_faults``) surface here as the usual one-line errors.
+    """
+    if engine is None:
+        return specs
+    ensure_registered()
+    if engine not in ENGINES:
+        raise SystemExit(
+            f"unknown engine {engine!r}; registered: {', '.join(ENGINES.names())}"
+        )
+    import dataclasses
+
+    try:
+        return [dataclasses.replace(spec, engine=engine) for spec in specs]
+    except SpecError as exc:
+        raise SystemExit(f"cannot apply --engine {engine}: {exc}") from None
+
+
 def _cmd_run_spec(
     path: str,
     stream: IO[str],
     extra: Optional[IO[str]],
     store: Optional[ResultStore] = None,
+    engine: Optional[str] = None,
 ) -> int:
-    specs = _load_or_die(path, load_specs, "spec")
+    specs = _override_engine(_load_or_die(path, load_specs, "spec"), engine)
     if len(specs) != 1:
         raise SystemExit(
             f"--spec expects exactly one RunSpec in {path!r}, found {len(specs)}; "
@@ -477,7 +526,7 @@ def _cmd_run_spec(
 
 
 def _cmd_batch(args, stream: IO[str]) -> int:
-    specs = _load_or_die(args.specs, load_specs, "spec")
+    specs = _override_engine(_load_or_die(args.specs, load_specs, "spec"), args.engine)
     if not specs:
         raise SystemExit(f"no specs found in {args.specs!r}")
     store = _store_or_die(args)
@@ -520,6 +569,7 @@ def _cmd_batch(args, stream: IO[str]) -> int:
         "terminated": terminated,
         "cache_hits": stats.cache_hits,
         "cache_misses": stats.cache_misses,
+        "batched_groups": stats.batched_groups,
         "store": store.root if store is not None else None,
         "store_hits": stats.store_hits,
         "store_misses": stats.store_misses,
@@ -605,6 +655,27 @@ def _cmd_bench(args, stream: IO[str]) -> int:
             file=stream,
         )
         payload["store"] = run_store_benchmarks(n_records=store_records)
+    if not args.no_batch_bench:
+        from .analysis.benchmark import BATCH_BENCH_KS, run_batch_benchmarks
+
+        batch_ks = tuple(args.batch_ks) if args.batch_ks else BATCH_BENCH_KS
+        print(
+            "benchmarking batch engine seed-groups (run_many vs per-seed "
+            f"fastpath) at K in {{{', '.join(str(k) for k in batch_ks)}}}",
+            file=stream,
+        )
+
+        def batch_progress(row) -> None:
+            print(
+                f"  K={row['k']:<4} batch {row['batch_steps_per_sec']:.0f} "
+                f"fastpath {row['fastpath_steps_per_sec']:.0f} steps/sec  "
+                f"(ratio {row['ratio']:.2f}x)",
+                file=stream,
+            )
+
+        payload["batch"] = run_batch_benchmarks(
+            ks=batch_ks, repeats=repeats, progress=batch_progress
+        )
     write_benchmarks(payload, args.out)
     print(file=stream)
     print(render_bench_table(payload), file=stream)
@@ -625,7 +696,14 @@ def _cmd_registry(stream: IO[str]) -> int:
     for kind, registry in all_registries().items():
         print(f"{kind}:", file=stream)
         for name in registry.names():
-            print(f"  {name}", file=stream)
+            entry = registry.get(name)
+            caps = getattr(entry, "capabilities", None)
+            if callable(caps):
+                # Engines are EngineInfo capability contracts; print what
+                # each one actually supports next to its name.
+                print(f"  {name}  [{', '.join(caps())}]", file=stream)
+            else:
+                print(f"  {name}", file=stream)
     return 0
 
 
@@ -698,7 +776,7 @@ def _cmd_experiment(args, stream: IO[str]) -> int:
 
     start = time.time()
     total_specs = executed = reused = total_rows = 0
-    cache_hits = cache_misses = store_hits = store_misses = 0
+    cache_hits = cache_misses = store_hits = store_misses = batched_groups = 0
     engines_applied: Dict[str, Optional[str]] = {}
     for experiment in experiments:
         exp_start = time.time()
@@ -723,6 +801,7 @@ def _cmd_experiment(args, stream: IO[str]) -> int:
         cache_misses += result.stats.cache_misses
         store_hits += result.stats.store_hits
         store_misses += result.stats.store_misses
+        batched_groups += getattr(result.stats, "batched_groups", 0)
         total_rows += len(result.rows)
     elapsed = time.time() - start
 
@@ -743,6 +822,7 @@ def _cmd_experiment(args, stream: IO[str]) -> int:
         "reused": reused,
         "cache_hits": cache_hits,
         "cache_misses": cache_misses,
+        "batched_groups": batched_groups,
         "store": store.root if store is not None else None,
         "store_hits": store_hits,
         "store_misses": store_misses,
@@ -898,7 +978,14 @@ def main(argv: Optional[Sequence[str]] = None, stream: IO[str] = sys.stdout) -> 
         extra = open(args.out, "a", encoding="utf-8")
     try:
         if args.spec is not None:
-            return _cmd_run_spec(args.spec, stream, extra, store=_store_or_die(args))
+            return _cmd_run_spec(
+                args.spec, stream, extra, store=_store_or_die(args), engine=args.engine
+            )
+        if args.engine is not None:
+            raise SystemExit(
+                "--engine applies to --spec runs; for registered campaigns "
+                "use 'repro experiment --engine'"
+            )
         if not args.experiments:
             raise SystemExit("nothing to run: give experiment ids or --spec FILE")
         titles = _experiment_titles()

@@ -1,0 +1,382 @@
+"""Structure-of-arrays protocol kernels for the ``batch`` engine.
+
+A *batch kernel* is the multi-run analogue of a
+:mod:`~repro.core.flat_kernel` machine: where a flat kernel holds the
+state of one run as Python int arrays, a batch kernel holds the state of
+``K`` simultaneous runs of the *same compiled topology* as one numpy
+tensor per field, and advances all ``K`` runs with array operations — one
+delivery per active run per "super-step", chosen by ``K`` vectorized
+per-run RNG streams (:class:`~repro.network.batchpath.MTStreams`) that
+reproduce each run's :class:`~repro.network.scheduler.RandomScheduler`
+choices bit for bit.
+
+Protocols opt in by implementing
+:meth:`~repro.core.model.AnonymousProtocol.compile_batch` and returning
+an object with this interface:
+
+``run(streams, max_steps, capture=None) -> BatchRunOutcome``
+    Execute one run per RNG stream under the random-scheduler delivery
+    order, each with delivery budget ``max_steps``, and return the
+    per-run metric arrays.  ``capture``, when given, is a list of ``K``
+    lists the kernel appends each run's delivered edge ids to — the
+    differential tests use it to hold the vectorized delivery order to
+    the fastpath trace, delivery for delivery.
+
+The contract mirrors the fastpath kernels' exactness bar: a batch kernel
+must be *result-equivalent* to running the same specs one at a time on
+the fastpath engine — same outcome, same step counts, same metric values
+per (spec, seed).  Protocols whose flat kernels need arbitrary-precision
+arithmetic (the dyadic ``(num, exp)`` weights of the tree/DAG machines
+can exceed 64 bits) have no batch kernel yet and fall back to per-spec
+fastpath execution inside ``run_many`` — the engine is correct for every
+protocol, vectorized for the ones that opted in.
+
+:class:`BatchFloodingKernel` is the first kernel: flooding state is one
+receipt bit per (run, vertex), every message costs the same constant
+bits, and the terminal predicate is constant-false, so the whole run is
+queue bookkeeping — ideal SoA material.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+import numpy as np
+
+__all__ = ["BatchRunOutcome", "BatchFloodingKernel"]
+
+
+@dataclass(frozen=True)
+class BatchRunOutcome:
+    """Per-run metric arrays from one batch-kernel execution (length ``K``).
+
+    ``termination_step`` uses ``-1`` for "never terminated" (flooding
+    always reports ``-1``); ``exhausted`` marks runs stopped by the step
+    budget with messages still in flight.  ``messages_at_termination`` /
+    ``bits_at_termination`` carry the run totals for non-terminated runs,
+    matching :func:`~repro.network.fastpath._freeze_result`.
+    """
+
+    steps: np.ndarray
+    exhausted: np.ndarray
+    total_messages: np.ndarray
+    total_bits: np.ndarray
+    max_message_bits: np.ndarray
+    max_edge_messages: np.ndarray
+    max_edge_bits: np.ndarray
+    termination_step: np.ndarray
+    messages_at_termination: np.ndarray
+    bits_at_termination: np.ndarray
+
+
+class BatchFloodingKernel:
+    """SoA machine for the no-termination flooding baseline.
+
+    Per-run state across ``K`` runs: a ``(K, capacity)`` in-flight queue
+    mirroring the :class:`RandomScheduler`'s append order (the dense
+    path queues head vertices, the general path edge ids), a ``(K, |V|)``
+    receipt-bit matrix and — in the general path — a ``(K, |E|)``
+    per-edge delivery count.  Every super-step delivers exactly one
+    message in each still-active run: a vectorized ``randrange(len)``
+    per run picks the queue slot, the swap-pop mirrors the scheduler's,
+    and the fresh receivers' out-edges are appended with one padded
+    rectangular scatter (dense) or ragged CSR scatter (general).
+
+    ``capacity`` is the exact worst case: every message ever pushed is
+    the root burst plus one burst per first receipt, so the in-flight
+    count never exceeds ``outdeg(root) + |E|``.
+    """
+
+    __slots__ = (
+        "message_bits",
+        "num_vertices",
+        "num_edges",
+        "root",
+        "edge_head",
+        "edge_tail",
+        "root_edge_bonus",
+        "out_degree",
+        "out_start",
+        "out_flat",
+        "head_pad",
+        "arange_pad",
+        "capacity",
+        "reached",
+        "drain_steps",
+        "max_edge_count",
+    )
+
+    def __init__(self, protocol: Any, compiled: Any) -> None:
+        self.message_bits = 1 + protocol.payload_bits
+        self.num_vertices = compiled.num_vertices
+        self.num_edges = compiled.num_edges
+        self.root = compiled.root
+        self.edge_head = np.asarray(compiled.edge_head, dtype=np.int64)
+        self.edge_tail = np.asarray(compiled.edge_tail, dtype=np.int64)
+        # The root's initial burst pushes each of its out-edges once
+        # before any receipt; every later push of edge e comes from a
+        # first receipt at tail(e).
+        self.root_edge_bonus = (self.edge_tail == self.root).astype(np.int64)
+        out_degree = np.asarray(
+            [len(eids) for eids in compiled.out_edge_ids], dtype=np.int64
+        )
+        self.out_degree = out_degree
+        starts = np.zeros(self.num_vertices, dtype=np.int64)
+        np.cumsum(out_degree[:-1], out=starts[1:])
+        self.out_start = starts
+        self.out_flat = np.asarray(
+            [eid for eids in compiled.out_edge_ids for eid in eids] or [0],
+            dtype=np.int64,
+        )
+        # Degree-padded out-neighbour matrix: the dense loop appends a
+        # burst with one rectangular masked scatter instead of ragged CSR
+        # math.  It stores head *vertices*, not edge ids: the dense loop
+        # never needs the edge identity (per-edge counts are analytic),
+        # so queueing heads directly saves an ``edge_head`` gather per
+        # super-step.
+        max_degree = int(out_degree.max()) if self.num_vertices else 0
+        head_pad = np.zeros((self.num_vertices, max_degree), dtype=np.int64)
+        for vertex, eids in enumerate(compiled.out_edge_ids):
+            head_pad[vertex, : len(eids)] = self.edge_head[list(eids)]
+        self.head_pad = head_pad
+        self.arange_pad = np.arange(max_degree, dtype=np.int64)
+        self.capacity = max(1, self.num_edges + int(out_degree[self.root]))
+        # Under a full budget, flooding's observables are structural:
+        # every pushed message is delivered, the set of vertices that
+        # ever receive one is the set reachable from the root by >= 1
+        # edge (order-independent), and with it the drain step — the
+        # root burst plus one burst per reached vertex — and every
+        # per-edge delivery count.  Precomputing them here is what lets
+        # :meth:`_run_dense` drop all per-step accounting.
+        reached = np.zeros(self.num_vertices, dtype=bool)
+        if self.num_vertices:
+            heads = [
+                [int(self.edge_head[eid]) for eid in eids]
+                for eids in compiled.out_edge_ids
+            ]
+            stack = []
+            for head in heads[self.root]:
+                if not reached[head]:
+                    reached[head] = True
+                    stack.append(head)
+            while stack:
+                for head in heads[stack.pop()]:
+                    if not reached[head]:
+                        reached[head] = True
+                        stack.append(head)
+        self.reached = reached
+        self.drain_steps = int(out_degree[self.root]) + int(
+            out_degree[reached].sum()
+        )
+        if self.num_edges:
+            per_edge = reached[self.edge_tail].astype(np.int64) + self.root_edge_bonus
+            self.max_edge_count = int(per_edge.max())
+        else:
+            self.max_edge_count = 0
+
+    def run(
+        self,
+        streams: Any,
+        max_steps: int,
+        capture: Optional[List[List[int]]] = None,
+    ) -> BatchRunOutcome:
+        # Total pops never exceed `capacity` pushes, so when the budget is
+        # at least that large it cannot bind and all per-step accounting
+        # can move out of the hot loop (the common case: the default
+        # budget is 64 + 16|E|(|V|+2) >> 2|E|).  Capture requests take the
+        # general loop too — they need the per-pop edge ids.
+        if max_steps >= self.capacity and capture is None:
+            return self._run_dense(streams)
+        return self._run_general(streams, max_steps, capture)
+
+    def _run_dense(self, streams: Any) -> BatchRunOutcome:
+        """Hot path: every run gets the full budget, no capture.
+
+        With a full budget every flooding observable is structural
+        (precomputed in ``__init__``): every run drains at exactly
+        ``drain_steps`` regardless of delivery order, and receives on
+        exactly the reachable set.  The loop therefore carries *no*
+        accounting at all — its job is to advance the ``K`` queues and
+        RNG streams exactly as the per-run schedulers would (each pop
+        feeds the next ``randrange`` its queue length, so the simulation
+        itself cannot be skipped), which is what keeps the streams'
+        word consumption and the general path's delivery order honest.
+        The terminal drain assertion would catch any divergence between
+        the simulated queues and the precomputed structure.  Note this
+        consumes ``streams``.
+        """
+        k = streams.k
+        cap = self.capacity
+        num_vertices = self.num_vertices
+        q = np.zeros((k, cap), dtype=np.int64)
+        q_flat = q.reshape(-1)
+        qlen = np.zeros(k, dtype=np.int64)
+        notgot_flat = np.ones(k * num_vertices, dtype=bool)
+
+        root_degree = int(self.out_degree[self.root])
+        if root_degree:
+            start = self.out_start[self.root]
+            root_edges = self.out_flat[start : start + root_degree]
+            q[:, :root_degree] = self.edge_head[root_edges]
+            qlen[:] = root_degree
+
+        out_degree = self.out_degree
+        head_pad = self.head_pad
+        arange_pad = self.arange_pad
+        row_cap = np.arange(k, dtype=np.int64) * cap
+        row_v = np.arange(k, dtype=np.int64) * num_vertices
+
+        # Loop-carried scratch: every per-step array is (k,)-shaped, so
+        # the hot loop reuses these instead of allocating ~6 arrays per
+        # super-step.
+        addr = np.empty(k, dtype=np.int64)
+        head = np.empty(k, dtype=np.int64)
+        tail_src = np.empty(k, dtype=np.int64)
+        got_addr = np.empty(k, dtype=np.int64)
+        fresh = np.empty(k, dtype=bool)
+
+        # Receipts still to come across all runs.  Once zero, no pop can
+        # be fresh, so nothing ever reads a popped value again — the
+        # queue contents are inert and only the length sequence matters
+        # (it feeds each randrange its argument), so the tail loop below
+        # drops the pop/swap bookkeeping entirely.
+        remaining = k * int(self.reached.sum())
+        step = 0
+        while step < self.drain_steps and remaining:
+            step += 1
+            idx = streams.randbelow_dense(qlen)
+            np.add(row_cap, idx, out=addr)
+            q_flat.take(addr, out=head)  # queue holds head vertices
+            qlen -= 1
+            np.add(row_cap, qlen, out=got_addr)  # reused as a temp
+            q_flat.take(got_addr, out=tail_src)
+            q_flat[addr] = tail_src
+            np.add(row_v, head, out=got_addr)
+            notgot_flat.take(got_addr, out=fresh)
+            frows = np.nonzero(fresh)[0]
+            if frows.size:
+                remaining -= frows.size
+                fheads = head.take(frows)
+                notgot_flat[got_addr.take(frows)] = False
+                counts = out_degree.take(fheads)
+                qlen_old = qlen.take(frows)
+                src = head_pad[fheads]  # (m, max_degree), zero-padded
+                mask = (arange_pad < counts[:, None]).reshape(-1)
+                dest = (
+                    (row_cap.take(frows) + qlen_old)[:, None] + arange_pad
+                ).reshape(-1)
+                qlen[frows] = qlen_old + counts
+                q_flat[dest[mask]] = src.reshape(-1)[mask]
+        while step < self.drain_steps:
+            step += 1
+            streams.randbelow_dense(qlen)
+            qlen -= 1
+
+        if qlen.any():
+            raise RuntimeError(
+                "batch flooding kernel failed to drain at its structural "
+                "step count — queue simulation and topology disagree"
+            )
+
+        bits = self.message_bits
+        steps = np.full(k, self.drain_steps, dtype=np.int64)
+        total_bits = steps * bits
+        max_edge_messages = np.full(k, self.max_edge_count, dtype=np.int64)
+        return BatchRunOutcome(
+            steps=steps,
+            exhausted=np.zeros(k, dtype=bool),
+            total_messages=steps,
+            total_bits=total_bits,
+            max_message_bits=np.where(steps > 0, bits, 0),
+            max_edge_messages=max_edge_messages,
+            max_edge_bits=max_edge_messages * bits,
+            termination_step=np.full(k, -1, dtype=np.int64),
+            messages_at_termination=steps,
+            bits_at_termination=total_bits,
+        )
+
+    def _run_general(
+        self,
+        streams: Any,
+        max_steps: int,
+        capture: Optional[List[List[int]]],
+    ) -> BatchRunOutcome:
+        """Per-pop accounting loop: binding budgets and capture requests.
+
+        Draws RNG words in exactly the same order as :meth:`_run_dense`
+        (one ``randbelow`` per active run per super-step), so the two
+        loops make identical scheduler choices for identical streams.
+        """
+        k = streams.k
+        q = np.zeros((k, self.capacity), dtype=np.int64)
+        qlen = np.zeros(k, dtype=np.int64)
+        steps = np.zeros(k, dtype=np.int64)
+        got = np.zeros((k, self.num_vertices), dtype=bool)
+        edge_messages = np.zeros((k, max(1, self.num_edges)), dtype=np.int64)
+
+        root_degree = int(self.out_degree[self.root])
+        if root_degree:
+            start = self.out_start[self.root]
+            q[:, :root_degree] = self.out_flat[start : start + root_degree]
+            qlen[:] = root_degree
+
+        edge_head = self.edge_head
+        out_degree = self.out_degree
+        out_start = self.out_start
+        out_flat = self.out_flat
+
+        while True:
+            cols = np.nonzero((qlen > 0) & (steps < max_steps))[0]
+            if cols.size == 0:
+                break
+            n = qlen[cols]
+            idx = streams.randbelow(n, cols)
+            last = n - 1
+            eid = q[cols, idx]
+            q[cols, idx] = q[cols, last]
+            qlen[cols] = last
+            steps[cols] += 1
+            edge_messages[cols, eid] += 1
+            if capture is not None:
+                for col, edge in zip(cols.tolist(), eid.tolist()):
+                    capture[col].append(edge)
+
+            head = edge_head[eid]
+            fresh = ~got[cols, head]
+            if fresh.any():
+                fcols = cols[fresh]
+                fheads = head[fresh]
+                got[fcols, fheads] = True
+                counts = out_degree[fheads]
+                total = int(counts.sum())
+                if total:
+                    rep_cols = np.repeat(fcols, counts)
+                    ends = np.cumsum(counts)
+                    ramp = np.arange(total, dtype=np.int64) - np.repeat(
+                        ends - counts, counts
+                    )
+                    src = out_flat[np.repeat(out_start[fheads], counts) + ramp]
+                    dest = np.repeat(qlen[fcols], counts) + ramp
+                    q[rep_cols, dest] = src
+                    qlen[fcols] += counts
+
+        bits = self.message_bits
+        total_bits = steps * bits
+        max_edge_messages = (
+            edge_messages.max(axis=1)
+            if self.num_edges
+            else np.zeros(k, dtype=np.int64)
+        )
+        return BatchRunOutcome(
+            steps=steps,
+            exhausted=qlen > 0,
+            total_messages=steps,
+            total_bits=total_bits,
+            max_message_bits=np.where(steps > 0, bits, 0),
+            max_edge_messages=max_edge_messages,
+            max_edge_bits=max_edge_messages * bits,
+            termination_step=np.full(k, -1, dtype=np.int64),
+            messages_at_termination=steps,
+            bits_at_termination=total_bits,
+        )

@@ -146,6 +146,21 @@ class AnonymousProtocol(abc.ABC, Generic[State, Message]):
         """
         return None
 
+    def compile_batch(self, compiled: Any) -> Optional[Any]:
+        """Optional structure-of-arrays kernel for the ``batch`` engine.
+
+        ``compiled`` is a :class:`~repro.network.fastpath.CompiledNetwork`.
+        A protocol may return a batch kernel (see
+        :mod:`repro.core.batch_kernel`) whose ``run(streams, max_steps)``
+        executes K simultaneous runs of this topology — one per RNG
+        stream — under the random scheduler's delivery order, with every
+        per-run result *exactly* equal to a fastpath run of the same
+        (spec, seed).  Return ``None`` (the default) and the batch engine
+        falls back to per-spec fastpath execution, which is always
+        correct.
+        """
+        return None
+
     def clone_state(self, state: State) -> State:
         """An independent copy of ``state`` for schedule-tree branching.
 

@@ -225,7 +225,7 @@ class TestBenchCli:
             [
                 "bench", "--sizes", "8", "--repeats", "1",
                 "--engines", "async", "fastpath",
-                "--no-protocols", "--out", str(out),
+                "--no-protocols", "--no-batch-bench", "--out", str(out),
             ],
             stream=stream,
         )
@@ -245,7 +245,7 @@ class TestBenchCli:
         code = main(
             [
                 "bench", "--sizes", "8", "--repeats", "1",
-                "--engines", "async", "fastpath", "--no-protocols",
+                "--engines", "async", "fastpath", "--no-protocols", "--no-batch-bench",
                 "--out", str(out), "--floors", str(floors),
             ],
             stream=stream,
@@ -263,7 +263,7 @@ class TestBenchCli:
         code = main(
             [
                 "bench", "--sizes", "8", "--repeats", "1",
-                "--engines", "async", "fastpath", "--no-protocols",
+                "--engines", "async", "fastpath", "--no-protocols", "--no-batch-bench",
                 "--out", str(out), "--floors", str(floors),
             ],
             stream=stream,
@@ -284,7 +284,7 @@ class TestBenchCliProtocolMatrix:
             [
                 "bench", "--sizes", "8", "--repeats", "1",
                 "--engines", "async", "fastpath",
-                "--protocols-n", "8",
+                "--protocols-n", "8", "--no-batch-bench",
                 "--out", str(out), "--floors", str(floors),
             ],
             stream=stream,
@@ -306,7 +306,7 @@ class TestBenchCliProtocolMatrix:
         code = main(
             [
                 "bench", "--sizes", "8", "--repeats", "1",
-                "--engines", "async", "fastpath", "--no-protocols",
+                "--engines", "async", "fastpath", "--no-protocols", "--no-batch-bench",
                 "--out", str(out), "--floors", str(floors),
             ],
             stream=stream,
@@ -365,7 +365,7 @@ class TestStoreBench:
                 "8",
                 "--repeats",
                 "1",
-                "--no-protocols",
+                "--no-protocols", "--no-batch-bench",
                 "--no-store-bench",
                 "--floors",
                 str(floors),
@@ -421,3 +421,101 @@ class TestBatchSummaryLine:
         assert second["executed"] == 0
         assert second["reused"] == 2
         assert second["output"] == str(out)
+
+
+class TestBatchBench:
+    """The batch-engine seed-group suite and its ratio floor."""
+
+    def _block(self, ks=(3,)):
+        pytest.importorskip("numpy")
+        from repro.analysis.benchmark import run_batch_benchmarks
+
+        return run_batch_benchmarks(ks=ks, repeats=1)
+
+    def test_block_shape(self):
+        block = self._block(ks=(2, 4))
+        assert block["ks"] == [2, 4]
+        assert [row["k"] for row in block["results"]] == [2, 4]
+        for row in block["results"]:
+            assert row["steps"] > 0
+            assert row["batch_steps_per_sec"] > 0
+            assert row["fastpath_steps_per_sec"] > 0
+            assert row["ratio"] > 0
+        assert block["workload"]["graph_params"]["seed"] == 0  # pinned topology
+
+    def test_bench_spec_pins_the_graph_seed(self):
+        from repro.analysis.benchmark import batch_bench_spec
+
+        spec = batch_bench_spec()
+        assert spec.engine == "batch"
+        assert "seed" in spec.graph_params  # one topology per seed-group
+
+    def test_batch_floors_pass_and_fail(self):
+        payload = {"batch": self._block()}
+        assert check_floors(payload, {"batch_vs_fastpath_min_ratio": {"3": 0.001}}) == []
+        violations = check_floors(
+            payload, {"batch_vs_fastpath_min_ratio": {"3": 10**6}}
+        )
+        assert len(violations) == 1
+        assert "batch vs fastpath" in violations[0]
+
+    def test_missing_k_is_a_violation(self):
+        payload = {"batch": self._block()}
+        violations = check_floors(
+            payload, {"batch_vs_fastpath_min_ratio": {"512": 1.0}}
+        )
+        assert len(violations) == 1
+        assert "K=512" in violations[0]
+
+    def test_missing_batch_block_is_a_violation(self):
+        violations = check_floors({}, {"batch_vs_fastpath_min_ratio": {"64": 3.0}})
+        assert len(violations) == 1
+        assert "no batch benchmark block" in violations[0]
+        assert "--no-batch-bench" in violations[0]
+
+    def test_checked_in_floors_gate_the_batch_engine(self):
+        from pathlib import Path
+
+        floor_path = Path(__file__).resolve().parents[2] / "benchmarks" / "floors.json"
+        floors = load_floors(str(floor_path))
+        assert floors["batch_vs_fastpath_min_ratio"]["64"] >= 3.0
+
+    def test_render_table_mentions_batch(self):
+        payload = tiny_payload()
+        payload["batch"] = self._block()
+        text = render_bench_table(payload)
+        assert "batch engine seed-groups" in text
+        assert "fastpath/s" in text
+
+    def test_bench_cli_writes_batch_block(self, tmp_path):
+        pytest.importorskip("numpy")
+        out = tmp_path / "BENCH_engines.json"
+        stream = io.StringIO()
+        code = main(
+            [
+                "bench", "--sizes", "8", "--repeats", "1",
+                "--engines", "fastpath", "--no-protocols", "--no-store-bench",
+                "--batch-ks", "3", "--out", str(out),
+            ],
+            stream=stream,
+        )
+        assert code == 0
+        payload = json.loads(out.read_text(encoding="utf-8"))
+        assert [row["k"] for row in payload["batch"]["results"]] == [3]
+        assert "batch engine seed-groups" in stream.getvalue()
+
+    def test_bench_cli_no_batch_bench_fails_batch_floor(self, tmp_path):
+        floors = tmp_path / "floors.json"
+        floors.write_text(json.dumps({"batch_vs_fastpath_min_ratio": {"64": 3.0}}))
+        stream = io.StringIO()
+        code = main(
+            [
+                "bench", "--sizes", "8", "--repeats", "1",
+                "--engines", "fastpath", "--no-protocols", "--no-store-bench",
+                "--no-batch-bench",
+                "--floors", str(floors), "--out", str(tmp_path / "bench.json"),
+            ],
+            stream=stream,
+        )
+        assert code == 1
+        assert "no batch benchmark block" in stream.getvalue()

@@ -158,3 +158,55 @@ class TestInvalidFaultsPayload:
         stream = io.StringIO()
         assert main(["run", "--spec", path], stream=stream) == 0
         assert "terminated" in stream.getvalue()
+
+
+class TestEngineCapability:
+    """Capability mismatches (EngineInfo flags) get the one-line treatment."""
+
+    def _write_spec(self, tmp_path, **extra):
+        path = tmp_path / "spec.json"
+        payload = {
+            "graph": "random-grounded-tree",
+            "graph_params": {"num_internal": 4},
+            "protocol": "tree-broadcast",
+            **extra,
+        }
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        return str(path)
+
+    def test_faults_on_batch_engine_in_spec_file(self, tmp_path):
+        path = self._write_spec(
+            tmp_path, engine="batch", faults={"drop_probability": 0.1}
+        )
+        message = _run_expecting_error(["run", "--spec", path])
+        assert "does not support fault injection" in message
+        assert "fastpath" in message  # the capable engines help the user recover
+
+    def test_faults_with_engine_override_flag(self, tmp_path):
+        path = self._write_spec(tmp_path, faults={"drop_probability": 0.1})
+        for argv in (
+            ["run", "--spec", path, "--engine", "batch"],
+            ["batch", path, "--engine", "batch", "--serial"],
+        ):
+            message = _run_expecting_error(argv)
+            assert "does not support fault injection" in message
+
+    def test_unknown_engine_override(self, tmp_path):
+        path = self._write_spec(tmp_path)
+        message = _run_expecting_error(["run", "--spec", path, "--engine", "bogus"])
+        assert "unknown engine" in message
+        assert "batch" in message  # the registry listing helps the user recover
+
+    def test_engine_flag_rejected_for_legacy_experiment_ids(self):
+        message = _run_expecting_error(["run", "E1", "--engine", "batch"])
+        assert "repro experiment --engine" in message
+
+    def test_engine_override_happy_path(self, tmp_path):
+        path = self._write_spec(tmp_path)
+        stream = io.StringIO()
+        code = main(
+            ["run", "--spec", path, "--engine", "batch", "--no-store"],
+            stream=stream,
+        )
+        assert code == 0
+        assert '"engine": "batch"' in stream.getvalue()

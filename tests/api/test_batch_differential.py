@@ -1,0 +1,272 @@
+"""Differential equivalence: the ``batch`` engine vs per-seed fastpath.
+
+The batch engine's contract is *result identity per (spec, seed)*: a
+seed-group dispatched through ``run_many`` must yield, run for run,
+exactly the record the ``fastpath`` engine produces for the same spec
+with that seed — same outcome, same step and message counts, every
+metric equal — modulo the wall-clock :data:`~repro.api.spec.TIMING_FIELDS`
+and the ``engine`` field itself.  That holds both when the group truly
+vectorizes (flooding under a stock random scheduler: one state tensor,
+RNG streams bit-identical to CPython's MT19937) and when it falls back
+to per-spec execution (non-random schedulers, protocols without a batch
+kernel), so callers never need to know which path ran.
+
+The MT19937 claim is load-bearing enough to test directly:
+:class:`~repro.network.batchpath.MTStreams` is compared word for word
+against ``random.Random`` over adversarial call patterns (rejection
+stragglers, buffer-boundary reseeds, subset draws, stream compaction).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.api import ENGINES, RunSpec, ensure_registered, execute_spec
+from repro.network.batchpath import MTStreams, run_many_batched
+
+ensure_registered()
+
+#: One representative per registered graph family (every topology shape
+#: the batch kernel's padded scatter must handle: paths, stars-on-a-spine,
+#: trees, DAGs, cyclic digraphs, geometric fields).  Stochastic families
+#: pin their *graph* seed so a seed-group shares one topology.
+GRAPH_FAMILIES = (
+    ("path-network", {"length": 6}),
+    ("caterpillar-gn", {"n": 5}),
+    ("random-grounded-tree", {"num_internal": 7}),
+    ("random-dag", {"num_internal": 7, "seed": 3}),
+    ("random-digraph", {"num_internal": 7, "seed": 3}),
+    ("layered-diamond-dag", {"depth": 3}),
+    ("geometric-sensor-field", {"num_sensors": 12, "seed": 1}),
+    ("full-tree-with-terminal", {"degree": 2, "height": 3}),
+)
+
+#: flooding vectorizes; the others exercise the per-spec fallback path.
+PROTOCOLS_UNDER_TEST = ("flooding", "tree-broadcast", "dag-broadcast")
+
+SEEDS = list(range(9))
+
+
+def comparable(record):
+    """The record as a dict, modulo timing and the engine tag."""
+    payload = record.comparable_dict()
+    payload["spec"].pop("engine")
+    return payload
+
+
+def fastpath_twin(spec: RunSpec, seed) -> dict:
+    return comparable(
+        execute_spec(dataclasses.replace(spec, engine="fastpath", seed=seed))
+    )
+
+
+def run_group(spec: RunSpec, seeds):
+    records = run_many_batched(spec, seeds)
+    assert [r.spec.seed for r in records] == list(seeds), "input order lost"
+    assert all(r.spec.engine == spec.engine for r in records)
+    return records
+
+
+@pytest.mark.parametrize("graph,graph_params", GRAPH_FAMILIES)
+@pytest.mark.parametrize("protocol", PROTOCOLS_UNDER_TEST)
+def test_batch_matches_fastpath(protocol, graph, graph_params):
+    spec = RunSpec(
+        graph=graph,
+        graph_params=graph_params,
+        protocol=protocol,
+        scheduler="random",
+        engine="batch",
+        max_steps=4000,
+    )
+    for record, seed in zip(run_group(spec, SEEDS), SEEDS):
+        assert comparable(record) == fastpath_twin(spec, seed), (
+            f"batch != fastpath for {protocol} on {graph} seed {seed}"
+        )
+
+
+@pytest.mark.parametrize("scheduler", ["fifo", "lifo", "terminal-first"])
+def test_non_random_schedulers_fall_back_and_still_match(scheduler):
+    spec = RunSpec(
+        graph="random-digraph",
+        graph_params={"num_internal": 7, "seed": 3},
+        protocol="flooding",
+        scheduler=scheduler,
+        engine="batch",
+        max_steps=4000,
+    )
+    for record, seed in zip(run_group(spec, SEEDS[:4]), SEEDS[:4]):
+        assert comparable(record) == fastpath_twin(spec, seed)
+
+
+def test_pinned_scheduler_seed_still_matches():
+    """All runs share one scheduler stream seed; records must still agree."""
+    spec = RunSpec(
+        graph="random-digraph",
+        graph_params={"num_internal": 7, "seed": 3},
+        protocol="flooding",
+        scheduler="random",
+        scheduler_params={"seed": 1234},
+        engine="batch",
+        max_steps=4000,
+    )
+    for record, seed in zip(run_group(spec, SEEDS[:5]), SEEDS[:5]):
+        assert comparable(record) == fastpath_twin(spec, seed)
+
+
+def test_bounded_budget_takes_general_loop_and_matches():
+    """A small ``max_steps`` forces the per-pop loop; identity still holds."""
+    spec = RunSpec(
+        graph="geometric-sensor-field",
+        graph_params={"num_sensors": 12, "seed": 1},
+        protocol="flooding",
+        scheduler="random",
+        engine="batch",
+        max_steps=30,
+    )
+    for record, seed in zip(run_group(spec, SEEDS), SEEDS):
+        record_dict = comparable(record)
+        assert record_dict == fastpath_twin(spec, seed)
+        assert record_dict["metrics"]["steps"] <= 30
+
+
+def test_k1_group_is_exactly_one_fastpath_run():
+    spec = RunSpec(
+        graph="path-network",
+        graph_params={"length": 6},
+        protocol="flooding",
+        scheduler="random",
+        engine="batch",
+    )
+    (record,) = run_group(spec, [7])
+    assert comparable(record) == fastpath_twin(spec, 7)
+
+
+def test_ragged_group_with_none_and_duplicate_seeds():
+    """Unvectorizable members (seed=None draws entropy) execute as
+    leftovers; duplicates must each get their own identical record."""
+    spec = RunSpec(
+        graph="path-network",
+        graph_params={"length": 6},
+        protocol="flooding",
+        scheduler="random",
+        engine="batch",
+    )
+    seeds = [3, 5, 3, None, 8]
+    records = run_many_batched(spec, seeds)
+    assert [r.spec.seed for r in records[:3]] == [3, 5, 3]
+    assert comparable(records[0]) == comparable(records[2]) == fastpath_twin(spec, 3)
+    assert comparable(records[1]) == fastpath_twin(spec, 5)
+    assert comparable(records[4]) == fastpath_twin(spec, 8)
+    assert records[3].spec.seed is None  # entropy-seeded, still executed
+
+
+def test_records_round_trip_through_json():
+    from repro.api import RunRecord
+
+    spec = RunSpec(
+        graph="random-dag",
+        graph_params={"num_internal": 7, "seed": 3},
+        protocol="flooding",
+        scheduler="random",
+        engine="batch",
+        max_steps=4000,
+    )
+    for record in run_group(spec, SEEDS[:3]):
+        clone = RunRecord.from_dict(record.to_dict())
+        assert comparable(clone) == comparable(record)
+
+
+def test_engine_registry_dispatches_run_many():
+    info = ENGINES.get("batch")
+    spec = RunSpec(
+        graph="path-network",
+        graph_params={"length": 6},
+        protocol="flooding",
+        scheduler="random",
+        engine="batch",
+    )
+    records = info.run_many(spec, SEEDS[:4])
+    for record, seed in zip(records, SEEDS[:4]):
+        assert comparable(record) == fastpath_twin(spec, seed)
+
+
+# ---------------------------------------------------------------------------
+# MTStreams vs random.Random: exact MT19937 parity
+# ---------------------------------------------------------------------------
+
+
+class TestMTStreamsParity:
+    def _references(self, seeds):
+        return [random.Random(s) for s in seeds]
+
+    def test_dense_walk_matches_cpython(self):
+        seeds = [0, 1, 2**31, 2**32 - 1, 12345, 424242, 7, 99]
+        streams = MTStreams(seeds)
+        refs = self._references(seeds)
+        rng = random.Random(2027)
+        for _ in range(3000):
+            # mixed magnitudes, including powers of two and n=1
+            n = np.array(
+                [rng.choice([1, 2, 3, 7, 8, 100, 2**16, 2**31 - 1]) for _ in refs],
+                dtype=np.int64,
+            )
+            got = streams.randbelow_dense(n)
+            expected = [ref._randbelow(int(m)) for ref, m in zip(refs, n)]
+            assert got.tolist() == expected
+
+    def test_tiny_n_straggler_storm(self):
+        """n=3 rejects ~25% of draws: the straggler path dominates."""
+        seeds = list(range(16))
+        streams = MTStreams(seeds)
+        refs = self._references(seeds)
+        n = np.full(16, 3, dtype=np.int64)
+        for _ in range(2000):
+            got = streams.randbelow_dense(n)
+            expected = [ref._randbelow(3) for ref in refs]
+            assert got.tolist() == expected
+
+    def test_subset_draws_match(self):
+        seeds = [11, 22, 33, 44, 55]
+        streams = MTStreams(seeds)
+        refs = self._references(seeds)
+        rng = random.Random(9)
+        for _ in range(1500):
+            cols = np.array(
+                sorted(rng.sample(range(5), rng.randint(1, 5))), dtype=np.int64
+            )
+            n = np.array([rng.randint(1, 50) for _ in cols], dtype=np.int64)
+            got = streams.randbelow(n, cols)
+            expected = [refs[c]._randbelow(int(m)) for c, m in zip(cols, n)]
+            assert got.tolist() == expected
+
+    def test_compact_preserves_stream_positions(self):
+        seeds = [5, 6, 7, 8]
+        streams = MTStreams(seeds)
+        refs = self._references(seeds)
+        n = np.full(4, 10, dtype=np.int64)
+        for _ in range(700):
+            assert streams.randbelow_dense(n).tolist() == [
+                ref._randbelow(10) for ref in refs
+            ]
+        keep = np.array([0, 2], dtype=np.int64)
+        streams.compact(keep)
+        kept_refs = [refs[0], refs[2]]
+        n2 = np.full(2, 10, dtype=np.int64)
+        for _ in range(1400):  # crosses the next buffer boundary
+            assert streams.randbelow_dense(n2).tolist() == [
+                ref._randbelow(10) for ref in kept_refs
+            ]
+
+    def test_seed_cache_returns_fresh_state(self):
+        """The lru-cached seeded state must not alias between instances."""
+        a = MTStreams([1, 2])
+        n = np.full(2, 5, dtype=np.int64)
+        first = [a.randbelow_dense(n).tolist() for _ in range(10)]
+        b = MTStreams([1, 2])
+        second = [b.randbelow_dense(n).tolist() for _ in range(10)]
+        assert first == second

@@ -169,3 +169,98 @@ class TestEdges:
             BatchRunner(max_workers=0)
         with pytest.raises(ValueError):
             BatchRunner(chunksize=0)
+
+
+def batch_specs(n: int, **overrides):
+    """A seed-group for the ``batch`` engine: same shape, seeds 0..n-1."""
+    base = dict(
+        graph="path-network",
+        graph_params={"length": 6},
+        protocol="flooding",
+        scheduler="random",
+        engine="batch",
+    )
+    base.update(overrides)
+    return [RunSpec(seed=seed, **base) for seed in range(n)]
+
+
+class TestSeedGrouping:
+    """Batching-capable engines get their pending work grouped by shape
+    (spec id modulo seed) and dispatched through ``run_many``."""
+
+    def test_groups_counted_and_records_match_fastpath(self):
+        pytest.importorskip("numpy")
+        import dataclasses
+
+        from repro.api import execute_spec
+
+        specs = batch_specs(6)
+        runner = BatchRunner(parallel=False)
+        records = runner.run(specs)
+        assert runner.stats.batched_groups == 1
+        assert runner.stats.executed == 6
+        for record, spec in zip(records, specs):
+            twin = execute_spec(dataclasses.replace(spec, engine="fastpath"))
+            got, expected = record.comparable_dict(), twin.comparable_dict()
+            got["spec"].pop("engine"), expected["spec"].pop("engine")
+            assert got == expected
+
+    def test_distinct_shapes_form_distinct_groups(self):
+        pytest.importorskip("numpy")
+        specs = batch_specs(3) + batch_specs(3, graph_params={"length": 8})
+        runner = BatchRunner(parallel=False)
+        runner.run(specs)
+        assert runner.stats.batched_groups == 2
+
+    def test_non_batching_engines_never_group(self):
+        runner = BatchRunner(parallel=False)
+        runner.run(batch_specs(4, engine="fastpath"))
+        assert runner.stats.batched_groups == 0
+        assert runner.stats.executed == 4
+
+    def test_singleton_group_skips_run_many(self):
+        runner = BatchRunner(parallel=False)
+        runner.run(batch_specs(1))
+        assert runner.stats.batched_groups == 0
+        assert runner.stats.executed == 1
+
+    def test_serial_and_parallel_groups_agree_modulo_timing(self):
+        pytest.importorskip("numpy")
+        specs = batch_specs(8) + tree_specs(3)
+        serial_runner = BatchRunner(parallel=False)
+        serial = serial_runner.run(specs)
+        parallel_runner = BatchRunner(max_workers=2)
+        parallel = parallel_runner.run(specs)
+        assert [r.comparable_dict() for r in serial] == [
+            r.comparable_dict() for r in parallel
+        ]
+        assert serial_runner.stats.batched_groups == 1
+        assert parallel_runner.stats.batched_groups == 1
+
+    def test_store_hit_inside_group_is_not_reexecuted(self, tmp_path):
+        pytest.importorskip("numpy")
+        from repro.store import ResultStore
+
+        specs = batch_specs(5)
+        store = ResultStore(str(tmp_path / "store"))
+        # Pre-populate the store with the *middle* member of the group.
+        seeded = BatchRunner(parallel=False, store=store)
+        seeded.run([specs[2]])
+        runner = BatchRunner(parallel=False, store=store)
+        records = runner.run(specs)
+        assert runner.stats.store_hits == 1
+        assert runner.stats.executed == 4  # the hit shrank the group
+        assert runner.stats.batched_groups == 1
+        assert [r.spec for r in records] == specs
+
+    def test_jsonl_resume_shrinks_group(self, tmp_path):
+        pytest.importorskip("numpy")
+        specs = batch_specs(5)
+        out = tmp_path / "records.jsonl"
+        BatchRunner(parallel=False).run(specs[:2], output_path=str(out))
+        runner = BatchRunner(parallel=False)
+        records = runner.run(specs, output_path=str(out))
+        assert runner.stats.reused == 2
+        assert runner.stats.executed == 3
+        assert runner.stats.batched_groups == 1
+        assert len(records) == 5
