@@ -57,6 +57,9 @@ __all__ = [
     "run_protocol_matrix",
     "run_store_benchmarks",
     "run_batch_benchmarks",
+    "run_trace_benchmarks",
+    "TRACE_BENCH_N",
+    "TRACE_BENCH_SAMPLE_K",
     "write_benchmarks",
     "load_floors",
     "check_floors",
@@ -97,6 +100,12 @@ BATCH_BENCH_KS = (16, 64, 256)
 
 #: The group size at which ``batch_vs_fastpath_min_ratio`` is gated.
 BATCH_BENCH_GATED_K = 64
+
+#: Graph size for the trace-capture overhead suite (the gated workload).
+TRACE_BENCH_N = 64
+
+#: Sampling rate for the suite's ``sample:k`` arm.
+TRACE_BENCH_SAMPLE_K = 8
 
 
 def bench_spec(
@@ -393,6 +402,168 @@ def run_batch_benchmarks(
     }
 
 
+class _NoKernel:
+    """Protocol proxy that never offers a compiled kernel.
+
+    Trace capture forces the fastpath engine onto the generic protocol
+    machine (kernels flatten payloads; the trace format must see the real
+    objects), so the fair overhead baseline is the *same* generic machine
+    without a sink — not the kernel, which would fold the whole
+    kernel-vs-generic gap into the "trace overhead" number.  The kernel
+    arm is still measured for context.
+    """
+
+    def __init__(self, protocol: Any) -> None:
+        self._protocol = protocol
+
+    def compile_fastpath(self, compiled: Any) -> None:
+        return None
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._protocol, name)
+
+
+def run_trace_benchmarks(
+    *,
+    n: int = TRACE_BENCH_N,
+    sample_k: int = TRACE_BENCH_SAMPLE_K,
+    repeats: int = 3,
+    progress: Optional[Any] = None,
+) -> Dict[str, Any]:
+    """Measure trace-capture overhead on the fastpath engine at ``|V| = n``.
+
+    Four arms over the canonical benchmark workload, interleaved round by
+    round with the best round kept per arm (no arm gets the
+    thermally-throttled half of the window):
+
+    * ``kernel`` — the compiled kernel, no sink (context: what an
+      untraced production run costs);
+    * ``untraced`` — the generic machine, no sink (the baseline trace
+      overhead is measured against, since capture always runs generic);
+    * ``traced-full`` — the generic machine recording every event to a
+      real ``.rtrace`` file, capture setup and finalize included;
+    * ``traced-sample:k`` — the same with 1-in-``sample_k`` sampling.
+
+    The gated number is ``overhead.traced_full_vs_untraced`` — wall time
+    of the traced arm over the untraced generic arm — which the
+    ``trace_overhead_max_ratio`` *ceiling* in ``benchmarks/floors.json``
+    bounds (machine-independent: both arms run on the same box).
+    """
+    import shutil
+    import tempfile
+    from dataclasses import replace
+
+    from ..api.spec import compiled_topology
+    from ..network.fastpath import run_protocol_fastpath
+    from ..tracing.capture import TraceCapture
+
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    template = bench_spec(n, "fastpath")
+    network = template.build_graph()
+    protocol = template.build_protocol()
+    compiled = compiled_topology(template, network)
+    no_kernel = _NoKernel(protocol)
+    full_spec = replace(template, trace="full")
+    sample_spec = replace(template, trace=f"sample:{sample_k}")
+
+    def execute(protocol_obj: Any, sink: Optional[Any]) -> Any:
+        result = run_protocol_fastpath(
+            network,
+            protocol_obj,
+            template.build_scheduler(),
+            max_steps=template.max_steps,
+            stop_at_termination=template.stop_at_termination,
+            compiled=compiled,
+            trace_sink=sink,
+        )
+        if sink is not None:
+            sink.finalize(result)
+        return result
+
+    tmp = tempfile.mkdtemp(prefix="repro-trace-bench-")
+    try:
+        full_path = f"{tmp}/full.rtrace"
+        sample_path = f"{tmp}/sample.rtrace"
+        arms = [
+            ("kernel", lambda: execute(protocol, None)),
+            ("untraced", lambda: execute(no_kernel, None)),
+            (
+                "traced-full",
+                lambda: execute(
+                    no_kernel, TraceCapture(full_spec, network, full_path)
+                ),
+            ),
+            (
+                f"traced-sample:{sample_k}",
+                lambda: execute(
+                    no_kernel, TraceCapture(sample_spec, network, sample_path)
+                ),
+            ),
+        ]
+        # warmup (also yields the step count — tracing never changes it)
+        steps = None
+        trace_bytes: Dict[str, int] = {}
+        for name, run in arms:
+            result = run()
+            if steps is None:
+                steps = int(result.metrics.steps)
+        import os
+
+        trace_bytes["full"] = os.path.getsize(full_path)
+        trace_bytes["sample"] = os.path.getsize(sample_path)
+        assert steps is not None
+        rounds = repeats + 2
+        best: Dict[str, float] = {name: float("inf") for name, _ in arms}
+        for _ in range(rounds):
+            for name, run in arms:
+                start = time.perf_counter()
+                run()
+                best[name] = min(best[name], time.perf_counter() - start)
+        results = []
+        for name, _ in arms:
+            row = {
+                "arm": name,
+                "n": n,
+                "steps": steps,
+                "best_seconds": best[name],
+                "steps_per_sec": steps / best[name] if best[name] > 0 else 0.0,
+            }
+            results.append(row)
+            if progress is not None:
+                progress(row)
+        untraced = best["untraced"]
+        overhead = {
+            "traced_full_vs_untraced": (
+                best["traced-full"] / untraced if untraced > 0 else float("inf")
+            ),
+            f"traced_sample{sample_k}_vs_untraced": (
+                best[f"traced-sample:{sample_k}"] / untraced
+                if untraced > 0
+                else float("inf")
+            ),
+            "untraced_vs_kernel": (
+                untraced / best["kernel"] if best["kernel"] > 0 else float("inf")
+            ),
+            "trace_bytes_full": trace_bytes["full"],
+            "trace_bytes_sample": trace_bytes["sample"],
+        }
+        return {
+            "workload": {
+                "graph": template.graph,
+                "protocol": template.protocol,
+                "seed": template.seed,
+            },
+            "n": n,
+            "sample_k": sample_k,
+            "rounds": rounds,
+            "results": results,
+            "overhead": overhead,
+        }
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
 def synthetic_store_records(n_records: int) -> List[Any]:
     """``n_records`` distinct, cheap :class:`~repro.api.spec.RunRecord`\\ s.
 
@@ -513,8 +684,12 @@ def check_floors(payload: Dict[str, Any], floors: Dict[str, Any]) -> List[str]:
           "store_min_get_per_sec": 400,
           "store_min_contains_per_sec": 1500,
           "store_min_cache_hit_rate": 0.95,
-          "batch_vs_fastpath_min_ratio": {"64": 3.0}
+          "batch_vs_fastpath_min_ratio": {"64": 3.0},
+          "trace_overhead_max_ratio": 1.5
         }
+
+    ``trace_overhead_max_ratio`` is the one *ceiling*: full trace capture
+    may cost at most that multiple of the equivalent untraced run.
 
     Keys of the size-indexed floors are sizes as strings (JSON objects);
     ``protocol_vs_async_min_ratio`` is keyed by protocol registry name and
@@ -645,6 +820,31 @@ def check_floors(payload: Dict[str, Any], floors: Dict[str, Any]) -> List[str]:
                         f"batch vs fastpath at K={k} is {row['ratio']:.2f}x, "
                         f"below the floor of {minimum}x"
                     )
+
+    trace_maximum = floors.get("trace_overhead_max_ratio")
+    if trace_maximum is not None:
+        # A *ceiling*, not a floor: trace capture may cost at most this
+        # multiple of the untraced generic-machine run.
+        trace_block = payload.get("trace")
+        if trace_block is None:
+            violations.append(
+                "no trace benchmark block to check against "
+                "trace_overhead_max_ratio "
+                "(run repro bench without --no-trace-bench)"
+            )
+        else:
+            ratio = trace_block.get("overhead", {}).get(
+                "traced_full_vs_untraced"
+            )
+            if ratio is None:
+                violations.append(
+                    "trace benchmark block lacks 'traced_full_vs_untraced'"
+                )
+            elif ratio > trace_maximum:
+                violations.append(
+                    f"full trace capture costs {ratio:.2f}x the untraced "
+                    f"run, above the ceiling of {trace_maximum}x"
+                )
     return violations
 
 
@@ -709,5 +909,25 @@ def render_bench_table(payload: Dict[str, Any]) -> str:
                 f"{row['batch_steps_per_sec']:>12.0f} "
                 f"{row['fastpath_steps_per_sec']:>12.0f} "
                 f"{row['ratio']:>7.2f}x"
+            )
+    trace_block = payload.get("trace")
+    if trace_block:
+        lines.append("")
+        lines.append(
+            f"trace capture overhead at n={trace_block['n']} "
+            "(fastpath, generic machine):"
+        )
+        lines.append(f"{'arm':<20} {'steps':>8} {'best_s':>9} {'steps/sec':>12}")
+        for row in trace_block.get("results", []):
+            lines.append(
+                f"{row['arm']:<20} {row['steps']:>8} "
+                f"{row['best_seconds']:>9.4f} {row['steps_per_sec']:>12.0f}"
+            )
+        overhead = trace_block.get("overhead", {})
+        ratio = overhead.get("traced_full_vs_untraced")
+        if ratio is not None:
+            lines.append(
+                f"full capture overhead: {ratio:.2f}x untraced "
+                f"({overhead.get('trace_bytes_full', '?')} bytes written)"
             )
     return "\n".join(lines)

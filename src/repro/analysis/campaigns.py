@@ -48,6 +48,7 @@ __all__ = [
     "mapping_accuracy",
     "label_gap",
     "churn_labeling",
+    "trace_profile",
 ]
 
 
@@ -293,6 +294,53 @@ def churn_labeling(runs: Sequence[WhiteBoxRun]) -> List[Dict]:
 
 
 churn_labeling.white_box = True
+
+
+@AGGREGATORS.register("trace-profile")
+def trace_profile(runs: Sequence[WhiteBoxRun]) -> List[Dict]:
+    """Per-run trace histogramming (message sizes, loads, termination).
+
+    White-box: profiles the live in-memory :class:`~repro.network.trace.
+    Trace` of each run (the campaign's specs must set ``record_trace``),
+    so no ``.rtrace`` artifact is needed — the same
+    :class:`~repro.tracing.profiler.TraceProfiler` also reads recorded
+    files for ``repro trace profile``.  Rows carry the scalar profile
+    plus the histogram spreads that summarize the distributions.
+    """
+    from ..tracing.profiler import TraceProfiler
+
+    rows: List[Dict] = []
+    for record, result, net in runs:
+        trace = getattr(result, "trace", None)
+        if trace is None:
+            raise ValueError(
+                "trace-profile is white-box over recorded traces: spec "
+                f"{record.spec.spec_id} must set record_trace=True"
+            )
+        profile = TraceProfiler.from_trace(
+            trace, net, termination_step=record.metrics.get("termination_step")
+        ).profile()
+        rows.append(
+            {
+                "protocol": record.spec.protocol,
+                "graph": record.spec.graph,
+                "seed": record.spec.seed,
+                "V": record.num_vertices,
+                "E": record.num_edges,
+                "events": profile.events,
+                "total_bits": profile.total_bits,
+                "max_message_bits": profile.max_message_bits,
+                "mean_message_bits": round(profile.mean_message_bits, 2),
+                "distinct_sizes": len(profile.message_size_histogram),
+                "max_edge_messages": profile.max_edge_messages,
+                "max_vertex_load": profile.max_vertex_load,
+                "termination_step": profile.termination_step,
+            }
+        )
+    return rows
+
+
+trace_profile.white_box = True
 
 
 # ----------------------------------------------------------------------

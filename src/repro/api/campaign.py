@@ -209,14 +209,20 @@ class ExperimentSpec:
         return axes
 
     def expand(
-        self, *, scale: Optional[str] = None, engine: Optional[str] = None
+        self,
+        *,
+        scale: Optional[str] = None,
+        engine: Optional[str] = None,
+        trace: Optional[str] = None,
     ) -> List[RunSpec]:
         """The campaign's concrete runs, in deterministic grid order.
 
         The cartesian product iterates axes in declaration order with the
         first axis outermost (``itertools.product`` semantics); aggregators
         may therefore rely on group adjacency.  ``engine`` rewrites every
-        expanded spec's engine unless the campaign is ``engine_locked``.
+        expanded spec's engine unless the campaign is ``engine_locked``;
+        ``trace`` rewrites every spec's capture policy (``"full"`` /
+        ``"sample:k"``) so a whole campaign can be recorded.
         """
         axes = self.grid(scale)
         keys = list(axes)
@@ -231,6 +237,8 @@ class ExperimentSpec:
                     _assign(payload, key, copy.deepcopy(value))
             if engine is not None and not self.engine_locked:
                 payload["engine"] = engine
+            if trace is not None:
+                payload["trace"] = trace
             specs.append(RunSpec.from_dict(payload))
         return specs
 
@@ -326,6 +334,11 @@ class CampaignRunner:
         Engine override applied to every expanded spec (ignored by
         ``engine_locked`` campaigns, and by driver experiments — their
         harnesses do not run engines).
+    trace:
+        Trace-capture policy (``"full"`` / ``"sample:k"``) applied to
+        every expanded spec, recording the whole campaign; route the
+        artifacts with :func:`repro.tracing.capture_traces`.  Ignored by
+        driver experiments, like ``engine``.
     scale:
         Named scale from the campaign's ``scales`` (e.g. ``"quick"``).
     out_dir:
@@ -356,6 +369,7 @@ class CampaignRunner:
         *,
         engine: Optional[str] = None,
         scale: Optional[str] = None,
+        trace: Optional[str] = None,
         out_dir: Optional[str] = None,
         resume: bool = True,
         parallel: bool = False,
@@ -366,6 +380,7 @@ class CampaignRunner:
     ) -> None:
         self.engine = engine
         self.scale = scale
+        self.trace = trace
         self.out_dir = out_dir
         self.resume = resume
         self.parallel = parallel
@@ -426,7 +441,9 @@ class CampaignRunner:
         os.replace(tmp, rows_path)
 
     def _run_grid(self, experiment: ExperimentSpec) -> CampaignResult:
-        specs = experiment.expand(scale=self.scale, engine=self.engine)
+        specs = experiment.expand(
+            scale=self.scale, engine=self.engine, trace=self.trace
+        )
         applied_engine = None if experiment.engine_locked else self.engine
         runs_path, rows_path = self._artifact_paths(experiment.name)
         aggregate = AGGREGATORS.get(experiment.aggregator)

@@ -45,7 +45,12 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from .registry import ENGINES
 
-__all__ = ["ENGINES", "EngineInfo", "fault_capable_engines"]
+__all__ = [
+    "ENGINES",
+    "EngineInfo",
+    "fault_capable_engines",
+    "trace_capable_engines",
+]
 
 
 @dataclass(frozen=True)
@@ -69,6 +74,9 @@ class EngineInfo:
     supports_batching:
         Whether :class:`~repro.api.runner.BatchRunner` may dispatch whole
         seed-groups through :attr:`run_many`.
+    supports_trace:
+        Whether specs carrying a :attr:`~repro.api.spec.RunSpec.trace`
+        capture policy may select this engine (see :mod:`repro.tracing`).
     """
 
     name: str
@@ -76,6 +84,7 @@ class EngineInfo:
     run_many: Optional[Callable[[Any, Sequence[Any]], List[Any]]] = None
     supports_faults: bool = False
     supports_batching: bool = False
+    supports_trace: bool = False
 
     def __post_init__(self) -> None:
         if self.supports_batching != (self.run_many is not None):
@@ -97,6 +106,8 @@ class EngineInfo:
             tags.append("faults")
         if self.supports_batching:
             tags.append("batching")
+        if self.supports_trace:
+            tags.append("trace")
         return tuple(tags)
 
 
@@ -104,6 +115,13 @@ def fault_capable_engines() -> Tuple[str, ...]:
     """Registry names of every engine with ``supports_faults=True``."""
     return tuple(
         name for name in ENGINES.names() if ENGINES.get(name).supports_faults
+    )
+
+
+def trace_capable_engines() -> Tuple[str, ...]:
+    """Registry names of every engine with ``supports_trace=True``."""
+    return tuple(
+        name for name in ENGINES.names() if ENGINES.get(name).supports_trace
     )
 
 
@@ -119,22 +137,50 @@ def _faults_and_scheduler(spec: Any, network: Any) -> Tuple[Any, Any]:
     return injector, spec.build_scheduler()
 
 
+def _trace_capture(spec: Any, network: Any) -> Optional[Any]:
+    """The run's trace sink, or ``None`` (the overwhelmingly common case)."""
+    if getattr(spec, "trace", None) is None:
+        return None
+    from ..tracing.capture import open_capture
+
+    return open_capture(spec, network)
+
+
+def _extra_metrics(faults: Any, capture: Any) -> Dict[str, Any]:
+    """Fold fault and trace counters into the record's engine extras."""
+    extra: Dict[str, Any] = {}
+    if faults is not None:
+        extra.update(faults.counters())
+    if capture is not None:
+        extra.update(capture.counters())
+    return extra
+
+
 def _run_async(spec: Any, network: Any, protocol: Any) -> Tuple[Any, Dict[str, Any]]:
     """The paper's adversarial model: per-event delivery under a scheduler."""
     from ..network.simulator import run_protocol
 
     faults, scheduler = _faults_and_scheduler(spec, network)
-    result = run_protocol(
-        network,
-        protocol,
-        scheduler,
-        max_steps=spec.max_steps,
-        record_trace=spec.record_trace,
-        track_state_bits=spec.track_state_bits,
-        stop_at_termination=spec.stop_at_termination,
-        faults=faults,
-    )
-    return result, faults.counters() if faults is not None else {}
+    capture = _trace_capture(spec, network)
+    try:
+        result = run_protocol(
+            network,
+            protocol,
+            scheduler,
+            max_steps=spec.max_steps,
+            record_trace=spec.record_trace,
+            track_state_bits=spec.track_state_bits,
+            stop_at_termination=spec.stop_at_termination,
+            faults=faults,
+            trace_sink=capture,
+        )
+    except BaseException:
+        if capture is not None:
+            capture.abort()
+        raise
+    if capture is not None:
+        capture.finalize(result)
+    return result, _extra_metrics(faults, capture)
 
 
 def _run_fastpath(spec: Any, network: Any, protocol: Any) -> Tuple[Any, Dict[str, Any]]:
@@ -154,18 +200,27 @@ def _run_fastpath(spec: Any, network: Any, protocol: Any) -> Tuple[Any, Dict[str
     from .spec import compiled_topology
 
     faults, scheduler = _faults_and_scheduler(spec, network)
-    result = run_protocol_fastpath(
-        network,
-        protocol,
-        scheduler,
-        max_steps=spec.max_steps,
-        record_trace=spec.record_trace,
-        track_state_bits=spec.track_state_bits,
-        stop_at_termination=spec.stop_at_termination,
-        compiled=compiled_topology(spec, network),
-        faults=faults,
-    )
-    return result, faults.counters() if faults is not None else {}
+    capture = _trace_capture(spec, network)
+    try:
+        result = run_protocol_fastpath(
+            network,
+            protocol,
+            scheduler,
+            max_steps=spec.max_steps,
+            record_trace=spec.record_trace,
+            track_state_bits=spec.track_state_bits,
+            stop_at_termination=spec.stop_at_termination,
+            compiled=compiled_topology(spec, network),
+            faults=faults,
+            trace_sink=capture,
+        )
+    except BaseException:
+        if capture is not None:
+            capture.abort()
+        raise
+    if capture is not None:
+        capture.finalize(result)
+    return result, _extra_metrics(faults, capture)
 
 
 def _run_synchronous(spec: Any, network: Any, protocol: Any) -> Tuple[Any, Dict[str, Any]]:
@@ -190,11 +245,18 @@ def _run_batch_many(spec: Any, seeds: Sequence[Any]) -> List[Any]:
 
 ENGINES.register(
     "async",
-    EngineInfo(name="async", run_one=_run_async, supports_faults=True),
+    EngineInfo(
+        name="async", run_one=_run_async, supports_faults=True, supports_trace=True
+    ),
 )
 ENGINES.register(
     "fastpath",
-    EngineInfo(name="fastpath", run_one=_run_fastpath, supports_faults=True),
+    EngineInfo(
+        name="fastpath",
+        run_one=_run_fastpath,
+        supports_faults=True,
+        supports_trace=True,
+    ),
 )
 ENGINES.register(
     "synchronous",
@@ -204,7 +266,9 @@ ENGINES.register(
 # vectorized path only pays off across a seed-group), so run_one results
 # are fastpath-identical by construction; run_many vectorizes seed-groups
 # and falls back to per-spec fastpath execution for anything its kernels
-# cannot express.
+# cannot express — including traced specs, which are never vectorized
+# (kernels use flat payload representations the trace format must not
+# see), so trace support comes along via the fallback.
 ENGINES.register(
     "batch",
     EngineInfo(
@@ -212,5 +276,6 @@ ENGINES.register(
         run_one=_run_fastpath,
         run_many=_run_batch_many,
         supports_batching=True,
+        supports_trace=True,
     ),
 )

@@ -159,6 +159,15 @@ class RunSpec:
         scheduler strategy.  ``None`` — the default, and the paper's
         reliable model — leaves the engines' fault-free paths untouched
         and keeps :attr:`spec_id` byte-identical to pre-fault-layer specs.
+    trace:
+        Durable trace-capture policy: ``None`` (off, the default),
+        ``"full"`` (every delivery), or ``"sample:k"`` (reproducible
+        keep-1-in-``k`` selection; see :mod:`repro.tracing`).  ``None``
+        is excluded from :attr:`spec_id` — the same trick as
+        ``faults=None`` — so untraced specs keep their historical hashes.
+        Off-spellings (``"off"``/``"none"``/``""``) normalise to ``None``
+        and ``"sample:08"`` to ``"sample:8"``, so equal policies always
+        hash equally.
     label:
         Free-form human tag.  Not part of the spec's identity: two specs
         differing only in label share a :attr:`spec_id`.
@@ -184,6 +193,7 @@ class RunSpec:
     track_state_bits: bool = False
     stop_at_termination: bool = False
     faults: Optional[Any] = None
+    trace: Optional[str] = None
     label: Optional[str] = None
 
     def __post_init__(self) -> None:
@@ -224,6 +234,23 @@ class RunSpec:
                     f"engine {self.engine!r} does not support fault injection; "
                     f"use '{capable}'"
                 )
+        if self.trace is not None:
+            # Dependency-free policy module: safe to import eagerly, kept
+            # lazy for symmetry with the faults block above.
+            from ..tracing.policy import TracePolicyError, normalize_policy
+
+            try:
+                object.__setattr__(self, "trace", normalize_policy(self.trace))
+            except TracePolicyError as exc:
+                raise SpecError(f"invalid trace policy: {exc}") from None
+            if self.trace is not None and not ENGINES.get(self.engine).supports_trace:
+                from .engines import trace_capable_engines
+
+                capable = "', '".join(trace_capable_engines())
+                raise SpecError(
+                    f"engine {self.engine!r} does not support trace capture; "
+                    f"use '{capable}'"
+                )
 
     # ------------------------------------------------------------------
     # identity & serialization
@@ -237,12 +264,15 @@ class RunSpec:
         output on this, so re-labelling specs never invalidates results.
         ``faults=None`` is excluded from the hash: fault-free specs keep
         the spec_id they had before the fault layer existed, so legacy
-        resume files and caches stay valid.
+        resume files and caches stay valid.  ``trace=None`` is excluded
+        the same way for the trace-capture layer.
         """
         payload = self.to_dict()
         payload.pop("label", None)
         if payload.get("faults") is None:
             payload.pop("faults", None)
+        if payload.get("trace") is None:
+            payload.pop("trace", None)
         canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import re
 import sys
 import time
@@ -163,6 +164,20 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="ENGINE",
         help="override the execution engine of the --spec run",
     )
+    run.add_argument(
+        "--trace",
+        default=None,
+        metavar="POLICY",
+        help="record a durable .rtrace of the --spec run: 'full' or "
+        "'sample:k' (overrides the spec's own trace field)",
+    )
+    run.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="where to write the .rtrace (default: the spec file name with "
+        "an .rtrace extension)",
+    )
     _add_store_flags(run)
 
     batch = sub.add_parser(
@@ -234,6 +249,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="NAME",
         help="named axis override from the campaign's scales (e.g. 'quick')",
+    )
+    experiment.add_argument(
+        "--trace",
+        default=None,
+        metavar="POLICY",
+        help="record every expanded run: 'full' or 'sample:k'; with "
+        "--store the .rtrace artifacts land under <store>/traces/",
     )
     experiment.add_argument(
         "--quick", action="store_true", help="shorthand for --scale quick"
@@ -346,6 +368,60 @@ def build_parser() -> argparse.ArgumentParser:
         "engine, aggregator and experiment names",
     )
 
+    trace = sub.add_parser(
+        "trace",
+        help="record, inspect, profile and deterministically replay "
+        ".rtrace execution traces",
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_record = trace_sub.add_parser(
+        "record", help="execute a RunSpec file and write its .rtrace"
+    )
+    trace_record.add_argument("spec", help="RunSpec JSON file to execute")
+    trace_record.add_argument(
+        "-o",
+        "--out",
+        default=None,
+        metavar="FILE",
+        help=".rtrace output (default: the spec file name with an .rtrace "
+        "extension)",
+    )
+    trace_record.add_argument(
+        "--trace",
+        default="full",
+        metavar="POLICY",
+        help="capture policy: 'full' (default) or 'sample:k'",
+    )
+    trace_record.add_argument(
+        "--engine",
+        default=None,
+        metavar="ENGINE",
+        help="override the spec's execution engine",
+    )
+    trace_info = trace_sub.add_parser(
+        "info", help="print a trace's header and footer as JSON"
+    )
+    trace_info.add_argument("trace", help=".rtrace file")
+    trace_profile = trace_sub.add_parser(
+        "profile",
+        help="histogram profile (message sizes, per-edge/-vertex load, "
+        "deferral depth) of one or more traces",
+    )
+    trace_profile.add_argument("traces", nargs="+", help=".rtrace file(s)")
+    trace_replay = trace_sub.add_parser(
+        "replay",
+        help="re-execute a recording and verify it bit for bit "
+        "(exit 0 iff the execution reproduces)",
+    )
+    trace_replay.add_argument("trace", help=".rtrace file")
+    trace_replay.add_argument(
+        "--spec",
+        default=None,
+        metavar="FILE",
+        help="cross-check the trace against this RunSpec file's workload "
+        "before replaying",
+    )
+
     bench = sub.add_parser(
         "bench",
         help="measure engine throughput (steps/sec) and write BENCH_engines.json",
@@ -412,6 +488,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-batch-bench",
         action="store_true",
         help="skip the batch-engine seed-group suite; note the batch "
+        "floors then report violations",
+    )
+    bench.add_argument(
+        "--no-trace-bench",
+        action="store_true",
+        help="skip the trace-capture overhead suite; note the trace "
         "floors then report violations",
     )
     bench.add_argument(
@@ -495,12 +577,26 @@ def _override_engine(specs, engine: Optional[str]):
         raise SystemExit(f"cannot apply --engine {engine}: {exc}") from None
 
 
+def _apply_trace_policy(specs, trace: Optional[str]):
+    """Re-target loaded specs at a ``--trace`` capture policy, or die."""
+    if trace is None:
+        return specs
+    import dataclasses
+
+    try:
+        return [dataclasses.replace(spec, trace=trace) for spec in specs]
+    except SpecError as exc:
+        raise SystemExit(f"cannot apply --trace {trace}: {exc}") from None
+
+
 def _cmd_run_spec(
     path: str,
     stream: IO[str],
     extra: Optional[IO[str]],
     store: Optional[ResultStore] = None,
     engine: Optional[str] = None,
+    trace: Optional[str] = None,
+    trace_out: Optional[str] = None,
 ) -> int:
     specs = _override_engine(_load_or_die(path, load_specs, "spec"), engine)
     if len(specs) != 1:
@@ -508,12 +604,39 @@ def _cmd_run_spec(
             f"--spec expects exactly one RunSpec in {path!r}, found {len(specs)}; "
             "use 'repro batch' for many"
         )
-    record = store.get(specs[0]) if store is not None else None
+    specs = _apply_trace_policy(specs, trace)
+    spec = specs[0]
+    if spec.trace is not None:
+        # Recording is the point of a traced run: never serve it from the
+        # store (a cache hit would produce no artifact).
+        from .tracing import capture_traces
+
+        destination = trace_out or os.path.splitext(path)[0] + ".rtrace"
+        try:
+            with capture_traces(file=destination):
+                record = execute_spec(spec)
+        except SpecError as exc:
+            raise SystemExit(f"cannot execute spec in {path!r}: {exc}") from None
+        if store is not None:
+            store.put(record)
+        _emit(_record_summary(record), stream, extra)
+        metrics = record.metrics
+        _emit(
+            f"trace written to {destination} "
+            f"(policy={spec.trace}, events={metrics.get('trace_events')}, "
+            f"sampled={metrics.get('trace_sampled')}, "
+            f"bytes={metrics.get('trace_bytes')})",
+            stream,
+            extra,
+        )
+        _emit(json.dumps(record.to_dict(), sort_keys=True, indent=2), stream, extra)
+        return 0
+    record = store.get(spec) if store is not None else None
     if record is not None:
         _emit(f"(served from store) {_record_summary(record)}", stream, extra)
     else:
         try:
-            record = execute_spec(specs[0])
+            record = execute_spec(spec)
         except SpecError as exc:
             # defects only detectable at build time (fault vertex out of range,
             # unregistered adversary) get the same one-line treatment
@@ -542,12 +665,26 @@ def _cmd_batch(args, stream: IO[str]) -> int:
 
     start = time.time()
     try:
-        records = runner.run(
-            specs,
-            output_path=args.out,
-            resume=not args.no_resume,
-            progress=progress,
-        )
+        if store is not None:
+            # Traced specs in the batch drop their .rtrace artifacts beside
+            # the result store, keyed (spec_id, seed, engine); untraced
+            # specs are unaffected.
+            from .tracing import capture_traces
+
+            with capture_traces(directory=os.path.join(store.root, "traces")):
+                records = runner.run(
+                    specs,
+                    output_path=args.out,
+                    resume=not args.no_resume,
+                    progress=progress,
+                )
+        else:
+            records = runner.run(
+                specs,
+                output_path=args.out,
+                resume=not args.no_resume,
+                progress=progress,
+            )
     except SpecError as exc:
         raise SystemExit(f"cannot execute batch {args.specs!r}: {exc}") from None
     elapsed = time.time() - start
@@ -676,6 +813,25 @@ def _cmd_bench(args, stream: IO[str]) -> int:
         payload["batch"] = run_batch_benchmarks(
             ks=batch_ks, repeats=repeats, progress=batch_progress
         )
+    if not args.no_trace_bench:
+        from .analysis.benchmark import run_trace_benchmarks
+
+        print(
+            "benchmarking trace-capture overhead (fastpath, untraced vs "
+            "full vs sampled)",
+            file=stream,
+        )
+
+        def trace_progress(row) -> None:
+            print(
+                f"  {row['arm']:<16} {row['steps']} steps in "
+                f"{row['best_seconds']:.4f}s  ({row['steps_per_sec']:.0f} steps/sec)",
+                file=stream,
+            )
+
+        payload["trace"] = run_trace_benchmarks(
+            repeats=repeats, progress=trace_progress
+        )
     write_benchmarks(payload, args.out)
     print(file=stream)
     print(render_bench_table(payload), file=stream)
@@ -762,10 +918,19 @@ def _cmd_experiment(args, stream: IO[str]) -> int:
     def progress(done: int, total: int, record: RunRecord) -> None:
         print(f"[{done}/{total}] {_record_summary(record)}", file=stream)
 
+    if args.trace is not None:
+        from .tracing import TracePolicyError, normalize_policy
+
+        try:
+            args.trace = normalize_policy(args.trace)
+        except TracePolicyError as exc:
+            raise SystemExit(f"cannot apply --trace {args.trace}: {exc}") from None
+
     store = _store_or_die(args)
     runner = CampaignRunner(
         engine=args.engine,
         scale=scale,
+        trace=args.trace,
         out_dir=args.out,
         resume=not args.no_resume,
         parallel=not args.serial,
@@ -774,6 +939,16 @@ def _cmd_experiment(args, stream: IO[str]) -> int:
         store=store,
     )
 
+    def _run_experiment(experiment):
+        if store is None:
+            return runner.run(experiment)
+        # Same convention as `repro batch`: campaign runs that carry a
+        # trace policy write their .rtrace beside the result store.
+        from .tracing import capture_traces
+
+        with capture_traces(directory=os.path.join(store.root, "traces")):
+            return runner.run(experiment)
+
     start = time.time()
     total_specs = executed = reused = total_rows = 0
     cache_hits = cache_misses = store_hits = store_misses = batched_groups = 0
@@ -781,7 +956,7 @@ def _cmd_experiment(args, stream: IO[str]) -> int:
     for experiment in experiments:
         exp_start = time.time()
         try:
-            result = runner.run(experiment)
+            result = _run_experiment(experiment)
         except SpecError as exc:
             # e.g. an engine override a campaign's fault model rejects:
             # surface it as a one-line error, not a mid-campaign traceback.
@@ -817,6 +992,7 @@ def _cmd_experiment(args, stream: IO[str]) -> int:
         # engine-locked grids and driver experiments).
         "engine": args.engine,
         "engines_applied": engines_applied,
+        "trace": args.trace,
         "total_specs": total_specs,
         "executed": executed,
         "reused": reused,
@@ -837,6 +1013,85 @@ def _cmd_experiment(args, stream: IO[str]) -> int:
     }
     print("EXPERIMENT_SUMMARY " + json.dumps(summary, sort_keys=True), file=stream)
     return 0
+
+
+def _open_trace_or_die(path: str):
+    """Open an ``.rtrace`` file, mapping every defect to a one-line exit.
+
+    A missing file, a non-trace file (bad magic), a future format version
+    or a truncated/garbled frame stream must all print one clear line and
+    exit non-zero — never a traceback.
+    """
+    from .tracing import TraceFormatError, TraceReader
+
+    try:
+        return TraceReader(path)
+    except OSError as exc:
+        raise SystemExit(f"cannot read trace file {path!r}: {exc}") from None
+    except TraceFormatError as exc:
+        raise SystemExit(f"invalid trace file {path!r}: {exc}") from None
+
+
+def _cmd_trace(args, stream: IO[str]) -> int:
+    from .tracing import ReplayError, TraceProfiler, replay_trace
+
+    if args.trace_command == "record":
+        return _cmd_run_spec(
+            args.spec,
+            stream,
+            None,
+            store=None,
+            engine=args.engine,
+            trace=args.trace,
+            trace_out=args.out,
+        )
+
+    if args.trace_command == "info":
+        reader = _open_trace_or_die(args.trace)
+        try:
+            info = {
+                "header": reader.header,
+                "footer": reader.footer,
+                "num_events": reader.num_events,
+                "distinct_payloads": len(reader.payloads),
+            }
+        finally:
+            reader.close()
+        print(json.dumps(info, sort_keys=True, indent=2), file=stream)
+        return 0
+
+    if args.trace_command == "profile":
+        for path in args.traces:
+            reader = _open_trace_or_die(path)
+            try:
+                profile = TraceProfiler.from_reader(reader).profile()
+            finally:
+                reader.close()
+            print(f"== {path} ==", file=stream)
+            print(json.dumps(profile.to_dict(), sort_keys=True, indent=2), file=stream)
+        return 0
+
+    # trace_command == "replay"
+    reader = _open_trace_or_die(args.trace)
+    try:
+        if args.spec is not None:
+            specs = _load_or_die(args.spec, load_specs, "spec")
+            if len(specs) != 1:
+                raise SystemExit(
+                    f"--spec expects exactly one RunSpec in {args.spec!r}, "
+                    f"found {len(specs)}"
+                )
+            spec = specs[0]
+        else:
+            spec = reader.spec()
+        try:
+            report = replay_trace(spec, reader)
+        except ReplayError as exc:
+            raise SystemExit(f"cannot replay {args.trace!r}: {exc}") from None
+    finally:
+        reader.close()
+    print(report.summary(), file=stream)
+    return 0 if report.ok else 1
 
 
 def _cmd_store(args, stream: IO[str]) -> int:
@@ -941,6 +1196,9 @@ def main(argv: Optional[Sequence[str]] = None, stream: IO[str] = sys.stdout) -> 
     if args.command == "serve":
         return _cmd_serve(args, stream)
 
+    if args.command == "trace":
+        return _cmd_trace(args, stream)
+
     if args.command == "bench":
         return _cmd_bench(args, stream)
 
@@ -979,12 +1237,23 @@ def main(argv: Optional[Sequence[str]] = None, stream: IO[str] = sys.stdout) -> 
     try:
         if args.spec is not None:
             return _cmd_run_spec(
-                args.spec, stream, extra, store=_store_or_die(args), engine=args.engine
+                args.spec,
+                stream,
+                extra,
+                store=_store_or_die(args),
+                engine=args.engine,
+                trace=args.trace,
+                trace_out=args.trace_out,
             )
         if args.engine is not None:
             raise SystemExit(
                 "--engine applies to --spec runs; for registered campaigns "
                 "use 'repro experiment --engine'"
+            )
+        if args.trace is not None or args.trace_out is not None:
+            raise SystemExit(
+                "--trace applies to --spec runs; use 'repro trace record' "
+                "for a spec file"
             )
         if not args.experiments:
             raise SystemExit("nothing to run: give experiment ids or --spec FILE")

@@ -527,6 +527,7 @@ def _vectorizable_shape(spec: RunSpec) -> bool:
     """Whether the spec *shape* (seed aside) can run on a batch kernel."""
     return (
         spec.faults is None
+        and spec.trace is None
         and not spec.record_trace
         and not spec.track_state_bits
         # stop_at_termination only matters for terminating kernels; the

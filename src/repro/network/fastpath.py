@@ -207,6 +207,7 @@ def run_protocol_fastpath(
     stop_at_termination: bool = False,
     compiled: Optional[CompiledNetwork] = None,
     faults: Optional[Any] = None,
+    trace_sink: Optional[Any] = None,
 ) -> RunResult:
     """Execute ``protocol`` on ``network``; result-identical to
     :func:`~repro.network.simulator.run_protocol`.
@@ -227,6 +228,14 @@ def run_protocol_fastpath(
     under the real scheduler object with exactly the injection hooks of
     the reference simulator — faulty runs are engine-identical, and
     ``faults=None`` never touches this branch.
+
+    ``trace_sink`` optionally supplies a durable trace capture (a
+    :class:`~repro.tracing.capture.TraceCapture`).  Like ``record_trace``
+    it forces the generic protocol machine — kernels flatten payloads
+    into representations whose canonical digests would differ from the
+    reference engine's, and engine-identical trace bytes are part of the
+    contract — and its hooks fire at exactly the reference simulator's
+    call sites.
     """
     if scheduler is None:
         scheduler = FifoScheduler()
@@ -249,9 +258,10 @@ def run_protocol_fastpath(
             track_state_bits,
             stop_at_termination,
             faults,
+            trace_sink,
         )
     machine: Any = None
-    if not record_trace and not track_state_bits:
+    if not record_trace and not track_state_bits and trace_sink is None:
         machine = protocol.compile_fastpath(compiled)
     if machine is None:
         machine = _ProtocolMachine(protocol, compiled)
@@ -272,6 +282,7 @@ def run_protocol_fastpath(
         record_trace,
         track_state_bits,
         stop_at_termination,
+        trace_sink,
     )
 
 
@@ -341,6 +352,7 @@ def _drive_flat_queue(
     record_trace: bool,
     track_state_bits: bool,
     stop_at_termination: bool,
+    trace_sink: Optional[Any] = None,
 ) -> RunResult:
     """Inner loop under global send order: a list used as an index ring."""
     edge_head = compiled.edge_head
@@ -394,6 +406,8 @@ def _drive_flat_queue(
         edge_messages[edge_id] += 1
         if trace_log is not None:
             trace_log.append((step, edge_id, payload, bits))
+        if trace_sink is not None:
+            trace_sink.record(step, edge_id, payload, bits)
 
         emissions = deliver(head, in_port[edge_id], payload)
         if emissions:
@@ -446,6 +460,7 @@ def _drive_flat_stack(
     record_trace: bool,
     track_state_bits: bool,
     stop_at_termination: bool,
+    trace_sink: Optional[Any] = None,
 ) -> RunResult:
     """Inner loop under newest-first order: a plain list used as a stack.
 
@@ -498,6 +513,8 @@ def _drive_flat_stack(
         edge_messages[edge_id] += 1
         if trace_log is not None:
             trace_log.append((step, edge_id, payload, bits))
+        if trace_sink is not None:
+            trace_sink.record(step, edge_id, payload, bits)
 
         emissions = deliver(head, in_port[edge_id], payload)
         if emissions:
@@ -551,6 +568,7 @@ def _drive_faults(
     track_state_bits: bool,
     stop_at_termination: bool,
     faults: Any,
+    trace_sink: Optional[Any] = None,
 ) -> RunResult:
     """Inner loop with fault injection: :func:`_drive_scheduler` plus the
     three :class:`~repro.network.faults.FaultInjector` hooks, called at
@@ -598,6 +616,8 @@ def _drive_faults(
             break
         event = pop()
         if should_defer(len(scheduler)):
+            if trace_sink is not None:
+                trace_sink.defer(step)
             push(event)  # deferred, not delivered: no step consumed
             continue
         step += 1
@@ -613,6 +633,8 @@ def _drive_faults(
         edge_messages[edge_id] += 1
         if trace_log is not None:
             trace_log.append((step, edge_id, payload, bits))
+        if trace_sink is not None:
+            trace_sink.record(step, edge_id, payload, bits)
 
         action = on_deliver(head, step)
         if action == _FAULT_SWALLOW:
@@ -673,6 +695,7 @@ def _drive_scheduler(
     record_trace: bool,
     track_state_bits: bool,
     stop_at_termination: bool,
+    trace_sink: Optional[Any] = None,
 ) -> RunResult:
     """Inner loop under an arbitrary adversary: the scheduler keeps full
     control, receiving the same push/pop sequence as under the reference
@@ -727,6 +750,8 @@ def _drive_scheduler(
         edge_messages[edge_id] += 1
         if trace_log is not None:
             trace_log.append((step, edge_id, payload, bits))
+        if trace_sink is not None:
+            trace_sink.record(step, edge_id, payload, bits)
 
         emissions = deliver(head, in_port[edge_id], payload)
         if emissions:

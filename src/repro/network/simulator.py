@@ -113,6 +113,7 @@ def run_protocol(
     track_state_bits: bool = False,
     stop_at_termination: bool = False,
     faults: Optional[Any] = None,
+    trace_sink: Optional[Any] = None,
 ) -> RunResult:
     """Execute ``protocol`` on ``network`` under ``scheduler``.
 
@@ -142,6 +143,12 @@ def run_protocol(
         downs crashed/churned vertices (see :mod:`repro.network.faults`).
         ``None`` (the default) is the paper's reliable model; the loop is
         then exactly the pre-fault-layer loop.
+    trace_sink:
+        Optional durable trace capture (a
+        :class:`~repro.tracing.capture.TraceCapture`): its ``record`` hook
+        fires once per delivery and its ``defer`` hook once per
+        fault-deferred pop, mirroring the in-memory ``record_trace`` path
+        but streaming to the ``.rtrace`` format with bounded memory.
 
     Returns
     -------
@@ -202,6 +209,8 @@ def run_protocol(
             )
         event = scheduler.pop()
         if faults is not None and faults.should_defer(len(scheduler)):
+            if trace_sink is not None:
+                trace_sink.defer(step)
             scheduler.push(event)  # deferred, not delivered: no step consumed
             continue
         step += 1
@@ -210,6 +219,8 @@ def run_protocol(
         metrics.record_delivery(event.edge_id, event.bits)
         if trace is not None:
             trace.record(step, event.edge_id, event.payload, event.bits)
+        if trace_sink is not None:
+            trace_sink.record(step, event.edge_id, event.payload, event.bits)
 
         if faults is not None:
             action = faults.on_deliver(head, step)

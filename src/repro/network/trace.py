@@ -74,8 +74,13 @@ class Trace:
         Used by the linear-cut harness: Lemma 3.5 reasons about the multiset
         of symbols crossing a cut.  Sorting by ``repr`` gives a canonical
         multiset representation without requiring payload orderability.
+
+        One pass over the deliveries (via :meth:`per_edge_symbols`) no
+        matter how many edges the cut has; a repeated edge id contributes
+        its symbols once per occurrence, as before.
         """
+        per_edge = self.per_edge_symbols()
         symbols: List[Any] = []
         for eid in edge_ids:
-            symbols.extend(self.symbols_on_edge(eid))
+            symbols.extend(per_edge.get(eid, ()))
         return tuple(sorted(symbols, key=repr))

@@ -1,0 +1,77 @@
+"""Trace capture, sampling, profiling and deterministic replay.
+
+The in-memory :class:`~repro.network.trace.Trace` answers the paper's
+symbol-level questions (Theorem 3.2's ``|Σ_G|`` counts, the Lemma 3.5–3.7
+cut multisets) for one run at a time, but it cannot survive a large
+campaign, be sampled, or be replayed.  This package is the durable form
+of the same information:
+
+* :mod:`~repro.tracing.format` — the ``.rtrace`` columnar file format:
+  a :class:`~repro.tracing.format.TraceWriter` streaming
+  ``(step, edge, vertex, kind, bits, payload)`` event records into flat
+  numpy column blocks with bounded memory, and a
+  :class:`~repro.tracing.format.TraceReader` with lazy column loading.
+* :mod:`~repro.tracing.sampler` — reproducible keep-1-in-``k`` event
+  selection, deterministic given ``(spec, seed, k)`` and independent of
+  the executing engine.
+* :mod:`~repro.tracing.capture` — the engine-side sink: wiring from
+  :attr:`~repro.api.spec.RunSpec.trace` policies to ``.rtrace``
+  artifacts keyed by ``(spec_id, seed, engine)``.
+* :mod:`~repro.tracing.profiler` — per-protocol histograms
+  (message-size distribution, per-edge counts, per-vertex load,
+  deferral depth) from traces, full or sampled.
+* :mod:`~repro.tracing.replay` — deterministic re-execution of a
+  recorded run under a :class:`~repro.tracing.replay.ReplayScheduler`,
+  verifying the recording bit for bit.
+
+See ``docs/TRACING.md`` for the format specification and the replay
+contract.
+"""
+
+from .capture import (
+    TRACE_DIR_ENV,
+    TraceCapture,
+    capture_traces,
+    open_capture,
+    trace_artifact_path,
+    workload_id,
+)
+from .format import (
+    FORMAT_VERSION,
+    KIND_DEFER,
+    KIND_DELIVER,
+    TraceFormatError,
+    TraceReader,
+    TraceWriter,
+    canonical_repr,
+)
+from .policy import TracePolicyError, normalize_policy, sample_k
+from .profiler import TraceProfile, TraceProfiler
+from .replay import ReplayError, ReplayReport, ReplayScheduler, replay_trace
+from .sampler import TraceSampler
+
+__all__ = [
+    "TRACE_DIR_ENV",
+    "FORMAT_VERSION",
+    "KIND_DELIVER",
+    "KIND_DEFER",
+    "TraceCapture",
+    "TraceFormatError",
+    "TracePolicyError",
+    "TraceProfile",
+    "TraceProfiler",
+    "TraceReader",
+    "TraceSampler",
+    "TraceWriter",
+    "ReplayError",
+    "ReplayReport",
+    "ReplayScheduler",
+    "canonical_repr",
+    "capture_traces",
+    "normalize_policy",
+    "open_capture",
+    "replay_trace",
+    "sample_k",
+    "trace_artifact_path",
+    "workload_id",
+]

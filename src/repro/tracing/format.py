@@ -1,0 +1,567 @@
+"""The ``.rtrace`` columnar trace file format.
+
+One event record per delivery (or fault deferral), stored as flat numpy
+int columns — the SoA layout of :mod:`repro.core.batch_kernel` applied to
+traces.  The file is a small framed binary container::
+
+    preamble   b"RTRACE" + format version (uint16 LE)
+    H frame    header JSON: workload identity, engine-neutral spec dict,
+               trace policy, column names and dtypes
+    C frame*   column blocks: uint32 subheader length + subheader JSON
+               ({"count": n, "sizes": {column: nbytes}}) + the raw little-
+               endian column bytes, in header column order
+    I frame    payload intern table JSON: canonical payload strings and
+               their blake2b digests, in intern-id order
+    F frame    footer JSON: event counts, a sha256 over every preceding
+               byte (tamper detection), and the run's verification summary
+               (outcome, metrics, final-states digest)
+
+    frame := kind (1 byte: H/C/I/F) + payload length (uint64 LE) + payload
+
+Columns are ``(step, edge, vertex, kind, bits, payload)``; ``payload`` is
+an intern-table id, so repeated symbols cost 4 bytes per event no matter
+how large the message object is, and ``kind`` distinguishes deliveries
+from fault deferrals.  The :class:`TraceWriter` buffers a bounded number
+of events (``chunk_events``) before flushing a column block, so memory
+stays flat for arbitrarily long runs; the :class:`TraceReader` records
+block offsets on open and loads columns lazily on first access.
+
+Everything in the file is deterministic — no timestamps, no engine name,
+no machine identity — so the async and fastpath engines produce
+**byte-identical** files for the same run (proven by
+``tests/tracing/test_differential.py``).  Set-like Python objects have
+hash-order-dependent ``repr``; :func:`canonical_repr` therefore sorts
+containers recursively before hashing payloads or states, keeping digests
+stable across processes and ``PYTHONHASHSEED`` values.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import struct
+from typing import Any, BinaryIO, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "FORMAT_VERSION",
+    "MAGIC",
+    "COLUMNS",
+    "DTYPES",
+    "KIND_DELIVER",
+    "KIND_DEFER",
+    "TraceFormatError",
+    "TraceWriter",
+    "TraceReader",
+    "canonical_repr",
+    "payload_digest",
+    "states_digest",
+]
+
+MAGIC = b"RTRACE"
+FORMAT_VERSION = 1
+
+#: Event kinds in the ``kind`` column.
+KIND_DELIVER = 0
+KIND_DEFER = 1
+
+#: Column order inside every column block.
+COLUMNS: Tuple[str, ...] = ("step", "edge", "vertex", "kind", "bits", "payload")
+
+#: Little-endian dtypes per column (``bits`` is wide: total-bit counts of
+#: large mapping payloads exceed 32 bits in theory if not in practice).
+DTYPES: Dict[str, str] = {
+    "step": "<i8",
+    "edge": "<i4",
+    "vertex": "<i4",
+    "kind": "<i1",
+    "bits": "<i8",
+    "payload": "<i4",
+}
+
+_PREAMBLE = struct.Struct("<6sH")
+_FRAME_HEAD = struct.Struct("<cQ")
+_SUBHEAD_LEN = struct.Struct("<I")
+
+
+class TraceFormatError(ValueError):
+    """A ``.rtrace`` file is malformed, truncated, or version-mismatched."""
+
+
+def canonical_repr(obj: Any) -> str:
+    """A process-independent ``repr``: container contents are sorted.
+
+    ``repr`` of sets and dicts depends on hash order, which varies across
+    processes (``PYTHONHASHSEED``); digests built on it would break the
+    cross-run replay contract.  This walks containers and dataclasses
+    recursively and sorts the unordered ones, so equal values always
+    canonicalise to equal strings.
+    """
+    if isinstance(obj, dict):
+        items = sorted(
+            (canonical_repr(k), canonical_repr(v)) for k, v in obj.items()
+        )
+        return "{" + ", ".join(f"{k}: {v}" for k, v in items) + "}"
+    if isinstance(obj, (set, frozenset)):
+        name = "frozenset" if isinstance(obj, frozenset) else "set"
+        return name + "{" + ", ".join(sorted(canonical_repr(x) for x in obj)) + "}"
+    if isinstance(obj, tuple):
+        inner = ", ".join(canonical_repr(x) for x in obj)
+        return "(" + inner + ("," if len(obj) == 1 else "") + ")"
+    if isinstance(obj, list):
+        return "[" + ", ".join(canonical_repr(x) for x in obj) + "]"
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        inner = ", ".join(
+            f"{f.name}={canonical_repr(getattr(obj, f.name))}"
+            for f in dataclasses.fields(obj)
+        )
+        return f"{type(obj).__name__}({inner})"
+    return repr(obj)
+
+
+def payload_digest(canonical: str) -> str:
+    """Short stable digest of one canonical payload string."""
+    return hashlib.blake2b(canonical.encode("utf-8"), digest_size=8).hexdigest()
+
+
+def states_digest(states: Dict[int, Any]) -> str:
+    """Canonical digest of a run's final per-vertex states.
+
+    The footer stores this so :func:`~repro.tracing.replay.replay_trace`
+    can verify "this exact execution still produces these exact states"
+    without serialising arbitrary state objects.
+    """
+    hasher = hashlib.blake2b(digest_size=16)
+    for vertex in sorted(states):
+        hasher.update(f"{vertex}:{canonical_repr(states[vertex])};".encode("utf-8"))
+    return hasher.hexdigest()
+
+
+class TraceWriter:
+    """Streaming ``.rtrace`` writer with bounded memory.
+
+    ``destination`` is a path or a writable binary file-like object; a
+    path is opened (and closed) by the writer.  ``header`` carries the
+    caller's identity fields (workload id, spec dict, policy); the format
+    fields (version, columns, dtypes) are added here.  Events accumulate
+    in plain-list column buffers and flush to a numpy column block every
+    ``chunk_events`` events, so a million-delivery run holds at most one
+    chunk in memory.
+    """
+
+    def __init__(
+        self,
+        destination: Union[str, BinaryIO],
+        *,
+        header: Dict[str, Any],
+        chunk_events: int = 65536,
+    ) -> None:
+        if chunk_events < 1:
+            raise ValueError("chunk_events must be >= 1")
+        self._owns_file = isinstance(destination, str)
+        self._file: BinaryIO = (
+            open(destination, "wb") if isinstance(destination, str) else destination
+        )
+        self._chunk_events = chunk_events
+        self._sha = hashlib.sha256()
+        self._bytes = 0
+        self._events_written = 0
+        self._closed = False
+        # payload intern table: object -> id, with a canonical-string
+        # fallback for the (documented-away) unhashable case
+        self._intern_by_object: Dict[Any, int] = {}
+        self._intern_by_text: Dict[str, int] = {}
+        self._payloads: List[str] = []
+        self._digests: List[str] = []
+        self._col_step: List[int] = []
+        self._col_edge: List[int] = []
+        self._col_vertex: List[int] = []
+        self._col_kind: List[int] = []
+        self._col_bits: List[int] = []
+        self._col_payload: List[int] = []
+
+        self._write(_PREAMBLE.pack(MAGIC, FORMAT_VERSION))
+        full_header = dict(header)
+        full_header.setdefault("format", "rtrace")
+        full_header.setdefault("version", FORMAT_VERSION)
+        full_header["columns"] = list(COLUMNS)
+        full_header["dtypes"] = dict(DTYPES)
+        self._write_frame(b"H", _json_bytes(full_header))
+
+    # ------------------------------------------------------------------
+    # low-level output
+    # ------------------------------------------------------------------
+
+    def _write(self, data: bytes) -> None:
+        self._file.write(data)
+        self._sha.update(data)
+        self._bytes += len(data)
+
+    def _write_frame(self, kind: bytes, payload: bytes) -> None:
+        self._write(_FRAME_HEAD.pack(kind, len(payload)))
+        self._write(payload)
+
+    @property
+    def bytes_written(self) -> int:
+        """Bytes emitted so far (the whole file once finalized)."""
+        return self._bytes
+
+    @property
+    def events_written(self) -> int:
+        return self._events_written
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+
+    def intern(self, payload: Any) -> int:
+        """Intern one payload object; returns its table id.
+
+        The canonical string (and its digest) is computed once per
+        *distinct* payload — repeated symbols, the overwhelmingly common
+        case in broadcast traces, cost one dict lookup.
+        """
+        try:
+            cached = self._intern_by_object.get(payload)
+        except TypeError:  # unhashable payload: fall back to its text
+            text = canonical_repr(payload)
+            cached = self._intern_by_text.get(text)
+            if cached is None:
+                cached = self._add_payload(text)
+                self._intern_by_text[text] = cached
+            return cached
+        if cached is None:
+            text = canonical_repr(payload)
+            cached = self._intern_by_text.get(text)
+            if cached is None:
+                cached = self._add_payload(text)
+                self._intern_by_text[text] = cached
+            self._intern_by_object[payload] = cached
+        return cached
+
+    def _add_payload(self, text: str) -> int:
+        self._payloads.append(text)
+        self._digests.append(payload_digest(text))
+        return len(self._payloads) - 1
+
+    def append(
+        self,
+        step: int,
+        edge: int,
+        vertex: int,
+        kind: int,
+        bits: int,
+        payload_id: int,
+    ) -> None:
+        """Record one event (``payload_id`` from :meth:`intern`, or -1)."""
+        self._col_step.append(step)
+        self._col_edge.append(edge)
+        self._col_vertex.append(vertex)
+        self._col_kind.append(kind)
+        self._col_bits.append(bits)
+        self._col_payload.append(payload_id)
+        self._events_written += 1
+        if len(self._col_step) >= self._chunk_events:
+            self._flush_block()
+
+    def _flush_block(self) -> None:
+        if not self._col_step:
+            return
+        arrays = {
+            "step": np.asarray(self._col_step, dtype=DTYPES["step"]),
+            "edge": np.asarray(self._col_edge, dtype=DTYPES["edge"]),
+            "vertex": np.asarray(self._col_vertex, dtype=DTYPES["vertex"]),
+            "kind": np.asarray(self._col_kind, dtype=DTYPES["kind"]),
+            "bits": np.asarray(self._col_bits, dtype=DTYPES["bits"]),
+            "payload": np.asarray(self._col_payload, dtype=DTYPES["payload"]),
+        }
+        blobs = [arrays[name].tobytes() for name in COLUMNS]
+        subheader = _json_bytes(
+            {
+                "count": len(self._col_step),
+                "sizes": {
+                    name: len(blob) for name, blob in zip(COLUMNS, blobs)
+                },
+            }
+        )
+        total = _SUBHEAD_LEN.size + len(subheader) + sum(len(b) for b in blobs)
+        self._write(_FRAME_HEAD.pack(b"C", total))
+        self._write(_SUBHEAD_LEN.pack(len(subheader)))
+        self._write(subheader)
+        for blob in blobs:
+            self._write(blob)
+        for buffer in (
+            self._col_step,
+            self._col_edge,
+            self._col_vertex,
+            self._col_kind,
+            self._col_bits,
+            self._col_payload,
+        ):
+            buffer.clear()
+
+    # ------------------------------------------------------------------
+    # completion
+    # ------------------------------------------------------------------
+
+    def finalize(
+        self,
+        *,
+        events_seen: Optional[int] = None,
+        result: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Flush buffers, write the intern table and the footer, close.
+
+        ``events_seen`` is the pre-sampling event count (defaults to the
+        written count — i.e. an unsampled trace); ``result`` is the run's
+        verification summary (outcome, metrics, states digest) that
+        replay compares against.  The footer's ``data_sha256`` covers
+        every byte written before the footer frame, so any tampering with
+        the columns, intern table or header fails closed on read.
+        """
+        if self._closed:
+            raise TraceFormatError("writer already finalized")
+        self._flush_block()
+        self._write_frame(
+            b"I", _json_bytes({"payloads": self._payloads, "digests": self._digests})
+        )
+        footer = {
+            "events_seen": (
+                self._events_written if events_seen is None else events_seen
+            ),
+            "events_written": self._events_written,
+            "payload_count": len(self._payloads),
+            "data_sha256": self._sha.hexdigest(),
+            "result": result,
+        }
+        self._write_frame(b"F", _json_bytes(footer))
+        self.close()
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            if self._owns_file:
+                self._file.close()
+            else:
+                self._file.flush()
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class _Block:
+    """One column block's location: payload offset + parsed subheader."""
+
+    __slots__ = ("data_offset", "count", "sizes")
+
+    def __init__(self, data_offset: int, count: int, sizes: Dict[str, int]) -> None:
+        self.data_offset = data_offset
+        self.count = count
+        self.sizes = sizes
+
+
+class TraceReader:
+    """Lazy ``.rtrace`` reader.
+
+    Opening a file scans the frame structure (parsing the small JSON
+    frames, *skipping* the column bytes), so open cost is independent of
+    trace size; :meth:`column` loads one column across all blocks on
+    first access and caches the concatenated array.
+    """
+
+    def __init__(self, source: Union[str, BinaryIO]) -> None:
+        self._owns_file = isinstance(source, str)
+        self._file: BinaryIO = (
+            open(source, "rb") if isinstance(source, str) else source
+        )
+        self._columns: Dict[str, np.ndarray] = {}
+        self._blocks: List[_Block] = []
+        self.header: Dict[str, Any] = {}
+        self.footer: Dict[str, Any] = {}
+        self._intern: Dict[str, Any] = {}
+        self._footer_offset: Optional[int] = None
+        try:
+            self._scan()
+        except Exception:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    # structure scan
+    # ------------------------------------------------------------------
+
+    def _read_exact(self, n: int, what: str) -> bytes:
+        data = self._file.read(n)
+        if len(data) != n:
+            raise TraceFormatError(f"truncated trace file: short read in {what}")
+        return data
+
+    def _scan(self) -> None:
+        self._file.seek(0)
+        preamble = self._file.read(_PREAMBLE.size)
+        if len(preamble) != _PREAMBLE.size or preamble[: len(MAGIC)] != MAGIC:
+            raise TraceFormatError("not an .rtrace file (bad magic)")
+        _, version = _PREAMBLE.unpack(preamble)
+        if version != FORMAT_VERSION:
+            raise TraceFormatError(
+                f"unsupported .rtrace format version {version} "
+                f"(this build reads version {FORMAT_VERSION})"
+            )
+        self.version = version
+        offset = _PREAMBLE.size
+        while True:
+            head = self._file.read(_FRAME_HEAD.size)
+            if not head:
+                break
+            if len(head) != _FRAME_HEAD.size:
+                raise TraceFormatError("truncated trace file: short frame header")
+            kind, length = _FRAME_HEAD.unpack(head)
+            offset += _FRAME_HEAD.size
+            if kind == b"C":
+                sub_len_raw = self._read_exact(_SUBHEAD_LEN.size, "column subheader")
+                (sub_len,) = _SUBHEAD_LEN.unpack(sub_len_raw)
+                subheader = _parse_json(
+                    self._read_exact(sub_len, "column subheader"), "column subheader"
+                )
+                data_offset = offset + _SUBHEAD_LEN.size + sub_len
+                data_len = length - _SUBHEAD_LEN.size - sub_len
+                if data_len != sum(subheader["sizes"].values()):
+                    raise TraceFormatError("column block sizes do not add up")
+                self._blocks.append(
+                    _Block(data_offset, subheader["count"], subheader["sizes"])
+                )
+                self._file.seek(data_offset + data_len)
+            elif kind == b"H":
+                self.header = _parse_json(self._read_exact(length, "header"), "header")
+            elif kind == b"I":
+                self._intern = _parse_json(
+                    self._read_exact(length, "intern table"), "intern table"
+                )
+            elif kind == b"F":
+                self._footer_offset = offset - _FRAME_HEAD.size
+                self.footer = _parse_json(self._read_exact(length, "footer"), "footer")
+            else:
+                raise TraceFormatError(f"unknown frame kind {kind!r}")
+            offset += length
+        if not self.header:
+            raise TraceFormatError("trace file has no header frame")
+        if not self.footer:
+            raise TraceFormatError(
+                "trace file has no footer frame (recording was interrupted?)"
+            )
+        if self.num_events != self.footer.get("events_written"):
+            raise TraceFormatError(
+                f"column blocks hold {self.num_events} events but the footer "
+                f"records {self.footer.get('events_written')}"
+            )
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+
+    @property
+    def num_events(self) -> int:
+        """Events stored in the file (post-sampling)."""
+        return sum(block.count for block in self._blocks)
+
+    @property
+    def payloads(self) -> List[str]:
+        """The intern table: canonical payload strings in id order."""
+        return list(self._intern.get("payloads", []))
+
+    @property
+    def payload_digests(self) -> List[str]:
+        return list(self._intern.get("digests", []))
+
+    def column(self, name: str) -> np.ndarray:
+        """One event column, concatenated across blocks (cached)."""
+        if name not in COLUMNS:
+            raise KeyError(f"unknown trace column {name!r}; have {COLUMNS}")
+        cached = self._columns.get(name)
+        if cached is not None:
+            return cached
+        dtype = np.dtype(DTYPES[name])
+        parts: List[np.ndarray] = []
+        for block in self._blocks:
+            skip = 0
+            for col in COLUMNS:
+                if col == name:
+                    break
+                skip += block.sizes[col]
+            self._file.seek(block.data_offset + skip)
+            raw = self._read_exact(block.sizes[name], f"column {name!r}")
+            parts.append(np.frombuffer(raw, dtype=dtype))
+        column = (
+            np.concatenate(parts) if parts else np.empty(0, dtype=dtype)
+        )
+        column.setflags(write=False)
+        self._columns[name] = column
+        return column
+
+    def spec(self):
+        """The recorded :class:`~repro.api.spec.RunSpec`.
+
+        The header stores the spec engine-neutrally (the ``engine`` field
+        is stripped so both engines write identical bytes); the returned
+        spec therefore re-executes on the default ``async`` reference
+        engine, which is exactly what replay wants.
+        """
+        from ..api.spec import RunSpec
+
+        payload = self.header.get("spec")
+        if payload is None:
+            raise TraceFormatError("trace header carries no spec")
+        return RunSpec.from_dict(payload)
+
+    def verify_checksum(self) -> None:
+        """Re-hash the data region against the footer's ``data_sha256``.
+
+        Raises :class:`TraceFormatError` on mismatch — a tampered or
+        bit-rotted trace must fail closed, never replay "successfully".
+        """
+        if self._footer_offset is None:
+            raise TraceFormatError("trace file has no footer frame")
+        recorded = self.footer.get("data_sha256")
+        self._file.seek(0)
+        hasher = hashlib.sha256()
+        remaining = self._footer_offset
+        while remaining > 0:
+            chunk = self._file.read(min(1 << 20, remaining))
+            if not chunk:
+                raise TraceFormatError("truncated trace file: data region short")
+            hasher.update(chunk)
+            remaining -= len(chunk)
+        if hasher.hexdigest() != recorded:
+            raise TraceFormatError(
+                "checksum mismatch: trace data does not match its footer "
+                "(corrupted or tampered file)"
+            )
+
+    def close(self) -> None:
+        if self._owns_file:
+            self._file.close()
+
+    def __enter__(self) -> "TraceReader":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def _json_bytes(payload: Dict[str, Any]) -> bytes:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def _parse_json(raw: bytes, what: str) -> Dict[str, Any]:
+    try:
+        parsed = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise TraceFormatError(f"malformed {what} frame: {exc}") from None
+    if not isinstance(parsed, dict):
+        raise TraceFormatError(f"malformed {what} frame: expected an object")
+    return parsed

@@ -1,0 +1,76 @@
+"""Trace policy strings: ``None`` / ``"full"`` / ``"sample:k"``.
+
+The :attr:`~repro.api.spec.RunSpec.trace` field carries one of these
+canonical strings (or ``None``, the default: no tracing).  This module is
+dependency-free so :mod:`repro.api.spec` can import it lazily during spec
+validation without pulling in numpy or the format layer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["TracePolicyError", "normalize_policy", "sample_k"]
+
+#: Policy spellings that mean "no tracing" (normalised to ``None``).
+_OFF = ("off", "none", "")
+
+
+class TracePolicyError(ValueError):
+    """A trace policy string is malformed."""
+
+
+def normalize_policy(value: object) -> Optional[str]:
+    """Canonicalise a trace policy value.
+
+    Accepts ``None`` / ``"off"`` / ``"none"`` / ``""`` (→ ``None``),
+    ``"full"``, and ``"sample:k"`` for an integer ``k >= 1`` (``k`` is
+    re-rendered so ``"sample:08"`` and ``"sample:8"`` share one spec_id).
+    Anything else raises :class:`TracePolicyError`.
+
+    >>> normalize_policy("off") is None
+    True
+    >>> normalize_policy("full")
+    'full'
+    >>> normalize_policy("sample:08")
+    'sample:8'
+    """
+    if value is None:
+        return None
+    if not isinstance(value, str):
+        raise TracePolicyError(
+            f"trace policy must be a string ('full', 'sample:k') or None, "
+            f"got {type(value).__name__}"
+        )
+    text = value.strip().lower()
+    if text in _OFF:
+        return None
+    if text == "full":
+        return "full"
+    if text.startswith("sample:"):
+        k_text = text[len("sample:"):]
+        try:
+            k = int(k_text)
+        except ValueError:
+            raise TracePolicyError(
+                f"sample policy needs an integer k, got 'sample:{k_text}'"
+            ) from None
+        if k < 1:
+            raise TracePolicyError(f"sample policy needs k >= 1, got k={k}")
+        return f"sample:{k}"
+    raise TracePolicyError(
+        f"unknown trace policy {value!r}; use 'off', 'full' or 'sample:k'"
+    )
+
+
+def sample_k(policy: Optional[str]) -> Optional[int]:
+    """The keep-1-in-``k`` rate of a canonical policy (``None`` = unsampled).
+
+    >>> sample_k("full") is None
+    True
+    >>> sample_k("sample:8")
+    8
+    """
+    if policy is not None and policy.startswith("sample:"):
+        return int(policy[len("sample:"):])
+    return None

@@ -1,0 +1,210 @@
+"""Histograms from traces: the communication-load view of a run.
+
+The paper's efficiency analysis (and the Devismes–Masuzawa–Tixeuil
+communication-efficiency line in PAPERS.md) asks per-edge and per-vertex
+questions the scalar :class:`~repro.network.metrics.RunMetrics` summary
+cannot answer: how are message sizes distributed, which edges carry the
+load, how deep do fault deferrals stack.  :class:`TraceProfiler` answers
+them from either source of trace data — an in-memory
+:class:`~repro.network.trace.Trace` or an ``.rtrace`` file — full or
+sampled, using vectorized column passes throughout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from .format import KIND_DEFER, KIND_DELIVER, TraceReader
+
+__all__ = ["TraceProfile", "TraceProfiler"]
+
+
+@dataclass(frozen=True)
+class TraceProfile:
+    """One run's histogram summary (JSON-safe via :meth:`to_dict`)."""
+
+    events: int
+    deliveries: int
+    deferrals: int
+    total_bits: int
+    max_message_bits: int
+    mean_message_bits: float
+    max_edge_messages: int
+    max_vertex_load: int
+    max_deferral_depth: int
+    termination_step: Optional[int]
+    #: Message size in bits → number of messages of that size.
+    message_size_histogram: Dict[int, int] = field(default_factory=dict)
+    #: Edge id → messages delivered over it.
+    per_edge_messages: Dict[int, int] = field(default_factory=dict)
+    #: Vertex id → messages delivered *to* it.
+    per_vertex_load: Dict[int, int] = field(default_factory=dict)
+    #: Consecutive-deferral run length → occurrences.
+    deferral_depths: Dict[int, int] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON form: histogram keys become strings."""
+        return {
+            "events": self.events,
+            "deliveries": self.deliveries,
+            "deferrals": self.deferrals,
+            "total_bits": self.total_bits,
+            "max_message_bits": self.max_message_bits,
+            "mean_message_bits": self.mean_message_bits,
+            "max_edge_messages": self.max_edge_messages,
+            "max_vertex_load": self.max_vertex_load,
+            "max_deferral_depth": self.max_deferral_depth,
+            "termination_step": self.termination_step,
+            "message_size_histogram": {
+                str(k): v for k, v in sorted(self.message_size_histogram.items())
+            },
+            "per_edge_messages": {
+                str(k): v for k, v in sorted(self.per_edge_messages.items())
+            },
+            "per_vertex_load": {
+                str(k): v for k, v in sorted(self.per_vertex_load.items())
+            },
+            "deferral_depths": {
+                str(k): v for k, v in sorted(self.deferral_depths.items())
+            },
+        }
+
+
+def _hist(values: np.ndarray) -> Dict[int, int]:
+    uniques, counts = np.unique(values, return_counts=True)
+    return {int(u): int(c) for u, c in zip(uniques, counts)}
+
+
+class TraceProfiler:
+    """Column-pass profiler over trace event arrays.
+
+    Build one with :meth:`from_reader` (an ``.rtrace`` file, full or
+    sampled) or :meth:`from_trace` (an in-memory delivery trace plus its
+    network, which supplies the head vertex of each edge).
+    """
+
+    def __init__(
+        self,
+        *,
+        step: np.ndarray,
+        edge: np.ndarray,
+        vertex: np.ndarray,
+        kind: np.ndarray,
+        bits: np.ndarray,
+        termination_step: Optional[int] = None,
+    ) -> None:
+        self._step = step
+        self._edge = edge
+        self._vertex = vertex
+        self._kind = kind
+        self._bits = bits
+        self._termination_step = termination_step
+        self._deliver = np.asarray(kind) == KIND_DELIVER
+
+    @classmethod
+    def from_reader(cls, reader: TraceReader) -> "TraceProfiler":
+        """Profile a recorded ``.rtrace`` file (lazy column loads)."""
+        result = (reader.footer or {}).get("result") or {}
+        metrics = result.get("metrics") or {}
+        return cls(
+            step=reader.column("step"),
+            edge=reader.column("edge"),
+            vertex=reader.column("vertex"),
+            kind=reader.column("kind"),
+            bits=reader.column("bits"),
+            termination_step=metrics.get("termination_step"),
+        )
+
+    @classmethod
+    def from_trace(
+        cls, trace: Any, network: Any, *, termination_step: Optional[int] = None
+    ) -> "TraceProfiler":
+        """Profile an in-memory :class:`~repro.network.trace.Trace`."""
+        deliveries = trace.deliveries
+        n = len(deliveries)
+        step = np.empty(n, dtype=np.int64)
+        edge = np.empty(n, dtype=np.int32)
+        bits = np.empty(n, dtype=np.int64)
+        for i, record in enumerate(deliveries):
+            step[i] = record.step
+            edge[i] = record.edge_id
+            bits[i] = record.bits
+        heads = np.asarray(
+            [network.edge_head(eid) for eid in range(network.num_edges)],
+            dtype=np.int32,
+        )
+        vertex = (
+            heads[edge] if n and heads.size else np.empty(n, dtype=np.int32)
+        )
+        return cls(
+            step=step,
+            edge=edge,
+            vertex=vertex,
+            kind=np.zeros(n, dtype=np.int8),  # in-memory traces: all deliveries
+            bits=bits,
+            termination_step=termination_step,
+        )
+
+    # ------------------------------------------------------------------
+    # individual histograms
+    # ------------------------------------------------------------------
+
+    def message_size_histogram(self) -> Dict[int, int]:
+        """Message size in bits → delivery count."""
+        return _hist(np.asarray(self._bits)[self._deliver])
+
+    def per_edge_messages(self) -> Dict[int, int]:
+        """Edge id → deliveries over that edge."""
+        return _hist(np.asarray(self._edge)[self._deliver])
+
+    def per_vertex_load(self) -> Dict[int, int]:
+        """Vertex id → deliveries into that vertex."""
+        return _hist(np.asarray(self._vertex)[self._deliver])
+
+    def deferral_depths(self) -> Dict[int, int]:
+        """Run length of consecutive fault deferrals → occurrences."""
+        deferred = np.asarray(self._kind) == KIND_DEFER
+        if not deferred.any():
+            return {}
+        padded = np.concatenate(([False], deferred, [False]))
+        flips = np.flatnonzero(np.diff(padded.astype(np.int8)))
+        lengths = flips[1::2] - flips[0::2]
+        return _hist(lengths)
+
+    def termination_step(self) -> Optional[int]:
+        """From the recording's footer metrics (``None`` for in-memory)."""
+        return self._termination_step
+
+    # ------------------------------------------------------------------
+    # full profile
+    # ------------------------------------------------------------------
+
+    def profile(self) -> TraceProfile:
+        """All histograms plus scalar extremes, in one pass per column."""
+        sizes = self.message_size_histogram()
+        per_edge = self.per_edge_messages()
+        per_vertex = self.per_vertex_load()
+        depths = self.deferral_depths()
+        deliver_bits = np.asarray(self._bits)[self._deliver]
+        deliveries = int(self._deliver.sum())
+        events = int(len(self._kind))
+        total_bits = int(deliver_bits.sum()) if deliveries else 0
+        return TraceProfile(
+            events=events,
+            deliveries=deliveries,
+            deferrals=events - deliveries,
+            total_bits=total_bits,
+            max_message_bits=int(deliver_bits.max()) if deliveries else 0,
+            mean_message_bits=(total_bits / deliveries) if deliveries else 0.0,
+            max_edge_messages=max(per_edge.values(), default=0),
+            max_vertex_load=max(per_vertex.values(), default=0),
+            max_deferral_depth=max(depths.keys(), default=0),
+            termination_step=self._termination_step,
+            message_size_histogram=sizes,
+            per_edge_messages=per_edge,
+            per_vertex_load=per_vertex,
+            deferral_depths=depths,
+        )

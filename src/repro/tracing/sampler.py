@@ -1,0 +1,48 @@
+"""Reproducible keep-1-in-``k`` event selection.
+
+A sampled trace is only comparable across engines and CI runs if both
+sides keep *the same events*.  Seeding a PRNG would make the selection
+depend on how many times each engine draws — the fault layer already
+owns the run's RNG stream — so the sampler is stateless instead: event
+``i`` is kept iff a keyed hash of ``(key, k, i)`` lands in the 1-in-``k``
+residue class.  The key is the engine-neutral workload id (see
+:func:`~repro.tracing.capture.workload_id`), so the decision depends only
+on ``(spec, seed, k)`` and the event's position — never on the executing
+engine, the process, or ``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["TraceSampler"]
+
+
+class TraceSampler:
+    """Deterministic 1-in-``k`` selector over a monotone event index.
+
+    >>> s = TraceSampler("deadbeef00000000", 3)
+    >>> picks = [i for i in range(30) if s.keep(i)]
+    >>> len(picks) > 0 and picks == [i for i in range(30) if s.keep(i)]
+    True
+    >>> TraceSampler("deadbeef00000000", 1).keep(17)
+    True
+    """
+
+    __slots__ = ("key", "k", "_prefix")
+
+    def __init__(self, key: str, k: int) -> None:
+        if k < 1:
+            raise ValueError(f"sampling rate k must be >= 1, got {k}")
+        self.key = key
+        self.k = k
+        self._prefix = f"{key}:{k}:".encode("utf-8")
+
+    def keep(self, index: int) -> bool:
+        """Whether event ``index`` (0-based, pre-sampling) is retained."""
+        if self.k == 1:
+            return True
+        digest = hashlib.blake2b(
+            self._prefix + str(index).encode("ascii"), digest_size=8
+        ).digest()
+        return int.from_bytes(digest, "big") % self.k == 0

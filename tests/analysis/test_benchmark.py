@@ -423,6 +423,82 @@ class TestBatchSummaryLine:
         assert second["output"] == str(out)
 
 
+class TestTraceBench:
+    """The trace-capture overhead suite and its ratio *ceiling*."""
+
+    def _block(self, **kwargs):
+        from repro.analysis.benchmark import run_trace_benchmarks
+
+        defaults = dict(n=16, sample_k=4, repeats=1)
+        defaults.update(kwargs)
+        return run_trace_benchmarks(**defaults)
+
+    def test_block_shape(self):
+        block = self._block()
+        arms = [row["arm"] for row in block["results"]]
+        assert arms == ["kernel", "untraced", "traced-full", "traced-sample:4"]
+        for row in block["results"]:
+            assert row["steps"] > 0
+            assert row["steps_per_sec"] > 0
+        overhead = block["overhead"]
+        assert overhead["traced_full_vs_untraced"] > 0
+        assert overhead["trace_bytes_full"] > overhead["trace_bytes_sample"] > 0
+
+    def test_trace_ceiling_passes_and_fails(self):
+        payload = {"trace": self._block()}
+        measured = payload["trace"]["overhead"]["traced_full_vs_untraced"]
+        assert check_floors(
+            payload, {"trace_overhead_max_ratio": measured + 1.0}
+        ) == []
+        violations = check_floors(
+            payload, {"trace_overhead_max_ratio": measured / 100.0}
+        )
+        assert len(violations) == 1
+        assert "above the ceiling" in violations[0]
+
+    def test_missing_trace_block_is_a_violation(self):
+        violations = check_floors({}, {"trace_overhead_max_ratio": 1.5})
+        assert len(violations) == 1
+        assert "no trace benchmark block" in violations[0]
+        assert "--no-trace-bench" in violations[0]
+
+    def test_block_without_ratio_is_a_violation(self):
+        payload = {"trace": {"overhead": {}}}
+        violations = check_floors(payload, {"trace_overhead_max_ratio": 1.5})
+        assert len(violations) == 1
+        assert "traced_full_vs_untraced" in violations[0]
+
+    def test_checked_in_floors_gate_trace_overhead(self):
+        from pathlib import Path
+
+        floor_path = Path(__file__).resolve().parents[2] / "benchmarks" / "floors.json"
+        floors = load_floors(str(floor_path))
+        assert 1.0 <= floors["trace_overhead_max_ratio"] <= 2.0
+
+    def test_render_table_mentions_trace(self):
+        payload = tiny_payload()
+        payload["trace"] = self._block()
+        text = render_bench_table(payload)
+        assert "trace capture overhead" in text
+        assert "full capture overhead" in text
+
+    def test_bench_cli_no_trace_bench_fails_trace_ceiling(self, tmp_path):
+        floors = tmp_path / "floors.json"
+        floors.write_text(json.dumps({"trace_overhead_max_ratio": 1.5}))
+        stream = io.StringIO()
+        code = main(
+            [
+                "bench", "--sizes", "8", "--repeats", "1",
+                "--engines", "fastpath", "--no-protocols", "--no-store-bench",
+                "--no-batch-bench", "--no-trace-bench",
+                "--floors", str(floors), "--out", str(tmp_path / "bench.json"),
+            ],
+            stream=stream,
+        )
+        assert code == 1
+        assert "no trace benchmark block" in stream.getvalue()
+
+
 class TestBatchBench:
     """The batch-engine seed-group suite and its ratio floor."""
 

@@ -160,6 +160,81 @@ class TestInvalidFaultsPayload:
         assert "terminated" in stream.getvalue()
 
 
+class TestTraceErrors:
+    """Trace subcommand defects get the same one-line treatment."""
+
+    def _write_spec(self, tmp_path, name="spec.json", **extra):
+        path = tmp_path / name
+        payload = {
+            "graph": "random-grounded-tree",
+            "graph_params": {"num_internal": 4},
+            "protocol": "tree-broadcast",
+            "seed": 3,
+            **extra,
+        }
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        return str(path)
+
+    def _record(self, tmp_path):
+        spec = self._write_spec(tmp_path, trace="full")
+        out = str(tmp_path / "t.rtrace")
+        assert main(["trace", "record", spec, "-o", out], stream=io.StringIO()) == 0
+        return out
+
+    def test_missing_trace_file(self, tmp_path):
+        for argv in (
+            ["trace", "info", str(tmp_path / "nope.rtrace")],
+            ["trace", "replay", str(tmp_path / "nope.rtrace")],
+            ["trace", "profile", str(tmp_path / "nope.rtrace")],
+        ):
+            message = _run_expecting_error(argv)
+            assert "cannot read trace file" in message
+
+    def test_not_a_trace_file(self, tmp_path):
+        path = tmp_path / "fake.rtrace"
+        path.write_bytes(b"definitely not a trace")
+        message = _run_expecting_error(["trace", "info", str(path)])
+        assert "invalid trace file" in message
+        assert "bad magic" in message
+
+    def test_future_format_version(self, tmp_path):
+        recorded = self._record(tmp_path)
+        data = bytearray(open(recorded, "rb").read())
+        data[6:8] = (99).to_bytes(2, "little")  # bump the version field
+        forged = tmp_path / "future.rtrace"
+        forged.write_bytes(bytes(data))
+        message = _run_expecting_error(["trace", "replay", str(forged)])
+        assert "invalid trace file" in message
+        assert "version 99" in message
+
+    def test_replay_against_wrong_spec(self, tmp_path):
+        recorded = self._record(tmp_path)
+        other = self._write_spec(tmp_path, name="other.json", seed=4)
+        message = _run_expecting_error(
+            ["trace", "replay", recorded, "--spec", other]
+        )
+        assert "cannot replay" in message
+        assert "workload" in message
+
+    def test_trace_flag_without_spec_file(self):
+        message = _run_expecting_error(["run", "E1", "--trace", "full"])
+        assert "repro trace record" in message
+
+    def test_bad_trace_policy(self, tmp_path):
+        spec = self._write_spec(tmp_path)
+        message = _run_expecting_error(
+            ["run", "--spec", spec, "--trace", "sometimes"]
+        )
+        assert "cannot apply --trace" in message
+
+    def test_trace_on_incapable_engine(self, tmp_path):
+        spec = self._write_spec(tmp_path, engine="synchronous")
+        message = _run_expecting_error(
+            ["trace", "record", spec, "-o", str(tmp_path / "t.rtrace")]
+        )
+        assert "does not support trace capture" in message
+
+
 class TestEngineCapability:
     """Capability mismatches (EngineInfo flags) get the one-line treatment."""
 

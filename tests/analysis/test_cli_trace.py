@@ -1,0 +1,218 @@
+"""CLI trace wiring: record, info, profile, replay and batch artifacts."""
+
+import io
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(argv):
+    stream = io.StringIO()
+    code = main(argv, stream=stream)
+    return code, stream.getvalue()
+
+
+@pytest.fixture()
+def spec_file(tmp_path):
+    path = tmp_path / "spec.json"
+    path.write_text(
+        json.dumps(
+            {
+                "graph": "random-grounded-tree",
+                "graph_params": {"num_internal": 8},
+                "protocol": "tree-broadcast",
+                "seed": 3,
+            }
+        ),
+        encoding="utf-8",
+    )
+    return str(path)
+
+
+@pytest.fixture()
+def recorded(tmp_path, spec_file):
+    out = str(tmp_path / "run.rtrace")
+    code, _ = run_cli(["trace", "record", spec_file, "-o", out])
+    assert code == 0
+    return out
+
+
+class TestTraceRecord:
+    def test_record_writes_artifact(self, tmp_path, spec_file):
+        out = str(tmp_path / "run.rtrace")
+        code, text = run_cli(["trace", "record", spec_file, "-o", out])
+        assert code == 0
+        assert os.path.exists(out)
+        assert f"trace written to {out}" in text
+        assert "policy=full" in text
+
+    def test_record_default_output_beside_spec(self, spec_file):
+        code, text = run_cli(["trace", "record", spec_file])
+        expected = os.path.splitext(spec_file)[0] + ".rtrace"
+        assert code == 0
+        assert os.path.exists(expected)
+        assert f"trace written to {expected}" in text
+
+    def test_record_sampled_with_engine_override(self, tmp_path, spec_file):
+        out = str(tmp_path / "s.rtrace")
+        code, text = run_cli(
+            [
+                "trace", "record", spec_file,
+                "-o", out, "--trace", "sample:2", "--engine", "fastpath",
+            ]
+        )
+        assert code == 0
+        assert "policy=sample:2" in text
+
+    def test_run_spec_trace_flag(self, tmp_path, spec_file):
+        """`repro run --spec --trace` is the inline form of trace record."""
+        out = str(tmp_path / "r.rtrace")
+        code, text = run_cli(
+            [
+                "run", "--spec", spec_file,
+                "--trace", "full", "--trace-out", out, "--no-store",
+            ]
+        )
+        assert code == 0
+        assert os.path.exists(out)
+        assert "trace written to" in text
+
+
+class TestTraceInfo:
+    def test_info_reports_header_and_footer(self, recorded):
+        code, text = run_cli(["trace", "info", recorded])
+        assert code == 0
+        info = json.loads(text)
+        assert info["header"]["policy"] == "full"
+        assert info["header"]["seed"] == 3
+        assert info["footer"]["events_written"] == info["num_events"]
+        assert info["distinct_payloads"] > 0
+
+
+class TestTraceProfile:
+    def test_profile_prints_histograms(self, recorded):
+        code, text = run_cli(["trace", "profile", recorded])
+        assert code == 0
+        assert f"== {recorded} ==" in text
+        payload = json.loads(text.split("==\n", 1)[1])
+        assert payload["events"] > 0
+        assert sum(payload["message_size_histogram"].values()) == payload["deliveries"]
+
+    def test_profile_many(self, recorded, tmp_path, spec_file):
+        other = str(tmp_path / "other.rtrace")
+        assert run_cli(["trace", "record", spec_file, "-o", other])[0] == 0
+        code, text = run_cli(["trace", "profile", recorded, other])
+        assert code == 0
+        assert text.count("==") == 4  # two "== path ==" banners
+
+
+class TestTraceReplay:
+    def test_replay_exits_zero(self, recorded):
+        code, text = run_cli(["trace", "replay", recorded])
+        assert code == 0
+        assert "REPLAY OK" in text
+
+    def test_replay_with_matching_spec(self, recorded, spec_file):
+        code, text = run_cli(["trace", "replay", recorded, "--spec", spec_file])
+        assert code == 0
+        assert "REPLAY OK" in text
+
+    def test_tampered_trace_exits_one(self, recorded):
+        data = bytearray(open(recorded, "rb").read())
+        i = data.find(b'"step"')
+        i = data.find(b"}}", i) + 10
+        data[i] ^= 0xFF
+        open(recorded, "wb").write(bytes(data))
+        code, text = run_cli(["trace", "replay", recorded])
+        assert code == 1
+        assert "REPLAY FAILED" in text
+        assert "checksum mismatch" in text
+
+
+class TestBatchTraceArtifacts:
+    def _specs_file(self, tmp_path, trace):
+        path = tmp_path / "specs.json"
+        path.write_text(
+            json.dumps(
+                [
+                    {
+                        "graph": "random-grounded-tree",
+                        "graph_params": {"num_internal": 8},
+                        "protocol": "tree-broadcast",
+                        "seed": seed,
+                        "trace": trace,
+                    }
+                    for seed in range(2)
+                ]
+            ),
+            encoding="utf-8",
+        )
+        return str(path)
+
+    def test_batch_with_store_writes_traces(self, tmp_path):
+        from repro.api import RunSpec
+        from repro.tracing import trace_artifact_path
+
+        specs_path = self._specs_file(tmp_path, "full")
+        store = str(tmp_path / "store")
+        code, _ = run_cli(["batch", specs_path, "--serial", "--store", store])
+        assert code == 0
+        traces_root = os.path.join(os.path.abspath(store), "traces")
+        specs = [
+            RunSpec.from_dict(d)
+            for d in json.loads(open(specs_path, encoding="utf-8").read())
+        ]
+        for spec in specs:
+            artifact = trace_artifact_path(traces_root, spec)
+            assert os.path.exists(artifact)
+            assert run_cli(["trace", "replay", artifact])[0] == 0
+
+    def test_experiment_trace_override_records_campaign(self, tmp_path):
+        """The acceptance path: record e05 --quick, replay an artifact."""
+        store = str(tmp_path / "store")
+        code, text = run_cli(
+            [
+                "experiment", "e05", "--quick", "--serial",
+                "--trace", "sample:8", "--store", store,
+                "--out", str(tmp_path / "artifacts"),
+            ]
+        )
+        assert code == 0
+        summary = json.loads(
+            next(
+                line for line in text.splitlines()
+                if line.startswith("EXPERIMENT_SUMMARY ")
+            )[len("EXPERIMENT_SUMMARY "):]
+        )
+        assert summary["trace"] == "sample:8"
+        artifacts = [
+            os.path.join(root, name)
+            for root, _, files in os.walk(os.path.join(store, "traces"))
+            for name in files
+            if name.endswith(".rtrace")
+        ]
+        assert len(artifacts) == summary["total_specs"] > 0
+        code, text = run_cli(["trace", "replay", artifacts[0]])
+        assert code == 0
+        assert "REPLAY OK" in text
+
+    def test_experiment_bad_trace_policy(self):
+        import pytest
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["experiment", "e05", "--quick", "--trace", "sometimes"],
+                 stream=io.StringIO())
+        assert "cannot apply --trace" in str(excinfo.value.code)
+
+    def test_batch_without_store_skips_artifacts(self, tmp_path):
+        specs_path = self._specs_file(tmp_path, "sample:2")
+        code, _ = run_cli(["batch", specs_path, "--serial", "--no-store"])
+        assert code == 0
+        assert not any(
+            name.endswith(".rtrace")
+            for _, _, files in os.walk(tmp_path)
+            for name in files
+        )

@@ -27,6 +27,7 @@ DOCUMENTS = [
     "docs/ARCHITECTURE.md",
     "docs/FAULTS.md",
     "docs/STORE.md",
+    "docs/TRACING.md",
 ]
 
 _FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)

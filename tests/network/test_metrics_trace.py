@@ -94,6 +94,28 @@ class TestTrace:
         ms2 = trace.edge_symbol_multiset([1, 0])
         assert ms1 == ms2 == ("a", "b")
 
+    def test_edge_symbol_multiset_matches_per_edge_reference(self):
+        """Single-pass implementation agrees with the naive per-edge scan,
+        including repeated edge ids (which contribute once per occurrence)."""
+        net = caterpillar_gn(6)
+        result = run_protocol(net, TreeBroadcastProtocol(), record_trace=True)
+        trace = result.trace
+        cuts = [
+            [0],
+            [1, 3],
+            list(range(net.num_edges)),
+            [2, 2, 5],  # repeated edge id
+            [net.num_edges - 1, 0, 0],
+            [],
+            [999],  # edge with no deliveries
+        ]
+        for cut in cuts:
+            reference = []
+            for eid in cut:
+                reference.extend(trace.symbols_on_edge(eid))
+            expected = tuple(sorted(reference, key=repr))
+            assert trace.edge_symbol_multiset(cut) == expected
+
     def test_no_trace_by_default(self):
         result = run_protocol(path_network(3), TreeBroadcastProtocol())
         assert result.trace is None

@@ -1,0 +1,157 @@
+"""Engine-identical traces: async and fastpath write byte-identical files.
+
+The differential core of the tracing subsystem.  The ``.rtrace`` format
+holds nothing machine- or engine-specific (no timestamps, engine names,
+or hash-order-dependent reprs), and both engines call the capture hooks
+at the same delivery sites in the same order — so the same workload must
+produce the same bytes, across protocols, graph families, seeds, sampling
+policies and fault models.
+"""
+
+import io
+
+import pytest
+
+from repro.api import RunSpec, execute_spec
+from repro.tracing import capture_traces
+
+#: (protocol, graph family, graph params) — one workload per broadcast
+#: protocol class on its natural graph family.
+WORKLOADS = [
+    ("tree-broadcast", "random-grounded-tree", {"num_internal": 8}),
+    ("dag-broadcast", "random-dag", {"num_internal": 8}),
+    ("general-broadcast", "random-digraph", {"num_internal": 8}),
+    ("flooding", "random-digraph", {"num_internal": 6}),
+]
+
+SEEDS = (1, 2)
+
+
+def _trace_bytes(spec):
+    buffer = io.BytesIO()
+    with capture_traces(file=buffer):
+        record = execute_spec(spec)
+    return buffer.getvalue(), record
+
+
+def _spec_dict(protocol, graph, params, seed, engine, trace, faults=None):
+    payload = {
+        "protocol": protocol,
+        "graph": graph,
+        "graph_params": params,
+        "seed": seed,
+        "engine": engine,
+        "trace": trace,
+    }
+    if faults is not None:
+        payload["faults"] = faults
+    return RunSpec.from_dict(payload)
+
+
+class TestByteIdenticalAcrossEngines:
+    @pytest.mark.parametrize("protocol,graph,params", WORKLOADS)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_full_traces(self, protocol, graph, params, seed):
+        async_bytes, async_record = _trace_bytes(
+            _spec_dict(protocol, graph, params, seed, "async", "full")
+        )
+        fast_bytes, fast_record = _trace_bytes(
+            _spec_dict(protocol, graph, params, seed, "fastpath", "full")
+        )
+        assert async_bytes == fast_bytes
+        assert len(async_bytes) > 0
+        assert (
+            async_record.metrics["trace_bytes"]
+            == fast_record.metrics["trace_bytes"]
+            == len(async_bytes)
+        )
+
+    @pytest.mark.parametrize("protocol,graph,params", WORKLOADS[:2])
+    def test_sampled_traces(self, protocol, graph, params):
+        """Sampling decisions are index-hash-based: engine-independent."""
+        async_bytes, _ = _trace_bytes(
+            _spec_dict(protocol, graph, params, 3, "async", "sample:3")
+        )
+        fast_bytes, _ = _trace_bytes(
+            _spec_dict(protocol, graph, params, 3, "fastpath", "sample:3")
+        )
+        assert async_bytes == fast_bytes
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_faulty_traces(self, seed):
+        """Drop/duplicate/delay hooks fire identically in both engines."""
+        faults = {
+            "drop_probability": 0.1,
+            "duplicate_probability": 0.1,
+            "delay_probability": 0.2,
+        }
+        async_bytes, async_record = _trace_bytes(
+            _spec_dict(
+                "dag-broadcast", "random-dag", {"num_internal": 8},
+                seed, "async", "full", faults,
+            )
+        )
+        fast_bytes, fast_record = _trace_bytes(
+            _spec_dict(
+                "dag-broadcast", "random-dag", {"num_internal": 8},
+                seed, "fastpath", "full", faults,
+            )
+        )
+        assert async_bytes == fast_bytes
+        assert async_record.metrics["trace_events"] == fast_record.metrics["trace_events"]
+
+    def test_faulty_sampled_traces(self):
+        faults = {"drop_probability": 0.15, "delay_probability": 0.2}
+        async_bytes, _ = _trace_bytes(
+            _spec_dict(
+                "general-broadcast", "random-digraph", {"num_internal": 8},
+                2, "async", "sample:2", faults,
+            )
+        )
+        fast_bytes, _ = _trace_bytes(
+            _spec_dict(
+                "general-broadcast", "random-digraph", {"num_internal": 8},
+                2, "fastpath", "sample:2", faults,
+            )
+        )
+        assert async_bytes == fast_bytes
+
+    def test_batch_engine_traces_via_fallback(self):
+        """The batch engine's run_one path captures fastpath-identically."""
+        fast_bytes, _ = _trace_bytes(
+            _spec_dict(
+                "dag-broadcast", "random-dag", {"num_internal": 8},
+                4, "fastpath", "full",
+            )
+        )
+        batch_bytes, _ = _trace_bytes(
+            _spec_dict(
+                "dag-broadcast", "random-dag", {"num_internal": 8},
+                4, "batch", "full",
+            )
+        )
+        assert batch_bytes == fast_bytes
+
+
+class TestBatchRunnerTraces:
+    def test_run_many_with_traced_specs_falls_back_and_captures(self, tmp_path):
+        """Traced specs are never vectorized; run_many still records them."""
+        import os
+
+        from repro.api import BatchRunner
+        from repro.tracing import trace_artifact_path
+
+        specs = [
+            _spec_dict(
+                "dag-broadcast", "random-dag", {"num_internal": 8},
+                seed, "batch", "full",
+            )
+            for seed in (1, 2, 3)
+        ]
+        runner = BatchRunner(parallel=False)
+        with capture_traces(directory=str(tmp_path)):
+            records = runner.run(specs)
+        assert len(records) == 3
+        for spec, record in zip(specs, records):
+            assert record.metrics["trace_events"] > 0
+            assert os.path.exists(trace_artifact_path(str(tmp_path), spec))

@@ -1,0 +1,193 @@
+"""The ``.rtrace`` container: framing, canonicalisation, fail-closed reads."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.tracing.format import (
+    COLUMNS,
+    FORMAT_VERSION,
+    KIND_DEFER,
+    KIND_DELIVER,
+    MAGIC,
+    TraceFormatError,
+    TraceReader,
+    TraceWriter,
+    canonical_repr,
+    payload_digest,
+    states_digest,
+)
+
+
+def _write_sample(destination, *, chunk_events=65536, events=5):
+    writer = TraceWriter(
+        destination,
+        header={"workload_id": "w" * 16, "spec": {"graph": "g"}, "seed": 1,
+                "policy": "full", "sample_k": None},
+        chunk_events=chunk_events,
+    )
+    for i in range(events):
+        pid = writer.intern(("msg", i % 2))
+        writer.append(i + 1, i % 3, (i % 3) + 1, KIND_DELIVER, 8 + i, pid)
+    writer.finalize(result={"outcome": "terminated", "terminated": True,
+                            "metrics": {"steps": events}, "states_sha256": "x"})
+    return writer
+
+
+class TestWriterReaderRoundTrip:
+    def test_columns_and_intern_table_round_trip(self):
+        buffer = io.BytesIO()
+        _write_sample(buffer, events=5)
+        reader = TraceReader(io.BytesIO(buffer.getvalue()))
+        assert reader.num_events == 5
+        assert list(reader.column("step")) == [1, 2, 3, 4, 5]
+        assert list(reader.column("edge")) == [0, 1, 2, 0, 1]
+        assert list(reader.column("kind")) == [KIND_DELIVER] * 5
+        assert list(reader.column("bits")) == [8, 9, 10, 11, 12]
+        # two distinct payloads, interned once each
+        assert len(reader.payloads) == 2
+        assert reader.payloads[0] == canonical_repr(("msg", 0))
+        assert list(reader.column("payload")) == [0, 1, 0, 1, 0]
+        assert reader.payload_digests == [
+            payload_digest(text) for text in reader.payloads
+        ]
+
+    def test_header_carries_format_fields(self):
+        buffer = io.BytesIO()
+        _write_sample(buffer)
+        reader = TraceReader(io.BytesIO(buffer.getvalue()))
+        assert reader.header["version"] == FORMAT_VERSION
+        assert reader.header["columns"] == list(COLUMNS)
+        assert reader.header["policy"] == "full"
+
+    def test_footer_counts_and_result(self):
+        buffer = io.BytesIO()
+        _write_sample(buffer, events=7)
+        reader = TraceReader(io.BytesIO(buffer.getvalue()))
+        assert reader.footer["events_written"] == 7
+        assert reader.footer["events_seen"] == 7
+        assert reader.footer["payload_count"] == 2
+        assert reader.footer["result"]["outcome"] == "terminated"
+
+    def test_chunking_is_invisible_to_the_reader(self):
+        """Tiny chunk_events → many column blocks → identical columns."""
+        one = io.BytesIO()
+        _write_sample(one, events=10, chunk_events=3)
+        big = io.BytesIO()
+        _write_sample(big, events=10, chunk_events=65536)
+        chunked = TraceReader(io.BytesIO(one.getvalue()))
+        flat = TraceReader(io.BytesIO(big.getvalue()))
+        assert chunked.num_events == flat.num_events == 10
+        for name in COLUMNS:
+            np.testing.assert_array_equal(chunked.column(name), flat.column(name))
+
+    def test_columns_are_read_only(self):
+        buffer = io.BytesIO()
+        _write_sample(buffer)
+        reader = TraceReader(io.BytesIO(buffer.getvalue()))
+        with pytest.raises(ValueError):
+            reader.column("step")[0] = 99
+
+    def test_empty_trace_round_trips(self):
+        buffer = io.BytesIO()
+        _write_sample(buffer, events=0)
+        reader = TraceReader(io.BytesIO(buffer.getvalue()))
+        assert reader.num_events == 0
+        assert reader.column("step").size == 0
+
+    def test_path_destination_owns_the_file(self, tmp_path):
+        path = str(tmp_path / "t.rtrace")
+        _write_sample(path)
+        with TraceReader(path) as reader:
+            assert reader.num_events == 5
+
+    def test_defer_rows_are_content_free(self):
+        buffer = io.BytesIO()
+        writer = TraceWriter(buffer, header={"policy": "full"})
+        writer.append(3, -1, -1, KIND_DEFER, 0, -1)
+        writer.finalize()
+        reader = TraceReader(io.BytesIO(buffer.getvalue()))
+        assert list(reader.column("kind")) == [KIND_DEFER]
+        assert list(reader.column("edge")) == [-1]
+        assert list(reader.column("payload")) == [-1]
+
+
+class TestFailClosedReads:
+    def _bytes(self):
+        buffer = io.BytesIO()
+        _write_sample(buffer)
+        return buffer.getvalue()
+
+    def test_bad_magic(self):
+        with pytest.raises(TraceFormatError, match="bad magic"):
+            TraceReader(io.BytesIO(b"NOPE" + self._bytes()))
+
+    def test_version_mismatch(self):
+        data = self._bytes()
+        bumped = data[: len(MAGIC)] + (99).to_bytes(2, "little") + data[len(MAGIC) + 2:]
+        with pytest.raises(TraceFormatError, match="version 99"):
+            TraceReader(io.BytesIO(bumped))
+
+    def test_truncated_file(self):
+        data = self._bytes()
+        with pytest.raises(TraceFormatError, match="truncated|footer"):
+            TraceReader(io.BytesIO(data[: len(data) // 2]))
+
+    def test_missing_footer(self):
+        buffer = io.BytesIO()
+        writer = TraceWriter(buffer, header={"policy": "full"})
+        writer.close()  # no finalize
+        with pytest.raises(TraceFormatError, match="footer"):
+            TraceReader(io.BytesIO(buffer.getvalue()))
+
+    def test_checksum_detects_column_tampering(self):
+        data = bytearray(self._bytes())
+        # flip a byte inside the raw column region (past the subheader JSON)
+        i = data.find(b'"step"')
+        i = data.find(b"}}", i) + 10
+        data[i] ^= 0xFF
+        reader = TraceReader(io.BytesIO(bytes(data)))
+        with pytest.raises(TraceFormatError, match="checksum mismatch"):
+            reader.verify_checksum()
+
+    def test_pristine_checksum_verifies(self):
+        TraceReader(io.BytesIO(self._bytes())).verify_checksum()
+
+    def test_unknown_column_name(self):
+        reader = TraceReader(io.BytesIO(self._bytes()))
+        with pytest.raises(KeyError):
+            reader.column("nope")
+
+    def test_double_finalize_rejected(self):
+        buffer = io.BytesIO()
+        writer = TraceWriter(buffer, header={})
+        writer.finalize()
+        with pytest.raises(TraceFormatError, match="already finalized"):
+            writer.finalize()
+
+
+class TestCanonicalRepr:
+    def test_sets_are_order_independent(self):
+        assert canonical_repr({3, 1, 2}) == canonical_repr({2, 3, 1})
+
+    def test_dicts_are_order_independent(self):
+        assert canonical_repr({"b": 1, "a": 2}) == canonical_repr({"a": 2, "b": 1})
+
+    def test_frozenset_distinct_from_set(self):
+        assert canonical_repr(frozenset({1})) != canonical_repr({1})
+
+    def test_one_tuples_keep_trailing_comma(self):
+        assert canonical_repr((1,)) == "(1,)"
+        assert canonical_repr((1,)) != canonical_repr([1])
+
+    def test_nested_containers(self):
+        a = {"k": [{2, 1}, (3,)]}
+        b = {"k": [{1, 2}, (3,)]}
+        assert canonical_repr(a) == canonical_repr(b)
+
+    def test_states_digest_is_order_independent(self):
+        assert states_digest({0: {"a", "b"}, 1: "x"}) == states_digest(
+            {1: "x", 0: {"b", "a"}}
+        )
+        assert states_digest({0: "x"}) != states_digest({0: "y"})

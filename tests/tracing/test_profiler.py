@@ -1,0 +1,136 @@
+"""Trace profiling: histograms agree between file and in-memory sources."""
+
+import io
+
+import numpy as np
+
+from repro.api import RunSpec, execute_spec, execute_spec_full
+from repro.tracing import TraceProfiler, TraceReader, capture_traces
+from repro.tracing.format import KIND_DEFER, KIND_DELIVER
+
+
+def _spec(**overrides):
+    base = dict(
+        graph="random-dag",
+        graph_params={"num_internal": 8},
+        protocol="dag-broadcast",
+        seed=5,
+    )
+    base.update(overrides)
+    return RunSpec(**base)
+
+
+def _recorded(spec):
+    buffer = io.BytesIO()
+    with capture_traces(file=buffer):
+        record = execute_spec(spec)
+    return record, TraceReader(io.BytesIO(buffer.getvalue()))
+
+
+class TestFromReader:
+    def test_profile_matches_run_metrics(self):
+        record, reader = _recorded(_spec(trace="full"))
+        profile = TraceProfiler.from_reader(reader).profile()
+        assert profile.events == record.metrics["total_messages"]
+        assert profile.deliveries == profile.events
+        assert profile.deferrals == 0
+        assert profile.total_bits == record.metrics["total_bits"]
+        assert profile.max_message_bits == record.metrics["max_message_bits"]
+        assert profile.max_edge_messages == record.metrics["max_edge_messages"]
+        assert profile.termination_step == record.metrics["termination_step"]
+
+    def test_histogram_mass_equals_deliveries(self):
+        _, reader = _recorded(_spec(trace="full"))
+        profile = TraceProfiler.from_reader(reader).profile()
+        for hist in (
+            profile.message_size_histogram,
+            profile.per_edge_messages,
+            profile.per_vertex_load,
+        ):
+            assert sum(hist.values()) == profile.deliveries
+
+    def test_sampled_profile_counts_sampled_events(self):
+        record, reader = _recorded(_spec(trace="sample:4"))
+        profile = TraceProfiler.from_reader(reader).profile()
+        assert profile.events == record.metrics["trace_sampled"]
+        assert profile.events < record.metrics["trace_events"]
+
+    def test_to_dict_is_json_safe(self):
+        import json
+
+        _, reader = _recorded(_spec(trace="full"))
+        payload = TraceProfiler.from_reader(reader).profile().to_dict()
+        parsed = json.loads(json.dumps(payload))
+        assert parsed["events"] == payload["events"]
+        assert all(isinstance(k, str) for k in parsed["per_edge_messages"])
+
+
+class TestFromTrace:
+    def test_file_and_memory_sources_agree(self):
+        """from_reader and from_trace see the same run the same way."""
+        spec = _spec(trace="full", record_trace=True)
+        buffer = io.BytesIO()
+        with capture_traces(file=buffer):
+            record, result, net = execute_spec_full(spec)
+        file_profile = TraceProfiler.from_reader(
+            TraceReader(io.BytesIO(buffer.getvalue()))
+        ).profile()
+        memory_profile = TraceProfiler.from_trace(
+            result.trace, net, termination_step=record.metrics["termination_step"]
+        ).profile()
+        assert memory_profile == file_profile
+
+    def test_empty_trace(self):
+        from repro.network.trace import Trace
+
+        spec = _spec()
+        net = spec.build_graph()
+        profile = TraceProfiler.from_trace(Trace(), net).profile()
+        assert profile.events == 0
+        assert profile.message_size_histogram == {}
+        assert profile.max_message_bits == 0
+
+
+class TestDeferralDepths:
+    def _profiler(self, kinds):
+        n = len(kinds)
+        return TraceProfiler(
+            step=np.arange(n, dtype=np.int64),
+            edge=np.zeros(n, dtype=np.int32),
+            vertex=np.zeros(n, dtype=np.int32),
+            kind=np.asarray(kinds, dtype=np.int8),
+            bits=np.ones(n, dtype=np.int64),
+        )
+
+    def test_run_lengths(self):
+        d, v = KIND_DEFER, KIND_DELIVER
+        profiler = self._profiler([v, d, d, v, d, v, d, d, d])
+        assert profiler.deferral_depths() == {1: 1, 2: 1, 3: 1}
+        assert profiler.profile().max_deferral_depth == 3
+        assert profiler.profile().deferrals == 6
+
+    def test_no_deferrals(self):
+        profiler = self._profiler([KIND_DELIVER] * 4)
+        assert profiler.deferral_depths() == {}
+        assert profiler.profile().max_deferral_depth == 0
+
+    def test_deferrals_excluded_from_delivery_histograms(self):
+        profiler = self._profiler([KIND_DELIVER, KIND_DEFER, KIND_DEFER])
+        assert sum(profiler.message_size_histogram().values()) == 1
+
+    def test_faulty_run_records_deferrals(self):
+        spec = RunSpec.from_dict(
+            {
+                "graph": "random-dag",
+                "graph_params": {"num_internal": 8},
+                "protocol": "dag-broadcast",
+                "seed": 5,
+                "trace": "full",
+                "faults": {"delay_probability": 0.4},
+            }
+        )
+        _, reader = _recorded(spec)
+        profile = TraceProfiler.from_reader(reader).profile()
+        assert profile.deferrals > 0
+        assert profile.max_deferral_depth >= 1
+        assert profile.events == profile.deliveries + profile.deferrals

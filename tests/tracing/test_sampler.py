@@ -1,0 +1,59 @@
+"""Deterministic keep-1-in-k sampling: the cross-engine comparability core."""
+
+from repro.tracing.policy import TracePolicyError, normalize_policy, sample_k
+from repro.tracing.sampler import TraceSampler
+
+import pytest
+
+
+class TestTraceSampler:
+    def test_deterministic_across_instances(self):
+        a = TraceSampler("abc123", 4)
+        b = TraceSampler("abc123", 4)
+        assert [a.keep(i) for i in range(200)] == [b.keep(i) for i in range(200)]
+
+    def test_k_one_keeps_everything(self):
+        sampler = TraceSampler("w", 1)
+        assert all(sampler.keep(i) for i in range(50))
+
+    def test_rate_is_roughly_one_in_k(self):
+        kept = sum(TraceSampler("workload", 8).keep(i) for i in range(8000))
+        assert 700 <= kept <= 1300  # 1000 expected; generous hash-noise band
+
+    def test_different_keys_sample_differently(self):
+        a = [TraceSampler("key-a", 4).keep(i) for i in range(100)]
+        b = [TraceSampler("key-b", 4).keep(i) for i in range(100)]
+        assert a != b
+
+    def test_different_k_sample_differently(self):
+        a = [TraceSampler("key", 4).keep(i) for i in range(100)]
+        b = [TraceSampler("key", 5).keep(i) for i in range(100)]
+        assert a != b
+
+    def test_decision_depends_only_on_index(self):
+        """Query order is irrelevant — engines may interleave arbitrarily."""
+        sampler = TraceSampler("key", 3)
+        forward = [sampler.keep(i) for i in range(64)]
+        backward = [TraceSampler("key", 3).keep(i) for i in reversed(range(64))]
+        assert forward == list(reversed(backward))
+
+
+class TestTracePolicy:
+    def test_off_forms_normalise_to_none(self):
+        for value in (None, "off", "none", "", "OFF"):
+            assert normalize_policy(value) is None
+
+    def test_full(self):
+        assert normalize_policy("full") == "full"
+        assert normalize_policy("FULL") == "full"
+        assert sample_k("full") is None
+
+    def test_sample_k(self):
+        assert normalize_policy("sample:8") == "sample:8"
+        assert normalize_policy("sample:08") == "sample:8"
+        assert sample_k("sample:8") == 8
+
+    def test_bad_policies_raise(self):
+        for bad in ("sample", "sample:", "sample:0", "sample:-2", "sample:x", "sometimes"):
+            with pytest.raises(TracePolicyError):
+                normalize_policy(bad)
