@@ -48,15 +48,18 @@ __all__ = [
     "STORE_BENCH_RECORDS",
     "BATCH_BENCH_KS",
     "BATCH_BENCH_GATED_K",
+    "BATCH_PROTOCOL_GRAPH_SEED",
     "bench_spec",
     "protocol_bench_spec",
     "batch_bench_spec",
+    "batch_protocol_spec",
     "measure_spec",
     "synthetic_store_records",
     "run_engine_benchmarks",
     "run_protocol_matrix",
     "run_store_benchmarks",
     "run_batch_benchmarks",
+    "run_batch_protocol_matrix",
     "run_trace_benchmarks",
     "TRACE_BENCH_N",
     "TRACE_BENCH_SAMPLE_K",
@@ -100,6 +103,15 @@ BATCH_BENCH_KS = (16, 64, 256)
 
 #: The group size at which ``batch_vs_fastpath_min_ratio`` is gated.
 BATCH_BENCH_GATED_K = 64
+
+#: The pinned *graph* seed for the per-protocol batch coverage matrix.
+#: Pinning it in ``graph_params`` makes all K runs share one topology, so
+#: the whole seed-group reaches the vectorized kernel (an unpinned graph
+#: seed would shatter the group into K singleton topologies and measure
+#: nothing but fallback dispatch).  Seed 1 also keeps the eager-DAG
+#: split's compile-time message enumeration under the kernel's cap at the
+#: gated size.
+BATCH_PROTOCOL_GRAPH_SEED = 1
 
 #: Graph size for the trace-capture overhead suite (the gated workload).
 TRACE_BENCH_N = 64
@@ -402,6 +414,111 @@ def run_batch_benchmarks(
     }
 
 
+def batch_protocol_spec(protocol: str, n: int = PROTOCOL_MATRIX_N) -> RunSpec:
+    """The seed-group template for one protocol's batch coverage row.
+
+    Same natural-habitat graph family as :func:`protocol_bench_spec`, but
+    with the *graph* seed pinned to :data:`BATCH_PROTOCOL_GRAPH_SEED` in
+    ``graph_params`` (see that constant's rationale) and the ``batch``
+    engine selected.  The explicit ``max_steps`` cap bounds the eager-DAG
+    split's path multiplicity identically on both engines.
+    """
+    return RunSpec(
+        graph=PROTOCOL_BENCH_GRAPHS.get(protocol, "random-digraph"),
+        graph_params={"num_internal": n - 2, "seed": BATCH_PROTOCOL_GRAPH_SEED},
+        protocol=protocol,
+        scheduler="random",
+        engine="batch",
+        max_steps=200_000,
+        label=f"bench-batch-{protocol}-n{n}",
+    )
+
+
+def run_batch_protocol_matrix(
+    *,
+    n: int = PROTOCOL_MATRIX_N,
+    k: int = BATCH_BENCH_GATED_K,
+    repeats: int = 3,
+    progress: Optional[Any] = None,
+) -> Dict[str, Any]:
+    """Measure every *batchable* protocol's ``run_many`` speedup at K=``k``.
+
+    The registry-driven companion of :func:`run_protocol_matrix` for the
+    batch engine: every protocol registered in
+    :data:`~repro.api.registry.PROTOCOLS` and not listed in
+    :data:`~repro.network.batchpath.BATCH_KERNEL_EXEMPT` gets one row
+    comparing a K-seed ``run_many`` group against K per-seed fastpath
+    runs of the identical (spec, seed) pairs, interleaved round by round
+    with the best round of each kept (same discipline as
+    :func:`run_batch_benchmarks`).  Each row also records the group's
+    ``fallbacks`` counters — a non-empty dict means the workload silently
+    degraded to per-seed execution and the measured ratio is dispatch
+    overhead, not kernel speedup, so it shows up next to the number it
+    explains.  The ``require_batch_protocol_coverage`` floor (see
+    :func:`check_floors`) fails CI if a registered batchable protocol
+    were ever missing from this matrix.
+    """
+    from dataclasses import replace
+
+    from ..api import ENGINES
+    from ..network.batchpath import BATCH_KERNEL_EXEMPT
+
+    ensure_registered()
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    run_many = ENGINES.get("batch").run_many
+    rounds = repeats + 2
+    seeds = list(range(k))
+    results: List[Dict[str, Any]] = []
+    for protocol in sorted(PROTOCOLS.names()):
+        if protocol in BATCH_KERNEL_EXEMPT:
+            continue
+        template = batch_protocol_spec(protocol, n)
+        fast_specs = [
+            replace(template, engine="fastpath", seed=seed) for seed in seeds
+        ]
+        fallbacks: Dict[str, int] = {}
+        records = run_many(template, seeds, fallbacks)  # warmup + probe
+        execute_spec(fast_specs[0])
+        total_steps = sum(int(record.metrics["steps"]) for record in records)
+        best_batch = best_fast = float("inf")
+        for _ in range(rounds):
+            start = time.perf_counter()
+            run_many(template, seeds)
+            best_batch = min(best_batch, time.perf_counter() - start)
+            start = time.perf_counter()
+            for spec in fast_specs:
+                execute_spec(spec)
+            best_fast = min(best_fast, time.perf_counter() - start)
+        row = {
+            "protocol": protocol,
+            "graph": template.graph,
+            "n": n,
+            "k": k,
+            "steps": total_steps,
+            "batch_seconds": best_batch,
+            "fastpath_seconds": best_fast,
+            "batch_steps_per_sec": (
+                total_steps / best_batch if best_batch > 0 else 0.0
+            ),
+            "fastpath_steps_per_sec": (
+                total_steps / best_fast if best_fast > 0 else 0.0
+            ),
+            "ratio": best_fast / best_batch if best_batch > 0 else 0.0,
+            "fallbacks": dict(fallbacks),
+        }
+        results.append(row)
+        if progress is not None:
+            progress(row)
+    return {
+        "n": n,
+        "k": k,
+        "rounds": rounds,
+        "graph_seed": BATCH_PROTOCOL_GRAPH_SEED,
+        "results": results,
+    }
+
+
 class _NoKernel:
     """Protocol proxy that never offers a compiled kernel.
 
@@ -684,7 +801,9 @@ def check_floors(payload: Dict[str, Any], floors: Dict[str, Any]) -> List[str]:
           "store_min_get_per_sec": 400,
           "store_min_contains_per_sec": 1500,
           "store_min_cache_hit_rate": 0.95,
-          "batch_vs_fastpath_min_ratio": {"64": 3.0},
+          "batch_vs_fastpath_min_ratio": {"16": 1.2, "64": 3.0},
+          "batch_protocol_vs_fastpath_min_ratio": {"tree-broadcast": 2.0, ...},
+          "require_batch_protocol_coverage": true,
           "trace_overhead_max_ratio": 1.5
         }
 
@@ -700,6 +819,14 @@ def check_floors(payload: Dict[str, Any], floors: Dict[str, Any]) -> List[str]:
     :data:`~repro.api.registry.PROTOCOLS` must appear in the coverage
     matrix, so registering a protocol without extending the bench matrix
     fails CI.
+
+    ``batch_protocol_vs_fastpath_min_ratio`` is keyed by protocol registry
+    name and checked against the ``batch.protocols`` coverage matrix
+    (measured at ``K = BATCH_BENCH_GATED_K``); with
+    ``require_batch_protocol_coverage`` set, every registered protocol not
+    listed in :data:`~repro.network.batchpath.BATCH_KERNEL_EXEMPT` must
+    appear in that matrix, so shipping a ``compile_batch`` kernel without
+    benching it (or silently losing one) fails CI.
     """
     violations: List[str] = []
     by_size = {
@@ -821,6 +948,55 @@ def check_floors(payload: Dict[str, Any], floors: Dict[str, Any]) -> List[str]:
                         f"below the floor of {minimum}x"
                     )
 
+    batch_protocol_floors = floors.get("batch_protocol_vs_fastpath_min_ratio", {})
+    if batch_protocol_floors or floors.get("require_batch_protocol_coverage"):
+        batch_matrix = (payload.get("batch") or {}).get("protocols")
+        if batch_matrix is None:
+            violations.append(
+                "no per-protocol batch coverage matrix to check against "
+                "batch_protocol_vs_fastpath_min_ratio "
+                "(run repro bench without --no-batch-bench)"
+            )
+        else:
+            matrix_rows = {
+                row["protocol"]: row for row in batch_matrix.get("results", [])
+            }
+            matrix_k = batch_matrix.get("k")
+            if batch_protocol_floors and matrix_k != BATCH_BENCH_GATED_K:
+                # Same discipline as the per-protocol fastpath floors: the
+                # ratios are calibrated at the gated group size, so numbers
+                # measured elsewhere must fail loudly instead of gating.
+                violations.append(
+                    f"batch coverage matrix was measured at K={matrix_k} but "
+                    "the per-protocol batch ratio floors are calibrated at "
+                    f"K={BATCH_BENCH_GATED_K}"
+                )
+            else:
+                for name, minimum in batch_protocol_floors.items():
+                    row = matrix_rows.get(name)
+                    if row is None:
+                        violations.append(
+                            f"no batch-vs-fastpath ratio for protocol {name!r} "
+                            "in the batch coverage matrix to check against floor"
+                        )
+                        continue
+                    if row["ratio"] < minimum:
+                        violations.append(
+                            f"batch vs fastpath for {name} is "
+                            f"{row['ratio']:.2f}x, below the floor of {minimum}x"
+                        )
+            if floors.get("require_batch_protocol_coverage"):
+                from ..network.batchpath import BATCH_KERNEL_EXEMPT
+
+                ensure_registered()
+                for name in sorted(PROTOCOLS.names()):
+                    if name in BATCH_KERNEL_EXEMPT or name in matrix_rows:
+                        continue
+                    violations.append(
+                        f"registered protocol {name!r} is missing from the "
+                        "batch coverage matrix (batch protocols coverage)"
+                    )
+
     trace_maximum = floors.get("trace_overhead_max_ratio")
     if trace_maximum is not None:
         # A *ceiling*, not a floor: trace capture may cost at most this
@@ -910,6 +1086,24 @@ def render_bench_table(payload: Dict[str, Any]) -> str:
                 f"{row['fastpath_steps_per_sec']:>12.0f} "
                 f"{row['ratio']:>7.2f}x"
             )
+        batch_matrix = batch_block.get("protocols")
+        if batch_matrix:
+            lines.append("")
+            lines.append(
+                f"batch kernel coverage at n={batch_matrix['n']}, "
+                f"K={batch_matrix['k']} (run_many vs per-seed fastpath):"
+            )
+            for row in batch_matrix.get("results", []):
+                note = ""
+                if row.get("fallbacks"):
+                    tally = ", ".join(
+                        f"{reason}={count}"
+                        for reason, count in sorted(row["fallbacks"].items())
+                    )
+                    note = f"  [fell back: {tally}]"
+                lines.append(
+                    f"  {row['protocol']:<24} {row['ratio']:>7.2f}x{note}"
+                )
     trace_block = payload.get("trace")
     if trace_block:
         lines.append("")

@@ -349,11 +349,12 @@ class CampaignRunner:
         Reuse completed spec_ids found in ``<name>.runs.jsonl`` instead of
         re-executing them.  White-box campaigns cannot resume (their rows
         need live states) and always execute.
-    parallel / max_workers / chunksize:
+    parallel / max_workers / chunksize / min_group_size:
         Forwarded to the :class:`~repro.api.runner.BatchRunner`
-        (``chunksize=None`` auto-tunes per dispatch).  The default is
-        in-process serial execution — the right mode inside drivers,
-        tests and benches; the CLI turns parallelism on.
+        (``chunksize=None`` auto-tunes per dispatch;
+        ``min_group_size=None`` keeps the runner's batching threshold).
+        The default is in-process serial execution — the right mode
+        inside drivers, tests and benches; the CLI turns parallelism on.
     store:
         Optional :class:`~repro.store.store.ResultStore` shared across
         campaigns, users and CI runs.  Grid campaigns resolve every
@@ -375,6 +376,7 @@ class CampaignRunner:
         parallel: bool = False,
         max_workers: Optional[int] = None,
         chunksize: Optional[int] = None,
+        min_group_size: Optional[int] = None,
         progress: Optional[Callable[[int, int, RunRecord], None]] = None,
         store: Optional[Any] = None,
     ) -> None:
@@ -386,6 +388,7 @@ class CampaignRunner:
         self.parallel = parallel
         self.max_workers = max_workers
         self.chunksize = chunksize
+        self.min_group_size = min_group_size
         self.progress = progress
         self.store = store
 
@@ -478,6 +481,7 @@ class CampaignRunner:
                 parallel=self.parallel,
                 max_workers=self.max_workers,
                 chunksize=self.chunksize,
+                min_group_size=self.min_group_size,
                 store=self.store,
             )
             records = runner.run(

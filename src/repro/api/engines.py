@@ -23,8 +23,9 @@ keep working unchanged.
 
 ``run_many`` is the batching capability: ``run_many(spec, seeds)``
 executes one spec shape across many seeds in a single call and returns
-input-ordered :class:`~repro.api.spec.RunRecord` objects.  Only engines
-with ``supports_batching=True`` provide it; the
+input-ordered :class:`~repro.api.spec.RunRecord` objects (an optional
+third ``fallbacks`` counter dict collects per-seed fallback reasons).
+Only engines with ``supports_batching=True`` provide it; the
 :class:`~repro.api.runner.BatchRunner` groups pending work by
 "spec minus seed" and dispatches whole seed-groups through it.
 
@@ -65,8 +66,12 @@ class EngineInfo:
         ``(spec, network, protocol) -> (result, extra_metrics)`` — the
         single-run adapter every engine must provide.
     run_many:
-        Optional ``(spec, seeds) -> list[RunRecord]`` executing one spec
-        shape across many seeds in a single call (input-ordered records).
+        Optional ``(spec, seeds, fallbacks=None) -> list[RunRecord]``
+        executing one spec shape across many seeds in a single call
+        (input-ordered records).  ``fallbacks`` is an optional mutable
+        counter dict the engine increments per spec that silently took a
+        per-seed fallback, keyed by reason (surfaced as
+        ``batch_fallbacks`` in :class:`~repro.api.runner.BatchStats`).
         Must be present exactly when ``supports_batching`` is set.
     supports_faults:
         Whether specs carrying a :class:`~repro.network.faults.FaultSpec`
@@ -236,11 +241,15 @@ def _run_synchronous(spec: Any, network: Any, protocol: Any) -> Tuple[Any, Dict[
     return result, {"rounds": result.rounds, "termination_round": result.termination_round}
 
 
-def _run_batch_many(spec: Any, seeds: Sequence[Any]) -> List[Any]:
+def _run_batch_many(
+    spec: Any,
+    seeds: Sequence[Any],
+    fallbacks: Optional[Dict[str, int]] = None,
+) -> List[Any]:
     """Structure-of-arrays multi-run execution (see :mod:`repro.network.batchpath`)."""
     from ..network.batchpath import run_many_batched
 
-    return run_many_batched(spec, seeds)
+    return run_many_batched(spec, seeds, fallbacks)
 
 
 ENGINES.register(

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Dict, Iterable, List, Optional, Sequence
 
 from .engines import ENGINES
@@ -38,7 +38,21 @@ from .spec import RunRecord, RunSpec, execute_spec, topology_cache_stats
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from ..store.store import ResultStore
 
-__all__ = ["BatchRunner", "BatchStats", "run_specs", "load_records"]
+__all__ = [
+    "BatchRunner",
+    "BatchStats",
+    "DEFAULT_MIN_GROUP_SIZE",
+    "run_specs",
+    "load_records",
+]
+
+#: Default :class:`BatchRunner` batching threshold: seed-groups smaller
+#: than this run per-spec instead of through ``run_many``.  Measured
+#: batch-vs-fastpath ratios (BENCH_engines.json) only reach ~1.7x at
+#: K=16 and the SoA set-up cost is flat per group, so tiny groups pay
+#: the overhead for little gain; 8 keeps every campaign-scale sweep
+#: batched while letting small ad-hoc groups skip the machinery.
+DEFAULT_MIN_GROUP_SIZE = 8
 
 
 def _execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -68,14 +82,16 @@ def _execute_group_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     """
     specs = [RunSpec.from_dict(d) for d in payload["specs"]]
     before = topology_cache_stats()
+    fallbacks: Dict[str, int] = {}
     records = ENGINES.get(specs[0].engine).run_many(
-        specs[0], [spec.seed for spec in specs]
+        specs[0], [spec.seed for spec in specs], fallbacks
     )
     after = topology_cache_stats()
     return {
         "records": [record.to_dict() for record in records],
         "cache_hits": after.hits - before.hits,
         "cache_misses": after.misses - before.misses,
+        "batch_fallbacks": fallbacks,
     }
 
 
@@ -120,6 +136,15 @@ class BatchStats:
     engine's ``run_many`` capability (see
     :class:`~repro.api.engines.EngineInfo`); the specs they contain are
     still counted individually in ``executed``.
+
+    ``batch_fallbacks`` tallies, by reason, every executed spec that was
+    *eligible* for batching but ran per-seed anyway: ``small_group``
+    (seed-group under the runner's ``min_group_size`` or a singleton
+    after topology subdivision), plus the engine-reported reasons from
+    :func:`~repro.network.batchpath.run_many_batched` (``no_kernel``,
+    ``faults``, ``trace``, ``state_bits``, ``scheduler``,
+    ``seed_range``).  Empty when nothing fell back — so silent per-seed
+    execution is observable instead of inferred from timings.
     """
 
     total: int
@@ -130,6 +155,7 @@ class BatchStats:
     store_hits: int = 0
     store_misses: int = 0
     batched_groups: int = 0
+    batch_fallbacks: Dict[str, int] = field(default_factory=dict)
 
 
 class BatchRunner:
@@ -156,6 +182,11 @@ class BatchRunner:
         store satisfies every spec) and publishes every freshly computed
         record back to the store as it completes.  The store is only
         touched from this parent process, never from pool workers.
+    min_group_size:
+        Smallest seed-group worth dispatching through ``run_many``
+        (default :data:`DEFAULT_MIN_GROUP_SIZE`); smaller groups run
+        per-spec and are tallied under ``batch_fallbacks["small_group"]``.
+        Exposed on the CLI as ``--batch-min-group``.
     """
 
     def __init__(
@@ -165,20 +196,27 @@ class BatchRunner:
         chunksize: Optional[int] = None,
         parallel: bool = True,
         store: "Optional[ResultStore]" = None,
+        min_group_size: Optional[int] = None,
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be >= 1 (use parallel=False for serial)")
         if chunksize is not None and chunksize < 1:
             raise ValueError("chunksize must be >= 1 (or None to auto-tune)")
+        if min_group_size is not None and min_group_size < 1:
+            raise ValueError("min_group_size must be >= 1 (or None for the default)")
         self.max_workers = max_workers
         self.chunksize = chunksize
         self.parallel = parallel
         self.store = store
+        self.min_group_size = (
+            DEFAULT_MIN_GROUP_SIZE if min_group_size is None else min_group_size
+        )
         #: Stats of the most recent :meth:`run` call.
         self.stats: Optional[BatchStats] = None
         self._cache_hits = 0
         self._cache_misses = 0
         self._batched_groups = 0
+        self._batch_fallbacks: Dict[str, int] = {}
 
     def effective_chunksize(self, pending: int) -> int:
         """The chunksize a dispatch of ``pending`` specs will use."""
@@ -261,6 +299,7 @@ class BatchRunner:
         self._cache_hits = 0
         self._cache_misses = 0
         self._batched_groups = 0
+        self._batch_fallbacks = {}
         sink = None
         try:
             if output_path:
@@ -297,21 +336,27 @@ class BatchRunner:
             store_hits=len(store_ids),
             store_misses=max(0, lookups - len(store_ids)),
             batched_groups=self._batched_groups,
+            batch_fallbacks=dict(self._batch_fallbacks),
         )
         return records
 
     # ------------------------------------------------------------------
 
-    @staticmethod
-    def _plan(pending: Sequence[RunSpec]) -> "tuple[List[RunSpec], List[List[RunSpec]]]":
+    def _plan(
+        self, pending: Sequence[RunSpec]
+    ) -> "tuple[List[RunSpec], List[List[RunSpec]]]":
         """Split pending work into singleton specs and ``run_many`` groups.
 
         Specs whose engine declares ``supports_batching`` are grouped by
         "spec minus seed" (the ``spec_id`` with the seed nulled out).
         Grouping happens strictly *after* store/JSONL resume filtering, so
         a store hit inside a group shrinks the group instead of forcing a
-        re-execution; groups that shrink to a single spec fall back to the
-        ordinary per-spec path, where dispatch is cheaper.
+        re-execution; groups that shrink below ``min_group_size`` (always
+        at least 2) fall back to the ordinary per-spec path, where
+        dispatch is cheaper than the SoA set-up — multi-spec groups the
+        threshold turned away are tallied under
+        ``batch_fallbacks["small_group"]`` (singletons had nothing to
+        batch with and are not).
         """
         singles: List[RunSpec] = []
         by_shape: Dict[str, List[RunSpec]] = {}
@@ -321,11 +366,16 @@ class BatchRunner:
                 by_shape.setdefault(spec.with_seed(None).spec_id, []).append(spec)
             else:
                 singles.append(spec)
+        threshold = max(2, self.min_group_size)
         groups: List[List[RunSpec]] = []
         for members in by_shape.values():
-            if len(members) >= 2:
+            if len(members) >= threshold:
                 groups.append(members)
             else:
+                if len(members) >= 2:
+                    self._batch_fallbacks["small_group"] = (
+                        self._batch_fallbacks.get("small_group", 0) + len(members)
+                    )
                 singles.extend(members)
         return singles, groups
 
@@ -337,7 +387,9 @@ class BatchRunner:
             for members in groups:
                 before = topology_cache_stats()
                 records = ENGINES.get(members[0].engine).run_many(
-                    members[0], [spec.seed for spec in members]
+                    members[0],
+                    [spec.seed for spec in members],
+                    self._batch_fallbacks,
                 )
                 after = topology_cache_stats()
                 self._cache_hits += after.hits - before.hits
@@ -362,6 +414,10 @@ class BatchRunner:
                     self._cache_hits += result["cache_hits"]
                     self._cache_misses += result["cache_misses"]
                     self._batched_groups += 1
+                    for reason, count in result.get("batch_fallbacks", {}).items():
+                        self._batch_fallbacks[reason] = (
+                            self._batch_fallbacks.get(reason, 0) + count
+                        )
                     for record in result["records"]:
                         yield RunRecord.from_dict(record)
             if singles:
@@ -390,7 +446,13 @@ def run_specs(
     max_workers: Optional[int] = None,
     parallel: bool = True,
     store: "Optional[ResultStore]" = None,
+    min_group_size: Optional[int] = None,
 ) -> List[RunRecord]:
     """One-shot convenience wrapper around :class:`BatchRunner`."""
-    runner = BatchRunner(max_workers=max_workers, parallel=parallel, store=store)
+    runner = BatchRunner(
+        max_workers=max_workers,
+        parallel=parallel,
+        store=store,
+        min_group_size=min_group_size,
+    )
     return runner.run(specs, output_path=output_path, resume=resume)

@@ -49,3 +49,17 @@ class EagerDagBroadcastProtocol(TreeBroadcastProtocol):
         from ..core.flat_kernel import TreeBroadcastKernel
 
         return TreeBroadcastKernel(self, compiled)
+
+    def compile_batch(self, compiled):
+        """The split batch kernel, re-guarded for this exact subclass.
+
+        Eager splitting re-splits on every receipt, so the message
+        multiset grows with path multiplicity; the enumeration cap makes
+        ``build`` return ``None`` (→ per-seed fastpath) on dense shapes
+        rather than materialising an oversized table.
+        """
+        if type(self) is not EagerDagBroadcastProtocol:
+            return None
+        from ..core.batch_kernel import BatchSplitKernel
+
+        return BatchSplitKernel.build(self, compiled)

@@ -123,3 +123,14 @@ class NaiveTreeBroadcastProtocol(AnonymousProtocol[NaiveTreeState, RationalToken
         from ..core.flat_kernel import NaiveTreeKernel
 
         return NaiveTreeKernel(self, compiled)
+
+    def compile_batch(self, compiled: Any) -> Optional[Any]:
+        """Structure-of-arrays multi-run kernel: the rational share
+        arithmetic happens once at compile time inside the enumeration
+        (see :class:`~repro.core.batch_kernel.BatchSplitKernel`), so the
+        per-step loop never touches a :class:`~fractions.Fraction`."""
+        if type(self) is not NaiveTreeBroadcastProtocol:
+            return None
+        from ..core.batch_kernel import BatchSplitKernel
+
+        return BatchSplitKernel.build(self, compiled)

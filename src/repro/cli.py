@@ -220,6 +220,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="ENGINE",
         help="override the execution engine for every spec in the file",
     )
+    batch.add_argument(
+        "--batch-min-group",
+        type=int,
+        default=None,
+        metavar="K",
+        help="smallest seed-group dispatched through an engine's run_many "
+        "(default 8); smaller groups run per-seed",
+    )
     _add_store_flags(batch)
 
     experiment = sub.add_parser(
@@ -282,6 +290,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-resume",
         action="store_true",
         help="re-execute every run even if the artifact dir has its record",
+    )
+    experiment.add_argument(
+        "--batch-min-group",
+        type=int,
+        default=None,
+        metavar="K",
+        help="smallest seed-group dispatched through an engine's run_many "
+        "(default 8); smaller groups run per-seed",
     )
     _add_store_flags(experiment)
 
@@ -658,6 +674,7 @@ def _cmd_batch(args, stream: IO[str]) -> int:
         chunksize=args.chunksize,
         parallel=not args.serial,
         store=store,
+        min_group_size=args.batch_min_group,
     )
 
     def progress(done: int, total: int, record: RunRecord) -> None:
@@ -707,6 +724,7 @@ def _cmd_batch(args, stream: IO[str]) -> int:
         "cache_hits": stats.cache_hits,
         "cache_misses": stats.cache_misses,
         "batched_groups": stats.batched_groups,
+        "batch_fallbacks": stats.batch_fallbacks,
         "store": store.root if store is not None else None,
         "store_hits": stats.store_hits,
         "store_misses": stats.store_misses,
@@ -793,7 +811,11 @@ def _cmd_bench(args, stream: IO[str]) -> int:
         )
         payload["store"] = run_store_benchmarks(n_records=store_records)
     if not args.no_batch_bench:
-        from .analysis.benchmark import BATCH_BENCH_KS, run_batch_benchmarks
+        from .analysis.benchmark import (
+            BATCH_BENCH_KS,
+            run_batch_benchmarks,
+            run_batch_protocol_matrix,
+        )
 
         batch_ks = tuple(args.batch_ks) if args.batch_ks else BATCH_BENCH_KS
         print(
@@ -812,6 +834,24 @@ def _cmd_bench(args, stream: IO[str]) -> int:
 
         payload["batch"] = run_batch_benchmarks(
             ks=batch_ks, repeats=repeats, progress=batch_progress
+        )
+        print(
+            "benchmarking batch kernel coverage for every batchable protocol "
+            "(run_many vs per-seed fastpath)",
+            file=stream,
+        )
+
+        def batch_matrix_progress(row) -> None:
+            print(
+                f"  {row['protocol']:<22} K={row['k']:<4} "
+                f"batch {row['batch_steps_per_sec']:.0f} "
+                f"fastpath {row['fastpath_steps_per_sec']:.0f} steps/sec  "
+                f"(ratio {row['ratio']:.2f}x)",
+                file=stream,
+            )
+
+        payload["batch"]["protocols"] = run_batch_protocol_matrix(
+            repeats=min(repeats, 2), progress=batch_matrix_progress
         )
     if not args.no_trace_bench:
         from .analysis.benchmark import run_trace_benchmarks
@@ -935,6 +975,7 @@ def _cmd_experiment(args, stream: IO[str]) -> int:
         resume=not args.no_resume,
         parallel=not args.serial,
         max_workers=args.workers,
+        min_group_size=args.batch_min_group,
         progress=progress,
         store=store,
     )
@@ -952,6 +993,7 @@ def _cmd_experiment(args, stream: IO[str]) -> int:
     start = time.time()
     total_specs = executed = reused = total_rows = 0
     cache_hits = cache_misses = store_hits = store_misses = batched_groups = 0
+    batch_fallbacks: Dict[str, int] = {}
     engines_applied: Dict[str, Optional[str]] = {}
     for experiment in experiments:
         exp_start = time.time()
@@ -977,6 +1019,8 @@ def _cmd_experiment(args, stream: IO[str]) -> int:
         store_hits += result.stats.store_hits
         store_misses += result.stats.store_misses
         batched_groups += getattr(result.stats, "batched_groups", 0)
+        for reason, count in getattr(result.stats, "batch_fallbacks", {}).items():
+            batch_fallbacks[reason] = batch_fallbacks.get(reason, 0) + count
         total_rows += len(result.rows)
     elapsed = time.time() - start
 
@@ -999,6 +1043,7 @@ def _cmd_experiment(args, stream: IO[str]) -> int:
         "cache_hits": cache_hits,
         "cache_misses": cache_misses,
         "batched_groups": batched_groups,
+        "batch_fallbacks": batch_fallbacks,
         "store": store.root if store is not None else None,
         "store_hits": store_hits,
         "store_misses": store_misses,

@@ -142,3 +142,13 @@ class DagBroadcastProtocol(AnonymousProtocol[DagState, ScalarToken]):
         from .flat_kernel import DagBroadcastKernel
 
         return DagBroadcastKernel(self, compiled)
+
+    def compile_batch(self, compiled: Any) -> Optional[Any]:
+        """Structure-of-arrays multi-run kernel over per-run heard
+        counters (``None`` on cyclic shapes that would re-fire an edge —
+        see :class:`~repro.core.batch_kernel.BatchDagKernel`)."""
+        if type(self) is not DagBroadcastProtocol:
+            return None
+        from .batch_kernel import BatchDagKernel
+
+        return BatchDagKernel.build(self, compiled)

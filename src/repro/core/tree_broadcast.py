@@ -169,3 +169,14 @@ class TreeBroadcastProtocol(AnonymousProtocol[TreeState, TreeToken]):
         from .flat_kernel import TreeBroadcastKernel
 
         return TreeBroadcastKernel(self, compiled)
+
+    def compile_batch(self, compiled: Any) -> Optional[Any]:
+        """Structure-of-arrays multi-run kernel over the enumerated
+        order-independent message multiset (``None`` on shapes the
+        enumeration can't express — see
+        :class:`~repro.core.batch_kernel.BatchSplitKernel`)."""
+        if type(self) is not TreeBroadcastProtocol:
+            return None
+        from .batch_kernel import BatchSplitKernel
+
+        return BatchSplitKernel.build(self, compiled)

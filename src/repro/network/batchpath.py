@@ -25,8 +25,12 @@ fastpath twin.  The differential suite
 a seed list, subdivides the group wherever the seed actually changes the
 topology, vectorizes the subgroups its kernels can express, and falls
 back to per-spec fastpath execution for everything else (protocols
-without a batch kernel, non-random schedulers, trace/state-bit requests,
-out-of-range seeds).  Records come back input-ordered either way.
+without a batch kernel, non-random schedulers, fault/trace/state-bit
+requests, out-of-range seeds).  Records come back input-ordered either
+way, and every spec that takes the fallback is tallied by reason into
+the caller's ``fallbacks`` dict so silent per-seed execution is
+observable (surfaced as ``batch_fallbacks`` in
+:class:`~repro.api.runner.BatchStats` and the CLI summary lines).
 """
 
 from __future__ import annotations
@@ -53,7 +57,18 @@ from ..api.spec import (
 from .scheduler import RandomScheduler
 from .simulator import Outcome, default_step_budget
 
-__all__ = ["MTStreams", "run_many_batched"]
+__all__ = ["BATCH_KERNEL_EXEMPT", "MTStreams", "run_many_batched"]
+
+#: Protocol registry names that are allowed to lack a ``compile_batch``
+#: kernel, mirroring :data:`~repro.network.fastpath.KERNEL_EXEMPT`.  The
+#: interval protocols carry arbitrary label/interval payloads that are
+#: not int-array shaped, so they run per-seed; the registry-driven
+#: completeness test (``tests/api/test_batch_differential.py``) fails
+#: the build if a newly registered protocol neither compiles a batch
+#: kernel nor is listed here.
+BATCH_KERNEL_EXEMPT: frozenset = frozenset(
+    {"general-broadcast", "label-assignment", "topology-mapping"}
+)
 
 _N = 624
 _M = 397
@@ -523,17 +538,22 @@ def _group_kernel(rep: RunSpec, compiled: Any) -> Optional[Any]:
     return kernel
 
 
+def _shape_fallback_reason(spec: RunSpec) -> Optional[str]:
+    """Why the spec *shape* (seed aside) can't run on a batch kernel, or
+    ``None`` when it can.  ``stop_at_termination`` never blocks
+    vectorization: the kernels latch and stop per run."""
+    if spec.faults is not None:
+        return "faults"
+    if spec.trace is not None or spec.record_trace:
+        return "trace"
+    if spec.track_state_bits:
+        return "state_bits"
+    return None
+
+
 def _vectorizable_shape(spec: RunSpec) -> bool:
     """Whether the spec *shape* (seed aside) can run on a batch kernel."""
-    return (
-        spec.faults is None
-        and spec.trace is None
-        and not spec.record_trace
-        and not spec.track_state_bits
-        # stop_at_termination only matters for terminating kernels; the
-        # flooding kernel never terminates, and future terminating kernels
-        # handle it per-run — nothing about the flag blocks vectorization.
-    )
+    return _shape_fallback_reason(spec) is None
 
 
 def _records_from_outcome(
@@ -566,11 +586,15 @@ def _records_from_outcome(
     num_edges = network.num_edges
     for i, spec in enumerate(specs):
         tstep = termination_step[i]
-        terminated = tstep >= 0
-        if terminated:
-            run_outcome = _TERMINATED
-        elif exhausted[i]:
+        # Budget exhaustion wins even over a latched termination: the
+        # fastpath driver declares BUDGET_EXHAUSTED at the top of the
+        # loop whenever in-flight messages outlive the budget, however
+        # the run latched earlier — but keeps the latched
+        # ``termination_step`` and at-termination metrics in either case.
+        if exhausted[i]:
             run_outcome = _EXHAUSTED
+        elif tstep >= 0:
+            run_outcome = _TERMINATED
         else:
             run_outcome = _QUIESCENT
         metrics = {
@@ -579,7 +603,7 @@ def _records_from_outcome(
             "max_message_bits": max_message_bits[i],
             "max_edge_bits": max_edge_bits[i],
             "max_edge_messages": max_edge_messages[i],
-            "termination_step": tstep if terminated else None,
+            "termination_step": tstep if tstep >= 0 else None,
             "steps": steps[i],
             "messages_at_termination": messages_at_termination[i],
             "bits_at_termination": bits_at_termination[i],
@@ -589,7 +613,7 @@ def _records_from_outcome(
             RunRecord(
                 spec=spec,
                 outcome=run_outcome,
-                terminated=terminated,
+                terminated=run_outcome is _TERMINATED,
                 num_vertices=num_vertices,
                 num_edges=num_edges,
                 metrics=metrics,
@@ -599,28 +623,50 @@ def _records_from_outcome(
     return records
 
 
-def run_many_batched(spec: RunSpec, seeds: Sequence[Any]) -> List[RunRecord]:
+def run_many_batched(
+    spec: RunSpec,
+    seeds: Sequence[Any],
+    fallbacks: Optional[Dict[str, int]] = None,
+) -> List[RunRecord]:
     """Execute ``spec`` across ``seeds``; records aligned with ``seeds``.
 
     The group is subdivided by topology key first (a seed-sensitive graph
     family turns one seed-group into several same-topology subgroups),
     then each subgroup is vectorized when every precondition holds —
     stock :class:`RandomScheduler`, a protocol with a batch kernel, plain
-    single-word seeds, no tracing — and executed one spec at a time
-    through :func:`~repro.api.spec.execute_spec` (the engine's fastpath
-    ``run_one``) otherwise.
+    single-word seeds, no faults or tracing — and executed one spec at a
+    time through :func:`~repro.api.spec.execute_spec` (the engine's
+    fastpath ``run_one``) otherwise.
+
+    ``fallbacks``, when given, is a mutable counter dict the function
+    increments once per spec that takes the per-seed fallback, keyed by
+    reason: ``faults`` / ``trace`` / ``state_bits`` (shape can't
+    vectorize), ``seed_range`` (seed not a plain word), ``small_group``
+    (nothing to batch with after topology subdivision), ``scheduler``
+    (not a stock :class:`RandomScheduler`), ``no_kernel`` (protocol
+    without a batch kernel).
     """
     specs = _seed_variants(spec, list(seeds))
     records: List[Optional[RunRecord]] = [None] * len(specs)
 
+    def fell_back(reason: str, count: int) -> None:
+        if fallbacks is not None and count:
+            fallbacks[reason] = fallbacks.get(reason, 0) + count
+
     groups: List[List[int]] = []
-    if _vectorizable_shape(spec):
+    shape_reason = _shape_fallback_reason(spec)
+    if shape_reason is not None:
+        fell_back(shape_reason, len(specs))
+    else:
         eligible = [
             i
             for i, s in enumerate(specs)
             if isinstance(s.seed, int) and 0 <= s.seed < MAX_STREAM_SEED
         ]
-        if len(eligible) >= 2:
+        fell_back("seed_range", len(specs) - len(eligible))
+        if len(eligible) < 2:
+            fell_back("small_group", len(eligible))
+        else:
             ensure_registered()
             # The run seed reaches the topology only through injection
             # into the graph factory; when that path is closed (seed
@@ -637,6 +683,10 @@ def run_many_batched(spec: RunSpec, seeds: Sequence[Any]) -> List[RunRecord]:
                 # Singleton groups fall through: per-run fastpath is
                 # strictly cheaper than a K=1 kernel set-up.
                 groups = [g for g in by_topology.values() if len(g) >= 2]
+                fell_back(
+                    "small_group",
+                    sum(len(g) for g in by_topology.values() if len(g) < 2),
+                )
             else:
                 groups = [eligible]
 
@@ -645,18 +695,25 @@ def run_many_batched(spec: RunSpec, seeds: Sequence[Any]) -> List[RunRecord]:
         rep = group[0]
         scheduler_seeds = _group_scheduler_seeds(spec, group)
         if scheduler_seeds is None:
-            continue  # not a stock RandomScheduler: fastpath fallback below
+            # Not a stock RandomScheduler: fastpath fallback below.
+            fell_back("scheduler", len(group))
+            continue
         network = cached_network(rep)
         compiled = compiled_topology(rep, network)
         kernel = _group_kernel(rep, compiled)
         if kernel is None:
-            continue  # no batch kernel for this protocol: fallback below
+            # No batch kernel for this protocol (or a topology the
+            # kernel can't express exactly): fallback below.
+            fell_back("no_kernel", len(group))
+            continue
         max_steps = rep.max_steps
         if max_steps is None:
             max_steps = default_step_budget(network)
         start = time.perf_counter()
         streams = MTStreams(scheduler_seeds)
-        outcome = kernel.run(streams, max_steps)
+        outcome = kernel.run(
+            streams, max_steps, stop_at_termination=rep.stop_at_termination
+        )
         elapsed = time.perf_counter() - start
         for i, record in zip(indices, _records_from_outcome(group, network, outcome, elapsed)):
             records[i] = record

@@ -6,10 +6,15 @@ exactly the record the ``fastpath`` engine produces for the same spec
 with that seed — same outcome, same step and message counts, every
 metric equal — modulo the wall-clock :data:`~repro.api.spec.TIMING_FIELDS`
 and the ``engine`` field itself.  That holds both when the group truly
-vectorizes (flooding under a stock random scheduler: one state tensor,
-RNG streams bit-identical to CPython's MT19937) and when it falls back
-to per-spec execution (non-random schedulers, protocols without a batch
-kernel), so callers never need to know which path ran.
+vectorizes (every flat-kernel protocol under a stock random scheduler:
+one state tensor, RNG streams bit-identical to CPython's MT19937) and
+when it falls back to per-spec execution (non-random schedulers,
+protocols without a batch kernel, graphs a kernel declines), so callers
+never need to know which path ran.  The protocol axis is registry-driven:
+every registered protocol outside
+:data:`~repro.network.batchpath.BATCH_KERNEL_EXEMPT` is swept, so a new
+protocol joins this matrix (and the batch completeness gate below)
+automatically.
 
 The MT19937 claim is load-bearing enough to test directly:
 :class:`~repro.network.batchpath.MTStreams` is compared word for word
@@ -26,19 +31,25 @@ import pytest
 
 np = pytest.importorskip("numpy")
 
-from repro.api import ENGINES, RunSpec, ensure_registered, execute_spec
-from repro.network.batchpath import MTStreams, run_many_batched
+from repro.api import ENGINES, PROTOCOLS, RunSpec, ensure_registered, execute_spec
+from repro.network.batchpath import (
+    BATCH_KERNEL_EXEMPT,
+    MTStreams,
+    run_many_batched,
+)
 
 ensure_registered()
 
 #: One representative per registered graph family (every topology shape
 #: the batch kernel's padded scatter must handle: paths, stars-on-a-spine,
 #: trees, DAGs, cyclic digraphs, geometric fields).  Stochastic families
-#: pin their *graph* seed so a seed-group shares one topology.
+#: pin their *graph* seed so a seed-group shares one topology (and so the
+#: splitting kernels actually vectorize instead of shattering into
+#: singleton fallbacks).
 GRAPH_FAMILIES = (
     ("path-network", {"length": 6}),
     ("caterpillar-gn", {"n": 5}),
-    ("random-grounded-tree", {"num_internal": 7}),
+    ("random-grounded-tree", {"num_internal": 7, "seed": 5}),
     ("random-dag", {"num_internal": 7, "seed": 3}),
     ("random-digraph", {"num_internal": 7, "seed": 3}),
     ("layered-diamond-dag", {"depth": 3}),
@@ -46,8 +57,15 @@ GRAPH_FAMILIES = (
     ("full-tree-with-terminal", {"degree": 2, "height": 3}),
 )
 
-#: flooding vectorizes; the others exercise the per-spec fallback path.
-PROTOCOLS_UNDER_TEST = ("flooding", "tree-broadcast", "dag-broadcast")
+#: Every protocol with a batch kernel, straight from the registry; graphs
+#: a kernel declines (e.g. the splitting kernels on cyclic digraphs)
+#: exercise the per-spec fallback path within the same matrix.
+PROTOCOLS_UNDER_TEST = tuple(
+    name for name in sorted(PROTOCOLS.names()) if name not in BATCH_KERNEL_EXEMPT
+)
+
+#: One exempt protocol to pin the no-kernel fallback path explicitly.
+EXEMPT_PROTOCOL = "general-broadcast"
 
 SEEDS = list(range(9))
 
@@ -134,11 +152,12 @@ def test_bounded_budget_takes_general_loop_and_matches():
         assert record_dict["metrics"]["steps"] <= 30
 
 
-def test_k1_group_is_exactly_one_fastpath_run():
+@pytest.mark.parametrize("protocol", PROTOCOLS_UNDER_TEST)
+def test_k1_group_is_exactly_one_fastpath_run(protocol):
     spec = RunSpec(
         graph="path-network",
         graph_params={"length": 6},
-        protocol="flooding",
+        protocol=protocol,
         scheduler="random",
         engine="batch",
     )
@@ -146,13 +165,49 @@ def test_k1_group_is_exactly_one_fastpath_run():
     assert comparable(record) == fastpath_twin(spec, 7)
 
 
-def test_ragged_group_with_none_and_duplicate_seeds():
+@pytest.mark.parametrize("protocol", PROTOCOLS_UNDER_TEST)
+def test_stop_at_termination_matches(protocol):
+    """The early-exit path through every batch kernel's termination latch."""
+    spec = RunSpec(
+        graph=GRAPH_FAMILIES[2][0],
+        graph_params=GRAPH_FAMILIES[2][1],
+        protocol=protocol,
+        scheduler="random",
+        engine="batch",
+        stop_at_termination=True,
+        max_steps=4000,
+    )
+    for record, seed in zip(run_group(spec, SEEDS), SEEDS):
+        assert comparable(record) == fastpath_twin(spec, seed), (
+            f"stop_at_termination mismatch for {protocol} seed {seed}"
+        )
+
+
+def test_exempt_protocol_falls_back_and_still_matches():
+    """A protocol with no batch kernel runs per-spec, record-identical."""
+    spec = RunSpec(
+        graph="random-digraph",
+        graph_params={"num_internal": 7, "seed": 3},
+        protocol=EXEMPT_PROTOCOL,
+        scheduler="random",
+        engine="batch",
+        max_steps=4000,
+    )
+    fallbacks = {}
+    records = run_many_batched(spec, SEEDS[:4], fallbacks)
+    assert fallbacks == {"no_kernel": 4}
+    for record, seed in zip(records, SEEDS[:4]):
+        assert comparable(record) == fastpath_twin(spec, seed)
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS_UNDER_TEST)
+def test_ragged_group_with_none_and_duplicate_seeds(protocol):
     """Unvectorizable members (seed=None draws entropy) execute as
     leftovers; duplicates must each get their own identical record."""
     spec = RunSpec(
         graph="path-network",
         graph_params={"length": 6},
-        protocol="flooding",
+        protocol=protocol,
         scheduler="random",
         engine="batch",
     )
@@ -193,6 +248,62 @@ def test_engine_registry_dispatches_run_many():
     records = info.run_many(spec, SEEDS[:4])
     for record, seed in zip(records, SEEDS[:4]):
         assert comparable(record) == fastpath_twin(spec, seed)
+
+
+# ---------------------------------------------------------------------------
+# Registry-driven batch-kernel completeness (mirrors the fastpath gate in
+# test_kernel_completeness.py): every registered protocol must either
+# return a working compile_batch kernel or be explicitly listed in
+# BATCH_KERNEL_EXEMPT — a protocol silently losing its batch kernel would
+# pass every differential test above while quietly running per-seed.
+# ---------------------------------------------------------------------------
+
+
+def small_compiled():
+    from repro.network.fastpath import CompiledNetwork
+    from repro.network.graph import DirectedNetwork
+
+    net = DirectedNetwork(4, [(0, 1), (0, 2), (1, 3), (2, 3)], root=0, terminal=3)
+    return CompiledNetwork(net)
+
+
+class TestBatchKernelCompleteness:
+    def test_exempt_names_are_registered(self):
+        assert set(BATCH_KERNEL_EXEMPT) <= set(PROTOCOLS.names())
+
+    def test_exempt_set_is_exactly_the_object_state_protocols(self):
+        # The three protocols whose per-vertex state is an arbitrary
+        # Python object (sets of vertex ids, label tables) rather than a
+        # flat token; widening this set is a reviewable decision here.
+        assert BATCH_KERNEL_EXEMPT == frozenset(
+            {"general-broadcast", "label-assignment", "topology-mapping"}
+        )
+
+    @pytest.mark.parametrize("protocol", sorted(PROTOCOLS.names()))
+    def test_every_protocol_compiles_a_batch_kernel_or_is_exempt(self, protocol):
+        kernel = PROTOCOLS.create(protocol).compile_batch(small_compiled())
+        if kernel is None:
+            assert protocol in BATCH_KERNEL_EXEMPT, (
+                f"protocol {protocol!r} returns no compile_batch kernel "
+                "and is not listed in BATCH_KERNEL_EXEMPT"
+            )
+            return
+        assert protocol not in BATCH_KERNEL_EXEMPT, (
+            f"protocol {protocol!r} compiles a batch kernel but is listed "
+            "in BATCH_KERNEL_EXEMPT — remove the stale exemption"
+        )
+        assert callable(getattr(kernel, "run", None)), protocol
+
+    @pytest.mark.parametrize("protocol", PROTOCOLS_UNDER_TEST)
+    def test_subclasses_do_not_inherit_the_batch_kernel(self, protocol):
+        # Exact-type guard: a subclass may override deliver()/emissions,
+        # which the compiled kernel would silently ignore.
+        cls = PROTOCOLS.get(protocol)
+
+        class Tweaked(cls):  # type: ignore[misc, valid-type]
+            name = f"tweaked-{protocol}"
+
+        assert Tweaked().compile_batch(small_compiled()) is None
 
 
 # ---------------------------------------------------------------------------

@@ -195,10 +195,11 @@ class TestSeedGrouping:
         from repro.api import execute_spec
 
         specs = batch_specs(6)
-        runner = BatchRunner(parallel=False)
+        runner = BatchRunner(parallel=False, min_group_size=2)
         records = runner.run(specs)
         assert runner.stats.batched_groups == 1
         assert runner.stats.executed == 6
+        assert runner.stats.batch_fallbacks == {}
         for record, spec in zip(records, specs):
             twin = execute_spec(dataclasses.replace(spec, engine="fastpath"))
             got, expected = record.comparable_dict(), twin.comparable_dict()
@@ -208,7 +209,7 @@ class TestSeedGrouping:
     def test_distinct_shapes_form_distinct_groups(self):
         pytest.importorskip("numpy")
         specs = batch_specs(3) + batch_specs(3, graph_params={"length": 8})
-        runner = BatchRunner(parallel=False)
+        runner = BatchRunner(parallel=False, min_group_size=2)
         runner.run(specs)
         assert runner.stats.batched_groups == 2
 
@@ -246,7 +247,7 @@ class TestSeedGrouping:
         # Pre-populate the store with the *middle* member of the group.
         seeded = BatchRunner(parallel=False, store=store)
         seeded.run([specs[2]])
-        runner = BatchRunner(parallel=False, store=store)
+        runner = BatchRunner(parallel=False, store=store, min_group_size=2)
         records = runner.run(specs)
         assert runner.stats.store_hits == 1
         assert runner.stats.executed == 4  # the hit shrank the group
@@ -258,9 +259,110 @@ class TestSeedGrouping:
         specs = batch_specs(5)
         out = tmp_path / "records.jsonl"
         BatchRunner(parallel=False).run(specs[:2], output_path=str(out))
-        runner = BatchRunner(parallel=False)
+        runner = BatchRunner(parallel=False, min_group_size=2)
         records = runner.run(specs, output_path=str(out))
         assert runner.stats.reused == 2
         assert runner.stats.executed == 3
         assert runner.stats.batched_groups == 1
         assert len(records) == 5
+
+
+class TestMinGroupSize:
+    """Seed-groups below ``min_group_size`` run per-spec (SoA set-up
+    overhead beats the speedup at tiny K) and are tallied as fallbacks."""
+
+    def test_default_threshold_turns_small_groups_away(self):
+        import dataclasses
+
+        from repro.api import execute_spec
+        from repro.api.runner import DEFAULT_MIN_GROUP_SIZE
+
+        specs = batch_specs(DEFAULT_MIN_GROUP_SIZE - 1)
+        runner = BatchRunner(parallel=False)
+        records = runner.run(specs)
+        assert runner.stats.batched_groups == 0
+        assert runner.stats.batch_fallbacks == {"small_group": len(specs)}
+        # The fallback path is the fastpath engine: records still match.
+        for record, spec in zip(records, specs):
+            twin = execute_spec(dataclasses.replace(spec, engine="fastpath"))
+            got, expected = record.comparable_dict(), twin.comparable_dict()
+            got["spec"].pop("engine"), expected["spec"].pop("engine")
+            assert got == expected
+
+    def test_default_threshold_batches_at_exactly_eight(self):
+        pytest.importorskip("numpy")
+        from repro.api.runner import DEFAULT_MIN_GROUP_SIZE
+
+        specs = batch_specs(DEFAULT_MIN_GROUP_SIZE)
+        runner = BatchRunner(parallel=False)
+        runner.run(specs)
+        assert runner.stats.batched_groups == 1
+        assert runner.stats.batch_fallbacks == {}
+
+    def test_threshold_override(self):
+        pytest.importorskip("numpy")
+        specs = batch_specs(3)
+        runner = BatchRunner(parallel=False, min_group_size=3)
+        runner.run(specs)
+        assert runner.stats.batched_groups == 1
+
+        strict = BatchRunner(parallel=False, min_group_size=50)
+        strict.run(batch_specs(3, graph_params={"length": 7}))
+        assert strict.stats.batched_groups == 0
+        assert strict.stats.batch_fallbacks == {"small_group": 3}
+
+    def test_threshold_floor_is_two(self):
+        # min_group_size=1 cannot force singleton groups through run_many:
+        # there is nothing to batch a singleton with.
+        runner = BatchRunner(parallel=False, min_group_size=1)
+        runner.run(batch_specs(1))
+        assert runner.stats.batched_groups == 0
+        assert runner.stats.batch_fallbacks == {}
+
+    def test_singletons_are_not_counted_as_fallbacks(self):
+        runner = BatchRunner(parallel=False)
+        runner.run(batch_specs(1))
+        assert runner.stats.batch_fallbacks == {}
+
+    def test_bad_min_group_size(self):
+        with pytest.raises(ValueError):
+            BatchRunner(min_group_size=0)
+
+
+class TestBatchFallbackCounters:
+    """``BatchStats.batch_fallbacks`` surfaces why eligible specs ran
+    per-seed instead of vectorized."""
+
+    def test_no_kernel_counted_per_spec(self):
+        pytest.importorskip("numpy")
+        # general-broadcast has no batch kernel: the whole group falls
+        # back and every spec is tallied.
+        specs = batch_specs(8, protocol="general-broadcast")
+        runner = BatchRunner(parallel=False)
+        runner.run(specs)
+        assert runner.stats.batched_groups == 1  # dispatched, then fell back
+        assert runner.stats.batch_fallbacks == {"no_kernel": 8}
+
+    def test_trace_shape_counted(self, tmp_path):
+        pytest.importorskip("numpy")
+        specs = batch_specs(8, record_trace=True)
+        runner = BatchRunner(parallel=False)
+        from repro.tracing import capture_traces
+
+        with capture_traces(directory=str(tmp_path)):
+            runner.run(specs)
+        assert runner.stats.batch_fallbacks == {"trace": 8}
+
+    def test_parallel_pool_merges_worker_fallbacks(self):
+        pytest.importorskip("numpy")
+        specs = batch_specs(8, protocol="general-broadcast")
+        runner = BatchRunner(max_workers=2)
+        runner.run(specs)
+        assert runner.stats.batch_fallbacks == {"no_kernel": 8}
+
+    def test_vectorized_group_reports_nothing(self):
+        pytest.importorskip("numpy")
+        runner = BatchRunner(parallel=False)
+        runner.run(batch_specs(8))
+        assert runner.stats.batched_groups == 1
+        assert runner.stats.batch_fallbacks == {}

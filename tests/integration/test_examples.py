@@ -20,7 +20,7 @@ CASES = {
         "labeling: all",
         "iff-direction",
         "run-spec:",
-        "batch: 8 seeds",
+        "batch: 16 seeds in one vectorized group",
     ],
     "campaign_quickstart.py": [
         "expands to 12 runs",
