@@ -123,7 +123,7 @@ from .api import (
     run_specs,
 )
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "__version__",

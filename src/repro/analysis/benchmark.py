@@ -61,6 +61,10 @@ __all__ = [
     "run_batch_benchmarks",
     "run_batch_protocol_matrix",
     "run_trace_benchmarks",
+    "run_schedule_benchmarks",
+    "SCHEDULE_BENCH_GRAPH",
+    "SCHEDULE_BENCH_PARAMS",
+    "SCHEDULE_BENCH_PROTOCOL",
     "TRACE_BENCH_N",
     "TRACE_BENCH_SAMPLE_K",
     "write_benchmarks",
@@ -681,6 +685,93 @@ def run_trace_benchmarks(
         shutil.rmtree(tmp, ignore_errors=True)
 
 
+#: The pinned workload for the schedule-search suite: the largest random
+#: DAG whose schedule tree the exhaustive explorer drains in well under a
+#: second (1 877 nodes, worst execution 13 deliveries deep), so the gate
+#: compares a *completed* enumeration against the guided search's
+#: time-to-incumbent rather than two truncation artifacts.
+SCHEDULE_BENCH_GRAPH = "random-dag"
+SCHEDULE_BENCH_PARAMS = {"num_internal": 3, "seed": 0}
+SCHEDULE_BENCH_PROTOCOL = "general-broadcast"
+
+
+def run_schedule_benchmarks(
+    *, repeats: int = 3, progress: Optional[Any] = None
+) -> Dict[str, Any]:
+    """Guided vs. exhaustive schedule search on the pinned workload.
+
+    Both searches run to completion on the same schedule tree (best of
+    ``repeats`` timed rounds each).  The gated number is
+    ``node_speedup`` — exhaustive nodes expanded over guided nodes
+    expanded *when the incumbent reached the true worst* — which the
+    ``schedule_search_min_speedup`` floor bounds.  Node counts are
+    deterministic, so the gate is machine-independent like the other
+    ratio floors; wall-clock times ride along for context.  ``agrees``
+    asserts the searches saw the same outcome set and the guided
+    incumbent matched the exhaustive maximum — a bench that gated a
+    speedup while the answers diverged would reward a broken search.
+    """
+    from ..lowerbounds.guided import search_schedules
+    from ..lowerbounds.schedules import explore_all_schedules
+
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    ensure_registered()
+    spec = RunSpec(
+        graph=SCHEDULE_BENCH_GRAPH,
+        graph_params=dict(SCHEDULE_BENCH_PARAMS),
+        protocol=SCHEDULE_BENCH_PROTOCOL,
+        seed=0,
+    )
+    network = spec.build_graph()
+
+    best_exhaustive = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        exhaustive = explore_all_schedules(
+            network, spec.build_protocol, max_steps_total=2_000_000
+        )
+        best_exhaustive = min(best_exhaustive, time.perf_counter() - start)
+    best_guided = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        guided = search_schedules(
+            network, spec.build_protocol, objective="max-steps", max_nodes=2_000_000
+        )
+        best_guided = min(best_guided, time.perf_counter() - start)
+
+    agrees = (
+        not exhaustive.truncated
+        and not guided.truncated
+        and guided.outcomes == exhaustive.outcomes
+        and guided.best_depth == exhaustive.max_depth
+    )
+    nodes_at_best = max(1, guided.nodes_at_best or 0)
+    # Per-node cost is flat across the walk, so time-to-incumbent is the
+    # full guided wall time prorated by the node counter at the incumbent.
+    seconds_to_best = best_guided * nodes_at_best / max(1, guided.nodes)
+    block = {
+        "workload": {
+            "graph": SCHEDULE_BENCH_GRAPH,
+            "graph_params": dict(SCHEDULE_BENCH_PARAMS),
+            "protocol": SCHEDULE_BENCH_PROTOCOL,
+        },
+        "rounds": repeats,
+        "exhaustive_nodes": exhaustive.steps,
+        "exhaustive_seconds": best_exhaustive,
+        "worst_steps": exhaustive.max_depth,
+        "guided_nodes": guided.nodes,
+        "guided_nodes_to_best": guided.nodes_at_best,
+        "guided_seconds": best_guided,
+        "guided_seconds_to_best": seconds_to_best,
+        "node_speedup": exhaustive.steps / nodes_at_best,
+        "agrees": agrees,
+    }
+    if progress is not None:
+        progress(block)
+    return block
+
+
 def synthetic_store_records(n_records: int) -> List[Any]:
     """``n_records`` distinct, cheap :class:`~repro.api.spec.RunRecord`\\ s.
 
@@ -804,7 +895,8 @@ def check_floors(payload: Dict[str, Any], floors: Dict[str, Any]) -> List[str]:
           "batch_vs_fastpath_min_ratio": {"16": 1.2, "64": 3.0},
           "batch_protocol_vs_fastpath_min_ratio": {"tree-broadcast": 2.0, ...},
           "require_batch_protocol_coverage": true,
-          "trace_overhead_max_ratio": 1.5
+          "trace_overhead_max_ratio": 1.5,
+          "schedule_search_min_speedup": 3.0
         }
 
     ``trace_overhead_max_ratio`` is the one *ceiling*: full trace capture
@@ -997,6 +1089,34 @@ def check_floors(payload: Dict[str, Any], floors: Dict[str, Any]) -> List[str]:
                         "batch coverage matrix (batch protocols coverage)"
                     )
 
+    schedule_minimum = floors.get("schedule_search_min_speedup")
+    if schedule_minimum is not None:
+        schedule_block = payload.get("schedules")
+        if schedule_block is None:
+            violations.append(
+                "no schedule-search benchmark block to check against "
+                "schedule_search_min_speedup "
+                "(run repro bench without --no-schedule-bench)"
+            )
+        else:
+            speedup = schedule_block.get("node_speedup")
+            if speedup is None:
+                violations.append(
+                    "schedule-search benchmark block lacks 'node_speedup'"
+                )
+            elif speedup < schedule_minimum:
+                violations.append(
+                    f"guided schedule search reached the worst case in "
+                    f"{speedup:.2f}x fewer nodes than exhaustion, below the "
+                    f"floor of {schedule_minimum}x"
+                )
+            if not schedule_block.get("agrees", False):
+                violations.append(
+                    "guided schedule search disagreed with exhaustive "
+                    "enumeration on the pinned workload (outcome set or "
+                    "worst step count)"
+                )
+
     trace_maximum = floors.get("trace_overhead_max_ratio")
     if trace_maximum is not None:
         # A *ceiling*, not a floor: trace capture may cost at most this
@@ -1124,4 +1244,21 @@ def render_bench_table(payload: Dict[str, Any]) -> str:
                 f"full capture overhead: {ratio:.2f}x untraced "
                 f"({overhead.get('trace_bytes_full', '?')} bytes written)"
             )
+    schedule_block = payload.get("schedules")
+    if schedule_block:
+        lines.append("")
+        workload = schedule_block.get("workload", {})
+        lines.append(
+            "schedule search on "
+            f"{workload.get('graph', '?')}/{workload.get('protocol', '?')} "
+            f"(worst execution: {schedule_block.get('worst_steps', '?')} steps):"
+        )
+        lines.append(
+            f"  exhaustive: {schedule_block['exhaustive_nodes']} nodes in "
+            f"{schedule_block['exhaustive_seconds']:.3f}s; guided incumbent "
+            f"at node {schedule_block['guided_nodes_to_best']} "
+            f"(~{schedule_block['guided_seconds_to_best']:.4f}s) — "
+            f"{schedule_block['node_speedup']:.1f}x fewer nodes"
+            + ("" if schedule_block.get("agrees") else "  [DISAGREES]")
+        )
     return "\n".join(lines)

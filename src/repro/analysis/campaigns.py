@@ -621,3 +621,12 @@ register_experiment(
         scales={"quick": {"max_wiring_edges": 4, "tree_internal": 2}},
     )
 )
+
+register_experiment(
+    DriverExperiment(
+        name="e19",
+        title="beyond   guided worst-case schedule search + certificates",
+        driver="repro.analysis.experiments:experiment_e19_schedule_search",
+        scales={"quick": {"ns": [2, 3], "max_nodes": 6000}},
+    )
+)

@@ -67,6 +67,7 @@ __all__ = [
     "experiment_e16_scheduler_sensitivity",
     "experiment_e17_loss_termination",
     "experiment_e18_churn_labeling",
+    "experiment_e19_schedule_search",
     "experiments_engine",
     "ALL_EXPERIMENTS",
 ]
@@ -453,6 +454,66 @@ def experiment_e18_churn_labeling(
     return _campaign_rows(exp, engine)
 
 
+def experiment_e19_schedule_search(
+    ns: Sequence[int] = (2, 3, 4),
+    objective: str = "max-steps",
+    max_nodes: int = 20_000,
+    seed: int = 0,
+    store=None,
+    max_workers: Optional[int] = None,
+) -> List[Dict]:
+    """E19 (beyond the paper): guided adversarial schedule search vs. n.
+
+    The ∀-schedule theorems say the protocols terminate under *every*
+    adversary; E14 exhausts tiny schedule trees to confirm it.  E19 asks
+    the complementary worst-case question at sizes exhaustion cannot
+    reach: *how bad* can an adversary make the execution?  A best-first
+    branch-and-bound search (:mod:`repro.lowerbounds.guided`) drives the
+    general protocol on random digraphs toward the objective's worst
+    leaf, and each row's incumbent is emitted as a replayable
+    :class:`~repro.lowerbounds.certificates.ScheduleCertificate` — an
+    artifact any third party can check bit-for-bit without trusting the
+    search.  When a result store is attached (``repro experiment e19
+    --store``), certificates also land under ``<store>/schedules/``.
+    """
+    from ..api.spec import RunSpec
+    from ..lowerbounds.certificates import search_and_certify, store_certificate
+
+    rows: List[Dict] = []
+    for n in ns:
+        spec = RunSpec(
+            graph="random-digraph",
+            graph_params={"num_internal": n, "seed": seed},
+            protocol="general-broadcast",
+            seed=seed,
+        )
+        network = spec.build_graph()
+        result, certificate = search_and_certify(
+            spec, objective=objective, max_nodes=max_nodes, max_workers=max_workers
+        )
+        row = {
+            "n": n,
+            "vertices": network.num_vertices,
+            "edges": network.num_edges,
+            "protocol": spec.protocol,
+            "objective": objective,
+            "worst_steps": result.best_depth,
+            "worst_bits": result.best_bits,
+            "outcome": result.best_outcome,
+            "nodes": result.nodes,
+            "nodes_at_best": result.nodes_at_best,
+            "executions": result.executions,
+            "exhausted": not result.truncated,
+            "mode": result.mode,
+            "shards": result.shards,
+            "certificate": certificate.cert_id if certificate is not None else None,
+        }
+        if certificate is not None and store is not None:
+            row["certificate_path"] = store_certificate(store, certificate)
+        rows.append(row)
+    return rows
+
+
 #: Name → driver, used by the report CLI and the EXPERIMENTS.md generator.
 #: ``repro list`` derives from the EXPERIMENTS registry instead; a parity
 #: test keeps the two views identical.
@@ -475,4 +536,5 @@ ALL_EXPERIMENTS = {
     "E16": experiment_e16_scheduler_sensitivity,
     "E17": experiment_e17_loss_termination,
     "E18": experiment_e18_churn_labeling,
+    "E19": experiment_e19_schedule_search,
 }

@@ -517,7 +517,17 @@ class CampaignRunner:
                     f"{experiment.name} has no scale {self.scale!r}; known: {known}"
                 )
             kwargs = dict(experiment.scales[self.scale])
-        rows = experiment.resolve()(**kwargs)
+        driver = experiment.resolve()
+        # Drivers that emit store artifacts (e19's schedule certificates) or
+        # fan work out across processes declare store=/max_workers= keywords;
+        # the runner threads its own configuration through to them.
+        from .spec import _accepts_param
+
+        if self.store is not None and "store" not in kwargs and _accepts_param(driver, "store"):
+            kwargs["store"] = self.store
+        if "max_workers" not in kwargs and _accepts_param(driver, "max_workers"):
+            kwargs["max_workers"] = self.max_workers if self.parallel else 1
+        rows = driver(**kwargs)
         stats = BatchStats(total=0, executed=0, reused=0)
         _, rows_path = self._artifact_paths(experiment.name)
         self._write_rows(rows_path, experiment, rows, stats, None)

@@ -237,7 +237,7 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "names",
         nargs="*",
-        help="experiment names (e01..e18, E1..E18) or 'all'",
+        help="experiment names (e01..e19, E1..E19) or 'all'",
     )
     experiment.add_argument(
         "--spec",
@@ -438,6 +438,63 @@ def build_parser() -> argparse.ArgumentParser:
         "before replaying",
     )
 
+    schedule = sub.add_parser(
+        "schedule",
+        help="guided worst-case schedule search and replayable certificates",
+    )
+    schedule_sub = schedule.add_subparsers(dest="schedule_command", required=True)
+    schedule_search = schedule_sub.add_parser(
+        "search",
+        help="search a RunSpec's schedule space for the objective's worst "
+        "execution and emit a replayable certificate",
+    )
+    schedule_search.add_argument("spec", help="RunSpec JSON file (the workload)")
+    schedule_search.add_argument(
+        "--objective",
+        default="max-steps",
+        metavar="NAME",
+        help="search objective (default: max-steps; see `repro schedule "
+        "search --list-objectives`)",
+    )
+    schedule_search.add_argument(
+        "--list-objectives",
+        action="store_true",
+        help="list the registered objectives and exit",
+    )
+    schedule_search.add_argument(
+        "--max-nodes",
+        type=int,
+        default=200_000,
+        metavar="N",
+        help="search node budget (default: 200000)",
+    )
+    schedule_search.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard the frontier across N processes (default: serial)",
+    )
+    schedule_search.add_argument(
+        "-o",
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="write the certificate JSON here (default: stdout summary only, "
+        "or under <store>/schedules/ when a store is given)",
+    )
+    _add_store_flags(schedule_search)
+    schedule_info = schedule_sub.add_parser(
+        "info", help="print a certificate's claims and search provenance"
+    )
+    schedule_info.add_argument("certificate", help="certificate JSON file")
+    schedule_replay = schedule_sub.add_parser(
+        "replay",
+        help="independently re-execute a certificate and verify every claim "
+        "bit for bit (exit 0 iff it checks out)",
+    )
+    schedule_replay.add_argument("certificate", help="certificate JSON file")
+
     bench = sub.add_parser(
         "bench",
         help="measure engine throughput (steps/sec) and write BENCH_engines.json",
@@ -511,6 +568,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the trace-capture overhead suite; note the trace "
         "floors then report violations",
+    )
+    bench.add_argument(
+        "--no-schedule-bench",
+        action="store_true",
+        help="skip the guided-vs-exhaustive schedule-search suite; note "
+        "the schedule floors then report violations",
     )
     bench.add_argument(
         "--batch-ks",
@@ -872,6 +935,28 @@ def _cmd_bench(args, stream: IO[str]) -> int:
         payload["trace"] = run_trace_benchmarks(
             repeats=repeats, progress=trace_progress
         )
+    if not args.no_schedule_bench:
+        from .analysis.benchmark import run_schedule_benchmarks
+
+        print(
+            "benchmarking guided vs exhaustive schedule search on the "
+            "pinned workload",
+            file=stream,
+        )
+
+        def schedule_progress(block) -> None:
+            print(
+                f"  exhaustive {block['exhaustive_nodes']} nodes "
+                f"({block['exhaustive_seconds']:.3f}s), guided incumbent at "
+                f"node {block['guided_nodes_to_best']} "
+                f"(node speedup {block['node_speedup']:.1f}x, "
+                f"agrees={block['agrees']})",
+                file=stream,
+            )
+
+        payload["schedules"] = run_schedule_benchmarks(
+            repeats=repeats, progress=schedule_progress
+        )
     write_benchmarks(payload, args.out)
     print(file=stream)
     print(render_bench_table(payload), file=stream)
@@ -939,7 +1024,7 @@ def _cmd_experiment(args, stream: IO[str]) -> int:
     else:
         if not args.names:
             raise SystemExit(
-                "nothing to run: give experiment names (e01..e18, 'all') or --spec FILE"
+                "nothing to run: give experiment names (e01..e19, 'all') or --spec FILE"
             )
         experiments = [EXPERIMENTS.get(name) for name in _resolve_experiments(args.names)]
 
@@ -1139,6 +1224,83 @@ def _cmd_trace(args, stream: IO[str]) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_schedule(args, stream: IO[str]) -> int:
+    from .lowerbounds.certificates import (
+        CertificateError,
+        load_certificate,
+        search_and_certify,
+        store_certificate,
+        verify_certificate,
+    )
+    from .lowerbounds.guided import OBJECTIVES, get_objective
+
+    if args.schedule_command == "search":
+        if args.list_objectives:
+            for name in sorted(OBJECTIVES):
+                print(f"{name:20s} {OBJECTIVES[name].description}", file=stream)
+            return 0
+        try:
+            get_objective(args.objective)
+        except KeyError:
+            raise SystemExit(
+                f"unknown objective {args.objective!r}; registered: "
+                f"{', '.join(sorted(OBJECTIVES))}"
+            ) from None
+        specs = _load_or_die(args.spec, load_specs, "spec")
+        if len(specs) != 1:
+            raise SystemExit(
+                f"schedule search expects exactly one RunSpec in {args.spec!r}, "
+                f"found {len(specs)}"
+            )
+        result, certificate = search_and_certify(
+            specs[0],
+            objective=args.objective,
+            max_nodes=args.max_nodes,
+            max_workers=args.workers,
+        )
+        print(result.summary(), file=stream)
+        if certificate is None:
+            print(
+                "no complete execution found within the node budget — "
+                "nothing to certify (raise --max-nodes)",
+                file=stream,
+            )
+            return 1
+        if args.out is not None:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(certificate.to_json() + "\n")
+            print(f"certificate written to {args.out}", file=stream)
+        store = _store_or_die(args)
+        if store is not None:
+            path = store_certificate(store, certificate)
+            print(f"certificate stored at {path}", file=stream)
+        if args.out is None and store is None:
+            print(
+                f"certificate {certificate.cert_id} not persisted "
+                "(give -o FILE or --store DIR)",
+                file=stream,
+            )
+        return 0
+
+    try:
+        certificate = load_certificate(args.certificate)
+    except CertificateError as exc:
+        raise SystemExit(str(exc)) from None
+
+    if args.schedule_command == "info":
+        info = certificate.to_dict()
+        # The script can run to thousands of deliveries; info summarises it.
+        info["deliveries"] = len(certificate.deliveries)
+        info["cert_id"] = certificate.cert_id
+        print(json.dumps(info, sort_keys=True, indent=2), file=stream)
+        return 0
+
+    # schedule_command == "replay"
+    report = verify_certificate(certificate)
+    print(report.summary(), file=stream)
+    return 0 if report.ok else 1
+
+
 def _cmd_store(args, stream: IO[str]) -> int:
     store = _store_or_die(args)
     if store is None:
@@ -1243,6 +1405,9 @@ def main(argv: Optional[Sequence[str]] = None, stream: IO[str] = sys.stdout) -> 
 
     if args.command == "trace":
         return _cmd_trace(args, stream)
+
+    if args.command == "schedule":
+        return _cmd_schedule(args, stream)
 
     if args.command == "bench":
         return _cmd_bench(args, stream)

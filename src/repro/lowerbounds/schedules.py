@@ -23,16 +23,27 @@ share one DFS:
   immutable-sharing copies) and in-flight payloads through
   :meth:`~repro.core.model.AnonymousProtocol.clone_message`.
 
+Confluent configurations are collapsed through a
+:class:`TranspositionTable`: configurations are keyed by a compact digest
+of the exact (in-flight multiset, state) pair, with an exact-compare
+bucket behind every digest so a hash collision can never merge two
+genuinely different configurations.  Payload reprs are computed once at
+emission time and reused across every branch that carries the message,
+replacing the old per-node re-``repr`` of the whole pending list.
+
 Both modes explore the identical schedule tree with identical confluence
-collapsing (configurations are fingerprinted by exact state), so
-outcome/execution/step counts agree — ``tests/lowerbounds/test_schedules.py``
-asserts mode equivalence on enumerated topologies.  The schedule tree is
-exponential in the number of concurrent messages; callers bound the
-instance size (≤ ~10 messages in flight is comfortable) and/or pass a node
-budget.  The integration tests run it over every ≤-4-internal-vertex
-network from :mod:`repro.graphs.enumerate_graphs`, which machine-checks the
+collapsing, so outcome/execution/step counts agree —
+``tests/lowerbounds/test_schedules.py`` asserts mode equivalence on
+enumerated topologies.  The schedule tree is exponential in the number of
+concurrent messages; callers bound the instance size (≤ ~10 messages in
+flight is comfortable) and/or pass a node budget.  The integration tests
+run it over every ≤-4-internal-vertex network from
+:mod:`repro.graphs.enumerate_graphs`, which machine-checks the
 termination "iff" against *every* schedule on *every* small topology —
 about as close to the theorem as testing can get.
+
+The best-first *guided* search over the same collapsed configuration
+graph lives in :mod:`repro.lowerbounds.guided`.
 """
 
 from __future__ import annotations
@@ -43,7 +54,131 @@ from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 from ..core.model import AnonymousProtocol, VertexView
 from ..network.graph import DirectedNetwork
 
-__all__ = ["ScheduleExploration", "explore_all_schedules"]
+__all__ = [
+    "ScheduleExploration",
+    "TranspositionTable",
+    "explore_all_schedules",
+]
+
+
+def _freeze(obj: Any) -> Any:
+    """Recursively tuple-ify lists so any exact key becomes hashable.
+
+    Kernel snapshots share flat unions (plain lists) by reference; those
+    make the snapshot unhashable even though equality compares fine.  The
+    default digest freezes on demand — only when ``hash`` refuses.
+    """
+    if isinstance(obj, (list, tuple)):
+        return tuple(_freeze(item) for item in obj)
+    return obj
+
+
+def _config_digest(key: Any) -> int:
+    """The default compact digest: Python's tuple hash, freezing if needed."""
+    try:
+        return hash(key)
+    except TypeError:
+        return hash(_freeze(key))
+
+
+class TranspositionTable:
+    """Digest-keyed visited-set with a collision-safe exact-compare fallback.
+
+    Every configuration key (an exact ``(pending multiset, state)`` pair)
+    maps to a compact integer digest; behind each digest sits a bucket of
+    the exact keys (with their best *rank*, see below) that produced it.
+    A digest hit therefore never suffices on its own — membership is
+    decided by comparing the exact keys — so two different configurations
+    that collide in the digest are both explored (tallied under
+    :attr:`collisions`) instead of silently merged.
+
+    ``rank`` supports branch-and-bound re-opening: a maximizing search
+    that reaches a known configuration along a *deeper/costlier* path
+    must re-expand it, because its subtree now yields longer executions.
+    The exhaustive DFS passes a constant rank, which reduces the table to
+    a plain visited-set.
+
+    Parameters
+    ----------
+    digest:
+        Optional override for the digest function (``key -> int``).
+        Exists for fault injection in tests: a constant digest forces
+        every lookup through the exact-compare fallback, proving the
+        table degrades to correct (if slower) behaviour under collisions.
+    """
+
+    __slots__ = ("_buckets", "_digest", "entries", "hits", "collisions", "reopened")
+
+    def __init__(self, digest: Optional[Callable[[Any], int]] = None) -> None:
+        self._buckets: Dict[int, List[List[Any]]] = {}
+        self._digest = digest if digest is not None else _config_digest
+        #: Distinct configurations stored.
+        self.entries = 0
+        #: Lookups that found the configuration already present (≥ rank).
+        self.hits = 0
+        #: Distinct configurations sharing a digest with an earlier one.
+        self.collisions = 0
+        #: Re-openings: a known configuration reached at a better rank.
+        self.reopened = 0
+
+    def visit(self, key: Any, rank: int = 0) -> bool:
+        """Record ``key`` at ``rank``; return True iff it should be expanded.
+
+        True means the configuration is new, collided into a fresh bucket
+        slot, or was re-opened at a strictly better rank; False means it
+        was already visited at an equal-or-better rank.
+        """
+        digest = self._digest(key)
+        bucket = self._buckets.get(digest)
+        if bucket is None:
+            self._buckets[digest] = [[key, rank]]
+            self.entries += 1
+            return True
+        for entry in bucket:
+            if entry[0] == key:
+                if rank > entry[1]:
+                    entry[1] = rank
+                    self.reopened += 1
+                    return True
+                self.hits += 1
+                return False
+        self.collisions += 1
+        self.entries += 1
+        bucket.append([key, rank])
+        return True
+
+    def stats(self) -> Dict[str, int]:
+        """The counters as a plain dict (for results and artifacts)."""
+        return {
+            "entries": self.entries,
+            "hits": self.hits,
+            "collisions": self.collisions,
+            "reopened": self.reopened,
+        }
+
+
+def _pending_sig(pending: List[Tuple[int, Any, str]]) -> Tuple[Tuple[int, str], ...]:
+    """Order-free exact signature of the in-flight multiset.
+
+    Items carry their payload repr from emission time, so the signature
+    never re-``repr``\\ s a payload; sorting on (edge, text) makes equal
+    multisets produce equal signatures regardless of delivery history.
+    """
+    return tuple(sorted((item[0], item[2]) for item in pending))
+
+
+def _distinct_choice_indices(pending: List[Tuple[int, Any, str]]) -> List[int]:
+    """First-occurrence index of every distinct (edge, payload) delivery.
+
+    Deliveries of equal payloads on the same edge are interchangeable;
+    collapsing them here is what keeps the walk over the *quotient*
+    schedule tree.  First-occurrence order is emission order, which both
+    walk modes share — the guided search's certificate paths rely on it.
+    """
+    seen: Dict[Tuple[int, str], int] = {}
+    for index, item in enumerate(pending):
+        seen.setdefault((item[0], item[2]), index)
+    return list(seen.values())
 
 
 @dataclass
@@ -58,16 +193,25 @@ class ScheduleExploration:
     steps: int
     #: True iff the walk was cut short by the node budget.
     truncated: bool
+    #: Longest single execution explored, in delivery steps.
+    max_depth: int = 0
+    #: Transposition-table counters for the walk (entries/hits/collisions).
+    table: Optional[Dict[str, int]] = None
 
     @property
     def always_terminates(self) -> bool:
-        """Every explored schedule reached termination."""
-        return self.outcomes == {"terminated"}
+        """Every schedule reached termination — only claimed on full walks.
+
+        A truncated walk has unexplored schedules, so it cannot support a
+        ∀-schedule claim; both properties then report False (inconclusive)
+        rather than a silently over-confident answer.
+        """
+        return not self.truncated and self.outcomes == {"terminated"}
 
     @property
     def never_terminates(self) -> bool:
-        """No explored schedule reached termination."""
-        return self.outcomes == {"quiescent"}
+        """No schedule reached termination — only claimed on full walks."""
+        return not self.truncated and self.outcomes == {"quiescent"}
 
 
 def explore_all_schedules(
@@ -77,6 +221,8 @@ def explore_all_schedules(
     max_steps_total: int = 200_000,
     invariant: Optional[Callable[[Dict[int, Any]], bool]] = None,
     use_kernel: Optional[bool] = None,
+    compiled: Optional[Any] = None,
+    digest: Optional[Callable[[Any], int]] = None,
 ) -> ScheduleExploration:
     """Explore every delivery order of ``protocol`` on ``network``.
 
@@ -87,8 +233,9 @@ def explore_all_schedules(
         transition functions are shared; per-branch state is snapshotted).
     max_steps_total:
         Global budget on delivered messages across all branches; when
-        exceeded the result is marked ``truncated`` (assertions should then
-        be treated as inconclusive).
+        exceeded the result is marked ``truncated`` and the
+        ``always_terminates``/``never_terminates`` verdicts report
+        inconclusive (False).
     invariant:
         Optional predicate over the vertex-state dict, checked after every
         delivery on every branch; a ``False`` return raises
@@ -100,6 +247,15 @@ def explore_all_schedules(
         ``None`` (default) uses the kernel whenever the protocol offers a
         snapshot-capable one and no invariant was given.  Forcing ``True``
         raises :class:`ValueError` if the protocol cannot satisfy it.
+    compiled:
+        Optional pre-built :class:`~repro.network.fastpath.CompiledNetwork`
+        for ``network`` — callers that explore many protocols on one
+        topology (E14, the guided differential suite) compile once and
+        pass it here, exactly like ``run_protocol_fastpath(compiled=...)``.
+        Ignored (and recompiled) unless it wraps this very ``network``.
+    digest:
+        Optional override of the transposition-table digest function; see
+        :class:`TranspositionTable`.  Testing/diagnostic hook.
 
     Notes
     -----
@@ -115,7 +271,8 @@ def explore_all_schedules(
     if use_kernel is not False and invariant is None:
         from ..network.fastpath import CompiledNetwork
 
-        compiled = CompiledNetwork(network)
+        if compiled is None or getattr(compiled, "network", None) is not network:
+            compiled = CompiledNetwork(network)
         candidate = protocol.compile_fastpath(compiled)
         if (
             candidate is not None
@@ -130,8 +287,8 @@ def explore_all_schedules(
         )
 
     if kernel is not None:
-        return _explore_kernel(network, kernel, max_steps_total)
-    return _explore_object(network, protocol, max_steps_total, invariant)
+        return _explore_kernel(network, kernel, max_steps_total, digest)
+    return _explore_object(network, protocol, max_steps_total, invariant, digest)
 
 
 def _explore_object(
@@ -139,6 +296,7 @@ def _explore_object(
     protocol: AnonymousProtocol,
     max_steps_total: int,
     invariant: Optional[Callable[[Dict[int, Any]], bool]],
+    digest: Optional[Callable[[Any], int]],
 ) -> ScheduleExploration:
     """The general walk over live protocol states (clone_state branching)."""
     views = [
@@ -148,53 +306,50 @@ def _explore_object(
     init_states: Dict[int, Any] = {
         v: protocol.create_state(views[v]) for v in range(network.num_vertices)
     }
-    initial_msgs: List[Tuple[int, Any]] = []
+    # Pending items are (edge_id, payload, payload_repr): the repr is
+    # computed once at emission and shared by every branch carrying it.
+    initial_msgs: List[Tuple[int, Any, str]] = []
     for out_port, payload in protocol.initial_emissions(views[network.root]):
-        initial_msgs.append((network.out_edge_ids(network.root)[out_port], payload))
+        edge = network.out_edge_ids(network.root)[out_port]
+        initial_msgs.append((edge, payload, repr(payload)))
 
     outcomes: Set[str] = set()
     executions = 0
     steps = 0
+    max_depth = 0
     truncated = False
     clone_state = protocol.clone_state
     clone_message = protocol.clone_message
+    num_vertices = network.num_vertices
 
-    def fingerprint(states: Dict[int, Any], pending: List[Tuple[int, Any]]) -> str:
+    def state_key(states: Dict[int, Any]) -> Tuple[str, ...]:
         # Reprs are complete for the shipped protocols' state types (the
         # GeneralState repr is kept exhaustive for exactly this purpose), so
-        # equal fingerprints really are confluent configurations.
-        return repr(
-            (
-                sorted((repr(p) for p in pending)),
-                [repr(states[v]) for v in range(network.num_vertices)],
-            )
-        )
+        # equal keys really are confluent configurations.
+        return tuple(repr(states[v]) for v in range(num_vertices))
 
     # Explicit DFS over (states, in-flight multiset) to avoid recursion
     # limits; each frame owns its copies.  Configurations are deduplicated
     # at push time, collapsing confluent schedule branches.
-    stack: List[Tuple[Dict[int, Any], List[Tuple[int, Any]]]] = [
-        (init_states, initial_msgs)
+    table = TranspositionTable(digest)
+    stack: List[Tuple[Dict[int, Any], List[Tuple[int, Any, str]], int]] = [
+        (init_states, initial_msgs, 0)
     ]
-    seen: Set[str] = {fingerprint(init_states, initial_msgs)}
+    table.visit((_pending_sig(initial_msgs), state_key(init_states)))
 
     while stack:
-        states, pending = stack.pop()
+        states, pending, depth = stack.pop()
         if not pending:
             outcomes.add("quiescent")
             executions += 1
+            max_depth = max(max_depth, depth)
             continue
         if steps >= max_steps_total:
             truncated = True
             break
 
-        # Deliveries of equal payloads on the same edge are interchangeable;
-        # enumerate distinct (edge, payload) choices only.
-        distinct_choices = {}
-        for index in range(len(pending)):
-            distinct_choices.setdefault(repr(pending[index]), index)
-        for index in distinct_choices.values():
-            edge_id, payload = pending[index]
+        for index in _distinct_choice_indices(pending):
+            edge_id, payload, _text = pending[index]
             branch_states = {v: clone_state(s) for v, s in states.items()}
             branch_pending = pending[:index] + pending[index + 1 :]
             head = network.edge_head(edge_id)
@@ -209,20 +364,24 @@ def _explore_object(
                     f"invariant violated after delivering edge {edge_id}"
                 )
             for out_port, out_payload in emissions:
-                branch_pending.append(
-                    (network.out_edge_ids(head)[out_port], out_payload)
-                )
+                out_edge = network.out_edge_ids(head)[out_port]
+                branch_pending.append((out_edge, out_payload, repr(out_payload)))
             if head == network.terminal and protocol.is_terminated(new_state):
                 outcomes.add("terminated")
                 executions += 1
+                max_depth = max(max_depth, depth + 1)
                 continue
-            key = fingerprint(branch_states, branch_pending)
-            if key not in seen:
-                seen.add(key)
-                stack.append((branch_states, branch_pending))
+            key = (_pending_sig(branch_pending), state_key(branch_states))
+            if table.visit(key):
+                stack.append((branch_states, branch_pending, depth + 1))
 
     return ScheduleExploration(
-        outcomes=outcomes, executions=executions, steps=steps, truncated=truncated
+        outcomes=outcomes,
+        executions=executions,
+        steps=steps,
+        truncated=truncated,
+        max_depth=max_depth,
+        table=table.stats(),
     )
 
 
@@ -230,11 +389,12 @@ def _explore_kernel(
     network: DirectedNetwork,
     kernel: Any,
     max_steps_total: int,
+    digest: Optional[Callable[[Any], int]],
 ) -> ScheduleExploration:
     """The flat walk: restore-snapshot-deliver on the compiled kernel.
 
     Structurally identical to :func:`_explore_object` — same frame order,
-    same distinct-choice collapsing, same exact-state fingerprints — so
+    same distinct-choice collapsing, same exact-configuration keys — so
     both modes report identical counts; only the cost of a branch differs
     (a tuple restore instead of a state-dict deepcopy/clone).
     """
@@ -245,8 +405,8 @@ def _explore_kernel(
     edge_head = [network.edge_head(e) for e in range(network.num_edges)]
     in_port_of = [network.in_port_of_edge(e) for e in range(network.num_edges)]
 
-    initial_msgs: List[Tuple[int, Any]] = [
-        (root_ports[out_port], payload)
+    initial_msgs: List[Tuple[int, Any, str]] = [
+        (root_ports[out_port], payload, repr(payload))
         for out_port, payload, _bits in kernel.initial_emissions(root)
     ]
     init_snap = kernel.snapshot()
@@ -254,48 +414,53 @@ def _explore_kernel(
     outcomes: Set[str] = set()
     executions = 0
     steps = 0
+    max_depth = 0
     truncated = False
 
-    def fingerprint(snap: Any, pending: List[Tuple[int, Any]]) -> str:
-        # Kernel snapshots are the exact state (flat tuples over immutable
-        # leaves), so their reprs fingerprint configurations precisely.
-        return repr((sorted(repr(p) for p in pending), snap))
-
-    stack: List[Tuple[Any, List[Tuple[int, Any]]]] = [(init_snap, initial_msgs)]
-    seen: Set[str] = {fingerprint(init_snap, initial_msgs)}
+    table = TranspositionTable(digest)
+    stack: List[Tuple[Any, List[Tuple[int, Any, str]], int]] = [
+        (init_snap, initial_msgs, 0)
+    ]
+    # Kernel snapshots are the exact state (flat tuples over immutable
+    # leaves), so they key configurations precisely — no repr needed.
+    table.visit((_pending_sig(initial_msgs), init_snap))
 
     while stack:
-        snap, pending = stack.pop()
+        snap, pending, depth = stack.pop()
         if not pending:
             outcomes.add("quiescent")
             executions += 1
+            max_depth = max(max_depth, depth)
             continue
         if steps >= max_steps_total:
             truncated = True
             break
 
-        distinct_choices = {}
-        for index in range(len(pending)):
-            distinct_choices.setdefault(repr(pending[index]), index)
-        for index in distinct_choices.values():
-            edge_id, payload = pending[index]
+        for index in _distinct_choice_indices(pending):
+            edge_id, payload, _text = pending[index]
             kernel.restore(snap)
             branch_pending = pending[:index] + pending[index + 1 :]
             head = edge_head[edge_id]
             steps += 1
             emissions = kernel.deliver(head, in_port_of[edge_id], payload)
             for out_port, out_payload, _bits in emissions:
-                branch_pending.append((out_edge_ids[head][out_port], out_payload))
+                out_edge = out_edge_ids[head][out_port]
+                branch_pending.append((out_edge, out_payload, repr(out_payload)))
             if head == terminal and kernel.check_terminal(terminal):
                 outcomes.add("terminated")
                 executions += 1
+                max_depth = max(max_depth, depth + 1)
                 continue
             branch_snap = kernel.snapshot()
-            key = fingerprint(branch_snap, branch_pending)
-            if key not in seen:
-                seen.add(key)
-                stack.append((branch_snap, branch_pending))
+            key = (_pending_sig(branch_pending), branch_snap)
+            if table.visit(key):
+                stack.append((branch_snap, branch_pending, depth + 1))
 
     return ScheduleExploration(
-        outcomes=outcomes, executions=executions, steps=steps, truncated=truncated
+        outcomes=outcomes,
+        executions=executions,
+        steps=steps,
+        truncated=truncated,
+        max_depth=max_depth,
+        table=table.stats(),
     )

@@ -595,3 +595,104 @@ class TestBatchBench:
         )
         assert code == 1
         assert "no batch benchmark block" in stream.getvalue()
+
+
+class TestScheduleBench:
+    """The guided-vs-exhaustive schedule-search suite and its floor."""
+
+    def _block(self):
+        from repro.analysis.benchmark import run_schedule_benchmarks
+
+        return run_schedule_benchmarks(repeats=1)
+
+    def test_block_shape_and_agreement(self):
+        block = self._block()
+        assert block["exhaustive_nodes"] > block["guided_nodes_to_best"] > 0
+        assert block["exhaustive_seconds"] > 0
+        assert block["guided_seconds_to_best"] > 0
+        assert block["node_speedup"] > 1.0
+        assert block["worst_steps"] > 0
+        # The gate's integrity half: both searches drained the tree and
+        # reached the same worst case.
+        assert block["agrees"] is True
+
+    def test_schedule_floor_passes_and_fails(self):
+        payload = {"schedules": self._block()}
+        measured = payload["schedules"]["node_speedup"]
+        assert check_floors(
+            payload, {"schedule_search_min_speedup": measured / 2.0}
+        ) == []
+        violations = check_floors(
+            payload, {"schedule_search_min_speedup": measured * 100.0}
+        )
+        assert len(violations) == 1
+        assert "below the floor" in violations[0]
+
+    def test_disagreement_is_a_violation_even_above_the_floor(self):
+        block = self._block()
+        block["agrees"] = False
+        violations = check_floors(
+            {"schedules": block}, {"schedule_search_min_speedup": 1.0}
+        )
+        assert len(violations) == 1
+        assert "disagreed" in violations[0]
+
+    def test_missing_schedules_block_is_a_violation(self):
+        violations = check_floors({}, {"schedule_search_min_speedup": 3.0})
+        assert len(violations) == 1
+        assert "no schedule-search benchmark block" in violations[0]
+        assert "--no-schedule-bench" in violations[0]
+
+    def test_block_without_speedup_is_a_violation(self):
+        payload = {"schedules": {"agrees": True}}
+        violations = check_floors(payload, {"schedule_search_min_speedup": 3.0})
+        assert len(violations) == 1
+        assert "node_speedup" in violations[0]
+
+    def test_checked_in_floors_gate_the_schedule_search(self):
+        from pathlib import Path
+
+        floor_path = Path(__file__).resolve().parents[2] / "benchmarks" / "floors.json"
+        floors = load_floors(str(floor_path))
+        assert floors["schedule_search_min_speedup"] >= 3.0
+
+    def test_render_table_mentions_schedule_search(self):
+        payload = tiny_payload()
+        payload["schedules"] = self._block()
+        text = render_bench_table(payload)
+        assert "schedule search" in text
+        assert "fewer nodes" in text
+
+    def test_bench_cli_writes_schedules_block(self, tmp_path):
+        out = tmp_path / "BENCH_engines.json"
+        stream = io.StringIO()
+        code = main(
+            [
+                "bench", "--sizes", "8", "--repeats", "1",
+                "--engines", "fastpath", "--no-protocols", "--no-store-bench",
+                "--no-batch-bench", "--no-trace-bench",
+                "--out", str(out),
+            ],
+            stream=stream,
+        )
+        assert code == 0
+        payload = json.loads(out.read_text(encoding="utf-8"))
+        assert payload["schedules"]["agrees"] is True
+        assert payload["schedules"]["node_speedup"] > 1.0
+        assert "guided vs exhaustive schedule search" in stream.getvalue()
+
+    def test_bench_cli_no_schedule_bench_fails_schedule_floor(self, tmp_path):
+        floors = tmp_path / "floors.json"
+        floors.write_text(json.dumps({"schedule_search_min_speedup": 3.0}))
+        stream = io.StringIO()
+        code = main(
+            [
+                "bench", "--sizes", "8", "--repeats", "1",
+                "--engines", "fastpath", "--no-protocols", "--no-store-bench",
+                "--no-batch-bench", "--no-trace-bench", "--no-schedule-bench",
+                "--floors", str(floors), "--out", str(tmp_path / "bench.json"),
+            ],
+            stream=stream,
+        )
+        assert code == 1
+        assert "no schedule-search benchmark block" in stream.getvalue()

@@ -1,0 +1,122 @@
+"""CLI schedule wiring: search, info, replay and the exit-code contract."""
+
+import io
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(argv):
+    stream = io.StringIO()
+    code = main(argv, stream=stream)
+    return code, stream.getvalue()
+
+
+@pytest.fixture()
+def spec_file(tmp_path):
+    path = tmp_path / "spec.json"
+    path.write_text(
+        json.dumps(
+            {
+                "graph": "random-dag",
+                "graph_params": {"num_internal": 3, "seed": 0},
+                "protocol": "general-broadcast",
+                "seed": 0,
+            }
+        ),
+        encoding="utf-8",
+    )
+    return str(path)
+
+
+@pytest.fixture()
+def cert_file(tmp_path, spec_file):
+    out = str(tmp_path / "worst.json")
+    code, _ = run_cli(
+        ["schedule", "search", spec_file, "--max-nodes", "20000",
+         "-o", out, "--no-store"]
+    )
+    assert code == 0
+    return out
+
+
+class TestScheduleSearch:
+    def test_search_writes_certificate(self, tmp_path, spec_file):
+        out = str(tmp_path / "cert.json")
+        code, text = run_cli(
+            ["schedule", "search", spec_file, "--max-nodes", "20000",
+             "-o", out, "--no-store"]
+        )
+        assert code == 0
+        assert os.path.exists(out)
+        assert "SEARCH [max-steps]" in text
+        assert f"certificate written to {out}" in text
+        payload = json.loads(open(out, encoding="utf-8").read())
+        assert payload["objective"] == "max-steps"
+        assert payload["steps"] == len(payload["deliveries"])
+
+    def test_search_into_store(self, tmp_path, spec_file):
+        store = str(tmp_path / "store")
+        code, text = run_cli(
+            ["schedule", "search", spec_file, "--max-nodes", "20000",
+             "--store", store]
+        )
+        assert code == 0
+        assert "certificate stored at" in text
+        schedules = os.listdir(os.path.join(store, "schedules"))
+        assert len(schedules) == 1
+
+    def test_list_objectives(self, spec_file):
+        code, text = run_cli(
+            ["schedule", "search", spec_file, "--list-objectives", "--no-store"]
+        )
+        assert code == 0
+        for name in ("max-steps", "max-bits", "reach-termination"):
+            assert name in text
+
+    def test_unknown_objective_is_a_one_line_error(self, spec_file):
+        with pytest.raises(SystemExit, match="unknown objective"):
+            run_cli(
+                ["schedule", "search", spec_file, "--objective", "nope",
+                 "--no-store"]
+            )
+
+    def test_missing_spec_file_is_a_one_line_error(self):
+        with pytest.raises(SystemExit, match="cannot read"):
+            run_cli(["schedule", "search", "/does/not/exist.json", "--no-store"])
+
+
+class TestScheduleInfo:
+    def test_info_summarises_claims(self, cert_file):
+        code, text = run_cli(["schedule", "info", cert_file])
+        assert code == 0
+        info = json.loads(text)
+        assert info["objective"] == "max-steps"
+        assert info["cert_id"]
+        # The script is summarised to its length, not dumped.
+        assert isinstance(info["deliveries"], int)
+
+    def test_info_on_junk_is_a_one_line_error(self, tmp_path):
+        junk = tmp_path / "junk.json"
+        junk.write_text("{not json", encoding="utf-8")
+        with pytest.raises(SystemExit, match="not valid JSON"):
+            run_cli(["schedule", "info", str(junk)])
+
+
+class TestScheduleReplay:
+    def test_intact_certificate_replays_exit_0(self, cert_file):
+        code, text = run_cli(["schedule", "replay", cert_file])
+        assert code == 0
+        assert "CERTIFICATE OK" in text
+
+    def test_tampered_certificate_fails_exit_1(self, tmp_path, cert_file):
+        payload = json.loads(open(cert_file, encoding="utf-8").read())
+        payload["steps"] += 1
+        tampered = tmp_path / "tampered.json"
+        tampered.write_text(json.dumps(payload), encoding="utf-8")
+        code, text = run_cli(["schedule", "replay", str(tampered)])
+        assert code == 1
+        assert "CERTIFICATE FAILED" in text

@@ -24,7 +24,7 @@ from repro.analysis.experiments import (
 
 
 def test_registry_complete():
-    assert set(ALL_EXPERIMENTS) == {f"E{i}" for i in range(1, 19)}
+    assert set(ALL_EXPERIMENTS) == {f"E{i}" for i in range(1, 20)}
 
 
 def test_e16_all_schedulers_terminate():

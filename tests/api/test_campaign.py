@@ -214,9 +214,9 @@ class TestCampaignRunner:
 
 
 class TestRegisteredExperiments:
-    def test_all_eighteen_registered(self):
+    def test_all_nineteen_registered(self):
         ensure_registered()
-        assert set(EXPERIMENTS.names()) == {f"e{i:02d}" for i in range(1, 19)}
+        assert set(EXPERIMENTS.names()) == {f"e{i:02d}" for i in range(1, 20)}
 
     def test_grid_campaigns_expand(self):
         ensure_registered()
@@ -241,7 +241,7 @@ class TestRegisteredExperiments:
             for name in EXPERIMENTS.names()
             if isinstance(EXPERIMENTS.get(name), DriverExperiment)
         ]
-        assert {d.name for d in drivers} == {"e02", "e04", "e07", "e14"}
+        assert {d.name for d in drivers} == {"e02", "e04", "e07", "e14", "e19"}
         for driver in drivers:
             assert callable(driver.resolve())
 

@@ -26,6 +26,7 @@ DOCUMENTS = [
     "README.md",
     "docs/ARCHITECTURE.md",
     "docs/FAULTS.md",
+    "docs/SCHEDULES.md",
     "docs/STORE.md",
     "docs/TRACING.md",
 ]

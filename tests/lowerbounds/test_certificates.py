@@ -1,0 +1,150 @@
+"""ScheduleCertificate round-trips, independent replay, tamper detection."""
+
+import json
+
+import pytest
+
+from repro.api.spec import RunSpec, ensure_registered
+from repro.lowerbounds.certificates import (
+    CertificateError,
+    ScheduleCertificate,
+    load_certificate,
+    search_and_certify,
+    store_certificate,
+    verify_certificate,
+)
+
+
+@pytest.fixture(scope="module")
+def certified():
+    ensure_registered()
+    spec = RunSpec(
+        graph="random-dag",
+        graph_params={"num_internal": 3, "seed": 0},
+        protocol="general-broadcast",
+        seed=0,
+    )
+    result, certificate = search_and_certify(
+        spec, objective="max-steps", max_nodes=50_000
+    )
+    assert certificate is not None
+    return result, certificate
+
+
+class TestRoundTrip:
+    def test_json_round_trip_is_lossless(self, certified):
+        _, cert = certified
+        again = ScheduleCertificate.from_json(cert.to_json())
+        assert again.to_dict() == cert.to_dict()
+        assert again.cert_id == cert.cert_id
+
+    def test_digest_is_stable_and_excludes_itself(self, certified):
+        _, cert = certified
+        payload = cert.to_dict()
+        assert payload["digest"] == cert.digest()
+        # The digest covers everything *except* the digest field.
+        loaded = ScheduleCertificate.from_dict(payload)
+        assert loaded.digest() == payload["digest"]
+
+    def test_malformed_json_raises_certificate_error(self):
+        with pytest.raises(CertificateError):
+            ScheduleCertificate.from_json("not json at all {")
+        with pytest.raises(CertificateError):
+            ScheduleCertificate.from_json("[1, 2, 3]")
+        with pytest.raises(CertificateError):
+            ScheduleCertificate.from_dict({"workload": {}})
+
+    def test_store_and_load(self, certified, tmp_path):
+        _, cert = certified
+        path = store_certificate(str(tmp_path), cert)
+        assert path.endswith(f"{cert.cert_id}.json")
+        assert "schedules" in path
+        loaded = load_certificate(path)
+        assert loaded.to_dict() == cert.to_dict()
+        # Content-addressed: storing again re-writes the same file.
+        assert store_certificate(str(tmp_path), cert) == path
+
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(CertificateError):
+            load_certificate(str(tmp_path / "nope.json"))
+
+
+class TestVerification:
+    def test_fresh_certificate_verifies(self, certified):
+        result, cert = certified
+        report = verify_certificate(cert)
+        assert report.ok, report.failures
+        assert report.replayed_steps == cert.steps == result.best_depth
+        assert report.replayed_bits == cert.total_bits
+        assert report.replayed_outcome == cert.outcome
+        assert "CERTIFICATE OK" in report.summary()
+
+    @pytest.mark.parametrize(
+        "tamper",
+        [
+            lambda d: d.__setitem__("steps", d["steps"] + 1),
+            lambda d: d.__setitem__("total_bits", d["total_bits"] + 1),
+            lambda d: d.__setitem__("outcome", "quiescent"),
+            lambda d: d["deliveries"].pop(),
+            lambda d: d["deliveries"].__setitem__(
+                0, [d["deliveries"][0][0], "Bogus()"]
+            ),
+            lambda d: d["deliveries"].reverse(),
+        ],
+        ids=["steps", "bits", "outcome", "drop", "payload", "reorder"],
+    )
+    def test_tampering_fails_verification(self, certified, tamper):
+        _, cert = certified
+        payload = cert.to_dict()
+        tamper(payload)
+        report = verify_certificate(ScheduleCertificate.from_dict(payload))
+        assert not report.ok
+        # Every tamper also breaks the digest — but ok must be False even
+        # for the replay/claim reasons alone, which the failures list shows.
+        assert any("digest mismatch" in f for f in report.failures)
+        assert "CERTIFICATE FAILED" in report.summary()
+
+    def test_recomputed_digest_does_not_whitewash_tampering(self, certified):
+        # An attacker who edits a claim AND fixes the digest must still
+        # fail: the replay itself contradicts the claim.
+        _, cert = certified
+        payload = cert.to_dict()
+        payload["steps"] += 1
+        payload.pop("digest")
+        forged = ScheduleCertificate.from_dict(payload)
+        assert forged.stored_digest is None  # self-consistent again
+        report = verify_certificate(forged)
+        assert not report.ok
+        assert any("steps" in f for f in report.failures)
+
+    def test_unknown_workload_is_a_verification_failure(self, certified):
+        _, cert = certified
+        payload = cert.to_dict()
+        payload["workload"]["graph"] = "no-such-graph"
+        report = verify_certificate(ScheduleCertificate.from_dict(payload))
+        assert not report.ok
+        assert any("rebuild" in f for f in report.failures)
+
+
+class TestCampaignE19:
+    def test_quick_campaign_certificates_all_verify(self, tmp_path):
+        """Satellite: every certificate e19 --quick emits round-trips
+        through JSON and replays to its claimed step count and outcome."""
+        from repro.api.campaign import CampaignRunner
+        from repro.store import ResultStore
+
+        ensure_registered()
+        store = ResultStore(str(tmp_path / "store"))
+        runner = CampaignRunner(scale="quick", store=store, parallel=False)
+        result = runner.run("e19")
+        assert result.rows
+        for row in result.rows:
+            assert row["certificate"] is not None
+            path = row["certificate_path"]
+            cert = load_certificate(path)
+            assert cert.cert_id == row["certificate"]
+            assert cert.to_dict() == json.loads(cert.to_json())
+            report = verify_certificate(cert)
+            assert report.ok, report.failures
+            assert report.replayed_steps == row["worst_steps"] == cert.steps
+            assert report.replayed_outcome == row["outcome"]

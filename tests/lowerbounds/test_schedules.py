@@ -7,7 +7,10 @@ from repro.core.labeling import LabelAssignmentProtocol
 from repro.core.tree_broadcast import TreeBroadcastProtocol
 from repro.graphs.enumerate_graphs import all_grounded_trees, all_internal_wirings
 from repro.graphs.properties import is_grounded_tree
-from repro.lowerbounds.schedules import explore_all_schedules
+from repro.lowerbounds.schedules import (
+    TranspositionTable,
+    explore_all_schedules,
+)
 from repro.network.graph import DirectedNetwork
 
 
@@ -85,6 +88,46 @@ class TestExploration:
         )
         result = explore_all_schedules(net, GeneralBroadcastProtocol, max_steps_total=3)
         assert result.truncated
+
+    def test_truncated_walks_are_inconclusive(self):
+        # Regression: a budget-truncated walk has not seen every schedule,
+        # so neither ∀-verdict may be claimed — even when every *visited*
+        # leaf terminated (this topology always terminates when drained).
+        net = DirectedNetwork(4, [(0, 2), (2, 3), (3, 2), (2, 1)], root=0, terminal=1)
+        full = explore_all_schedules(net, GeneralBroadcastProtocol)
+        assert not full.truncated and full.always_terminates
+        cut = explore_all_schedules(net, GeneralBroadcastProtocol, max_steps_total=3)
+        assert cut.truncated
+        assert not cut.always_terminates
+        assert not cut.never_terminates
+
+    def test_compiled_network_is_reused(self):
+        from repro.network.fastpath import CompiledNetwork
+
+        net = DirectedNetwork(4, [(0, 2), (2, 3), (3, 2), (2, 1)], root=0, terminal=1)
+        compiled = CompiledNetwork(net)
+        fresh = explore_all_schedules(net, GeneralBroadcastProtocol)
+        reused = explore_all_schedules(
+            net, GeneralBroadcastProtocol, compiled=compiled
+        )
+        assert (fresh.outcomes, fresh.executions, fresh.steps) == (
+            reused.outcomes,
+            reused.executions,
+            reused.steps,
+        )
+
+    def test_compiled_for_other_network_is_rejected(self):
+        # A compiled= for a *different* topology must be ignored, not
+        # silently explored — the walk would be over the wrong graph.
+        from repro.network.fastpath import CompiledNetwork
+
+        net = DirectedNetwork(4, [(0, 2), (2, 3), (3, 2), (2, 1)], root=0, terminal=1)
+        other = DirectedNetwork(3, [(0, 2), (2, 1)], root=0, terminal=1)
+        result = explore_all_schedules(
+            net, GeneralBroadcastProtocol, compiled=CompiledNetwork(other)
+        )
+        assert result.always_terminates
+        assert result.steps > 2  # explored net's tree, not other's
 
     def test_invariant_hook(self):
         from repro.core.intervals import UNIT_UNION
@@ -182,6 +225,75 @@ class TestModeEquivalence:
         assert result.always_terminates
         with pytest.raises(ValueError):
             explore_all_schedules(net, NoKernel, use_kernel=True)
+
+
+class TestTranspositionTable:
+    """The canonical-hash table with its exact-compare fallback."""
+
+    def test_first_visit_is_new(self):
+        table = TranspositionTable()
+        assert table.visit(("a", 1))
+        assert not table.visit(("a", 1))
+        assert table.entries == 1
+        assert table.hits == 1
+
+    def test_distinct_keys_are_distinct(self):
+        table = TranspositionTable()
+        assert table.visit(("a", 1))
+        assert table.visit(("a", 2))
+        assert table.entries == 2
+
+    def test_unhashable_keys_digest_by_structure(self):
+        # Kernel snapshots can contain lists (shared flat unions); the
+        # digest must freeze them rather than raise.
+        table = TranspositionTable()
+        assert table.visit(("v", [1, 2], [3]))
+        assert not table.visit(("v", [1, 2], [3]))
+        assert table.visit(("v", [1, 2], [4]))
+
+    def test_forced_collisions_fall_back_to_exact_compare(self):
+        # Injected digest: every key hashes to the same bucket.  The
+        # exact-compare fallback must still keep distinct configurations
+        # distinct — a collision may cost time, never soundness.
+        table = TranspositionTable(digest=lambda key: 0)
+        keys = [("cfg", i) for i in range(16)]
+        assert all(table.visit(key) for key in keys)
+        assert not any(table.visit(key) for key in keys)
+        assert table.entries == 16
+        assert table.collisions > 0
+
+    def test_rank_reopens_a_visited_configuration(self):
+        # Branch-and-bound maximization: reaching a known configuration
+        # at a strictly higher rank must re-open it (the deeper prefix can
+        # extend to a longer execution); equal or lower rank must not.
+        table = TranspositionTable()
+        assert table.visit(("cfg",), rank=3)
+        assert not table.visit(("cfg",), rank=3)
+        assert not table.visit(("cfg",), rank=2)
+        assert table.visit(("cfg",), rank=5)
+        assert table.reopened == 1
+        assert table.entries == 1
+
+    def test_stats_shape(self):
+        table = TranspositionTable()
+        table.visit(("x",))
+        stats = table.stats()
+        assert set(stats) == {"entries", "hits", "collisions", "reopened"}
+
+    def test_collision_injection_keeps_exploration_exact(self):
+        # End to end: the explorer's counts must be identical under a
+        # pathological all-colliding digest.
+        net = DirectedNetwork(4, [(0, 2), (2, 3), (3, 2), (2, 1)], root=0, terminal=1)
+        honest = explore_all_schedules(net, GeneralBroadcastProtocol)
+        colliding = explore_all_schedules(
+            net, GeneralBroadcastProtocol, digest=lambda key: 0
+        )
+        assert (honest.outcomes, honest.executions, honest.steps) == (
+            colliding.outcomes,
+            colliding.executions,
+            colliding.steps,
+        )
+        assert colliding.table["collisions"] > 0
 
 
 class TestCloneState:
